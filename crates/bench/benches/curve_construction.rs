@@ -1,0 +1,105 @@
+//! Benchmarks of workload-curve and arrival-curve construction — the
+//! `O(N·K)` window analyses that dominate the full-scale experiments.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use wcm_core::UpperWorkloadCurve;
+use wcm_events::window::{max_window_sums, min_spans, WindowMode};
+
+fn demand_vector(n: usize) -> Vec<u64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    (0..n)
+        .map(|_| if rng.gen_bool(0.1) { 17_500 } else { rng.gen_range(150..4_000) })
+        .collect()
+}
+
+fn timestamps(n: usize) -> Vec<f64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let mut t = 0.0;
+    (0..n)
+        .map(|_| {
+            t += rng.gen_range(1e-5..1e-3);
+            t
+        })
+        .collect()
+}
+
+fn bench_window_sums(c: &mut Criterion) {
+    let mut group = c.benchmark_group("max_window_sums");
+    for &(n, k) in &[(2_000usize, 500usize), (10_000, 2_000), (40_000, 4_000)] {
+        let v = demand_vector(n);
+        group.bench_with_input(
+            BenchmarkId::new("exact", format!("N{n}_K{k}")),
+            &(&v, k),
+            |b, (v, k)| b.iter(|| max_window_sums(v, *k, WindowMode::Exact).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("strided", format!("N{n}_K{k}")),
+            &(&v, k),
+            |b, (v, k)| {
+                b.iter(|| {
+                    max_window_sums(
+                        v,
+                        *k,
+                        WindowMode::Strided {
+                            exact_upto: 100,
+                            stride: 50,
+                        },
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_curve_from_values(c: &mut Criterion) {
+    let v = demand_vector(20_000);
+    c.bench_function("upper_curve_from_20k_trace_k1000", |b| {
+        b.iter(|| {
+            UpperWorkloadCurve::new(
+                max_window_sums(&v, 1_000, WindowMode::Exact).unwrap(),
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_pseudo_inverse(c: &mut Criterion) {
+    let v = demand_vector(5_000);
+    let gamma =
+        UpperWorkloadCurve::new(max_window_sums(&v, 2_000, WindowMode::Exact).unwrap()).unwrap();
+    c.bench_function("pseudo_inverse_1000_queries", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1_000 {
+                acc = acc.wrapping_add(gamma.pseudo_inverse(i as f64 * 9_999.0));
+            }
+            acc
+        })
+    });
+}
+
+fn bench_min_spans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arrival_min_spans");
+    for &(n, k) in &[(5_000usize, 1_000usize), (20_000, 4_000)] {
+        let t = timestamps(n);
+        group.bench_with_input(
+            BenchmarkId::new("exact", format!("N{n}_K{k}")),
+            &(&t, k),
+            |b, (t, k)| b.iter(|| min_spans(t, *k, WindowMode::Exact).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_window_sums,
+    bench_curve_from_values,
+    bench_pseudo_inverse,
+    bench_min_spans
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Benchmarks of the discrete-event simulators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wcm_core::Cycles;
+use wcm_sched::sim::{simulate, Policy, SimConfig};
+use wcm_sched::task::{PeriodicTask, TaskSet};
+
+fn task_set(n: usize) -> TaskSet {
+    let tasks = (0..n)
+        .map(|i| {
+            let period = 5.0 + 3.0 * i as f64;
+            PeriodicTask::new(format!("t{i}"), period, Cycles(1 + i as u64))
+                .unwrap()
+                .with_pattern(vec![Cycles(1 + i as u64), Cycles(1)])
+                .unwrap()
+        })
+        .collect();
+    TaskSet::new(tasks).unwrap()
+}
+
+fn bench_fixed_priority(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_sim_fp");
+    for &n in &[2usize, 5, 10] {
+        let set = task_set(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &set, |b, set| {
+            b.iter(|| {
+                simulate(
+                    set,
+                    &SimConfig {
+                        frequency: 10.0,
+                        horizon: 1_000.0,
+                        policy: Policy::FixedPriority,
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_edf(c: &mut Criterion) {
+    let set = task_set(5);
+    c.bench_function("scheduler_sim_edf_5tasks", |b| {
+        b.iter(|| {
+            simulate(
+                &set,
+                &SimConfig {
+                    frequency: 10.0,
+                    horizon: 1_000.0,
+                    policy: Policy::Edf,
+                },
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_100k_push_pop", |b| {
+        b.iter(|| {
+            let mut q = wcm_sim::engine::EventQueue::new();
+            for i in 0..100_000u32 {
+                q.push(f64::from(i % 977), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(u64::from(v));
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_fixed_priority, bench_edf, bench_event_queue);
+criterion_main!(benches);

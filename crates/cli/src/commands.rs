@@ -1,0 +1,219 @@
+//! Subcommand implementations.
+
+use crate::args::Options;
+use crate::io;
+use std::path::Path;
+use wcm_core::curve::{LowerWorkloadCurve, UpperWorkloadCurve};
+use wcm_core::polling::PollingTask;
+use wcm_core::sizing;
+use wcm_events::window::{max_window_sums, min_window_sums, min_spans, WindowMode};
+use wcm_events::Cycles;
+
+/// Usage text shown by `help` and on errors.
+pub const USAGE: &str = "usage: wcm-cli <subcommand> [--option value]...
+
+subcommands:
+  curves   --demands FILE --k K [--exact-upto N --stride S]
+           workload curves gamma_u/gamma_l from a per-event demand trace
+  arrival  --times FILE --k K
+           empirical arrival staircase from sorted timestamps
+  fmin     --times FILE --demands FILE --buffer B --k K
+           minimum clock frequency (eq. 9 vs eq. 10)
+  polling  --period T --theta-min A --theta-max B --ep E --ec C --k K
+           analytic polling-task curves (Example 1 / Fig. 2)
+  mpeg     --clip NAME --gops N [--out-demands FILE] [--out-bits FILE]
+           synthesize one of the 14 standard clips (use --clip list)
+  pipeline --clip NAME --gops N --pe1-mhz X --pe2-mhz Y [--capacity C]
+           simulate the two-PE decoder pipeline on a synthesized clip
+  help     this text";
+
+fn mode(opts: &Options) -> Result<WindowMode, String> {
+    match (opts.optional("exact-upto"), opts.optional("stride")) {
+        (None, None) => Ok(WindowMode::Exact),
+        _ => Ok(WindowMode::Strided {
+            exact_upto: opts.usize_or("exact-upto", 64)?,
+            stride: opts.usize_or("stride", 16)?,
+        }),
+    }
+}
+
+/// `curves` subcommand.
+pub fn curves(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let demands = io::read_demands(Path::new(opts.required("demands")?))?;
+    let k_max = opts.required_usize("k")?;
+    let mode = mode(opts)?;
+    let upper = UpperWorkloadCurve::new(max_window_sums(&demands, k_max, mode)?)?;
+    let lower = LowerWorkloadCurve::new(min_window_sums(&demands, k_max, mode)?)?;
+    println!("# k gamma_u gamma_l wcet_line bcet_line");
+    let (w, b) = (upper.wcet().get(), lower.bcet().get());
+    for k in 1..=k_max {
+        println!(
+            "{k} {} {} {} {}",
+            upper.value(k).get(),
+            lower.value(k).get(),
+            w * k as u64,
+            b * k as u64
+        );
+    }
+    Ok(())
+}
+
+/// `arrival` subcommand.
+pub fn arrival(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let times = io::read_times(Path::new(opts.required("times")?))?;
+    let k_max = opts.required_usize("k")?;
+    let spans = min_spans(&times, k_max, WindowMode::Exact)?;
+    println!("# delta_seconds events");
+    for (i, d) in spans.iter().enumerate() {
+        println!("{d} {}", i + 1);
+    }
+    Ok(())
+}
+
+/// `fmin` subcommand.
+pub fn fmin(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let times = io::read_times(Path::new(opts.required("times")?))?;
+    let demands = io::read_demands(Path::new(opts.required("demands")?))?;
+    if times.len() != demands.len() {
+        return Err(format!(
+            "{} timestamps vs {} demands: the traces must align",
+            times.len(),
+            demands.len()
+        )
+        .into());
+    }
+    let buffer = opts.required_u64("buffer")?;
+    let k_max = opts.required_usize("k")?;
+    let mode = mode(opts)?;
+    let gamma = UpperWorkloadCurve::new(max_window_sums(&demands, k_max, mode)?)?;
+    let mut reg = wcm_events::TypeRegistry::new();
+    let ty = reg.register("event", wcm_events::ExecutionInterval::fixed(Cycles(1)))?;
+    let trace = wcm_events::TimedTrace::new(
+        reg,
+        times
+            .iter()
+            .map(|&time| wcm_events::TimedEvent { time, ty })
+            .collect(),
+    )?;
+    let alpha = wcm_core::build::arrival_upper(&trace, k_max, mode)?;
+    let f_gamma = sizing::min_frequency_workload(&alpha, &gamma, buffer)?;
+    let f_wcet = sizing::min_frequency_wcet(&alpha, gamma.wcet(), buffer)?;
+    println!("buffer_events {buffer}");
+    println!("f_min_workload_hz {f_gamma:.1}");
+    println!("f_min_wcet_hz {f_wcet:.1}");
+    println!("savings_percent {:.1}", 100.0 * (1.0 - f_gamma / f_wcet));
+    Ok(())
+}
+
+/// `polling` subcommand.
+pub fn polling(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let task = PollingTask::new(
+        opts.required_f64("period")?,
+        opts.required_f64("theta-min")?,
+        opts.required_f64("theta-max")?,
+        Cycles(opts.required_u64("ep")?),
+        Cycles(opts.required_u64("ec")?),
+    )?;
+    let k_max = opts.required_usize("k")?;
+    println!("# k gamma_u gamma_l");
+    for k in 1..=k_max {
+        println!(
+            "{k} {} {}",
+            task.gamma_upper(k).get(),
+            task.gamma_lower(k).get()
+        );
+    }
+    Ok(())
+}
+
+/// `mpeg` subcommand.
+pub fn mpeg(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let name = opts.required("clip")?;
+    let clips = wcm_mpeg::profile::standard_clips();
+    if name == "list" {
+        for c in &clips {
+            println!(
+                "{} complexity={:.2} motion={:.2}",
+                c.name, c.complexity, c.motion
+            );
+        }
+        return Ok(());
+    }
+    let profile = clips
+        .iter()
+        .find(|c| c.name == name)
+        .ok_or_else(|| format!("unknown clip `{name}` (try --clip list)"))?;
+    let gops = opts.required_usize("gops")?;
+    let params = wcm_mpeg::VideoParams::main_profile_main_level()?;
+    let clip = wcm_mpeg::Synthesizer::new(params).generate(profile, gops)?;
+    let demands = clip.pe2_demands();
+    if let Some(out) = opts.optional("out-demands") {
+        write_u64s(Path::new(out), &demands)?;
+        eprintln!("wrote {} demands to {out}", demands.len());
+    }
+    if let Some(out) = opts.optional("out-bits") {
+        write_u64s(Path::new(out), &clip.mb_bits())?;
+        eprintln!("wrote {} bit sizes to {out}", clip.macroblock_count());
+    }
+    let max = demands.iter().max().copied().unwrap_or(0);
+    let sum: u64 = demands.iter().sum();
+    println!("clip {name}");
+    println!("macroblocks {}", clip.macroblock_count());
+    println!("pe2_wcet_cycles {max}");
+    println!(
+        "pe2_mean_cycles {:.1}",
+        sum as f64 / clip.macroblock_count() as f64
+    );
+    println!("total_bits {}", clip.total_bits());
+    Ok(())
+}
+
+/// `pipeline` subcommand.
+pub fn pipeline(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let name = opts.required("clip")?;
+    let profile = wcm_mpeg::profile::standard_clips()
+        .into_iter()
+        .find(|c| c.name == name)
+        .ok_or_else(|| format!("unknown clip `{name}` (try `mpeg --clip list`)"))?;
+    let gops = opts.required_usize("gops")?;
+    let params = wcm_mpeg::VideoParams::main_profile_main_level()?;
+    let clip = wcm_mpeg::Synthesizer::new(params).generate(&profile, gops)?;
+    let cfg = wcm_sim::PipelineConfig {
+        bitrate_bps: params.bitrate_bps(),
+        pe1_hz: opts.required_f64("pe1-mhz")? * 1e6,
+        pe2_hz: opts.required_f64("pe2-mhz")? * 1e6,
+    };
+    let result = match opts.optional("capacity") {
+        Some(c) => wcm_sim::pipeline::simulate_pipeline_bounded(
+            &clip,
+            &cfg,
+            c.parse::<u64>().map_err(|e| format!("--capacity: {e}"))?,
+        )?,
+        None => wcm_sim::simulate_pipeline(&clip, &cfg)?,
+    };
+    let worst_latency = result
+        .fifo_in_times
+        .iter()
+        .zip(&result.fifo_out_times)
+        .map(|(i, o)| o - i)
+        .fold(0.0f64, f64::max);
+    println!("clip {name}");
+    println!("macroblocks {}", clip.macroblock_count());
+    println!("max_backlog_mb {}", result.max_backlog);
+    println!("worst_fifo_latency_ms {:.3}", worst_latency * 1e3);
+    println!("pe1_busy_s {:.4}", result.pe1_busy);
+    println!("pe2_busy_s {:.4}", result.pe2_busy);
+    println!("pe1_stalled_s {:.4}", result.pe1_stalled);
+    println!("makespan_s {:.4}", result.makespan);
+    Ok(())
+}
+
+fn write_u64s(path: &Path, values: &[u64]) -> Result<(), String> {
+    use std::io::Write;
+    let mut f = std::fs::File::create(path)
+        .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+    for v in values {
+        writeln!(f, "{v}").map_err(|e| format!("write failed: {e}"))?;
+    }
+    Ok(())
+}

@@ -1,0 +1,102 @@
+//! Trace-file reading: whitespace/newline-separated numbers, `#` comments.
+
+use std::fs;
+use std::path::Path;
+
+/// Reads a demand trace: one non-negative integer (cycles) per token.
+pub fn read_demands(path: &Path) -> Result<Vec<u64>, String> {
+    parse_tokens(path, |tok| {
+        tok.parse::<u64>()
+            .map_err(|e| format!("bad demand `{tok}`: {e}"))
+    })
+}
+
+/// Reads a timestamp trace: one finite float (seconds) per token; must be
+/// sorted non-decreasingly.
+pub fn read_times(path: &Path) -> Result<Vec<f64>, String> {
+    let times = parse_tokens(path, |tok| {
+        let v: f64 = tok
+            .parse()
+            .map_err(|e| format!("bad timestamp `{tok}`: {e}"))?;
+        if !v.is_finite() {
+            return Err(format!("non-finite timestamp `{tok}`"));
+        }
+        Ok(v)
+    })?;
+    if times.windows(2).any(|w| w[1] < w[0]) {
+        return Err("timestamps must be sorted non-decreasingly".to_string());
+    }
+    Ok(times)
+}
+
+fn parse_tokens<T>(
+    path: &Path,
+    parse: impl Fn(&str) -> Result<T, String>,
+) -> Result<Vec<T>, String> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("");
+        for tok in line.split_whitespace() {
+            out.push(parse(tok)?);
+        }
+    }
+    if out.is_empty() {
+        return Err(format!("{} contains no values", path.display()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp(content: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "wcm-cli-test-{}-{:p}.txt",
+            std::process::id(),
+            &content
+        ));
+        let mut f = fs::File::create(&p).unwrap();
+        f.write_all(content.as_bytes()).unwrap();
+        p
+    }
+
+    #[test]
+    fn reads_demands_with_comments() {
+        let p = tmp("# header\n10 20\n30 # trailing\n");
+        assert_eq!(read_demands(&p).unwrap(), vec![10, 20, 30]);
+        fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn rejects_bad_demands() {
+        let p = tmp("10 -3\n");
+        assert!(read_demands(&p).is_err());
+        fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn reads_sorted_times() {
+        let p = tmp("0.0 0.5\n1.25\n");
+        assert_eq!(read_times(&p).unwrap(), vec![0.0, 0.5, 1.25]);
+        fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn rejects_unsorted_times() {
+        let p = tmp("1.0 0.5\n");
+        assert!(read_times(&p).is_err());
+        fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn rejects_empty_file() {
+        let p = tmp("# only comments\n");
+        assert!(read_demands(&p).is_err());
+        fs::remove_file(p).ok();
+    }
+}

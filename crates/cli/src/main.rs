@@ -1,0 +1,55 @@
+//! `wcm-cli` — workload-curve analysis from the command line.
+//!
+//! Subcommands:
+//!
+//! * `curves --demands FILE --k K [--stride S]` — workload curves from a
+//!   per-event demand trace (one integer per line);
+//! * `arrival --times FILE --k K` — empirical arrival staircase from a
+//!   timestamp trace (one float per line, seconds, sorted);
+//! * `fmin --times FILE --demands FILE --buffer B --k K` — minimum clock
+//!   frequency by eq. 9 and eq. 10;
+//! * `polling --period T --theta-min A --theta-max B --ep E --ec C --k K`
+//!   — the analytic curves of Example 1;
+//! * `mpeg --clip NAME --gops N [--out-demands FILE]` — synthesize a clip
+//!   of the paper's MPEG-2 workload and print (or save) its PE₂ demands.
+//!
+//! All output is plain text, one row per `k`/`Δ`, suitable for plotting.
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+mod io;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err("missing subcommand".into());
+    };
+    let opts = args::Options::parse(rest)?;
+    match cmd.as_str() {
+        "curves" => commands::curves(&opts),
+        "arrival" => commands::arrival(&opts),
+        "fmin" => commands::fmin(&opts),
+        "polling" => commands::polling(&opts),
+        "mpeg" => commands::mpeg(&opts),
+        "pipeline" => commands::pipeline(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}`").into()),
+    }
+}

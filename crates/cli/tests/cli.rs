@@ -1,0 +1,110 @@
+//! End-to-end tests of the `wcm-cli` binary.
+
+use std::io::Write;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_wcm-cli"))
+}
+
+fn tmp_file(name: &str, content: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("wcm-cli-it-{}-{name}", std::process::id()));
+    let mut f = std::fs::File::create(&p).unwrap();
+    f.write_all(content.as_bytes()).unwrap();
+    p
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = cli().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("subcommands"));
+    assert!(text.contains("curves"));
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let out = cli().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown subcommand"));
+    assert!(err.contains("usage"));
+}
+
+#[test]
+fn curves_from_demand_file() {
+    let p = tmp_file("demands.txt", "5 1 1 5 1 1 5 1\n");
+    let out = cli()
+        .args(["curves", "--demands", p.to_str().unwrap(), "--k", "4"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    // k=1 row: γᵘ=5, γˡ=1, lines 5 and 1.
+    assert!(text.lines().any(|l| l == "1 5 1 5 1"), "{text}");
+    // k=4 row: worst window 5+1+1+5 = 12.
+    assert!(text.lines().any(|l| l.starts_with("4 12 ")), "{text}");
+    std::fs::remove_file(p).ok();
+}
+
+#[test]
+fn polling_matches_fig2_values() {
+    let out = cli()
+        .args([
+            "polling", "--period", "1", "--theta-min", "3", "--theta-max", "5", "--ep",
+            "10", "--ec", "2", "--k", "6",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.lines().any(|l| l == "6 36 20"), "{text}");
+}
+
+#[test]
+fn fmin_reports_savings() {
+    let d = tmp_file("d.txt", "5 1 1 5 1 1 5 1\n");
+    let t = tmp_file("t.txt", "0.0 1.0 2.0 3.0 4.0 5.0 6.0 7.0\n");
+    let out = cli()
+        .args([
+            "fmin",
+            "--times",
+            t.to_str().unwrap(),
+            "--demands",
+            d.to_str().unwrap(),
+            "--buffer",
+            "2",
+            "--k",
+            "6",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("f_min_workload_hz"));
+    assert!(text.contains("savings_percent"));
+    std::fs::remove_file(d).ok();
+    std::fs::remove_file(t).ok();
+}
+
+#[test]
+fn mpeg_list_names_all_clips() {
+    let out = cli().args(["mpeg", "--clip", "list"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(text.lines().count(), 14);
+    assert!(text.contains("stress_chase"));
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let out = cli()
+        .args(["curves", "--demands", "/nonexistent/x.txt", "--k", "4"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("cannot read"));
+}

@@ -1,0 +1,249 @@
+//! Analytic bounds on a *producer's* output stream (extension).
+//!
+//! The paper measures the macroblock arrival curve `ᾱ` at PE₁'s output by
+//! simulation, noting that "it is hard to derive analytically any useful
+//! constraints for a generic MPEG-2 stream". What *can* be derived
+//! analytically — without knowing the stream's content — are two physical
+//! throttles on any producer like PE₁:
+//!
+//! 1. **Processing**: emitting `k` events costs at least `γˡ_proc(k)`
+//!    cycles, so any window of length `Δ` holds at most
+//!    `γˡ_proc⁻¹(F·Δ) + 1` emissions (the `+1` covers an event completing
+//!    exactly at the window start).
+//! 2. **Input data**: each event consumes input data (compressed bits) —
+//!    at least `γˡ_data(k)` units for `k` consecutive events. The channel
+//!    delivers at most `R·Δ` units in the window, plus whatever the
+//!    producer had buffered, so at most
+//!    `γˡ_data⁻¹(R·Δ + buffered) + 1` emissions fit.
+//!
+//! The pointwise minimum of the two is a guaranteed upper arrival curve for
+//! the producer's output — the lower workload curves (here over *cycles*
+//! and over *bits*) doing the work the paper's simulator did.
+
+use crate::curve::LowerWorkloadCurve;
+use crate::WorkloadError;
+use wcm_curves::StepCurve;
+
+/// One throttle on the producer: a resource delivered at `rate` units per
+/// second (plus `head_start` units available immediately), consumed at
+/// least `gamma_lower(k)` units per `k` emissions.
+#[derive(Debug, Clone)]
+pub struct Throttle<'a> {
+    /// Lower workload curve of the resource consumption per emission.
+    pub gamma_lower: &'a LowerWorkloadCurve,
+    /// Delivery rate of the resource (cycles/s, bits/s, …).
+    pub rate: f64,
+    /// Resource units the producer may have pre-buffered.
+    pub head_start: f64,
+}
+
+/// Upper bound on the producer's output events in any window of length
+/// `Δ`, as a staircase over `k = 1 ..= k_max`: the curve jumps to `k` at
+/// the earliest `Δ` allowed by **all** throttles.
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::InvalidParameter`] if `k_max` is 0, no
+/// throttle is given, or a throttle's rate is not positive;
+/// [`WorkloadError::Infeasible`] if some throttle can never deliver enough
+/// resource for `k_max` events (degenerate all-zero lower curve).
+///
+/// # Example
+///
+/// ```
+/// use wcm_core::{chain, LowerWorkloadCurve};
+///
+/// # fn main() -> Result<(), wcm_core::WorkloadError> {
+/// // Each emission costs ≥ 5 cycles; the processor runs at 10 cycles/s.
+/// let proc = LowerWorkloadCurve::new(vec![5, 10, 15, 20])?;
+/// let bound = chain::producer_output_bound(
+///     &[chain::Throttle { gamma_lower: &proc, rate: 10.0, head_start: 0.0 }],
+///     4,
+/// )?;
+/// // Two events need ≥ 10 cycles ⇒ ≥ 0.5 s … plus the window-edge event.
+/// assert_eq!(bound.value(0.0), 1);
+/// assert_eq!(bound.value(0.5), 2);
+/// assert_eq!(bound.value(1.0), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn producer_output_bound(
+    throttles: &[Throttle<'_>],
+    k_max: usize,
+) -> Result<StepCurve, WorkloadError> {
+    if k_max == 0 {
+        return Err(WorkloadError::InvalidParameter { name: "k_max" });
+    }
+    if throttles.is_empty() {
+        return Err(WorkloadError::InvalidParameter { name: "throttles" });
+    }
+    for t in throttles {
+        if !(t.rate.is_finite() && t.rate > 0.0) {
+            return Err(WorkloadError::InvalidParameter { name: "rate" });
+        }
+        if !(t.head_start.is_finite() && t.head_start >= 0.0) {
+            return Err(WorkloadError::InvalidParameter { name: "head_start" });
+        }
+    }
+    // Earliest window length at which k emissions are possible: every
+    // throttle must have delivered γˡ(k−1) units beyond its head start
+    // (k−1 because the first event of the window may complete "for free"
+    // at its very start).
+    let mut steps: Vec<(f64, u64)> = vec![(0.0, 1)];
+    let mut last_delta = 0.0f64;
+    for k in 2..=k_max {
+        let mut delta: f64 = 0.0;
+        for t in throttles {
+            let need = t.gamma_lower.value(k - 1).get() as f64 - t.head_start;
+            delta = delta.max(need / t.rate);
+        }
+        if delta > last_delta + 1e-12 {
+            steps.push((delta, k as u64));
+            last_delta = delta;
+        } else if let Some(last) = steps.last_mut() {
+            last.1 = k as u64;
+        }
+    }
+    // Long-run output rate: the slowest throttle.
+    let tail = throttles
+        .iter()
+        .map(|t| {
+            let per_event =
+                t.gamma_lower.value(t.gamma_lower.k_max()).get() as f64
+                    / t.gamma_lower.k_max() as f64;
+            if per_event > 0.0 {
+                t.rate / per_event
+            } else {
+                f64::INFINITY
+            }
+        })
+        .fold(f64::INFINITY, f64::min);
+    if !tail.is_finite() {
+        return Err(WorkloadError::Infeasible {
+            reason: "a throttle has zero per-event consumption; the bound degenerates",
+        });
+    }
+    Ok(StepCurve::new(steps, last_delta, tail)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_throttle_matches_inverse() {
+        let proc = LowerWorkloadCurve::new(vec![4, 8, 12, 16, 20]).unwrap();
+        let bound = producer_output_bound(
+            &[Throttle {
+                gamma_lower: &proc,
+                rate: 8.0,
+                head_start: 0.0,
+            }],
+            5,
+        )
+        .unwrap();
+        // k events need γˡ(k−1)/8 seconds of window.
+        assert_eq!(bound.value(0.0), 1);
+        assert_eq!(bound.value(0.49), 1);
+        assert_eq!(bound.value(0.5), 2); // γˡ(1)=4 at 8/s
+        assert_eq!(bound.value(1.0), 3);
+        assert_eq!(bound.value(2.0), 5);
+    }
+
+    #[test]
+    fn min_of_throttles_binds() {
+        let cheap = LowerWorkloadCurve::new(vec![1, 2, 3, 4]).unwrap();
+        let costly = LowerWorkloadCurve::new(vec![10, 20, 30, 40]).unwrap();
+        let fast_only = producer_output_bound(
+            &[Throttle {
+                gamma_lower: &cheap,
+                rate: 10.0,
+                head_start: 0.0,
+            }],
+            4,
+        )
+        .unwrap();
+        let both = producer_output_bound(
+            &[
+                Throttle {
+                    gamma_lower: &cheap,
+                    rate: 10.0,
+                    head_start: 0.0,
+                },
+                Throttle {
+                    gamma_lower: &costly,
+                    rate: 10.0,
+                    head_start: 0.0,
+                },
+            ],
+            4,
+        )
+        .unwrap();
+        for i in 0..40 {
+            let d = i as f64 * 0.1;
+            assert!(both.value(d) <= fast_only.value(d), "Δ={d}");
+        }
+    }
+
+    #[test]
+    fn head_start_loosens_the_bound() {
+        let proc = LowerWorkloadCurve::new(vec![10, 20, 30, 40]).unwrap();
+        let cold = producer_output_bound(
+            &[Throttle {
+                gamma_lower: &proc,
+                rate: 10.0,
+                head_start: 0.0,
+            }],
+            4,
+        )
+        .unwrap();
+        let warm = producer_output_bound(
+            &[Throttle {
+                gamma_lower: &proc,
+                rate: 10.0,
+                head_start: 20.0,
+            }],
+            4,
+        )
+        .unwrap();
+        for i in 0..40 {
+            let d = i as f64 * 0.1;
+            assert!(warm.value(d) >= cold.value(d), "Δ={d}");
+        }
+        assert_eq!(warm.value(0.0), 3); // γˡ(2)=20 pre-buffered
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let proc = LowerWorkloadCurve::new(vec![1, 2]).unwrap();
+        assert!(producer_output_bound(&[], 2).is_err());
+        assert!(producer_output_bound(
+            &[Throttle {
+                gamma_lower: &proc,
+                rate: 0.0,
+                head_start: 0.0
+            }],
+            2
+        )
+        .is_err());
+        assert!(producer_output_bound(
+            &[Throttle {
+                gamma_lower: &proc,
+                rate: 1.0,
+                head_start: f64::NAN
+            }],
+            2
+        )
+        .is_err());
+        let zero = LowerWorkloadCurve::new(vec![0, 0]).unwrap();
+        assert!(producer_output_bound(
+            &[Throttle {
+                gamma_lower: &zero,
+                rate: 1.0,
+                head_start: 0.0
+            }],
+            2
+        )
+        .is_err());
+    }
+}

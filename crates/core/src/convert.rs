@@ -1,0 +1,273 @@
+//! Event ↔ cycle conversions between arrival/service curves and workload
+//! curves (Fig. 4 of the paper).
+//!
+//! The Network-Calculus backlog bound (eq. 6) subtracts a service curve from
+//! an arrival curve, so both must share a unit. The paper's key observation:
+//! scaling an event-based arrival curve by the WCET (`α = w·ᾱ`) is sound but
+//! loses all correlation information; composing with workload curves instead
+//! gives
+//!
+//! * cycle demand of a flow: `α(Δ) = γᵘ(ᾱ(Δ))`,
+//! * event capacity of a service: `β̄(Δ) = γᵘ⁻¹(β(Δ))`,
+//!
+//! and the event-based backlog bound of eq. 7:
+//! `B̄ ≤ sup_{Δ≥0} ( ᾱ(Δ) − γᵘ⁻¹(β(Δ)) )`.
+
+use crate::curve::UpperWorkloadCurve;
+use crate::WorkloadError;
+use wcm_curves::{Pwl, StepCurve};
+use wcm_events::Cycles;
+
+/// Converts an event-based arrival staircase `ᾱ` into a cycle-based demand
+/// staircase `γᵘ ∘ ᾱ`: each step `(Δ, n)` becomes `(Δ, γᵘ(n))`.
+///
+/// The tail rate becomes `tail_events/s × γᵘ-tail cycles/event`.
+///
+/// # Errors
+///
+/// Propagates staircase reconstruction errors (cannot occur for valid
+/// inputs since `γᵘ` is monotone).
+///
+/// # Example
+///
+/// ```
+/// use wcm_core::{convert, UpperWorkloadCurve};
+/// use wcm_curves::StepCurve;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let alpha = StepCurve::new(vec![(0.0, 1), (1.0, 2), (2.0, 3)], 3.0, 1.0)?;
+/// let gamma = UpperWorkloadCurve::new(vec![10, 12, 22])?;
+/// let demand = convert::demand_arrival(&alpha, &gamma)?;
+/// assert_eq!(demand.value(0.0), 10);
+/// assert_eq!(demand.value(1.5), 12);
+/// assert_eq!(demand.value(2.0), 22);
+/// # Ok(())
+/// # }
+/// ```
+pub fn demand_arrival(
+    alpha_events: &StepCurve,
+    gamma_u: &UpperWorkloadCurve,
+) -> Result<StepCurve, WorkloadError> {
+    let steps: Vec<(f64, u64)> = alpha_events
+        .steps()
+        .iter()
+        .map(|&(d, n)| (d, gamma_u.value(n as usize).get()))
+        .collect();
+    let tail = alpha_events.tail_rate() * gamma_u.tail_cycles_per_event();
+    Ok(StepCurve::new(steps, alpha_events.horizon(), tail)?)
+}
+
+/// The WCET-scaled demand `w·ᾱ` (the pessimistic conversion of eq. 10's
+/// analysis, used as the paper's baseline).
+///
+/// # Errors
+///
+/// Propagates staircase reconstruction errors (cannot occur for valid
+/// inputs).
+pub fn demand_arrival_wcet(
+    alpha_events: &StepCurve,
+    wcet: Cycles,
+) -> Result<StepCurve, WorkloadError> {
+    let steps: Vec<(f64, u64)> = alpha_events
+        .steps()
+        .iter()
+        .map(|&(d, n)| (d, n * wcet.get()))
+        .collect();
+    let tail = alpha_events.tail_rate() * wcet.get() as f64;
+    Ok(StepCurve::new(steps, alpha_events.horizon(), tail)?)
+}
+
+/// Converts a cycle-based service curve `β` into the event-based service
+/// `β̄(Δ) = γᵘ⁻¹(β(Δ))` guaranteed to the task (eq. 7): sampled at the
+/// staircase levels `γᵘ(k)`, the result jumps to `k` at
+/// `Δ_k = β⁻¹(γᵘ(k))`.
+///
+/// `max_events` limits the staircase length (the horizon is `Δ_{max_events}`).
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::Infeasible`] if `β` saturates below `γᵘ(k)` for
+/// some requested `k` (bounded service), or
+/// [`WorkloadError::InvalidParameter`] if `max_events` is 0.
+pub fn event_service(
+    beta_cycles: &Pwl,
+    gamma_u: &UpperWorkloadCurve,
+    max_events: usize,
+) -> Result<StepCurve, WorkloadError> {
+    if max_events == 0 {
+        return Err(WorkloadError::InvalidParameter { name: "max_events" });
+    }
+    let mut steps: Vec<(f64, u64)> = vec![(0.0, 0)];
+    let mut horizon = 0.0f64;
+    for k in 1..=max_events {
+        let level = gamma_u.value(k).get() as f64;
+        let delta = beta_cycles.inverse_at(level).ok_or(WorkloadError::Infeasible {
+            reason: "service curve saturates below the workload demand",
+        })?;
+        horizon = delta;
+        match steps.last_mut() {
+            Some(last) if delta <= last.0 + f64::EPSILON * (1.0 + last.0.abs()) => {
+                last.1 = k as u64;
+            }
+            _ => steps.push((delta, k as u64)),
+        }
+    }
+    let rate = beta_cycles.ultimate_rate();
+    let per_event = gamma_u.tail_cycles_per_event();
+    let tail = if per_event > 0.0 { rate / per_event } else { 0.0 };
+    Ok(StepCurve::new(steps, horizon, tail)?)
+}
+
+/// Event-based backlog bound of eq. 7:
+/// `B̄ ≤ sup_{Δ ≥ 0} ( ᾱ(Δ) − γᵘ⁻¹(β(Δ)) )`, in events.
+///
+/// The supremum is evaluated at the arrival staircase steps (where `ᾱ`
+/// jumps up) — exact because between steps `ᾱ` is constant while the
+/// subtrahend is non-decreasing — plus the tail check.
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::Infeasible`] if the long-run demand rate
+/// exceeds the long-run service rate (backlog diverges).
+pub fn backlog_events(
+    alpha_events: &StepCurve,
+    beta_cycles: &Pwl,
+    gamma_u: &UpperWorkloadCurve,
+) -> Result<u64, WorkloadError> {
+    let service_rate_events = beta_cycles.ultimate_rate() / gamma_u.tail_cycles_per_event();
+    if alpha_events.tail_rate() > service_rate_events * (1.0 + 1e-9) {
+        return Err(WorkloadError::Infeasible {
+            reason: "arrival rate exceeds service rate; backlog diverges",
+        });
+    }
+    let mut best: i64 = 0;
+    for &(delta, n) in alpha_events.steps() {
+        let served = gamma_u.pseudo_inverse(beta_cycles.value(delta));
+        let b = n as i64 - served.min(i64::MAX as u64) as i64;
+        best = best.max(b);
+    }
+    Ok(best.max(0) as u64)
+}
+
+/// [`backlog_events`] for an arrival curve already in [`Pwl`] form:
+/// `B̄ ≤ sup_Δ ( ⌈ᾱ(Δ)⌉ − γᵘ⁻¹(β(Δ)) )`, evaluated at the curve's
+/// breakpoints plus a refinement grid over its non-affine span.
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::Infeasible`] if the long-run demand rate
+/// exceeds the service rate.
+pub fn backlog_events_pwl(
+    alpha_events: &Pwl,
+    beta_cycles: &Pwl,
+    gamma_u: &UpperWorkloadCurve,
+) -> Result<u64, WorkloadError> {
+    let per_event = gamma_u.tail_cycles_per_event();
+    let service_rate_events = if per_event > 0.0 {
+        beta_cycles.ultimate_rate() / per_event
+    } else {
+        f64::INFINITY
+    };
+    if alpha_events.ultimate_rate() > service_rate_events * (1.0 + 1e-9) {
+        return Err(WorkloadError::Infeasible {
+            reason: "arrival rate exceeds service rate; backlog diverges",
+        });
+    }
+    let mut ds = alpha_events.breakpoint_xs();
+    ds.extend(beta_cycles.breakpoint_xs());
+    let span = alpha_events.tail_start().max(beta_cycles.tail_start()).max(1e-9);
+    for i in 0..=256 {
+        ds.push(2.0 * span * i as f64 / 256.0);
+    }
+    let mut best: i64 = 0;
+    for &d in &ds {
+        let arrived = alpha_events.value(d).ceil() as i64;
+        let served = gamma_u.pseudo_inverse(beta_cycles.value(d)).min(i64::MAX as u64) as i64;
+        best = best.max(arrived - served);
+    }
+    Ok(best.max(0) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcm_curves::service::FullCapacity;
+
+    fn gamma() -> UpperWorkloadCurve {
+        UpperWorkloadCurve::new(vec![10, 12, 22, 24, 34, 36]).unwrap()
+    }
+
+    #[test]
+    fn demand_arrival_composes_curves() {
+        let alpha = StepCurve::new(vec![(0.0, 2), (5.0, 4)], 6.0, 0.5).unwrap();
+        let d = demand_arrival(&alpha, &gamma()).unwrap();
+        assert_eq!(d.value(0.0), 12); // γᵘ(2)
+        assert_eq!(d.value(5.0), 24); // γᵘ(4)
+        assert!((d.tail_rate() - 0.5 * 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn demand_arrival_wcet_is_linear_scaling() {
+        let alpha = StepCurve::new(vec![(0.0, 2), (5.0, 4)], 6.0, 0.5).unwrap();
+        let d = demand_arrival_wcet(&alpha, Cycles(10)).unwrap();
+        assert_eq!(d.value(0.0), 20);
+        assert_eq!(d.value(5.0), 40);
+        // The WCET conversion always dominates the workload-curve one.
+        let dg = demand_arrival(&alpha, &gamma()).unwrap();
+        for i in 0..70 {
+            let delta = i as f64 * 0.1;
+            assert!(d.value(delta) >= dg.value(delta), "Δ={delta}");
+        }
+    }
+
+    #[test]
+    fn event_service_levels() {
+        // β = 2 cycles per second.
+        let beta = FullCapacity::new(2.0).unwrap().to_pwl();
+        let es = event_service(&beta, &gamma(), 4).unwrap();
+        // γᵘ(1)=10 → Δ=5; γᵘ(2)=12 → Δ=6; γᵘ(3)=22 → 11; γᵘ(4)=24 → 12.
+        assert_eq!(es.value(4.9), 0);
+        assert_eq!(es.value(5.0), 1);
+        assert_eq!(es.value(6.0), 2);
+        assert_eq!(es.value(11.0), 3);
+        assert_eq!(es.value(12.0), 4);
+    }
+
+    #[test]
+    fn event_service_infeasible_for_saturating_service() {
+        let beta = Pwl::constant(15.0).unwrap(); // never exceeds 15 cycles
+        assert!(matches!(
+            event_service(&beta, &gamma(), 3),
+            Err(WorkloadError::Infeasible { .. })
+        ));
+        assert!(event_service(&beta, &gamma(), 0).is_err());
+    }
+
+    #[test]
+    fn backlog_events_simple() {
+        // Burst of 5 events instantaneously, then 0.5 events/s; service
+        // 6 cycles/s ⇒ ~1 event/s long-run (γᵘ tail 6 cycles/event).
+        let alpha = StepCurve::new(vec![(0.0, 5), (10.0, 10)], 20.0, 0.5).unwrap();
+        let beta = FullCapacity::new(6.0).unwrap().to_pwl();
+        let b = backlog_events(&alpha, &beta, &gamma()).unwrap();
+        // At Δ=0: 5 − γᵘ⁻¹(0) = 5. At Δ=10: 10 − γᵘ⁻¹(60) = 10 − 10 = 0.
+        assert_eq!(b, 5);
+    }
+
+    #[test]
+    fn backlog_events_detects_overload() {
+        let alpha = StepCurve::new(vec![(0.0, 1)], 1.0, 100.0).unwrap();
+        let beta = FullCapacity::new(6.0).unwrap().to_pwl();
+        assert!(backlog_events(&alpha, &beta, &gamma()).is_err());
+    }
+
+    #[test]
+    fn backlog_shrinks_with_faster_service() {
+        let alpha = StepCurve::new(vec![(0.0, 8), (4.0, 12)], 8.0, 1.0).unwrap();
+        let slow = FullCapacity::new(10.0).unwrap().to_pwl();
+        let fast = FullCapacity::new(100.0).unwrap().to_pwl();
+        let bs = backlog_events(&alpha, &slow, &gamma()).unwrap();
+        let bf = backlog_events(&alpha, &fast, &gamma()).unwrap();
+        assert!(bf <= bs);
+    }
+}

@@ -1,0 +1,91 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by workload-curve constructors and analyses.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// Curve values were not non-decreasing.
+    NotMonotone {
+        /// 1-based `k` of the first violation.
+        k: usize,
+    },
+    /// The curve has no values.
+    Empty,
+    /// A parameter was invalid (zero where positive required, NaN, …).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+    },
+    /// The analysed configuration admits no finite answer, e.g. the
+    /// instantaneous burst already exceeds the buffer in eq. 9.
+    Infeasible {
+        /// Human-readable description.
+        reason: &'static str,
+    },
+    /// An error bubbled up from the event substrate.
+    Event(wcm_events::EventError),
+    /// An error bubbled up from the curve substrate.
+    Curve(wcm_curves::CurveError),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::NotMonotone { k } => {
+                write!(f, "workload curve not monotone at k = {k}")
+            }
+            WorkloadError::Empty => write!(f, "workload curve has no values"),
+            WorkloadError::InvalidParameter { name } => {
+                write!(f, "invalid value for parameter `{name}`")
+            }
+            WorkloadError::Infeasible { reason } => write!(f, "infeasible: {reason}"),
+            WorkloadError::Event(e) => write!(f, "event error: {e}"),
+            WorkloadError::Curve(e) => write!(f, "curve error: {e}"),
+        }
+    }
+}
+
+impl Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WorkloadError::Event(e) => Some(e),
+            WorkloadError::Curve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<wcm_events::EventError> for WorkloadError {
+    fn from(e: wcm_events::EventError) -> Self {
+        WorkloadError::Event(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<wcm_curves::CurveError> for WorkloadError {
+    fn from(e: wcm_curves::CurveError) -> Self {
+        WorkloadError::Curve(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = WorkloadError::NotMonotone { k: 3 };
+        assert!(e.to_string().contains('3'));
+        assert!(e.source().is_none());
+        let e = WorkloadError::from(wcm_events::EventError::InvalidParameter { name: "x" });
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<E: Error + Send + Sync + 'static>() {}
+        check::<WorkloadError>();
+    }
+}

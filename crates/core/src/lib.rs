@@ -1,0 +1,74 @@
+//! Workload curves for tasks with variable execution demand.
+//!
+//! This crate implements the characterization model of **A. Maxiaguine,
+//! S. Künzli, L. Thiele, "Workload Characterization Model for Tasks with
+//! Variable Execution Demand", DATE 2004**.
+//!
+//! A task τ is triggered by a sequence of typed events; each type has an
+//! execution-demand interval `[bcet(t), wcet(t)]`. The *workload curves*
+//!
+//! * `γᵘ(k)` — an upper bound on the cycles needed by **any** `k`
+//!   consecutive activations of τ, and
+//! * `γˡ(k)` — the corresponding lower bound
+//!
+//! (Def. 1 of the paper) compress all admissible activation sequences into
+//! two monotone sequences. They are hard bounds — unlike probabilistic
+//! models — yet far tighter than the classic `k·WCET` line whenever
+//! expensive events cannot occur back-to-back.
+//!
+//! # Crate layout
+//!
+//! * [`curve`] — [`UpperWorkloadCurve`], [`LowerWorkloadCurve`] and
+//!   [`WorkloadBounds`]: values, pseudo-inverses, sound extrapolation,
+//!   merging across traces;
+//! * [`build`] — construction from measured [`wcm_events::Trace`]s
+//!   (exact or strided-conservative);
+//! * [`polling`] — the analytic polling-task model of Example 1 / Fig. 2;
+//! * [`convert`] — event↔cycle conversions between arrival/service curves
+//!   and workload curves (Fig. 4 and eq. 7);
+//! * [`sizing`] — buffer-constrained service bounds and minimum-frequency
+//!   computation (eqs. 8–10 of the MPEG-2 case study);
+//! * [`verify`] — invariant checkers used by tests and examples.
+//!
+//! # Example
+//!
+//! ```
+//! use wcm_core::curve::WorkloadBounds;
+//! use wcm_events::{window::WindowMode, Cycles, ExecutionInterval, Trace, TypeRegistry};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut reg = TypeRegistry::new();
+//! let hit = reg.register("hit", ExecutionInterval::fixed(Cycles(2)))?;
+//! let miss = reg.register("miss", ExecutionInterval::fixed(Cycles(10)))?;
+//! // A miss is always followed by at least two hits.
+//! let trace = Trace::new(reg, vec![miss, hit, hit, miss, hit, hit, miss, hit]);
+//! let bounds = WorkloadBounds::from_trace(&trace, 6, WindowMode::Exact)?;
+//! assert_eq!(bounds.upper.value(1), Cycles(10)); // γᵘ(1) = WCET
+//! assert_eq!(bounds.upper.value(3), Cycles(14)); // miss,hit,hit — not 30!
+//! assert_eq!(bounds.lower.value(1), Cycles(2));  // γˡ(1) = BCET
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod chain;
+pub mod convert;
+pub mod curve;
+mod error;
+pub mod modes;
+pub mod mpa;
+pub mod polling;
+pub mod rate;
+pub mod sizing;
+pub mod verify;
+
+pub use curve::{LowerWorkloadCurve, UpperWorkloadCurve, WorkloadBounds};
+pub use error::WorkloadError;
+
+// Re-export the substrate vocabulary so downstream users need one import.
+pub use wcm_curves as curves;
+pub use wcm_events as events;
+pub use wcm_events::Cycles;

@@ -1,0 +1,298 @@
+//! Workload curves from mode graphs (extension).
+//!
+//! The paper builds on the SPI model (Ziegenbein et al.) and Wolf's
+//! behavioral intervals, where "processes can have different modes with
+//! different intervals for execution times", and its related work points to
+//! state-based characterizations (later formalized as *event count
+//! automata*). This module closes that loop: if the admissible type
+//! sequences of a task are the walks of a **mode graph** — each mode
+//! carrying a demand interval, each edge an allowed successor — then the
+//! workload curves have an exact analytic form:
+//!
+//! > `γᵘ(k)` = maximum total WCET over all `k`-step walks,
+//! > `γˡ(k)` = minimum total BCET over all `k`-step walks,
+//!
+//! computable by dynamic programming in `O(k·|E|)`. Cyclic per-job
+//! patterns, Markov-generated streams and "no two expensive events in a
+//! row" constraints are all special cases.
+
+use crate::curve::{LowerWorkloadCurve, UpperWorkloadCurve, WorkloadBounds};
+use crate::WorkloadError;
+use wcm_events::ExecutionInterval;
+
+/// A mode graph: modes with demand intervals, edges giving the allowed
+/// successor relation.
+///
+/// # Example
+///
+/// An expensive activation (mode 0) must be followed by at least two cheap
+/// ones (modes 1 → 2 → anywhere):
+///
+/// ```
+/// use wcm_core::modes::ModeGraph;
+/// use wcm_core::Cycles;
+/// use wcm_events::ExecutionInterval;
+///
+/// # fn main() -> Result<(), wcm_core::WorkloadError> {
+/// let mut g = ModeGraph::new();
+/// let hot = g.add_mode("hot", ExecutionInterval::fixed(Cycles(10)));
+/// let cool1 = g.add_mode("cool1", ExecutionInterval::fixed(Cycles(2)));
+/// let cool2 = g.add_mode("cool2", ExecutionInterval::fixed(Cycles(2)));
+/// g.add_edge(hot, cool1)?;
+/// g.add_edge(cool1, cool2)?;
+/// g.add_edge(cool2, hot)?;
+/// g.add_edge(cool2, cool2)?;
+/// let gamma = g.upper_curve(6)?;
+/// assert_eq!(gamma.value(1), Cycles(10));
+/// assert_eq!(gamma.value(3), Cycles(14)); // hot cool cool
+/// assert_eq!(gamma.value(6), Cycles(28)); // two hots per six jobs
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ModeGraph {
+    names: Vec<String>,
+    intervals: Vec<ExecutionInterval>,
+    /// `succ[m]` = modes reachable from `m` in one step.
+    succ: Vec<Vec<usize>>,
+}
+
+/// Opaque mode handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModeId(usize);
+
+impl ModeGraph {
+    /// Creates an empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a mode with its demand interval.
+    pub fn add_mode(&mut self, name: impl Into<String>, interval: ExecutionInterval) -> ModeId {
+        self.names.push(name.into());
+        self.intervals.push(interval);
+        self.succ.push(Vec::new());
+        ModeId(self.names.len() - 1)
+    }
+
+    /// Adds a directed edge `from → to` (repeated edges are ignored).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidParameter`] for foreign handles.
+    pub fn add_edge(&mut self, from: ModeId, to: ModeId) -> Result<(), WorkloadError> {
+        if from.0 >= self.names.len() || to.0 >= self.names.len() {
+            return Err(WorkloadError::InvalidParameter { name: "mode" });
+        }
+        if !self.succ[from.0].contains(&to.0) {
+            self.succ[from.0].push(to.0);
+        }
+        Ok(())
+    }
+
+    /// Number of modes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the graph has no modes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Validates that every mode has a successor (so walks of every length
+    /// exist and the curves are total).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::Infeasible`] naming the problem if a mode
+    /// is a dead end, or [`WorkloadError::Empty`] for an empty graph.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        if self.is_empty() {
+            return Err(WorkloadError::Empty);
+        }
+        if self.succ.iter().any(Vec::is_empty) {
+            return Err(WorkloadError::Infeasible {
+                reason: "a mode has no successor; finite walks only",
+            });
+        }
+        Ok(())
+    }
+
+    /// `γᵘ(k)` for `k = 1 ..= k_max` by maximum-weight `k`-walk DP.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModeGraph::validate`] failures and rejects `k_max = 0`.
+    pub fn upper_curve(&self, k_max: usize) -> Result<UpperWorkloadCurve, WorkloadError> {
+        let values = self.walk_dp(k_max, true)?;
+        UpperWorkloadCurve::new(values)
+    }
+
+    /// `γˡ(k)` for `k = 1 ..= k_max` by minimum-weight `k`-walk DP.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ModeGraph::upper_curve`].
+    pub fn lower_curve(&self, k_max: usize) -> Result<LowerWorkloadCurve, WorkloadError> {
+        let values = self.walk_dp(k_max, false)?;
+        LowerWorkloadCurve::new(values)
+    }
+
+    /// Both curves as a pair.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ModeGraph::upper_curve`].
+    pub fn bounds(&self, k_max: usize) -> Result<WorkloadBounds, WorkloadError> {
+        Ok(WorkloadBounds {
+            upper: self.upper_curve(k_max)?,
+            lower: self.lower_curve(k_max)?,
+        })
+    }
+
+    fn walk_dp(&self, k_max: usize, maximize: bool) -> Result<Vec<u64>, WorkloadError> {
+        if k_max == 0 {
+            return Err(WorkloadError::InvalidParameter { name: "k_max" });
+        }
+        self.validate()?;
+        let weight = |m: usize| -> u64 {
+            if maximize {
+                self.intervals[m].wcet().get()
+            } else {
+                self.intervals[m].bcet().get()
+            }
+        };
+        let pick = |a: u64, b: u64| if maximize { a.max(b) } else { a.min(b) };
+        // best[m] = extreme weight of a k-walk *ending* at mode m, `None`
+        // where no such walk exists (modes without predecessors drop out
+        // at depth 2 and must not contaminate longer walks).
+        let mut best: Vec<Option<u64>> = (0..self.len()).map(|m| Some(weight(m))).collect();
+        let mut out = Vec::with_capacity(k_max);
+        out.push(
+            best.iter()
+                .flatten()
+                .copied()
+                .reduce(pick)
+                .expect("validated non-empty"),
+        );
+        for _ in 2..=k_max {
+            let mut next: Vec<Option<u64>> = vec![None; self.len()];
+            for (m, succs) in self.succ.iter().enumerate() {
+                let Some(bm) = best[m] else { continue };
+                for &s in succs {
+                    let cand = bm + weight(s);
+                    next[s] = Some(match next[s] {
+                        Some(v) => pick(v, cand),
+                        None => cand,
+                    });
+                }
+            }
+            best = next;
+            out.push(
+                best.iter()
+                    .flatten()
+                    .copied()
+                    .reduce(pick)
+                    .expect("every mode has a successor, so walks never die out"),
+            );
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcm_events::Cycles;
+
+    fn cooldown_graph() -> (ModeGraph, ModeId, ModeId, ModeId) {
+        let mut g = ModeGraph::new();
+        let hot = g.add_mode("hot", ExecutionInterval::fixed(Cycles(10)));
+        let c1 = g.add_mode("c1", ExecutionInterval::fixed(Cycles(2)));
+        let c2 = g.add_mode("c2", ExecutionInterval::fixed(Cycles(2)));
+        g.add_edge(hot, c1).unwrap();
+        g.add_edge(c1, c2).unwrap();
+        g.add_edge(c2, hot).unwrap();
+        g.add_edge(c2, c2).unwrap();
+        (g, hot, c1, c2)
+    }
+
+    #[test]
+    fn cooldown_curves() {
+        let (g, ..) = cooldown_graph();
+        let b = g.bounds(9).unwrap();
+        assert_eq!(b.upper.values(), &[10, 12, 14, 24, 26, 28, 38, 40, 42]);
+        // Lower: stay in the c2 self-loop after the cheapest entry.
+        assert_eq!(b.lower.values(), &[2, 4, 6, 8, 10, 12, 14, 16, 18]);
+        assert!(crate::verify::bounds_are_consistent(&b));
+        assert!(crate::verify::upper_is_subadditive(&b.upper));
+        assert!(crate::verify::lower_is_superadditive(&b.lower));
+    }
+
+    #[test]
+    fn cyclic_pattern_graph_matches_pattern_curve() {
+        // A pure cycle A→B→C→A equals the cyclic-pattern construction.
+        let mut g = ModeGraph::new();
+        let a = g.add_mode("a", ExecutionInterval::fixed(Cycles(9)));
+        let b = g.add_mode("b", ExecutionInterval::fixed(Cycles(3)));
+        let c = g.add_mode("c", ExecutionInterval::fixed(Cycles(3)));
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, c).unwrap();
+        g.add_edge(c, a).unwrap();
+        let gamma = g.upper_curve(6).unwrap();
+        // Same numbers as PeriodicTask::with_pattern([9,3,3]).
+        assert_eq!(gamma.values(), &[9, 12, 15, 24, 27, 30]);
+    }
+
+    #[test]
+    fn dead_end_rejected() {
+        let mut g = ModeGraph::new();
+        let a = g.add_mode("a", ExecutionInterval::fixed(Cycles(1)));
+        let b = g.add_mode("b", ExecutionInterval::fixed(Cycles(1)));
+        g.add_edge(a, b).unwrap();
+        assert!(matches!(
+            g.upper_curve(3),
+            Err(WorkloadError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn validates_handles_and_kmax() {
+        let mut g = ModeGraph::new();
+        let a = g.add_mode("a", ExecutionInterval::fixed(Cycles(1)));
+        assert!(g.add_edge(a, ModeId(7)).is_err());
+        g.add_edge(a, a).unwrap();
+        assert!(g.upper_curve(0).is_err());
+        assert!(ModeGraph::new().upper_curve(1).is_err());
+    }
+
+    #[test]
+    fn interval_modes_use_wcet_up_bcet_down() {
+        let mut g = ModeGraph::new();
+        let a = g.add_mode(
+            "a",
+            ExecutionInterval::new(Cycles(2), Cycles(8)).unwrap(),
+        );
+        g.add_edge(a, a).unwrap();
+        let b = g.bounds(4).unwrap();
+        assert_eq!(b.upper.values(), &[8, 16, 24, 32]);
+        assert_eq!(b.lower.values(), &[2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn self_loops_on_expensive_mode_give_wcet_line() {
+        let mut g = ModeGraph::new();
+        let a = g.add_mode("a", ExecutionInterval::fixed(Cycles(7)));
+        let b = g.add_mode("b", ExecutionInterval::fixed(Cycles(1)));
+        g.add_edge(a, a).unwrap();
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, a).unwrap();
+        let gamma = g.upper_curve(5).unwrap();
+        // The expensive self-loop allows back-to-back worst cases.
+        assert_eq!(gamma.values(), &[7, 14, 21, 28, 35]);
+    }
+}

@@ -1,0 +1,273 @@
+//! The polling-task model of Example 1 (Fig. 2).
+//!
+//! A task polls for an event every `T` seconds. If an event is pending the
+//! activation costs `e_p` cycles, otherwise only the check cost `e_c`.
+//! Events arrive with inter-arrival times in `[θ_min, θ_max]`. Because at
+//! most `n_max(k) = min(k, 1 + ⌊k·T/θ_min⌋)` events can fall into `k`
+//! consecutive polls (and at least `n_min(k) = ⌊k·T/θ_max⌋` must), the
+//! workload curves have the closed forms
+//!
+//! > `γᵘ(k) = n_max(k)·e_p + (k − n_max(k))·e_c`
+//! > `γˡ(k) = n_min(k)·e_p + (k − n_min(k))·e_c`
+//!
+//! which are strictly tighter than the `k·e_p` WCET line and the `k·e_c`
+//! BCET line whenever `θ_min > T`.
+
+use crate::curve::{LowerWorkloadCurve, UpperWorkloadCurve, WorkloadBounds};
+use crate::WorkloadError;
+use wcm_events::Cycles;
+
+/// Analytic polling-task model (Example 1 of the paper).
+///
+/// # Example
+///
+/// Fig. 2 uses `θ_min = 3T`, `θ_max = 5T`:
+///
+/// ```
+/// use wcm_core::{polling::PollingTask, Cycles};
+///
+/// # fn main() -> Result<(), wcm_core::WorkloadError> {
+/// let task = PollingTask::new(1.0, 3.0, 5.0, Cycles(10), Cycles(2))?;
+/// assert_eq!(task.n_max(1), 1);
+/// assert_eq!(task.n_max(6), 3);  // 1 + ⌊6/3⌋
+/// assert_eq!(task.n_min(6), 1);  // ⌊6/5⌋
+/// assert_eq!(task.gamma_upper(6), Cycles(3 * 10 + 3 * 2));
+/// assert_eq!(task.gamma_lower(6), Cycles(1 * 10 + 5 * 2));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PollingTask {
+    period: f64,
+    theta_min: f64,
+    theta_max: f64,
+    event_cost: Cycles,
+    check_cost: Cycles,
+}
+
+impl PollingTask {
+    /// Creates a polling task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidParameter`] if `period ≤ 0`,
+    /// `θ_min ≤ 0`, `θ_min > θ_max`, any value is non-finite, or
+    /// `check_cost > event_cost`.
+    pub fn new(
+        period: f64,
+        theta_min: f64,
+        theta_max: f64,
+        event_cost: Cycles,
+        check_cost: Cycles,
+    ) -> Result<Self, WorkloadError> {
+        if !(period.is_finite() && period > 0.0) {
+            return Err(WorkloadError::InvalidParameter { name: "period" });
+        }
+        if !(theta_min.is_finite() && theta_min > 0.0) {
+            return Err(WorkloadError::InvalidParameter { name: "theta_min" });
+        }
+        if !(theta_max.is_finite() && theta_max >= theta_min) {
+            return Err(WorkloadError::InvalidParameter { name: "theta_max" });
+        }
+        if check_cost > event_cost {
+            return Err(WorkloadError::InvalidParameter { name: "check_cost" });
+        }
+        Ok(Self {
+            period,
+            theta_min,
+            theta_max,
+            event_cost,
+            check_cost,
+        })
+    }
+
+    /// Polling period `T`.
+    #[must_use]
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// Cost of an activation that processes an event (`e_p`).
+    #[must_use]
+    pub fn event_cost(&self) -> Cycles {
+        self.event_cost
+    }
+
+    /// Cost of an activation that only checks (`e_c`).
+    #[must_use]
+    pub fn check_cost(&self) -> Cycles {
+        self.check_cost
+    }
+
+    /// Maximum number of events detected in `k` consecutive polls.
+    #[must_use]
+    pub fn n_max(&self, k: usize) -> u64 {
+        if k == 0 {
+            return 0;
+        }
+        let by_rate = 1 + (k as f64 * self.period / self.theta_min).floor() as u64;
+        by_rate.min(k as u64)
+    }
+
+    /// Minimum number of events detected in `k` consecutive polls.
+    #[must_use]
+    pub fn n_min(&self, k: usize) -> u64 {
+        ((k as f64 * self.period / self.theta_max).floor() as u64).min(k as u64)
+    }
+
+    /// The closed-form upper workload curve value `γᵘ(k)`.
+    #[must_use]
+    pub fn gamma_upper(&self, k: usize) -> Cycles {
+        let n = self.n_max(k);
+        Cycles(n * self.event_cost.get() + (k as u64 - n) * self.check_cost.get())
+    }
+
+    /// The closed-form lower workload curve value `γˡ(k)`.
+    #[must_use]
+    pub fn gamma_lower(&self, k: usize) -> Cycles {
+        let n = self.n_min(k);
+        Cycles(n * self.event_cost.get() + (k as u64 - n) * self.check_cost.get())
+    }
+
+    /// Materializes `γᵘ` for `k = 1 ..= k_max`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidParameter`] if `k_max` is 0.
+    pub fn upper_curve(&self, k_max: usize) -> Result<UpperWorkloadCurve, WorkloadError> {
+        if k_max == 0 {
+            return Err(WorkloadError::InvalidParameter { name: "k_max" });
+        }
+        UpperWorkloadCurve::new((1..=k_max).map(|k| self.gamma_upper(k).get()).collect())
+    }
+
+    /// Materializes `γˡ` for `k = 1 ..= k_max`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidParameter`] if `k_max` is 0.
+    pub fn lower_curve(&self, k_max: usize) -> Result<LowerWorkloadCurve, WorkloadError> {
+        if k_max == 0 {
+            return Err(WorkloadError::InvalidParameter { name: "k_max" });
+        }
+        LowerWorkloadCurve::new((1..=k_max).map(|k| self.gamma_lower(k).get()).collect())
+    }
+
+    /// Both curves as a [`WorkloadBounds`] pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidParameter`] if `k_max` is 0.
+    pub fn bounds(&self, k_max: usize) -> Result<WorkloadBounds, WorkloadError> {
+        Ok(WorkloadBounds {
+            upper: self.upper_curve(k_max)?,
+            lower: self.lower_curve(k_max)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Fig. 2 configuration: θ_min = 3T, θ_max = 5T.
+    fn fig2_task() -> PollingTask {
+        PollingTask::new(1.0, 3.0, 5.0, Cycles(10), Cycles(2)).unwrap()
+    }
+
+    #[test]
+    fn validates_parameters() {
+        assert!(PollingTask::new(0.0, 3.0, 5.0, Cycles(1), Cycles(0)).is_err());
+        assert!(PollingTask::new(1.0, 0.0, 5.0, Cycles(1), Cycles(0)).is_err());
+        assert!(PollingTask::new(1.0, 5.0, 3.0, Cycles(1), Cycles(0)).is_err());
+        assert!(PollingTask::new(1.0, 3.0, 5.0, Cycles(1), Cycles(2)).is_err());
+        assert!(PollingTask::new(1.0, f64::NAN, 5.0, Cycles(1), Cycles(0)).is_err());
+    }
+
+    #[test]
+    fn n_max_sequence_fig2() {
+        let t = fig2_task();
+        let seq: Vec<u64> = (1..=9).map(|k| t.n_max(k)).collect();
+        // 1 + ⌊k/3⌋ capped at k.
+        assert_eq!(seq, vec![1, 1, 2, 2, 2, 3, 3, 3, 4]);
+    }
+
+    #[test]
+    fn n_min_sequence_fig2() {
+        let t = fig2_task();
+        let seq: Vec<u64> = (1..=10).map(|k| t.n_min(k)).collect();
+        assert_eq!(seq, vec![0, 0, 0, 0, 1, 1, 1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn curves_lie_between_wcet_and_bcet_lines() {
+        let t = fig2_task();
+        for k in 1..=60usize {
+            let up = t.gamma_upper(k).get();
+            let lo = t.gamma_lower(k).get();
+            let wcet_line = 10 * k as u64;
+            let bcet_line = 2 * k as u64;
+            assert!(lo <= up);
+            assert!(up <= wcet_line);
+            assert!(lo >= bcet_line);
+            if k >= 3 {
+                // Strictly tighter than both lines once windows span θ_min.
+                assert!(up < wcet_line, "k={k}");
+            }
+            if k >= 5 {
+                assert!(lo > bcet_line, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn n_max_capped_by_poll_count_for_fast_events() {
+        // θ_min < T: every poll can see an event; cap at k applies.
+        let t = PollingTask::new(2.0, 1.0, 4.0, Cycles(5), Cycles(1)).unwrap();
+        for k in 1..=10 {
+            assert_eq!(t.n_max(k), k as u64);
+        }
+    }
+
+    #[test]
+    fn curve_materialization_matches_closed_form() {
+        let t = fig2_task();
+        let b = t.bounds(30).unwrap();
+        for k in 1..=30usize {
+            assert_eq!(b.upper.value(k), t.gamma_upper(k));
+            assert_eq!(b.lower.value(k), t.gamma_lower(k));
+        }
+        assert!(t.upper_curve(0).is_err());
+        assert!(t.lower_curve(0).is_err());
+    }
+
+    #[test]
+    fn extension_stays_above_closed_form() {
+        // Extrapolating a short analytic curve must still dominate the
+        // closed form (sub-additivity of γᵘ).
+        let t = fig2_task();
+        let short = t.upper_curve(7).unwrap();
+        for k in 8..=100usize {
+            assert!(
+                short.value(k) >= t.gamma_upper(k),
+                "extension below closed form at k={k}"
+            );
+        }
+        let short_lower = t.lower_curve(7).unwrap();
+        for k in 8..=100usize {
+            assert!(
+                short_lower.value(k) <= t.gamma_lower(k),
+                "extension above closed form at k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let t = fig2_task();
+        assert!((t.period() - 1.0).abs() < 1e-12);
+        assert_eq!(t.event_cost(), Cycles(10));
+        assert_eq!(t.check_cost(), Cycles(2));
+    }
+}

@@ -1,0 +1,147 @@
+//! Invariant checkers for workload curves.
+//!
+//! These predicates encode the structural properties stated in Sec. 2.1 of
+//! the paper and are used throughout the test suite (including the property
+//! tests) and in examples to sanity-check measured curves.
+
+use crate::curve::{LowerWorkloadCurve, UpperWorkloadCurve, WorkloadBounds};
+use wcm_events::Trace;
+
+/// `γᵘ(i + j) ≤ γᵘ(i) + γᵘ(j)` over the stored range — the property that
+/// makes the curve's extrapolation sound.
+///
+/// # Example
+///
+/// ```
+/// use wcm_core::{verify, UpperWorkloadCurve};
+///
+/// # fn main() -> Result<(), wcm_core::WorkloadError> {
+/// let good = UpperWorkloadCurve::new(vec![10, 12, 22])?;
+/// assert!(verify::upper_is_subadditive(&good));
+/// let bad = UpperWorkloadCurve::new(vec![1, 10, 11])?; // γ(2) > 2·γ(1)
+/// assert!(!verify::upper_is_subadditive(&bad));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn upper_is_subadditive(gamma: &UpperWorkloadCurve) -> bool {
+    let k_max = gamma.k_max();
+    for i in 1..=k_max {
+        for j in i..=k_max - i {
+            if gamma.value(i + j) > gamma.value(i) + gamma.value(j) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// `γˡ(i + j) ≥ γˡ(i) + γˡ(j)` over the stored range.
+#[must_use]
+pub fn lower_is_superadditive(gamma: &LowerWorkloadCurve) -> bool {
+    let k_max = gamma.k_max();
+    for i in 1..=k_max {
+        for j in i..=k_max - i {
+            if gamma.value(i + j) < gamma.value(i) + gamma.value(j) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// `γˡ(k) ≤ γᵘ(k)` over the common stored range.
+#[must_use]
+pub fn bounds_are_consistent(bounds: &WorkloadBounds) -> bool {
+    let k_max = bounds.upper.k_max().min(bounds.lower.k_max());
+    (1..=k_max).all(|k| bounds.lower.value(k) <= bounds.upper.value(k))
+}
+
+/// Exhaustively checks Def. 1 against a trace: for **every** window
+/// `(j, k)` of the trace, `γˡ(k) ≤ γ_b(j,k)` and `γ_w(j,k) ≤ γᵘ(k)`.
+///
+/// `O(N²)` — intended for tests on small traces.
+#[must_use]
+pub fn bounds_cover_trace(bounds: &WorkloadBounds, trace: &Trace) -> bool {
+    let n = trace.len();
+    let k_max = bounds.upper.k_max().min(bounds.lower.k_max());
+    for j in 1..=n {
+        for k in 1..=k_max.min(n - j + 1) {
+            if trace.gamma_w(j, k) > bounds.upper.value(k) {
+                return false;
+            }
+            if trace.gamma_b(j, k) < bounds.lower.value(k) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Checks that `tight` is pointwise at least as tight an upper bound as
+/// `loose` (i.e. `tight(k) ≤ loose(k)` over the common range) — e.g. the
+/// measured `γᵘ` against the WCET line.
+#[must_use]
+pub fn upper_refines(tight: &UpperWorkloadCurve, loose: &UpperWorkloadCurve) -> bool {
+    let k_max = tight.k_max().min(loose.k_max());
+    (1..=k_max).all(|k| tight.value(k) <= loose.value(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcm_events::window::WindowMode;
+    use wcm_events::{Cycles, ExecutionInterval, TypeRegistry};
+
+    fn sample_trace() -> Trace {
+        let mut reg = TypeRegistry::new();
+        let hi = reg
+            .register("hi", ExecutionInterval::new(Cycles(8), Cycles(10)).unwrap())
+            .unwrap();
+        let lo = reg
+            .register("lo", ExecutionInterval::new(Cycles(1), Cycles(2)).unwrap())
+            .unwrap();
+        Trace::new(reg, vec![hi, lo, lo, hi, lo, lo, hi, lo, lo, hi])
+    }
+
+    #[test]
+    fn trace_curves_satisfy_all_invariants() {
+        let t = sample_trace();
+        let b = WorkloadBounds::from_trace(&t, 8, WindowMode::Exact).unwrap();
+        assert!(upper_is_subadditive(&b.upper));
+        assert!(lower_is_superadditive(&b.lower));
+        assert!(bounds_are_consistent(&b));
+        assert!(bounds_cover_trace(&b, &t));
+    }
+
+    #[test]
+    fn wcet_line_is_refined_by_trace_curve() {
+        let t = sample_trace();
+        let g = UpperWorkloadCurve::from_trace(&t, 8, WindowMode::Exact).unwrap();
+        let line = UpperWorkloadCurve::wcet_line(g.wcet(), 8).unwrap();
+        assert!(upper_refines(&g, &line));
+        assert!(!upper_refines(&line, &g)); // strictly looser somewhere
+    }
+
+    #[test]
+    fn inconsistent_bounds_detected() {
+        let b = WorkloadBounds {
+            upper: UpperWorkloadCurve::new(vec![5, 6]).unwrap(),
+            lower: LowerWorkloadCurve::new(vec![7, 8]).unwrap(),
+        };
+        assert!(!bounds_are_consistent(&b));
+    }
+
+    #[test]
+    fn cover_fails_for_foreign_trace() {
+        let t = sample_trace();
+        let b = WorkloadBounds::from_trace(&t, 8, WindowMode::Exact).unwrap();
+        // A trace with back-to-back expensive events violates the bounds.
+        let mut reg = TypeRegistry::new();
+        let hi = reg
+            .register("hi", ExecutionInterval::new(Cycles(8), Cycles(10)).unwrap())
+            .unwrap();
+        let foreign = Trace::new(reg, vec![hi, hi, hi]);
+        assert!(!bounds_cover_trace(&b, &foreign));
+    }
+}

@@ -1,0 +1,372 @@
+//! Standard arrival-curve models.
+//!
+//! An *upper arrival curve* `α(Δ)` bounds the number of events (or the
+//! amount of traffic) observed in any time window of length `Δ`. The models
+//! here are the usual suspects of Real-Time Calculus: the leaky bucket and
+//! the periodic event model with jitter and minimum inter-arrival distance
+//! (the "pjd" model generalizing sporadic and periodic streams).
+
+use crate::num::{require_non_negative, require_positive};
+use crate::pwl::{Pwl, Segment};
+use crate::step::StepCurve;
+use crate::CurveError;
+
+/// Leaky-bucket (token-bucket) arrival curve `α(Δ) = b + r·Δ`.
+///
+/// # Example
+///
+/// ```
+/// use wcm_curves::arrival::LeakyBucket;
+///
+/// # fn main() -> Result<(), wcm_curves::CurveError> {
+/// let lb = LeakyBucket::new(3.0, 2.0)?;
+/// assert_eq!(lb.value(0.0), 3.0);
+/// assert_eq!(lb.value(2.0), 7.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LeakyBucket {
+    burst: f64,
+    rate: f64,
+}
+
+impl LeakyBucket {
+    /// Creates a leaky bucket with burst `b ≥ 0` and rate `r ≥ 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CurveError::NegativeParameter`] for negative/NaN inputs.
+    pub fn new(burst: f64, rate: f64) -> Result<Self, CurveError> {
+        Ok(Self {
+            burst: require_non_negative("burst", burst)?,
+            rate: require_non_negative("rate", rate)?,
+        })
+    }
+
+    /// Burst (bucket depth) `b`.
+    #[must_use]
+    pub fn burst(&self) -> f64 {
+        self.burst
+    }
+
+    /// Sustained rate `r`.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Evaluates `α(Δ)`.
+    #[must_use]
+    pub fn value(&self, delta: f64) -> f64 {
+        self.burst + self.rate * delta.max(0.0)
+    }
+
+    /// The curve as a [`Pwl`].
+    #[must_use]
+    pub fn to_pwl(&self) -> Pwl {
+        Pwl::affine(self.burst, self.rate).expect("validated parameters")
+    }
+}
+
+/// Periodic event model with jitter and minimum distance ("pjd" model).
+///
+/// Events nominally arrive every `period`, each displaced by at most
+/// `jitter`, but never closer together than `min_distance`. Windows are
+/// *closed* (an event on each boundary counts), matching the "k consecutive
+/// events" semantics of workload curves: the upper event-arrival bound is
+/// `η⁺(Δ) = min(⌊(Δ+j)/p⌋ + 1, ⌊Δ/d⌋ + 1)` and the lower bound
+/// `η⁻(Δ) = max(0, ⌊(Δ−j)/p⌋)`.
+///
+/// Setting `jitter = 0` recovers a strictly periodic stream; a large jitter
+/// with `min_distance > 0` models bursty sporadic streams.
+///
+/// # Example
+///
+/// ```
+/// use wcm_curves::arrival::PeriodicJitter;
+///
+/// # fn main() -> Result<(), wcm_curves::CurveError> {
+/// let pj = PeriodicJitter::new(10.0, 15.0, 2.0)?;
+/// assert_eq!(pj.upper_events(0.0), 1);  // min distance throttles the burst
+/// assert_eq!(pj.upper_events(2.0), 2);  // jitter clusters events
+/// assert_eq!(pj.upper_events(15.0), 4); // ⌊(15+15)/10⌋ + 1
+/// assert_eq!(pj.lower_events(25.0), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PeriodicJitter {
+    period: f64,
+    jitter: f64,
+    min_distance: f64,
+}
+
+impl PeriodicJitter {
+    /// Creates a pjd event model.
+    ///
+    /// # Errors
+    ///
+    /// * [`CurveError::NonPositiveParameter`] if `period ≤ 0`.
+    /// * [`CurveError::NegativeParameter`] if `jitter < 0` or
+    ///   `min_distance < 0`.
+    pub fn new(period: f64, jitter: f64, min_distance: f64) -> Result<Self, CurveError> {
+        Ok(Self {
+            period: require_positive("period", period)?,
+            jitter: require_non_negative("jitter", jitter)?,
+            min_distance: require_non_negative("min_distance", min_distance)?,
+        })
+    }
+
+    /// Strictly periodic stream (no jitter).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CurveError::NonPositiveParameter`] if `period ≤ 0`.
+    pub fn periodic(period: f64) -> Result<Self, CurveError> {
+        Self::new(period, 0.0, 0.0)
+    }
+
+    /// Sporadic stream: at most one event per `min_distance`, no long-run
+    /// rate beyond `1/min_distance`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CurveError::NonPositiveParameter`] if `min_distance ≤ 0`.
+    pub fn sporadic(min_distance: f64) -> Result<Self, CurveError> {
+        Self::new(min_distance, 0.0, min_distance)
+    }
+
+    /// Nominal period `p`.
+    #[must_use]
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// Jitter `j`.
+    #[must_use]
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+
+    /// Minimum inter-arrival distance `d`.
+    #[must_use]
+    pub fn min_distance(&self) -> f64 {
+        self.min_distance
+    }
+
+    /// Upper bound on events in any window of length `delta`.
+    #[must_use]
+    pub fn upper_events(&self, delta: f64) -> u64 {
+        if delta < 0.0 {
+            return 0;
+        }
+        let by_period = ((delta + self.jitter) / self.period).floor() + 1.0;
+        let by_distance = if self.min_distance > 0.0 {
+            (delta / self.min_distance).floor() + 1.0
+        } else {
+            f64::INFINITY
+        };
+        by_period.min(by_distance) as u64
+    }
+
+    /// Lower bound on events in any window of length `delta`.
+    #[must_use]
+    pub fn lower_events(&self, delta: f64) -> u64 {
+        if delta <= self.jitter {
+            return 0;
+        }
+        ((delta - self.jitter) / self.period).floor().max(0.0) as u64
+    }
+
+    /// The upper staircase as a [`StepCurve`] up to `horizon`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CurveError::NegativeParameter`] if `horizon < 0`.
+    pub fn to_step_upper(&self, horizon: f64) -> Result<StepCurve, CurveError> {
+        require_non_negative("horizon", horizon)?;
+        let mut steps = vec![(0.0, self.upper_events(0.0))];
+        let mut last = steps[0].1;
+        // Jump candidates: where either ceil-term increments.
+        let mut candidates: Vec<f64> = Vec::new();
+        let mut k = 1.0;
+        while (k * self.period - self.jitter) <= horizon {
+            candidates.push((k * self.period - self.jitter).max(0.0));
+            k += 1.0;
+        }
+        if self.min_distance > 0.0 {
+            let mut m = 1.0;
+            while m * self.min_distance <= horizon {
+                candidates.push(m * self.min_distance);
+                m += 1.0;
+            }
+        }
+        candidates.sort_by(|a, b| a.partial_cmp(b).expect("finite candidates"));
+        for d in candidates {
+            // Evaluate just past the candidate to be robust against the
+            // floating-point rounding of `k·p − j`.
+            let v = self.upper_events(d + 1e-9 * (1.0 + d.abs()));
+            if v > last && d > 0.0 {
+                steps.push((d, v));
+                last = v;
+            }
+        }
+        StepCurve::new(steps, horizon, 1.0 / self.period)
+    }
+
+    /// The upper staircase converted to [`Pwl`]: exact jumps up to
+    /// `horizon`, then the sound affine upper bound
+    /// `η⁺(Δ) ≤ (Δ + j)/p + 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CurveError::NegativeParameter`] if `horizon < 0`.
+    pub fn to_pwl_upper(&self, horizon: f64) -> Result<Pwl, CurveError> {
+        let step = self.to_step_upper(horizon)?;
+        let mut segs: Vec<Segment> = step
+            .steps()
+            .iter()
+            .map(|&(d, n)| Segment::new(d, n as f64, 0.0))
+            .collect();
+        let last = segs.last().expect("staircase is non-empty");
+        let tail_y = ((horizon + self.jitter) / self.period + 1.0).max(last.y);
+        if horizon > last.x + 1e-9 {
+            segs.push(Segment::new(horizon, tail_y, 1.0 / self.period));
+        } else {
+            let x = last.x;
+            segs.push(Segment::new(
+                x + 1e-9 * (1.0 + x),
+                tail_y,
+                1.0 / self.period,
+            ));
+        }
+        Pwl::from_segments(segs)
+    }
+
+    /// The lower staircase as [`Pwl`] up to `horizon`, then extended with
+    /// the sound affine lower bound `η⁻(Δ) ≥ (Δ − j)/p − 1`: the curve stays
+    /// flat until that line catches up and follows it afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CurveError::NegativeParameter`] if `horizon < 0`.
+    pub fn to_pwl_lower(&self, horizon: f64) -> Result<Pwl, CurveError> {
+        require_non_negative("horizon", horizon)?;
+        let mut segs = vec![Segment::new(0.0, 0.0, 0.0)];
+        let mut k = 0.0;
+        loop {
+            let d = (k + 1.0) * self.period + self.jitter;
+            if d > horizon {
+                break;
+            }
+            segs.push(Segment::new(d, k + 1.0, 0.0));
+            k += 1.0;
+        }
+        // Last staircase level is k, reached at k·p + j. The line
+        // (Δ − j)/p − 1 reaches level k at Δ = (k+1)·p + j: stay flat until
+        // then, ride the line afterwards.
+        let switch = (k + 1.0) * self.period + self.jitter;
+        segs.push(Segment::new(switch, k, 1.0 / self.period));
+        Pwl::from_segments(segs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaky_bucket_validates() {
+        assert!(LeakyBucket::new(-1.0, 1.0).is_err());
+        assert!(LeakyBucket::new(1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn leaky_bucket_pwl_roundtrip() {
+        let lb = LeakyBucket::new(4.0, 1.5).unwrap();
+        let p = lb.to_pwl();
+        for i in 0..20 {
+            let d = i as f64 * 0.5;
+            assert!((p.value(d) - lb.value(d)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn strictly_periodic_counts() {
+        let pj = PeriodicJitter::periodic(10.0).unwrap();
+        assert_eq!(pj.upper_events(0.0), 1);
+        assert_eq!(pj.upper_events(9.9), 1);
+        assert_eq!(pj.upper_events(10.1), 2);
+        assert_eq!(pj.lower_events(9.9), 0);
+        assert_eq!(pj.lower_events(10.1), 1);
+        assert_eq!(pj.lower_events(25.0), 2);
+    }
+
+    #[test]
+    fn jitter_clusters_events() {
+        let pj = PeriodicJitter::new(10.0, 25.0, 0.0).unwrap();
+        // ⌈25/10⌉ = 3 events can pile up instantaneously.
+        assert_eq!(pj.upper_events(0.0), 3);
+    }
+
+    #[test]
+    fn min_distance_throttles_burst() {
+        let pj = PeriodicJitter::new(10.0, 25.0, 4.0).unwrap();
+        assert_eq!(pj.upper_events(0.0), 1); // ⌈0/4⌉+1 = 1
+        assert_eq!(pj.upper_events(4.0), 2);
+        assert_eq!(pj.upper_events(8.0), 3);
+        // Far out the period term dominates again.
+        assert_eq!(pj.upper_events(100.0), 13); // ⌈125/10⌉
+    }
+
+    #[test]
+    fn sporadic_model() {
+        let sp = PeriodicJitter::sporadic(5.0).unwrap();
+        assert_eq!(sp.upper_events(0.0), 1);
+        assert_eq!(sp.upper_events(5.0), 2);
+        assert_eq!(sp.upper_events(12.0), 3); // min(⌈12/5⌉=3, ⌈12/5⌉+1)
+    }
+
+    #[test]
+    fn step_curve_matches_closed_form() {
+        let pj = PeriodicJitter::new(7.0, 10.0, 2.0).unwrap();
+        let sc = pj.to_step_upper(50.0).unwrap();
+        for i in 0..500 {
+            let d = i as f64 * 0.1;
+            assert_eq!(
+                sc.value(d),
+                pj.upper_events(d),
+                "mismatch at Δ={d}"
+            );
+        }
+    }
+
+    #[test]
+    fn pwl_upper_dominates_closed_form() {
+        let pj = PeriodicJitter::new(7.0, 10.0, 2.0).unwrap();
+        let p = pj.to_pwl_upper(30.0).unwrap();
+        for i in 0..800 {
+            let d = i as f64 * 0.1;
+            assert!(
+                p.value(d) + 1e-9 >= pj.upper_events(d) as f64,
+                "pwl below model at Δ={d}"
+            );
+        }
+    }
+
+    #[test]
+    fn pwl_lower_is_dominated_by_closed_form() {
+        let pj = PeriodicJitter::new(7.0, 3.0, 0.0).unwrap();
+        let p = pj.to_pwl_lower(40.0).unwrap();
+        for i in 0..900 {
+            let d = i as f64 * 0.1;
+            assert!(
+                p.value(d) <= pj.lower_events(d) as f64 + 1e-9,
+                "pwl above model at Δ={d}"
+            );
+        }
+    }
+}

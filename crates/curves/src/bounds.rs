@@ -1,0 +1,221 @@
+//! Network-Calculus performance bounds: backlog (vertical deviation), delay
+//! (horizontal deviation), output arrival curves and remaining service.
+//!
+//! These implement eq. 6 of the paper, `B ≤ sup_{Δ≥0} (α(Δ) − β(Δ))`, and its
+//! companions from Le Boudec & Thiran.
+
+use crate::minplus;
+use crate::num::EPSILON;
+use crate::pwl::{merged_breakpoints, Pwl};
+use crate::CurveError;
+
+/// Backlog bound `sup_{Δ ≥ 0} (α(Δ) − β(Δ))` — the vertical deviation
+/// between an upper arrival curve and a lower service curve (eq. 6).
+///
+/// Exact for PWL curves: on each linear piece the difference is linear, so
+/// the supremum is attained at a breakpoint (or its left limit).
+///
+/// # Errors
+///
+/// Returns [`CurveError::Unbounded`] if the long-run arrival rate exceeds
+/// the long-run service rate.
+///
+/// # Example
+///
+/// ```
+/// use wcm_curves::{bounds, Pwl};
+///
+/// # fn main() -> Result<(), wcm_curves::CurveError> {
+/// let alpha = Pwl::affine(5.0, 10.0)?;
+/// let beta = Pwl::from_breakpoints(vec![(0.0, 0.0, 0.0), (0.5, 0.0, 20.0)])?;
+/// assert!((bounds::backlog(&alpha, &beta)? - 10.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn backlog(alpha: &Pwl, beta: &Pwl) -> Result<f64, CurveError> {
+    if alpha.ultimate_rate() > beta.ultimate_rate() + EPSILON {
+        return Err(CurveError::Unbounded {
+            operation: "backlog (arrival rate exceeds service rate)",
+        });
+    }
+    let mut best = 0.0_f64;
+    for &x in &merged_breakpoints(alpha, beta) {
+        best = best.max(alpha.value(x) - beta.value(x));
+        best = best.max(alpha.value_left(x) - beta.value_left(x));
+        // A jump up in α combined with continuity of β peaks at the right
+        // value; a jump up in β peaks just before it — both covered above.
+    }
+    Ok(best.max(0.0))
+}
+
+/// Delay bound — the horizontal deviation
+/// `sup_{t ≥ 0} inf { d ≥ 0 : α(t) ≤ β(t + d) }`.
+///
+/// # Errors
+///
+/// Returns [`CurveError::Unbounded`] if the arrival curve outgrows the
+/// service curve (rate-wise or because `β` saturates below `sup α`).
+///
+/// # Example
+///
+/// ```
+/// use wcm_curves::{bounds, Pwl};
+///
+/// # fn main() -> Result<(), wcm_curves::CurveError> {
+/// let alpha = Pwl::affine(4.0, 2.0)?;
+/// let beta = Pwl::from_breakpoints(vec![(0.0, 0.0, 0.0), (1.0, 0.0, 8.0)])?;
+/// // Worst delay at t=0: find d with 8(d−1) = 4 → d = 1.5.
+/// assert!((bounds::delay(&alpha, &beta)? - 1.5).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn delay(alpha: &Pwl, beta: &Pwl) -> Result<f64, CurveError> {
+    if alpha.ultimate_rate() > beta.ultimate_rate() + EPSILON {
+        return Err(CurveError::Unbounded {
+            operation: "delay (arrival rate exceeds service rate)",
+        });
+    }
+    // Candidate t values: breakpoints of α, plus points where α(t) crosses
+    // the value of β at β's breakpoints (kinks of β⁻¹∘α).
+    let mut ts = alpha.breakpoint_xs();
+    for &b in &beta.breakpoint_xs() {
+        let y = beta.value(b);
+        if let Some(t) = alpha.inverse_at(y) {
+            ts.push(t);
+        }
+    }
+    ts.push(alpha.tail_start().max(beta.tail_start()) + 1.0);
+    let mut worst = 0.0_f64;
+    for &t in &ts {
+        for y in [alpha.value(t), alpha.value_left(t)] {
+            match beta.inverse_at(y) {
+                Some(d_abs) => worst = worst.max(d_abs - t),
+                None => {
+                    return Err(CurveError::Unbounded {
+                        operation: "delay (service curve saturates below arrivals)",
+                    })
+                }
+            }
+        }
+    }
+    Ok(worst.max(0.0))
+}
+
+/// Output arrival curve `α′ = α ⊘ β` of a flow with arrival curve `α`
+/// after crossing a server with service curve `β`.
+///
+/// # Errors
+///
+/// Returns [`CurveError::Unbounded`] if the deconvolution diverges.
+pub fn output_arrival(alpha: &Pwl, beta: &Pwl) -> Result<Pwl, CurveError> {
+    minplus::deconvolve(alpha, beta)
+}
+
+/// Remaining (leftover) service for a low-priority flow under blind
+/// multiplexing with a *strict* service curve `β`:
+/// `β′ = [β − α]⁺` taken non-decreasing.
+///
+/// `α` is the upper arrival curve of the interfering (higher-priority)
+/// traffic.
+#[must_use]
+pub fn remaining_service(beta: &Pwl, alpha: &Pwl) -> Pwl {
+    beta.sub_clamped_monotone(alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::num::approx_eq;
+
+    fn rate_latency(rate: f64, latency: f64) -> Pwl {
+        Pwl::from_breakpoints(vec![(0.0, 0.0, 0.0), (latency, 0.0, rate)]).unwrap()
+    }
+
+    #[test]
+    fn backlog_of_bucket_through_rate_latency_is_classic_formula() {
+        // B = b + r·T for leaky bucket (b, r) through rate-latency (R, T).
+        let alpha = Pwl::affine(3.0, 2.0).unwrap();
+        let beta = rate_latency(5.0, 1.5);
+        let b = backlog(&alpha, &beta).unwrap();
+        assert!(approx_eq(b, 3.0 + 2.0 * 1.5));
+    }
+
+    #[test]
+    fn backlog_zero_when_service_dominates() {
+        let alpha = Pwl::affine(0.0, 1.0).unwrap();
+        let beta = rate_latency(10.0, 0.0);
+        assert_eq!(backlog(&alpha, &beta).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn backlog_unbounded_when_overloaded() {
+        let alpha = Pwl::affine(0.0, 10.0).unwrap();
+        let beta = rate_latency(5.0, 0.0);
+        assert!(matches!(
+            backlog(&alpha, &beta),
+            Err(CurveError::Unbounded { .. })
+        ));
+    }
+
+    #[test]
+    fn backlog_equals_deconvolution_at_zero() {
+        let alpha = Pwl::from_breakpoints(vec![(0.0, 2.0, 3.0), (2.0, 8.0, 1.0)]).unwrap();
+        let beta = rate_latency(4.0, 1.0);
+        let b = backlog(&alpha, &beta).unwrap();
+        let out = minplus::deconvolve(&alpha, &beta).unwrap();
+        assert!(approx_eq(b, out.value(0.0)));
+    }
+
+    #[test]
+    fn delay_of_bucket_is_burst_over_rate_plus_latency() {
+        // d = T + b/R for leaky bucket through rate-latency.
+        let alpha = Pwl::affine(6.0, 2.0).unwrap();
+        let beta = rate_latency(4.0, 0.5);
+        let d = delay(&alpha, &beta).unwrap();
+        assert!(approx_eq(d, 0.5 + 6.0 / 4.0));
+    }
+
+    #[test]
+    fn delay_zero_when_service_immediate_and_fast() {
+        let alpha = Pwl::affine(0.0, 1.0).unwrap();
+        let beta = Pwl::affine(0.0, 2.0).unwrap();
+        assert_eq!(delay(&alpha, &beta).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn delay_unbounded_for_saturating_service() {
+        let alpha = Pwl::affine(2.0, 0.0).unwrap(); // constant 2
+        let beta = Pwl::constant(1.0).unwrap(); // saturates at 1
+        assert!(matches!(
+            delay(&alpha, &beta),
+            Err(CurveError::Unbounded { .. })
+        ));
+    }
+
+    #[test]
+    fn remaining_service_subtracts_interference() {
+        let beta = Pwl::affine(0.0, 10.0).unwrap();
+        let alpha = Pwl::affine(2.0, 4.0).unwrap();
+        let rem = remaining_service(&beta, &alpha);
+        // (10t − (2+4t))⁺ = (6t − 2)⁺.
+        assert_eq!(rem.value(0.0), 0.0);
+        assert!(approx_eq(rem.value(1.0), 4.0));
+        assert!(approx_eq(rem.ultimate_rate(), 6.0));
+    }
+
+    #[test]
+    fn remaining_service_is_monotone() {
+        let beta = rate_latency(8.0, 1.0);
+        let alpha =
+            Pwl::from_breakpoints(vec![(0.0, 5.0, 0.0), (2.0, 5.0, 8.0), (3.0, 13.0, 1.0)])
+                .unwrap();
+        let rem = remaining_service(&beta, &alpha);
+        let mut prev = 0.0;
+        for i in 0..100 {
+            let t = i as f64 * 0.1;
+            let v = rem.value(t);
+            assert!(v + 1e-9 >= prev, "decreasing at t={t}");
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,111 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by curve constructors and operations.
+///
+/// # Example
+///
+/// ```
+/// use wcm_curves::{arrival::LeakyBucket, CurveError};
+///
+/// let err = LeakyBucket::new(-1.0, 10.0).unwrap_err();
+/// assert!(matches!(err, CurveError::NegativeParameter { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CurveError {
+    /// A parameter that must be non-negative was negative (or NaN).
+    NegativeParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A parameter that must be strictly positive was zero, negative or NaN.
+    NonPositiveParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// Breakpoints were not sorted strictly by `x`, or values decreased
+    /// (curves must be wide-sense increasing).
+    NotIncreasing {
+        /// Index of the first offending breakpoint.
+        index: usize,
+    },
+    /// The curve has no segments.
+    Empty,
+    /// The requested operation diverges, e.g. deconvolving a flow whose
+    /// long-run rate exceeds the service rate.
+    Unbounded {
+        /// Human-readable description of the diverging operation.
+        operation: &'static str,
+    },
+    /// A curve evaluation produced a non-finite value where a finite one is
+    /// required.
+    NonFinite {
+        /// Human-readable description of the context.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for CurveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CurveError::NegativeParameter { name, value } => {
+                write!(f, "parameter `{name}` must be non-negative, got {value}")
+            }
+            CurveError::NonPositiveParameter { name, value } => {
+                write!(f, "parameter `{name}` must be positive, got {value}")
+            }
+            CurveError::NotIncreasing { index } => {
+                write!(f, "curve breakpoints not increasing at index {index}")
+            }
+            CurveError::Empty => write!(f, "curve has no segments"),
+            CurveError::Unbounded { operation } => {
+                write!(f, "operation `{operation}` is unbounded")
+            }
+            CurveError::NonFinite { context } => {
+                write!(f, "non-finite value encountered in {context}")
+            }
+        }
+    }
+}
+
+impl Error for CurveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = CurveError::NegativeParameter {
+            name: "burst",
+            value: -1.0,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("burst"));
+        assert!(msg.contains("-1"));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<CurveError>();
+    }
+
+    #[test]
+    fn errors_compare_equal() {
+        assert_eq!(
+            CurveError::Empty,
+            CurveError::Empty,
+        );
+        assert_ne!(
+            CurveError::Empty,
+            CurveError::NotIncreasing { index: 0 }
+        );
+    }
+}

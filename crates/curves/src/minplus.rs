@@ -1,0 +1,404 @@
+//! Min-plus algebra on piecewise-linear curves: convolution `⊗`,
+//! deconvolution `⊘` and the sub-additive closure.
+//!
+//! These are the operators of Network Calculus (Le Boudec & Thiran, LNCS
+//! 2050) used by the paper's streaming analysis: e.g. the output arrival
+//! curve of a flow through a server is `α′ = α ⊘ β`, and the backlog bound
+//! `sup (α − β)` equals `(α ⊘ β)(0)`.
+//!
+//! # Conventions
+//!
+//! [`crate::Pwl`] stores the *right-limit* at 0 (a leaky bucket has
+//! `value(0) = b`), but Network Calculus defines arrival/service curves
+//! with `f(0) = 0` and the burst as a limit from the right. The operators
+//! here follow the theory: the boundary candidates `s = 0` and `s = t` of
+//! `⊗`/`⊘` use the true `f(0) = g(0) = 0`, so e.g. shaping a flow by `σ`
+//! yields an output bounded by `min(α, σ)` rather than by `α + σ(0)`.
+//!
+//! # Exactness
+//!
+//! For two PWL curves, `(f ⊗ g)(t) = inf_{0≤s≤t} f(t−s) + g(s)` is attained
+//! with `s` at a breakpoint of `g` or `t−s` at a breakpoint of `f` (the
+//! objective is PWL in `s`), so the convolution equals the lower envelope of
+//! finitely many shifted copies of `f` and `g` and is computed exactly.
+//! Deconvolution is the exact upper envelope of the per-kink branches.
+
+use crate::num::{approx_eq, EPSILON};
+use crate::pwl::{Pwl, Segment};
+use crate::CurveError;
+
+/// Min-plus convolution `(f ⊗ g)(t) = inf_{0 ≤ s ≤ t} f(t−s) + g(s)`.
+///
+/// # Example
+///
+/// Convolving a rate-latency service curve with itself doubles the latency
+/// (two servers in tandem):
+///
+/// ```
+/// use wcm_curves::{minplus, Pwl};
+///
+/// # fn main() -> Result<(), wcm_curves::CurveError> {
+/// let beta = Pwl::from_breakpoints(vec![(0.0, 0.0, 0.0), (1.0, 0.0, 5.0)])?;
+/// let tandem = minplus::convolve(&beta, &beta);
+/// assert_eq!(tandem.value(2.0), 0.0);
+/// assert!((tandem.value(3.0) - 5.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn convolve(f: &Pwl, g: &Pwl) -> Pwl {
+    // Boundary candidates with the true f(0) = g(0) = 0 convention:
+    // s = 0 contributes g alone, s = t contributes f alone.
+    let mut env = f.min(g);
+    // Candidate with s = 0⁺ (the stored right-limit of g).
+    env = env.min(
+        &f.shift(0.0, g.value(0.0))
+            .expect("shift by non-negative offsets"),
+    );
+    // s at the remaining breakpoints of g (left limits: inf includes them).
+    for &b in &g.breakpoint_xs()[1..] {
+        let cand = f
+            .shift(b, g.value_left(b))
+            .expect("shift by non-negative offsets");
+        env = env.min(&cand);
+    }
+    // t − s at breakpoints of f.
+    for (i, &a) in f.breakpoint_xs().iter().enumerate() {
+        let fy = if i == 0 { f.value(0.0) } else { f.value_left(a) };
+        let cand = g.shift(a, fy).expect("shift by non-negative offsets");
+        env = env.min(&cand);
+    }
+    env
+}
+
+/// Min-plus deconvolution `(f ⊘ g)(t) = sup_{s ≥ 0} f(t+s) − g(s)`,
+/// clamped at zero.
+///
+/// # Errors
+///
+/// Returns [`CurveError::Unbounded`] if the long-run rate of `f` exceeds the
+/// long-run rate of `g` (the supremum diverges).
+///
+/// # Example
+///
+/// The output arrival curve of a leaky-bucket flow through a rate-latency
+/// server gains `r·T` of burstiness:
+///
+/// ```
+/// use wcm_curves::{minplus, Pwl};
+///
+/// # fn main() -> Result<(), wcm_curves::CurveError> {
+/// let alpha = Pwl::affine(2.0, 1.0)?; // burst 2, rate 1
+/// let beta = Pwl::from_breakpoints(vec![(0.0, 0.0, 0.0), (3.0, 0.0, 4.0)])?;
+/// let out = minplus::deconvolve(&alpha, &beta)?;
+/// assert!((out.value(0.0) - 5.0).abs() < 1e-9); // 2 + 1·3
+/// # Ok(())
+/// # }
+/// ```
+pub fn deconvolve(f: &Pwl, g: &Pwl) -> Result<Pwl, CurveError> {
+    if f.ultimate_rate() > g.ultimate_rate() + EPSILON {
+        return Err(CurveError::Unbounded {
+            operation: "deconvolution (flow rate exceeds service rate)",
+        });
+    }
+    // For fixed t, h(s) = f(t+s) − g(s) is PWL in s with kinks at s ∈ bp(g)
+    // and t+s ∈ bp(f); its supremum is attained at such a kink (the tail,
+    // where h has slope rf − rg ≤ 0, never beats the last kink, and a flat
+    // tie is covered by the kink value). Each kink family, as a function of
+    // t, is itself a PWL "branch"; the deconvolution is the exact upper
+    // envelope of all branches.
+    let mut branches: Vec<Pwl> = Vec::new();
+    // Family B_b(t) = f(t + b) − g(b⁻): f shifted left by b, lowered by the
+    // smallest admissible g value at b. At b = 0 the true g(0) = 0 applies
+    // (the stored value is only the right-limit).
+    for (i, &b) in g.breakpoint_xs().iter().enumerate() {
+        let gv = if i == 0 { 0.0 } else { g.value_left(b) };
+        branches.push(shift_left_minus(f, b, gv));
+    }
+    // Family C_a(t) = f(a) − g(a − t) for t ≤ a, constant afterwards.
+    for &a in &f.breakpoint_xs() {
+        if a > EPSILON {
+            branches.push(reflected_branch(f.value(a), g, a));
+        }
+    }
+    let mut env = branches.pop().expect("g has at least one breakpoint");
+    for b in &branches {
+        env = env.max(b);
+    }
+    // Clamp at zero (arrival/service curves are non-negative).
+    Ok(env.max(&Pwl::zero()))
+}
+
+/// The branch `t ↦ f(t + b) − c` as a PWL curve (values may be negative;
+/// the envelope is clamped by the caller).
+fn shift_left_minus(f: &Pwl, b: f64, c: f64) -> Pwl {
+    let mut segs: Vec<Segment> = Vec::new();
+    for s in f.segments() {
+        if s.x <= b + EPSILON {
+            // (Re-)anchor the piece containing b at the origin.
+            segs.clear();
+            segs.push(Segment::new(0.0, s.value_at(b) - c, s.slope));
+        } else {
+            segs.push(Segment::new(s.x - b, s.y - c, s.slope));
+        }
+    }
+    Pwl::from_segments(segs).expect("shifted copy of a valid curve is valid")
+}
+
+/// The branch `t ↦ fa − g(a − t)` (for `t ≤ a`; constant `fa − g(0)`
+/// beyond), using left limits of `g` so jumps of `g` help the supremum.
+fn reflected_branch(fa: f64, g: &Pwl, a: f64) -> Pwl {
+    // Kinks at t = a − b for each breakpoint b of g (clipped to ≥ 0).
+    let mut ts: Vec<f64> = g
+        .breakpoint_xs()
+        .iter()
+        .map(|&b| a - b)
+        .filter(|&t| t > EPSILON)
+        .collect();
+    ts.push(0.0);
+    ts.sort_by(|p, q| p.partial_cmp(q).expect("finite breakpoints"));
+    ts.dedup_by(|p, q| approx_eq(*p, *q));
+    let mut segs: Vec<Segment> = Vec::with_capacity(ts.len() + 1);
+    for (j, &t) in ts.iter().enumerate() {
+        let x = a - t;
+        let start = fa - if x > EPSILON { g.value_left(x) } else { g.value(0.0) };
+        let slope = if j + 1 < ts.len() {
+            let next = ts[j + 1];
+            // Left limit of the branch at `next`: g's right value there.
+            let end = fa - g.value(a - next);
+            ((end - start) / (next - t)).max(0.0)
+        } else {
+            0.0
+        };
+        segs.push(Segment::new(t, start, slope));
+    }
+    // Constant `fa − g(0)` for t ≥ a (covered by the kink at b = 0 when
+    // present; the final zero slope handles it otherwise).
+    Pwl::from_segments(segs).expect("reflected branch of a valid curve is valid")
+}
+
+/// Sub-additive closure `f* = min_{n ≥ 1} f^{⊗n}` (with `f*(0) = f(0)`),
+/// iterated until a fixpoint or `max_iter` convolutions.
+///
+/// For curves with `f(0) = 0` this is the tightest sub-additive curve below
+/// `f`; it converges after finitely many iterations for PWL curves whose
+/// minimum-slope segment is the tail.
+///
+/// # Example
+///
+/// ```
+/// use wcm_curves::{minplus, Pwl};
+///
+/// # fn main() -> Result<(), wcm_curves::CurveError> {
+/// let f = Pwl::from_breakpoints(vec![(0.0, 0.0, 4.0), (1.0, 4.0, 1.0)])?;
+/// let closure = minplus::subadditive_closure(&f, 16);
+/// assert!(minplus::is_subadditive(&closure, 64));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn subadditive_closure(f: &Pwl, max_iter: usize) -> Pwl {
+    let mut closure = f.clone();
+    for _ in 0..max_iter {
+        let next = closure.min(&convolve(&closure, f));
+        if next == closure {
+            return next;
+        }
+        closure = next;
+    }
+    closure
+}
+
+/// Tests `f(s + t) ≤ f(s) + f(t)` on a grid spanning the breakpoints
+/// (`samples × samples` pairs). Exactness caveat: this is a sampled check,
+/// suitable for tests and assertions rather than proofs.
+#[must_use]
+pub fn is_subadditive(f: &Pwl, samples: usize) -> bool {
+    let span = 2.0 * (f.tail_start() + 1.0);
+    let step = span / samples as f64;
+    for i in 1..=samples {
+        for j in i..=samples {
+            let (s, t) = (i as f64 * step, j as f64 * step);
+            let lhs = f.value(s + t);
+            let rhs = f.value(s) + f.value(t);
+            if lhs > rhs + EPSILON * (1.0 + rhs.abs()) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Brute-force convolution value by sampling `s` on a dense grid — used to
+/// cross-check [`convolve`] in tests. Not exact; returns an upper bound on
+/// the true infimum.
+#[must_use]
+pub fn convolve_sampled(f: &Pwl, g: &Pwl, t: f64, samples: usize) -> f64 {
+    let mut best = f.value(t).min(g.value(t)); // s = t / s = 0 with f(0)=g(0)=0
+    for i in 0..=samples {
+        let s = t * i as f64 / samples as f64;
+        best = best.min(f.value(t - s) + g.value(s));
+        best = best.min(f.value_left(t - s) + g.value_left(s));
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::num::approx_le;
+
+    fn rate_latency(rate: f64, latency: f64) -> Pwl {
+        Pwl::from_breakpoints(vec![(0.0, 0.0, 0.0), (latency, 0.0, rate)]).unwrap()
+    }
+
+    #[test]
+    fn convolution_with_zero_is_zero() {
+        // The zero curve absorbs: inf over s includes s = 0 with the true
+        // f(0) = 0, so (f ⊗ 0)(t) = 0.
+        let f = Pwl::affine(3.0, 2.0).unwrap();
+        let z = Pwl::zero();
+        let c = convolve(&f, &z);
+        assert!(approx_eq(c.value(0.0), 0.0));
+        assert!(approx_eq(c.value(10.0), 0.0));
+    }
+
+    #[test]
+    fn convolution_of_rate_latencies_adds_latencies_min_rates() {
+        let b1 = rate_latency(10.0, 1.0);
+        let b2 = rate_latency(4.0, 2.0);
+        let c = convolve(&b1, &b2);
+        assert_eq!(c.value(3.0), 0.0);
+        assert!(approx_eq(c.value(4.0), 4.0));
+        assert!(approx_eq(c.ultimate_rate(), 4.0));
+    }
+
+    #[test]
+    fn convolution_of_leaky_buckets_is_pointwise_min() {
+        // The textbook result: for leaky buckets (with the f(0) = 0
+        // convention), γ_{b,r} ⊗ γ_{b',r'} = min(γ_{b,r}, γ_{b',r'}).
+        let f = Pwl::affine(2.0, 1.0).unwrap();
+        let g = Pwl::affine(5.0, 3.0).unwrap();
+        let c = convolve(&f, &g);
+        for i in 0..50 {
+            let t = i as f64 * 0.25;
+            let expect = f.value(t).min(g.value(t));
+            assert!(approx_eq(c.value(t), expect), "t={t}");
+        }
+    }
+
+    #[test]
+    fn convolution_matches_brute_force_on_mixed_curves() {
+        let f = Pwl::from_breakpoints(vec![(0.0, 1.0, 4.0), (2.0, 9.0, 0.5)]).unwrap();
+        let g = rate_latency(3.0, 1.5);
+        let c = convolve(&f, &g);
+        for i in 0..60 {
+            let t = i as f64 * 0.2;
+            let brute = convolve_sampled(&f, &g, t, 4000);
+            // The sampled value upper-bounds the true infimum; it may
+            // overshoot by (slope · sample step).
+            assert!(
+                c.value(t) <= brute + 1e-9,
+                "t={t}: exact {} above brute {}",
+                c.value(t),
+                brute
+            );
+            assert!(
+                brute - c.value(t) < 1e-2 * (1.0 + brute.abs()),
+                "t={t}: exact {} far below brute {}",
+                c.value(t),
+                brute
+            );
+        }
+    }
+
+    #[test]
+    fn convolution_is_commutative() {
+        let f = Pwl::from_breakpoints(vec![(0.0, 0.0, 2.0), (3.0, 6.0, 0.25)]).unwrap();
+        let g = rate_latency(5.0, 0.75);
+        let c1 = convolve(&f, &g);
+        let c2 = convolve(&g, &f);
+        for i in 0..80 {
+            let t = i as f64 * 0.15;
+            assert!(approx_eq(c1.value(t), c2.value(t)), "t={t}");
+        }
+    }
+
+    #[test]
+    fn deconvolution_of_bucket_through_rate_latency() {
+        let alpha = Pwl::affine(2.0, 1.0).unwrap();
+        let beta = rate_latency(4.0, 3.0);
+        let out = deconvolve(&alpha, &beta).unwrap();
+        // Classic result: α′ = (b + r·T) + r·t.
+        assert!(approx_eq(out.value(0.0), 5.0));
+        assert!(approx_eq(out.value(2.0), 7.0));
+        assert!(approx_eq(out.ultimate_rate(), 1.0));
+    }
+
+    #[test]
+    fn deconvolution_detects_divergence() {
+        let alpha = Pwl::affine(0.0, 5.0).unwrap();
+        let beta = rate_latency(4.0, 0.0);
+        assert!(matches!(
+            deconvolve(&alpha, &beta),
+            Err(CurveError::Unbounded { .. })
+        ));
+    }
+
+    #[test]
+    fn deconvolution_value_zero_equals_vertical_deviation() {
+        let alpha = Pwl::affine(3.0, 2.0).unwrap();
+        let beta = rate_latency(6.0, 1.0);
+        let out = deconvolve(&alpha, &beta).unwrap();
+        // sup(α−β) attained at Δ = latency where β starts: α(1) = 5.
+        assert!(approx_eq(out.value(0.0), 5.0));
+    }
+
+    #[test]
+    fn deconvolution_with_equal_rates_uses_tail_limit() {
+        let alpha = Pwl::affine(1.0, 2.0).unwrap();
+        let beta = rate_latency(2.0, 2.0);
+        let out = deconvolve(&alpha, &beta).unwrap();
+        // sup_s (1 + 2(t+s)) − 2(s−2)⁺ → attained for any large s:
+        // = 1 + 2t + 4 = 5 + 2t.
+        assert!(approx_eq(out.value(0.0), 5.0));
+        assert!(approx_eq(out.value(3.0), 11.0));
+    }
+
+    #[test]
+    fn closure_is_below_curve_and_subadditive() {
+        let f = Pwl::from_breakpoints(vec![(0.0, 0.0, 6.0), (1.0, 6.0, 1.0)]).unwrap();
+        let c = subadditive_closure(&f, 32);
+        assert!(is_subadditive(&c, 48));
+        for i in 0..64 {
+            let t = i as f64 * 0.25;
+            assert!(approx_le(c.value(t), f.value(t)), "t={t}");
+        }
+    }
+
+    #[test]
+    fn closure_of_subadditive_curve_is_itself() {
+        // Concave with f(0)=0 is sub-additive already.
+        let f = Pwl::from_breakpoints(vec![(0.0, 0.0, 4.0), (2.0, 8.0, 1.0)]).unwrap();
+        let c = subadditive_closure(&f, 16);
+        for i in 0..64 {
+            let t = i as f64 * 0.3;
+            assert!(approx_eq(c.value(t), f.value(t)), "t={t}");
+        }
+    }
+
+    #[test]
+    fn convolution_isotone() {
+        // f ≤ f' and g ≤ g' ⇒ f⊗g ≤ f'⊗g'.
+        let f = rate_latency(3.0, 2.0);
+        let fp = rate_latency(4.0, 1.0);
+        let g = Pwl::affine(1.0, 2.0).unwrap();
+        let gp = Pwl::affine(2.0, 2.5).unwrap();
+        let c = convolve(&f, &g);
+        let cp = convolve(&fp, &gp);
+        for i in 0..60 {
+            let t = i as f64 * 0.2;
+            assert!(approx_le(c.value(t), cp.value(t)), "t={t}");
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Floating-point comparison helpers shared by the curve algebra.
+//!
+//! Curve operations accumulate rounding error when breakpoints are combined,
+//! so all geometric predicates in this crate go through these helpers instead
+//! of raw `==` / `<=`.
+
+/// Absolute/relative tolerance used by the curve algebra.
+///
+/// Two coordinates closer than `EPSILON * max(1, |a|, |b|)` are considered
+/// equal.
+pub const EPSILON: f64 = 1e-9;
+
+/// Returns `true` if `a` and `b` are equal up to [`EPSILON`]
+/// (absolute near zero, relative otherwise).
+///
+/// # Example
+///
+/// ```
+/// assert!(wcm_curves::approx_eq(0.1 + 0.2, 0.3));
+/// assert!(!wcm_curves::approx_eq(1.0, 1.001));
+/// ```
+#[must_use]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    let scale = 1.0_f64.max(a.abs()).max(b.abs());
+    (a - b).abs() <= EPSILON * scale
+}
+
+/// Returns `true` if `a ≤ b` up to [`EPSILON`].
+#[must_use]
+pub fn approx_le(a: f64, b: f64) -> bool {
+    a <= b || approx_eq(a, b)
+}
+
+/// Returns `true` if `a ≥ b` up to [`EPSILON`].
+#[must_use]
+pub fn approx_ge(a: f64, b: f64) -> bool {
+    a >= b || approx_eq(a, b)
+}
+
+/// Validates that `value` is finite and non-negative.
+pub(crate) fn require_non_negative(
+    name: &'static str,
+    value: f64,
+) -> Result<f64, crate::CurveError> {
+    if value.is_finite() && value >= 0.0 {
+        Ok(value)
+    } else {
+        Err(crate::CurveError::NegativeParameter { name, value })
+    }
+}
+
+/// Validates that `value` is finite and strictly positive.
+pub(crate) fn require_positive(name: &'static str, value: f64) -> Result<f64, crate::CurveError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(value)
+    } else {
+        Err(crate::CurveError::NonPositiveParameter { name, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_absolute_near_zero() {
+        assert!(approx_eq(0.0, 1e-12));
+        assert!(!approx_eq(0.0, 1e-6));
+    }
+
+    #[test]
+    fn approx_eq_relative_for_large_values() {
+        assert!(approx_eq(1e12, 1e12 + 1.0));
+        assert!(!approx_eq(1e12, 1.001e12));
+    }
+
+    #[test]
+    fn approx_le_and_ge_accept_equality_within_tolerance() {
+        assert!(approx_le(1.0 + 1e-12, 1.0));
+        assert!(approx_ge(1.0 - 1e-12, 1.0));
+        assert!(!approx_le(1.1, 1.0));
+        assert!(!approx_ge(0.9, 1.0));
+    }
+
+    #[test]
+    fn validators_reject_nan_and_sign_violations() {
+        assert!(require_non_negative("x", f64::NAN).is_err());
+        assert!(require_non_negative("x", -0.5).is_err());
+        assert!(require_non_negative("x", 0.0).is_ok());
+        assert!(require_positive("x", 0.0).is_err());
+        assert!(require_positive("x", f64::INFINITY).is_err());
+        assert!(require_positive("x", 2.0).is_ok());
+    }
+}

@@ -1,0 +1,314 @@
+//! Standard service-curve models.
+//!
+//! A *lower service curve* `β(Δ)` bounds from below the amount of service
+//! (here: processor cycles) a resource is guaranteed to deliver in any time
+//! window of length `Δ`. The paper's case study uses the full-capacity curve
+//! `β(Δ) = F·Δ` of a dedicated processor clocked at `F`; the rate-latency
+//! and TDMA models cover shared resources.
+
+use crate::num::{require_non_negative, require_positive};
+use crate::pwl::{Pwl, Segment};
+use crate::CurveError;
+
+/// Rate-latency service curve `β(Δ) = R·(Δ − T)⁺`.
+///
+/// # Example
+///
+/// ```
+/// use wcm_curves::service::RateLatency;
+///
+/// # fn main() -> Result<(), wcm_curves::CurveError> {
+/// let b = RateLatency::new(100.0, 0.2)?;
+/// assert_eq!(b.value(0.1), 0.0);
+/// assert!((b.value(0.7) - 50.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RateLatency {
+    rate: f64,
+    latency: f64,
+}
+
+impl RateLatency {
+    /// Creates a rate-latency curve with rate `R > 0` and latency `T ≥ 0`.
+    ///
+    /// # Errors
+    ///
+    /// [`CurveError::NonPositiveParameter`] if `rate ≤ 0`;
+    /// [`CurveError::NegativeParameter`] if `latency < 0`.
+    pub fn new(rate: f64, latency: f64) -> Result<Self, CurveError> {
+        Ok(Self {
+            rate: require_positive("rate", rate)?,
+            latency: require_non_negative("latency", latency)?,
+        })
+    }
+
+    /// Service rate `R`.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Latency `T`.
+    #[must_use]
+    pub fn latency(&self) -> f64 {
+        self.latency
+    }
+
+    /// Evaluates `β(Δ)`.
+    #[must_use]
+    pub fn value(&self, delta: f64) -> f64 {
+        self.rate * (delta - self.latency).max(0.0)
+    }
+
+    /// The curve as a [`Pwl`].
+    #[must_use]
+    pub fn to_pwl(&self) -> Pwl {
+        if self.latency == 0.0 {
+            Pwl::affine(0.0, self.rate).expect("validated parameters")
+        } else {
+            Pwl::from_breakpoints(vec![(0.0, 0.0, 0.0), (self.latency, 0.0, self.rate)])
+                .expect("validated parameters")
+        }
+    }
+}
+
+/// Full-capacity service curve `β(Δ) = F·Δ` of a processor clocked at `F`
+/// cycles per second and fully dedicated to the analyzed task — the shape
+/// used for PE₂ in the paper's MPEG-2 case study (Sec. 3.2).
+///
+/// # Example
+///
+/// ```
+/// use wcm_curves::service::FullCapacity;
+///
+/// # fn main() -> Result<(), wcm_curves::CurveError> {
+/// let pe = FullCapacity::new(340.0e6)?; // 340 MHz
+/// assert!((pe.value(0.04) - 13.6e6).abs() < 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FullCapacity {
+    frequency: f64,
+}
+
+impl FullCapacity {
+    /// Creates the curve for clock frequency `F > 0` (cycles / second).
+    ///
+    /// # Errors
+    ///
+    /// [`CurveError::NonPositiveParameter`] if `frequency ≤ 0`.
+    pub fn new(frequency: f64) -> Result<Self, CurveError> {
+        Ok(Self {
+            frequency: require_positive("frequency", frequency)?,
+        })
+    }
+
+    /// The clock frequency `F`.
+    #[must_use]
+    pub fn frequency(&self) -> f64 {
+        self.frequency
+    }
+
+    /// Evaluates `β(Δ) = F·Δ`.
+    #[must_use]
+    pub fn value(&self, delta: f64) -> f64 {
+        self.frequency * delta.max(0.0)
+    }
+
+    /// The curve as a [`Pwl`].
+    #[must_use]
+    pub fn to_pwl(&self) -> Pwl {
+        Pwl::affine(0.0, self.frequency).expect("validated parameters")
+    }
+}
+
+/// TDMA service: within every cycle of length `cycle`, the resource serves
+/// this flow for a slot of length `slot` at `rate` cycles per second.
+///
+/// The exact guaranteed lower service curve is the sawtooth
+/// `β(Δ) = rate · max(⌊Δ/c⌋·s, Δ − ⌈Δ/c⌉·(c−s))`.
+///
+/// # Example
+///
+/// ```
+/// use wcm_curves::service::Tdma;
+///
+/// # fn main() -> Result<(), wcm_curves::CurveError> {
+/// let t = Tdma::new(2.0, 10.0, 100.0)?; // 2s slot per 10s cycle
+/// assert_eq!(t.value(8.0), 0.0);   // may miss the slot entirely
+/// assert_eq!(t.value(10.0), 200.0); // one full slot guaranteed
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Tdma {
+    slot: f64,
+    cycle: f64,
+    rate: f64,
+}
+
+impl Tdma {
+    /// Creates a TDMA service model.
+    ///
+    /// # Errors
+    ///
+    /// [`CurveError::NonPositiveParameter`] for non-positive `slot`, `cycle`
+    /// or `rate`; [`CurveError::NotIncreasing`] if `slot > cycle`.
+    pub fn new(slot: f64, cycle: f64, rate: f64) -> Result<Self, CurveError> {
+        let slot = require_positive("slot", slot)?;
+        let cycle = require_positive("cycle", cycle)?;
+        let rate = require_positive("rate", rate)?;
+        if slot > cycle {
+            return Err(CurveError::NotIncreasing { index: 1 });
+        }
+        Ok(Self { slot, cycle, rate })
+    }
+
+    /// Slot length `s`.
+    #[must_use]
+    pub fn slot(&self) -> f64 {
+        self.slot
+    }
+
+    /// Cycle length `c`.
+    #[must_use]
+    pub fn cycle(&self) -> f64 {
+        self.cycle
+    }
+
+    /// Service rate during the slot.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Evaluates the exact sawtooth `β(Δ)`.
+    #[must_use]
+    pub fn value(&self, delta: f64) -> f64 {
+        if delta <= 0.0 {
+            return 0.0;
+        }
+        let (s, c) = (self.slot, self.cycle);
+        let whole = (delta / c).floor() * s;
+        let partial = delta - (delta / c).ceil() * (c - s);
+        self.rate * whole.max(partial).max(0.0)
+    }
+
+    /// The sawtooth as a [`Pwl`]: exact for `cycles` full TDMA cycles, then
+    /// extended with the sound affine lower bound
+    /// `rate·(s/c)·(Δ − (c − s))⁺`.
+    ///
+    /// # Errors
+    ///
+    /// [`CurveError::NonPositiveParameter`] if `cycles == 0`.
+    pub fn to_pwl(&self, cycles: usize) -> Result<Pwl, CurveError> {
+        if cycles == 0 {
+            return Err(CurveError::NonPositiveParameter {
+                name: "cycles",
+                value: 0.0,
+            });
+        }
+        let (s, c, r) = (self.slot, self.cycle, self.rate);
+        let mut segs = Vec::with_capacity(2 * cycles + 2);
+        for k in 0..cycles {
+            let base = k as f64 * c;
+            // Flat part [kc, kc + (c−s)), then rising at `rate`.
+            segs.push(Segment::new(base, r * k as f64 * s, 0.0));
+            segs.push(Segment::new(base + (c - s), r * k as f64 * s, r));
+        }
+        // Final flat piece of the last cycle, then the affine tail starting
+        // at the touch point K·c + (c−s) where the sound lower bound
+        // rate·(s/c)·(Δ − (c−s)) meets the sawtooth.
+        segs.push(Segment::new(cycles as f64 * c, r * cycles as f64 * s, 0.0));
+        let horizon = cycles as f64 * c + (c - s);
+        segs.push(Segment::new(
+            horizon,
+            r * cycles as f64 * s,
+            r * s / c,
+        ));
+        Pwl::from_segments(segs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_latency_validates_and_evaluates() {
+        assert!(RateLatency::new(0.0, 1.0).is_err());
+        assert!(RateLatency::new(5.0, -1.0).is_err());
+        let b = RateLatency::new(5.0, 1.0).unwrap();
+        assert_eq!(b.value(0.5), 0.0);
+        assert!((b.value(2.0) - 5.0).abs() < 1e-12);
+        let p = b.to_pwl();
+        assert!((p.value(2.0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_latency_zero_latency_is_affine() {
+        let b = RateLatency::new(3.0, 0.0).unwrap();
+        assert_eq!(b.to_pwl().segments().len(), 1);
+    }
+
+    #[test]
+    fn full_capacity_is_linear() {
+        let f = FullCapacity::new(2.0e6).unwrap();
+        assert_eq!(f.value(0.0), 0.0);
+        assert!((f.value(0.5) - 1.0e6).abs() < 1e-6);
+        assert!((f.to_pwl().ultimate_rate() - 2.0e6).abs() < 1e-6);
+        assert!(FullCapacity::new(0.0).is_err());
+    }
+
+    #[test]
+    fn tdma_validates() {
+        assert!(Tdma::new(5.0, 4.0, 1.0).is_err()); // slot > cycle
+        assert!(Tdma::new(0.0, 4.0, 1.0).is_err());
+        assert!(Tdma::new(1.0, 4.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn tdma_sawtooth_values() {
+        let t = Tdma::new(2.0, 10.0, 1.0).unwrap();
+        assert_eq!(t.value(0.0), 0.0);
+        assert_eq!(t.value(8.0), 0.0); // worst case: window misses slots
+        assert!((t.value(9.0) - 1.0).abs() < 1e-12);
+        assert!((t.value(10.0) - 2.0).abs() < 1e-12);
+        assert!((t.value(12.0) - 2.0).abs() < 1e-12); // flat again
+        assert!((t.value(20.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tdma_pwl_matches_sawtooth_within_horizon() {
+        let t = Tdma::new(3.0, 7.0, 2.0).unwrap();
+        let p = t.to_pwl(4).unwrap();
+        for i in 0..280 {
+            let d = i as f64 * 0.1; // within 4 cycles
+            assert!(
+                (p.value(d) - t.value(d)).abs() < 1e-9,
+                "Δ={d}: pwl {} vs exact {}",
+                p.value(d),
+                t.value(d)
+            );
+        }
+    }
+
+    #[test]
+    fn tdma_pwl_tail_is_sound_lower_bound() {
+        let t = Tdma::new(3.0, 7.0, 2.0).unwrap();
+        let p = t.to_pwl(2).unwrap();
+        for i in 0..1000 {
+            let d = i as f64 * 0.1;
+            assert!(
+                p.value(d) <= t.value(d) + 1e-9,
+                "pwl above exact service at Δ={d}"
+            );
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Integer-valued staircase curves.
+//!
+//! Empirical arrival curves measured from event traces ("how many events in
+//! any window of length Δ") are staircase functions: constant between
+//! breakpoints, jumping by whole events. [`StepCurve`] stores them exactly
+//! and converts them to [`Pwl`] with sound (conservative) affine tails.
+
+use crate::num::{approx_eq, EPSILON};
+use crate::pwl::{Pwl, Segment};
+use crate::CurveError;
+
+/// A right-continuous staircase function `f: [0, ∞) → ℕ`.
+///
+/// Stored as sorted `(Δᵢ, nᵢ)` steps: `f(Δ) = nᵢ` for `Δ ∈ [Δᵢ, Δᵢ₊₁)`, with
+/// the last step extending to the *horizon* beyond which the curve is only
+/// known through its declared [`tail_rate`](StepCurve::tail_rate).
+///
+/// # Example
+///
+/// ```
+/// use wcm_curves::StepCurve;
+///
+/// # fn main() -> Result<(), wcm_curves::CurveError> {
+/// // At most 1 event instantaneously, 2 in windows ≥ 1s, 3 in windows ≥ 2s.
+/// let alpha = StepCurve::new(vec![(0.0, 1), (1.0, 2), (2.0, 3)], 4.0, 1.0)?;
+/// assert_eq!(alpha.value(0.5), 1);
+/// assert_eq!(alpha.value(1.0), 2);
+/// assert_eq!(alpha.horizon(), 4.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct StepCurve {
+    steps: Vec<(f64, u64)>,
+    horizon: f64,
+    tail_rate: f64,
+}
+
+impl StepCurve {
+    /// Creates a staircase from sorted `(Δ, n)` steps.
+    ///
+    /// `horizon` is the largest window length the measurement covers;
+    /// `tail_rate` (events per unit Δ) extends the curve beyond it when
+    /// converting to [`Pwl`].
+    ///
+    /// # Errors
+    ///
+    /// * [`CurveError::Empty`] if `steps` is empty.
+    /// * [`CurveError::NotIncreasing`] if `Δ` values are not strictly
+    ///   increasing, values decrease, or the first `Δ` is not 0.
+    /// * [`CurveError::NegativeParameter`] for negative `Δ`, `horizon` or
+    ///   `tail_rate`.
+    pub fn new(steps: Vec<(f64, u64)>, horizon: f64, tail_rate: f64) -> Result<Self, CurveError> {
+        if steps.is_empty() {
+            return Err(CurveError::Empty);
+        }
+        if !approx_eq(steps[0].0, 0.0) {
+            return Err(CurveError::NotIncreasing { index: 0 });
+        }
+        for (i, w) in steps.windows(2).enumerate() {
+            if w[1].0 <= w[0].0 + EPSILON {
+                return Err(CurveError::NotIncreasing { index: i + 1 });
+            }
+            if w[1].1 < w[0].1 {
+                return Err(CurveError::NotIncreasing { index: i + 1 });
+            }
+        }
+        if !(horizon.is_finite() && horizon >= steps.last().expect("non-empty").0) {
+            return Err(CurveError::NegativeParameter {
+                name: "horizon",
+                value: horizon,
+            });
+        }
+        if !(tail_rate.is_finite() && tail_rate >= 0.0) {
+            return Err(CurveError::NegativeParameter {
+                name: "tail_rate",
+                value: tail_rate,
+            });
+        }
+        Ok(Self {
+            steps,
+            horizon,
+            tail_rate,
+        })
+    }
+
+    /// The staircase value at window length `delta` (within the horizon).
+    ///
+    /// For `delta` beyond the horizon the last measured value is returned;
+    /// use [`StepCurve::to_pwl_upper`] for sound extrapolation.
+    #[must_use]
+    pub fn value(&self, delta: f64) -> u64 {
+        let idx = self
+            .steps
+            .partition_point(|&(d, _)| d <= delta + EPSILON * (1.0 + delta.abs()));
+        self.steps[idx.saturating_sub(1).min(self.steps.len() - 1)].1
+    }
+
+    /// The sorted steps `(Δᵢ, nᵢ)`.
+    #[must_use]
+    pub fn steps(&self) -> &[(f64, u64)] {
+        &self.steps
+    }
+
+    /// Largest window length the measurement covers.
+    #[must_use]
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    /// Declared long-run rate used to extrapolate beyond the horizon.
+    #[must_use]
+    pub fn tail_rate(&self) -> f64 {
+        self.tail_rate
+    }
+
+    /// Smallest `Δ` with `value(Δ) ≥ n` within the horizon, if any
+    /// (lower pseudo-inverse).
+    #[must_use]
+    pub fn inverse_at(&self, n: u64) -> Option<f64> {
+        self.steps.iter().find(|&&(_, v)| v >= n).map(|&(d, _)| d)
+    }
+
+    /// Pointwise maximum of two staircases (upper-bound merge across e.g.
+    /// multiple measured traces). The horizon shrinks to the smaller one;
+    /// the tail rate is the max.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use wcm_curves::StepCurve;
+    ///
+    /// # fn main() -> Result<(), wcm_curves::CurveError> {
+    /// let a = StepCurve::new(vec![(0.0, 1), (2.0, 3)], 4.0, 1.0)?;
+    /// let b = StepCurve::new(vec![(0.0, 2), (3.0, 3)], 4.0, 0.5)?;
+    /// let m = a.max(&b)?;
+    /// assert_eq!(m.value(0.0), 2);
+    /// assert_eq!(m.value(2.5), 3);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (cannot occur for valid inputs).
+    pub fn max(&self, other: &StepCurve) -> Result<StepCurve, CurveError> {
+        self.merge(other, |a, b| a.max(b), self.tail_rate.max(other.tail_rate))
+    }
+
+    /// Pointwise minimum of two staircases (lower-bound merge).
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (cannot occur for valid inputs).
+    pub fn min(&self, other: &StepCurve) -> Result<StepCurve, CurveError> {
+        self.merge(other, |a, b| a.min(b), self.tail_rate.min(other.tail_rate))
+    }
+
+    fn merge(
+        &self,
+        other: &StepCurve,
+        pick: impl Fn(u64, u64) -> u64,
+        tail_rate: f64,
+    ) -> Result<StepCurve, CurveError> {
+        let mut xs: Vec<f64> = self
+            .steps
+            .iter()
+            .map(|&(d, _)| d)
+            .chain(other.steps.iter().map(|&(d, _)| d))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite steps"));
+        xs.dedup_by(|a, b| approx_eq(*a, *b));
+        let mut steps = Vec::with_capacity(xs.len());
+        let mut last: Option<u64> = None;
+        for &x in &xs {
+            let v = pick(self.value(x), other.value(x));
+            if last != Some(v) {
+                steps.push((x, v));
+                last = Some(v);
+            }
+        }
+        StepCurve::new(steps, self.horizon.min(other.horizon), tail_rate)
+    }
+
+    /// Converts to a [`Pwl`] that is everywhere ≥ the staircase — the sound
+    /// direction for an *upper* (arrival) curve. Steps become jumps; beyond
+    /// the horizon the curve grows affinely at `tail_rate` starting from the
+    /// last value plus one step of slack.
+    #[must_use]
+    pub fn to_pwl_upper(&self) -> Pwl {
+        let mut segs: Vec<Segment> = self
+            .steps
+            .iter()
+            .map(|&(d, n)| Segment::new(d, n as f64, 0.0))
+            .collect();
+        let last_val = self.steps.last().expect("non-empty by invariant").1 as f64;
+        let h = self.horizon;
+        if h > segs.last().expect("non-empty").x + EPSILON {
+            segs.push(Segment::new(h, last_val, self.tail_rate));
+        } else if let Some(s) = segs.last_mut() {
+            s.slope = self.tail_rate;
+        }
+        Pwl::from_segments(segs).expect("staircase is a valid curve")
+    }
+
+    /// Converts to a [`Pwl`] that is everywhere ≤ the staircase — the sound
+    /// direction for a *lower* curve. The value on `[Δᵢ, Δᵢ₊₁)` is held at
+    /// `nᵢ`; beyond the horizon the curve stays flat (rate 0), the only
+    /// guaranteed lower extrapolation.
+    #[must_use]
+    pub fn to_pwl_lower(&self) -> Pwl {
+        let segs: Vec<Segment> = self
+            .steps
+            .iter()
+            .map(|&(d, n)| Segment::new(d, n as f64, 0.0))
+            .collect();
+        Pwl::from_segments(segs).expect("staircase is a valid curve")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StepCurve {
+        StepCurve::new(vec![(0.0, 1), (1.0, 2), (2.5, 4)], 5.0, 2.0).unwrap()
+    }
+
+    #[test]
+    fn value_is_right_continuous() {
+        let s = sample();
+        assert_eq!(s.value(0.0), 1);
+        assert_eq!(s.value(0.99), 1);
+        assert_eq!(s.value(1.0), 2);
+        assert_eq!(s.value(2.5), 4);
+        assert_eq!(s.value(10.0), 4); // clamped at horizon
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(StepCurve::new(vec![], 1.0, 0.0).is_err());
+        assert!(StepCurve::new(vec![(1.0, 1)], 2.0, 0.0).is_err()); // must start at 0
+        assert!(StepCurve::new(vec![(0.0, 2), (1.0, 1)], 2.0, 0.0).is_err()); // decreasing
+        assert!(StepCurve::new(vec![(0.0, 1), (0.0, 2)], 2.0, 0.0).is_err()); // dup x
+        assert!(StepCurve::new(vec![(0.0, 1)], -1.0, 0.0).is_err()); // bad horizon
+        assert!(StepCurve::new(vec![(0.0, 1)], 1.0, -2.0).is_err()); // bad rate
+    }
+
+    #[test]
+    fn inverse_finds_first_reaching_step() {
+        let s = sample();
+        assert_eq!(s.inverse_at(0), Some(0.0));
+        assert_eq!(s.inverse_at(2), Some(1.0));
+        assert_eq!(s.inverse_at(3), Some(2.5));
+        assert_eq!(s.inverse_at(5), None);
+    }
+
+    #[test]
+    fn max_merge_takes_upper_envelope() {
+        let a = StepCurve::new(vec![(0.0, 1), (2.0, 5)], 4.0, 1.0).unwrap();
+        let b = StepCurve::new(vec![(0.0, 3), (3.0, 4)], 4.0, 0.5).unwrap();
+        let m = a.max(&b).unwrap();
+        assert_eq!(m.value(0.0), 3);
+        assert_eq!(m.value(2.0), 5);
+        assert_eq!(m.value(3.5), 5);
+        assert_eq!(m.tail_rate(), 1.0);
+    }
+
+    #[test]
+    fn min_merge_takes_lower_envelope() {
+        let a = StepCurve::new(vec![(0.0, 1), (2.0, 5)], 4.0, 1.0).unwrap();
+        let b = StepCurve::new(vec![(0.0, 3), (3.0, 4)], 4.0, 0.5).unwrap();
+        let m = a.min(&b).unwrap();
+        assert_eq!(m.value(0.0), 1);
+        assert_eq!(m.value(2.0), 3);
+        assert_eq!(m.value(3.0), 4);
+        assert_eq!(m.tail_rate(), 0.5);
+    }
+
+    #[test]
+    fn to_pwl_upper_dominates_staircase() {
+        let s = sample();
+        let p = s.to_pwl_upper();
+        for i in 0..100 {
+            let d = i as f64 * 0.07;
+            assert!(
+                p.value(d) + 1e-9 >= s.value(d) as f64,
+                "pwl below staircase at {d}"
+            );
+        }
+        // Tail grows at the declared rate.
+        assert!((p.value(6.0) - (4.0 + 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn to_pwl_lower_is_dominated_by_staircase() {
+        let s = sample();
+        let p = s.to_pwl_lower();
+        for i in 0..100 {
+            let d = i as f64 * 0.07;
+            assert!(
+                p.value(d) <= s.value(d) as f64 + 1e-9,
+                "pwl above staircase at {d}"
+            );
+        }
+        assert_eq!(p.ultimate_rate(), 0.0);
+    }
+}

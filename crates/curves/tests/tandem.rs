@@ -1,0 +1,100 @@
+//! Integration tests: classic Network-Calculus theorems on composed
+//! systems, exercising convolution, deconvolution and the bounds together.
+
+use wcm_curves::{bounds, minplus, Pwl};
+
+fn rate_latency(rate: f64, latency: f64) -> Pwl {
+    Pwl::from_breakpoints(vec![(0.0, 0.0, 0.0), (latency, 0.0, rate)]).unwrap()
+}
+
+fn leaky_bucket(burst: f64, rate: f64) -> Pwl {
+    Pwl::affine(burst, rate).unwrap()
+}
+
+/// Two servers in tandem behave like one server with the convolved service
+/// curve; the end-to-end delay bound "pays the burst only once".
+#[test]
+fn pay_bursts_only_once() {
+    let alpha = leaky_bucket(12.0, 2.0);
+    let beta1 = rate_latency(5.0, 1.0);
+    let beta2 = rate_latency(4.0, 0.5);
+
+    // Hop-by-hop: delay through β1, then the *output* of β1 through β2.
+    let d1 = bounds::delay(&alpha, &beta1).unwrap();
+    let alpha_mid = bounds::output_arrival(&alpha, &beta1).unwrap();
+    let d2 = bounds::delay(&alpha_mid, &beta2).unwrap();
+
+    // End-to-end: one server with β1 ⊗ β2.
+    let tandem = minplus::convolve(&beta1, &beta2);
+    let d_e2e = bounds::delay(&alpha, &tandem).unwrap();
+
+    assert!(
+        d_e2e <= d1 + d2 + 1e-9,
+        "end-to-end {d_e2e} must beat hop-by-hop {d1} + {d2}"
+    );
+    // The classic closed form: T1 + T2 + b/min(R1,R2).
+    let expect = 1.0 + 0.5 + 12.0 / 4.0;
+    assert!((d_e2e - expect).abs() < 1e-9, "d_e2e = {d_e2e}");
+}
+
+/// Output burstiness grows by rate × latency per hop.
+#[test]
+fn output_burstiness_accumulates_per_hop() {
+    let alpha = leaky_bucket(3.0, 2.0);
+    let beta1 = rate_latency(10.0, 1.0);
+    let beta2 = rate_latency(10.0, 2.0);
+    let mid = bounds::output_arrival(&alpha, &beta1).unwrap();
+    let out = bounds::output_arrival(&mid, &beta2).unwrap();
+    // b' = b + r·T per rate-latency hop.
+    assert!((mid.value(0.0) - (3.0 + 2.0)).abs() < 1e-9);
+    assert!((out.value(0.0) - (3.0 + 2.0 + 4.0)).abs() < 1e-9);
+    // Long-run rate is conserved.
+    assert!((out.ultimate_rate() - 2.0).abs() < 1e-9);
+}
+
+/// Backlog bound of the tandem never exceeds the bottleneck's own bound
+/// computed with the full burst.
+#[test]
+fn tandem_backlog_bounded_by_bottleneck() {
+    let alpha = leaky_bucket(8.0, 1.5);
+    let beta1 = rate_latency(6.0, 0.5);
+    let beta2 = rate_latency(2.0, 1.0); // bottleneck
+    let tandem = minplus::convolve(&beta1, &beta2);
+    let b_e2e = bounds::backlog(&alpha, &tandem).unwrap();
+    let b1 = bounds::backlog(&alpha, &beta1).unwrap();
+    let mid = bounds::output_arrival(&alpha, &beta1).unwrap();
+    let b2 = bounds::backlog(&mid, &beta2).unwrap();
+    assert!(
+        b_e2e <= b1 + b2 + 1e-9,
+        "system backlog {b_e2e} vs per-hop sum {b1}+{b2}"
+    );
+}
+
+/// Service concatenation is monotone: improving either hop improves the
+/// end-to-end bounds.
+#[test]
+fn tandem_monotone_in_each_hop() {
+    let alpha = leaky_bucket(5.0, 1.0);
+    let slow = minplus::convolve(&rate_latency(3.0, 1.0), &rate_latency(3.0, 1.0));
+    let fast1 = minplus::convolve(&rate_latency(6.0, 1.0), &rate_latency(3.0, 1.0));
+    let fast2 = minplus::convolve(&rate_latency(3.0, 1.0), &rate_latency(3.0, 0.25));
+    let d_slow = bounds::delay(&alpha, &slow).unwrap();
+    assert!(bounds::delay(&alpha, &fast1).unwrap() <= d_slow + 1e-9);
+    assert!(bounds::delay(&alpha, &fast2).unwrap() <= d_slow + 1e-9);
+}
+
+/// A greedy shaper in front of a server can only shrink the server's
+/// buffer requirement ("re-shaping is for free" corollary).
+#[test]
+fn shaper_never_hurts_downstream_backlog() {
+    use wcm_curves::shaper::GreedyShaper;
+    let alpha = leaky_bucket(20.0, 1.0);
+    let beta = rate_latency(3.0, 1.0);
+    let plain = bounds::backlog(&alpha, &beta).unwrap();
+    for burst in [15.0, 8.0, 2.0] {
+        let shaper = GreedyShaper::new(leaky_bucket(burst, 1.5)).unwrap();
+        let shaped = shaper.output_arrival(&alpha);
+        let b = bounds::backlog(&shaped, &beta).unwrap();
+        assert!(b <= plain + 1e-9, "burst {burst}: {b} > {plain}");
+    }
+}

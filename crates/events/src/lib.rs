@@ -1,0 +1,52 @@
+//! Typed event streams for real-time workload characterization.
+//!
+//! The workload-curve model of Maxiaguine, Künzli and Thiele (DATE 2004)
+//! characterizes a task triggered by a sequence of *typed* events
+//! `[E₁, E₂, …]`, where each type `t ∈ T` carries an execution-demand
+//! interval `[bcet(t), wcet(t)]`. This crate provides the event substrate:
+//!
+//! * [`TypeRegistry`], [`EventType`] and [`ExecutionInterval`] — the finite
+//!   type set `T` with its demand intervals ([`types`]);
+//! * [`Trace`] (ordered type sequences) and [`TimedTrace`] (type sequences
+//!   with arrival timestamps) ([`trace`]);
+//! * trace generators: periodic, jittered, bursty and Markov-modulated
+//!   ([`gen`]);
+//! * sliding-window analysis ([`window`]): exact and strided-conservative
+//!   max/min window sums (the raw material of workload curves, Def. 1 of
+//!   the paper) and minimal/maximal event spans (the raw material of
+//!   empirical arrival curves).
+//!
+//! # Example
+//!
+//! The event sequence of Fig. 1 of the paper:
+//!
+//! ```
+//! use wcm_events::{Cycles, ExecutionInterval, TypeRegistry, Trace};
+//!
+//! # fn main() -> Result<(), wcm_events::EventError> {
+//! let mut reg = TypeRegistry::new();
+//! let a = reg.register("a", ExecutionInterval::new(Cycles(1), Cycles(3))?)?;
+//! let b = reg.register("b", ExecutionInterval::new(Cycles(2), Cycles(4))?)?;
+//! let c = reg.register("c", ExecutionInterval::new(Cycles(1), Cycles(2))?)?;
+//! let trace = Trace::new(reg, vec![a, b, a, b, c, c, a, a, c]);
+//! // γ_b(3, 4): best-case demand of 4 events starting at the 3rd event
+//! // (1-indexed) = bcet(a) + bcet(b) + bcet(c) + bcet(c) = 5.
+//! let bcets: u64 = trace.best_demands()[2..6].iter().map(|c| c.get()).sum();
+//! assert_eq!(bcets, 5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod gen;
+pub mod stats;
+pub mod trace;
+pub mod types;
+pub mod window;
+
+pub use error::EventError;
+pub use trace::{TimedEvent, TimedTrace, Trace};
+pub use types::{Cycles, EventType, ExecutionInterval, TypeRegistry};

@@ -1,0 +1,172 @@
+//! Summary statistics of traces.
+//!
+//! Convenience layer for experiments and reports: per-type event counts,
+//! demand aggregates and inter-arrival aggregates. Nothing here is needed
+//! for the analyses themselves — curves, not moments, carry the guarantees.
+
+use crate::trace::{TimedTrace, Trace};
+use crate::types::Cycles;
+
+/// Aggregate demand statistics of a (typed) trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DemandStats {
+    /// Number of events.
+    pub count: usize,
+    /// Smallest per-event WCET demand.
+    pub min: Cycles,
+    /// Largest per-event WCET demand (the task's WCET).
+    pub max: Cycles,
+    /// Total WCET demand.
+    pub total: Cycles,
+    /// Mean WCET demand per event.
+    pub mean: f64,
+    /// Events per type, indexed by [`crate::EventType::index`].
+    pub per_type: Vec<usize>,
+}
+
+/// Computes demand statistics over the worst-case demands of a trace.
+///
+/// Returns `None` for an empty trace.
+///
+/// # Example
+///
+/// ```
+/// use wcm_events::{stats, Cycles, ExecutionInterval, Trace, TypeRegistry};
+///
+/// # fn main() -> Result<(), wcm_events::EventError> {
+/// let mut reg = TypeRegistry::new();
+/// let a = reg.register("a", ExecutionInterval::fixed(Cycles(10)))?;
+/// let b = reg.register("b", ExecutionInterval::fixed(Cycles(2)))?;
+/// let t = Trace::new(reg, vec![a, b, b, b]);
+/// let s = stats::demand_stats(&t).expect("non-empty");
+/// assert_eq!(s.max, Cycles(10));
+/// assert_eq!(s.total, Cycles(16));
+/// assert_eq!(s.per_type, vec![1, 3]);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn demand_stats(trace: &Trace) -> Option<DemandStats> {
+    if trace.is_empty() {
+        return None;
+    }
+    let demands = trace.worst_demands();
+    let mut per_type = vec![0usize; trace.registry().len()];
+    for e in trace.events() {
+        per_type[e.index()] += 1;
+    }
+    let total: Cycles = demands.iter().copied().sum();
+    Some(DemandStats {
+        count: demands.len(),
+        min: demands.iter().copied().min().expect("non-empty"),
+        max: demands.iter().copied().max().expect("non-empty"),
+        mean: total.get() as f64 / demands.len() as f64,
+        total,
+        per_type,
+    })
+}
+
+/// Aggregate inter-arrival statistics of a timed trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalStats {
+    /// Number of events.
+    pub count: usize,
+    /// Smallest gap between consecutive events.
+    pub min_gap: f64,
+    /// Largest gap between consecutive events.
+    pub max_gap: f64,
+    /// Mean gap.
+    pub mean_gap: f64,
+    /// Long-run event rate (events per second over the trace span).
+    pub rate: f64,
+}
+
+/// Computes inter-arrival statistics; `None` for traces with fewer than
+/// two events.
+#[must_use]
+pub fn arrival_stats(trace: &TimedTrace) -> Option<ArrivalStats> {
+    if trace.len() < 2 {
+        return None;
+    }
+    let times = trace.times();
+    let gaps: Vec<f64> = times.windows(2).map(|w| w[1] - w[0]).collect();
+    let span = trace.duration();
+    Some(ArrivalStats {
+        count: trace.len(),
+        min_gap: gaps.iter().cloned().fold(f64::INFINITY, f64::min),
+        max_gap: gaps.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        mean_gap: gaps.iter().sum::<f64>() / gaps.len() as f64,
+        rate: if span > 0.0 {
+            trace.len() as f64 / span
+        } else {
+            f64::INFINITY
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TimedEvent;
+    use crate::types::{ExecutionInterval, TypeRegistry};
+
+    fn sample() -> Trace {
+        let mut reg = TypeRegistry::new();
+        let a = reg
+            .register("a", ExecutionInterval::fixed(Cycles(10)))
+            .unwrap();
+        let b = reg
+            .register("b", ExecutionInterval::fixed(Cycles(2)))
+            .unwrap();
+        Trace::new(reg, vec![a, b, b, a, b])
+    }
+
+    #[test]
+    fn demand_aggregates() {
+        let s = demand_stats(&sample()).unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, Cycles(2));
+        assert_eq!(s.max, Cycles(10));
+        assert_eq!(s.total, Cycles(26));
+        assert!((s.mean - 5.2).abs() < 1e-12);
+        assert_eq!(s.per_type, vec![2, 3]);
+    }
+
+    #[test]
+    fn empty_trace_has_no_stats() {
+        let reg = TypeRegistry::new();
+        let t = Trace::new(reg, vec![]);
+        assert!(demand_stats(&t).is_none());
+    }
+
+    #[test]
+    fn arrival_aggregates() {
+        let mut reg = TypeRegistry::new();
+        let x = reg
+            .register("x", ExecutionInterval::fixed(Cycles(1)))
+            .unwrap();
+        let tt = TimedTrace::new(
+            reg,
+            [0.0, 1.0, 1.5, 4.0]
+                .iter()
+                .map(|&time| TimedEvent { time, ty: x })
+                .collect(),
+        )
+        .unwrap();
+        let s = arrival_stats(&tt).unwrap();
+        assert_eq!(s.count, 4);
+        assert!((s.min_gap - 0.5).abs() < 1e-12);
+        assert!((s.max_gap - 2.5).abs() < 1e-12);
+        assert!((s.rate - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_timed_trace_has_no_stats() {
+        let mut reg = TypeRegistry::new();
+        let x = reg
+            .register("x", ExecutionInterval::fixed(Cycles(1)))
+            .unwrap();
+        let tt = TimedTrace::new(reg, vec![TimedEvent { time: 0.0, ty: x }]).unwrap();
+        assert!(arrival_stats(&tt).is_none());
+    }
+}

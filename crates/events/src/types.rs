@@ -1,0 +1,377 @@
+//! Event types and their execution-demand intervals.
+//!
+//! Following the SPI model (Ziegenbein et al.) adopted by the paper, each
+//! event type `t` carries an interval `[bcet(t), wcet(t)]` of processor
+//! cycles that one activation of the triggered task may consume.
+
+use crate::EventError;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A number of processor cycles.
+///
+/// A transparent newtype over `u64` so demands cannot be confused with event
+/// counts or indices in APIs.
+///
+/// # Example
+///
+/// ```
+/// use wcm_events::Cycles;
+///
+/// let total = Cycles(300) + Cycles(150);
+/// assert_eq!(total, Cycles(450));
+/// assert_eq!(total.get(), 450);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// The raw cycle count.
+    #[must_use]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The cycle count as `f64` (for curve math).
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Saturating subtraction.
+    #[must_use]
+    pub fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    /// # Panics
+    ///
+    /// Panics on underflow in debug builds, like `u64` subtraction.
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+impl From<u64> for Cycles {
+    fn from(v: u64) -> Self {
+        Cycles(v)
+    }
+}
+
+impl std::iter::Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        Cycles(iter.map(|c| c.0).sum())
+    }
+}
+
+/// The execution-demand interval `[bcet, wcet]` of an event type.
+///
+/// # Example
+///
+/// ```
+/// use wcm_events::{Cycles, ExecutionInterval};
+///
+/// # fn main() -> Result<(), wcm_events::EventError> {
+/// let iv = ExecutionInterval::new(Cycles(100), Cycles(400))?;
+/// assert_eq!(iv.bcet(), Cycles(100));
+/// assert_eq!(iv.wcet(), Cycles(400));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ExecutionInterval {
+    bcet: Cycles,
+    wcet: Cycles,
+}
+
+impl ExecutionInterval {
+    /// Creates an interval; requires `bcet ≤ wcet`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EventError::InvertedInterval`] if `bcet > wcet`.
+    pub fn new(bcet: Cycles, wcet: Cycles) -> Result<Self, EventError> {
+        if bcet > wcet {
+            return Err(EventError::InvertedInterval {
+                bcet: bcet.get(),
+                wcet: wcet.get(),
+            });
+        }
+        Ok(Self { bcet, wcet })
+    }
+
+    /// A degenerate interval with `bcet = wcet = c` (fixed demand).
+    #[must_use]
+    pub fn fixed(c: Cycles) -> Self {
+        Self { bcet: c, wcet: c }
+    }
+
+    /// Best-case execution demand.
+    #[must_use]
+    pub fn bcet(&self) -> Cycles {
+        self.bcet
+    }
+
+    /// Worst-case execution demand.
+    #[must_use]
+    pub fn wcet(&self) -> Cycles {
+        self.wcet
+    }
+}
+
+/// Opaque handle to a registered event type.
+///
+/// Obtained from [`TypeRegistry::register`]; only meaningful together with
+/// the registry that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EventType(pub(crate) u32);
+
+impl EventType {
+    /// The dense index of this type within its registry.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The finite set `T` of event types with their demand intervals.
+///
+/// # Example
+///
+/// ```
+/// use wcm_events::{Cycles, ExecutionInterval, TypeRegistry};
+///
+/// # fn main() -> Result<(), wcm_events::EventError> {
+/// let mut reg = TypeRegistry::new();
+/// let hit = reg.register("hit", ExecutionInterval::fixed(Cycles(10)))?;
+/// let miss = reg.register("miss", ExecutionInterval::fixed(Cycles(90)))?;
+/// assert_eq!(reg.len(), 2);
+/// assert_eq!(reg.interval(hit).wcet(), Cycles(10));
+/// assert_eq!(reg.name(miss), "miss");
+/// assert_eq!(reg.lookup("hit"), Some(hit));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TypeRegistry {
+    names: Vec<String>,
+    intervals: Vec<ExecutionInterval>,
+}
+
+impl TypeRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new type, returning its handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EventError::DuplicateType`] if `name` is already taken.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        interval: ExecutionInterval,
+    ) -> Result<EventType, EventError> {
+        let name = name.into();
+        if self.names.iter().any(|n| n == &name) {
+            return Err(EventError::DuplicateType { name });
+        }
+        let id = EventType(self.names.len() as u32);
+        self.names.push(name);
+        self.intervals.push(interval);
+        Ok(id)
+    }
+
+    /// Number of registered types.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The demand interval of a type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ty` does not belong to this registry.
+    #[must_use]
+    pub fn interval(&self, ty: EventType) -> ExecutionInterval {
+        self.intervals[ty.index()]
+    }
+
+    /// The name of a type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ty` does not belong to this registry.
+    #[must_use]
+    pub fn name(&self, ty: EventType) -> &str {
+        &self.names[ty.index()]
+    }
+
+    /// Finds a type by name.
+    #[must_use]
+    pub fn lookup(&self, name: &str) -> Option<EventType> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| EventType(i as u32))
+    }
+
+    /// Iterates over `(handle, name, interval)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (EventType, &str, ExecutionInterval)> + '_ {
+        self.names
+            .iter()
+            .zip(&self.intervals)
+            .enumerate()
+            .map(|(i, (n, iv))| (EventType(i as u32), n.as_str(), *iv))
+    }
+
+    /// The largest WCET over all types — `γᵘ(1)` of any task triggered by
+    /// this type set.
+    #[must_use]
+    pub fn max_wcet(&self) -> Cycles {
+        self.intervals
+            .iter()
+            .map(|iv| iv.wcet())
+            .max()
+            .unwrap_or(Cycles::ZERO)
+    }
+
+    /// The smallest BCET over all types — `γˡ(1)`.
+    #[must_use]
+    pub fn min_bcet(&self) -> Cycles {
+        self.intervals
+            .iter()
+            .map(|iv| iv.bcet())
+            .min()
+            .unwrap_or(Cycles::ZERO)
+    }
+
+    /// Checks that a handle belongs to this registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EventError::UnknownType`] otherwise.
+    pub fn validate(&self, ty: EventType) -> Result<(), EventError> {
+        if ty.index() < self.names.len() {
+            Ok(())
+        } else {
+            Err(EventError::UnknownType { index: ty.index() })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_arithmetic() {
+        assert_eq!(Cycles(5) + Cycles(7), Cycles(12));
+        assert_eq!(Cycles(7) - Cycles(5), Cycles(2));
+        assert_eq!(Cycles(5).saturating_sub(Cycles(7)), Cycles::ZERO);
+        let mut c = Cycles(1);
+        c += Cycles(2);
+        assert_eq!(c, Cycles(3));
+        let sum: Cycles = [Cycles(1), Cycles(2), Cycles(3)].into_iter().sum();
+        assert_eq!(sum, Cycles(6));
+        assert_eq!(Cycles::from(9_u64), Cycles(9));
+        assert_eq!(Cycles(3).to_string(), "3 cycles");
+    }
+
+    #[test]
+    fn interval_rejects_inverted() {
+        assert!(ExecutionInterval::new(Cycles(10), Cycles(5)).is_err());
+        let iv = ExecutionInterval::new(Cycles(5), Cycles(5)).unwrap();
+        assert_eq!(iv, ExecutionInterval::fixed(Cycles(5)));
+    }
+
+    #[test]
+    fn registry_register_and_lookup() {
+        let mut reg = TypeRegistry::new();
+        assert!(reg.is_empty());
+        let a = reg
+            .register("a", ExecutionInterval::fixed(Cycles(3)))
+            .unwrap();
+        let b = reg
+            .register("b", ExecutionInterval::new(Cycles(2), Cycles(4)).unwrap())
+            .unwrap();
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.lookup("a"), Some(a));
+        assert_eq!(reg.lookup("zzz"), None);
+        assert_eq!(reg.name(b), "b");
+        assert_eq!(reg.interval(b).bcet(), Cycles(2));
+        assert!(reg.register("a", ExecutionInterval::fixed(Cycles(1))).is_err());
+    }
+
+    #[test]
+    fn registry_extremes() {
+        let mut reg = TypeRegistry::new();
+        assert_eq!(reg.max_wcet(), Cycles::ZERO);
+        reg.register("x", ExecutionInterval::new(Cycles(2), Cycles(9)).unwrap())
+            .unwrap();
+        reg.register("y", ExecutionInterval::new(Cycles(4), Cycles(5)).unwrap())
+            .unwrap();
+        assert_eq!(reg.max_wcet(), Cycles(9));
+        assert_eq!(reg.min_bcet(), Cycles(2));
+    }
+
+    #[test]
+    fn registry_validate() {
+        let mut reg = TypeRegistry::new();
+        let a = reg
+            .register("a", ExecutionInterval::fixed(Cycles(1)))
+            .unwrap();
+        assert!(reg.validate(a).is_ok());
+        assert!(reg.validate(EventType(42)).is_err());
+    }
+
+    #[test]
+    fn registry_iter_order_is_registration_order() {
+        let mut reg = TypeRegistry::new();
+        reg.register("first", ExecutionInterval::fixed(Cycles(1)))
+            .unwrap();
+        reg.register("second", ExecutionInterval::fixed(Cycles(2)))
+            .unwrap();
+        let names: Vec<&str> = reg.iter().map(|(_, n, _)| n).collect();
+        assert_eq!(names, vec!["first", "second"]);
+    }
+}

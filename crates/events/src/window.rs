@@ -1,0 +1,423 @@
+//! Sliding-window analysis of traces.
+//!
+//! Two families of questions are answered here:
+//!
+//! * **Demand windows** — over a sequence of per-event demands, what is the
+//!   largest (smallest) total demand of any `k` *consecutive* events? These
+//!   maxima/minima over all window positions are exactly the workload curves
+//!   `γᵘ(k)` / `γˡ(k)` of Def. 1 when the demands are the per-event WCETs /
+//!   BCETs.
+//! * **Event spans** — over a sequence of timestamps, what is the smallest
+//!   (largest) time span covered by any `k` consecutive events? The minimal
+//!   spans are the inverse view of the empirical *arrival curve* `ᾱ(Δ)`:
+//!   `ᾱ(Δ) = max { k : min_span(k) ≤ Δ }`.
+//!
+//! Exact computation of all window sizes is `O(N·K)`; [`WindowMode::Strided`]
+//! computes exact values on a grid of `k` and extends them *conservatively*
+//! (upper results rounded up to the next grid point, lower results down), so
+//! derived bounds stay guaranteed and only lose tightness.
+
+use crate::EventError;
+
+/// How to trade effort against tightness in whole-curve window analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum WindowMode {
+    /// Compute every window size `1 ..= k_max` exactly (`O(N·k_max)`).
+    Exact,
+    /// Compute window sizes `1 ..= exact_upto` exactly, then only every
+    /// `stride`-th size; intermediate sizes are filled conservatively.
+    Strided {
+        /// Largest window size computed exactly.
+        exact_upto: usize,
+        /// Grid stride beyond `exact_upto` (≥ 1).
+        stride: usize,
+    },
+}
+
+impl WindowMode {
+    /// The grid of window sizes that will be computed exactly, up to
+    /// `k_max` inclusive (always contains `k_max` itself).
+    fn grid(self, k_max: usize) -> Vec<usize> {
+        match self {
+            WindowMode::Exact => (1..=k_max).collect(),
+            WindowMode::Strided { exact_upto, stride } => {
+                let stride = stride.max(1);
+                let mut ks: Vec<usize> = (1..=exact_upto.min(k_max)).collect();
+                let mut k = exact_upto + stride;
+                while k < k_max {
+                    ks.push(k);
+                    k += stride;
+                }
+                if ks.last() != Some(&k_max) && k_max > 0 {
+                    ks.push(k_max);
+                }
+                ks
+            }
+        }
+    }
+}
+
+/// Maximum sum of any `k` consecutive values, for a single `k`.
+///
+/// Returns 0 for `k = 0`; `None` if `k > values.len()` (no full window
+/// exists).
+///
+/// # Example
+///
+/// ```
+/// use wcm_events::window::max_window_sum;
+///
+/// assert_eq!(max_window_sum(&[1, 9, 2, 8], 2), Some(11));
+/// assert_eq!(max_window_sum(&[1, 9, 2, 8], 5), None);
+/// ```
+#[must_use]
+pub fn max_window_sum(values: &[u64], k: usize) -> Option<u64> {
+    window_sum(values, k, true)
+}
+
+/// Minimum sum of any `k` consecutive values, for a single `k`.
+///
+/// Returns 0 for `k = 0`; `None` if `k > values.len()`.
+#[must_use]
+pub fn min_window_sum(values: &[u64], k: usize) -> Option<u64> {
+    window_sum(values, k, false)
+}
+
+fn window_sum(values: &[u64], k: usize, maximize: bool) -> Option<u64> {
+    if k == 0 {
+        return Some(0);
+    }
+    if k > values.len() {
+        return None;
+    }
+    let mut sum: u64 = values[..k].iter().sum();
+    let mut best = sum;
+    for i in k..values.len() {
+        sum = sum + values[i] - values[i - k];
+        best = if maximize { best.max(sum) } else { best.min(sum) };
+    }
+    Some(best)
+}
+
+/// Maximum window sums for all `k = 1 ..= k_max`, index 0 ↦ `k = 1`.
+///
+/// With [`WindowMode::Strided`], non-grid entries are filled with the value
+/// of the *next* grid point — an over-approximation, sound for upper curves
+/// because window maxima are non-decreasing in `k`.
+///
+/// # Errors
+///
+/// Returns [`EventError::InvalidParameter`] if `k_max` is 0 or exceeds the
+/// trace length, or if a strided mode has `stride = 0`.
+pub fn max_window_sums(
+    values: &[u64],
+    k_max: usize,
+    mode: WindowMode,
+) -> Result<Vec<u64>, EventError> {
+    window_sums(values, k_max, mode, true)
+}
+
+/// Minimum window sums for all `k = 1 ..= k_max`, index 0 ↦ `k = 1`.
+///
+/// With [`WindowMode::Strided`], non-grid entries are filled with the value
+/// of the *previous* grid point — an under-approximation, sound for lower
+/// curves.
+///
+/// # Errors
+///
+/// Same conditions as [`max_window_sums`].
+pub fn min_window_sums(
+    values: &[u64],
+    k_max: usize,
+    mode: WindowMode,
+) -> Result<Vec<u64>, EventError> {
+    window_sums(values, k_max, mode, false)
+}
+
+fn window_sums(
+    values: &[u64],
+    k_max: usize,
+    mode: WindowMode,
+    maximize: bool,
+) -> Result<Vec<u64>, EventError> {
+    if k_max == 0 || k_max > values.len() {
+        return Err(EventError::InvalidParameter { name: "k_max" });
+    }
+    if let WindowMode::Strided { stride: 0, .. } = mode {
+        return Err(EventError::InvalidParameter { name: "stride" });
+    }
+    let grid = mode.grid(k_max);
+    let mut out = vec![0u64; k_max];
+    let mut prev_k = 0usize;
+    let mut prev_v = 0u64;
+    for &k in &grid {
+        let v = window_sum(values, k, maximize).expect("k ≤ len by validation");
+        // Fill the gap (prev_k, k): conservative direction depends on side.
+        for gap in prev_k + 1..k {
+            out[gap - 1] = if maximize { v } else { prev_v };
+        }
+        out[k - 1] = v;
+        prev_k = k;
+        prev_v = v;
+    }
+    Ok(out)
+}
+
+/// Minimal time span covered by any `k` consecutive timestamps
+/// (`times` must be sorted; `k ≥ 2` spans are `t[i+k−1] − t[i]`, `k ≤ 1`
+/// spans are 0).
+///
+/// Returns `None` if `k > times.len()`.
+///
+/// # Example
+///
+/// ```
+/// use wcm_events::window::min_span;
+///
+/// let times = [0.0, 1.0, 1.25, 5.0];
+/// assert_eq!(min_span(&times, 2), Some(0.25)); // the 1.0–1.25 pair
+/// assert_eq!(min_span(&times, 3), Some(1.25));
+/// ```
+#[must_use]
+pub fn min_span(times: &[f64], k: usize) -> Option<f64> {
+    span(times, k, false)
+}
+
+/// Maximal time span covered by any `k` consecutive timestamps.
+#[must_use]
+pub fn max_span(times: &[f64], k: usize) -> Option<f64> {
+    span(times, k, true)
+}
+
+fn span(times: &[f64], k: usize, maximize: bool) -> Option<f64> {
+    if k > times.len() {
+        return None;
+    }
+    if k <= 1 {
+        return Some(0.0);
+    }
+    let mut best = if maximize { f64::NEG_INFINITY } else { f64::INFINITY };
+    for i in 0..=(times.len() - k) {
+        let s = times[i + k - 1] - times[i];
+        best = if maximize { best.max(s) } else { best.min(s) };
+    }
+    Some(best)
+}
+
+/// Minimal spans for all `k = 1 ..= k_max` (index 0 ↦ `k = 1`), with the
+/// same strided-conservative filling as the window sums: gaps take the
+/// *previous* grid value (an under-approximation of the span, hence an
+/// over-approximation of the event count per Δ — sound for upper arrival
+/// curves).
+///
+/// # Errors
+///
+/// Returns [`EventError::InvalidParameter`] if `k_max` is 0 or exceeds the
+/// number of timestamps, or if a strided mode has `stride = 0`.
+pub fn min_spans(times: &[f64], k_max: usize, mode: WindowMode) -> Result<Vec<f64>, EventError> {
+    spans(times, k_max, mode, false)
+}
+
+/// Maximal spans for all `k = 1 ..= k_max`; gaps take the *next* grid value
+/// (over-approximation of the span — sound for lower arrival curves).
+///
+/// # Errors
+///
+/// Same conditions as [`min_spans`].
+pub fn max_spans(times: &[f64], k_max: usize, mode: WindowMode) -> Result<Vec<f64>, EventError> {
+    spans(times, k_max, mode, true)
+}
+
+fn spans(
+    times: &[f64],
+    k_max: usize,
+    mode: WindowMode,
+    maximize: bool,
+) -> Result<Vec<f64>, EventError> {
+    if k_max == 0 || k_max > times.len() {
+        return Err(EventError::InvalidParameter { name: "k_max" });
+    }
+    if let WindowMode::Strided { stride: 0, .. } = mode {
+        return Err(EventError::InvalidParameter { name: "stride" });
+    }
+    let grid = mode.grid(k_max);
+    let mut out = vec![0.0f64; k_max];
+    let mut prev_k = 0usize;
+    let mut prev_v = 0.0f64;
+    for &k in &grid {
+        let v = span(times, k, maximize).expect("k ≤ len by validation");
+        for gap in prev_k + 1..k {
+            out[gap - 1] = if maximize { v } else { prev_v };
+        }
+        out[k - 1] = v;
+        prev_k = k;
+        prev_v = v;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const V: [u64; 8] = [5, 1, 1, 9, 9, 1, 1, 5];
+
+    #[test]
+    fn single_window_sums() {
+        assert_eq!(max_window_sum(&V, 1), Some(9));
+        assert_eq!(min_window_sum(&V, 1), Some(1));
+        assert_eq!(max_window_sum(&V, 2), Some(18));
+        assert_eq!(min_window_sum(&V, 2), Some(2));
+        assert_eq!(max_window_sum(&V, 8), Some(32));
+        assert_eq!(min_window_sum(&V, 8), Some(32));
+        assert_eq!(max_window_sum(&V, 9), None);
+        assert_eq!(max_window_sum(&V, 0), Some(0));
+    }
+
+    #[test]
+    fn exact_sums_are_monotone_in_k() {
+        let maxs = max_window_sums(&V, 8, WindowMode::Exact).unwrap();
+        let mins = min_window_sums(&V, 8, WindowMode::Exact).unwrap();
+        for w in maxs.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        for w in mins.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        // Upper dominates lower pointwise.
+        for (u, l) in maxs.iter().zip(&mins) {
+            assert!(u >= l);
+        }
+    }
+
+    #[test]
+    fn strided_upper_dominates_exact() {
+        let exact = max_window_sums(&V, 8, WindowMode::Exact).unwrap();
+        let strided = max_window_sums(
+            &V,
+            8,
+            WindowMode::Strided {
+                exact_upto: 2,
+                stride: 3,
+            },
+        )
+        .unwrap();
+        for (k, (e, s)) in exact.iter().zip(&strided).enumerate() {
+            assert!(s >= e, "strided below exact at k={}", k + 1);
+        }
+    }
+
+    #[test]
+    fn strided_lower_is_dominated_by_exact() {
+        let exact = min_window_sums(&V, 8, WindowMode::Exact).unwrap();
+        let strided = min_window_sums(
+            &V,
+            8,
+            WindowMode::Strided {
+                exact_upto: 2,
+                stride: 3,
+            },
+        )
+        .unwrap();
+        for (k, (e, s)) in exact.iter().zip(&strided).enumerate() {
+            assert!(s <= e, "strided above exact at k={}", k + 1);
+        }
+    }
+
+    #[test]
+    fn strided_grid_contains_kmax() {
+        let grid = WindowMode::Strided {
+            exact_upto: 3,
+            stride: 4,
+        }
+        .grid(10);
+        assert_eq!(grid, vec![1, 2, 3, 7, 10]);
+        let grid = WindowMode::Strided {
+            exact_upto: 3,
+            stride: 4,
+        }
+        .grid(11);
+        assert_eq!(grid, vec![1, 2, 3, 7, 11]);
+    }
+
+    #[test]
+    fn sums_validate_parameters() {
+        assert!(max_window_sums(&V, 0, WindowMode::Exact).is_err());
+        assert!(max_window_sums(&V, 9, WindowMode::Exact).is_err());
+        assert!(max_window_sums(
+            &V,
+            4,
+            WindowMode::Strided {
+                exact_upto: 1,
+                stride: 0
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn spans_basic() {
+        let t = [0.0, 1.0, 1.2, 5.0, 5.1];
+        assert_eq!(min_span(&t, 1), Some(0.0));
+        assert!((min_span(&t, 2).unwrap() - 0.1).abs() < 1e-12);
+        assert!((max_span(&t, 2).unwrap() - 3.8).abs() < 1e-12);
+        assert!((min_span(&t, 5).unwrap() - 5.1).abs() < 1e-12);
+        assert_eq!(min_span(&t, 6), None);
+    }
+
+    #[test]
+    fn spans_are_monotone_in_k() {
+        let t = [0.0, 0.5, 2.0, 2.1, 2.2, 7.0];
+        let mins = min_spans(&t, 6, WindowMode::Exact).unwrap();
+        let maxs = max_spans(&t, 6, WindowMode::Exact).unwrap();
+        for w in mins.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12);
+        }
+        for w in maxs.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn strided_spans_are_conservative() {
+        let t: Vec<f64> = (0..40).map(|i| (i as f64).sqrt() * 3.0).collect();
+        let exact_min = min_spans(&t, 40, WindowMode::Exact).unwrap();
+        let strided_min = min_spans(
+            &t,
+            40,
+            WindowMode::Strided {
+                exact_upto: 5,
+                stride: 7,
+            },
+        )
+        .unwrap();
+        for (e, s) in exact_min.iter().zip(&strided_min) {
+            // Under-approximated spans ⇒ more events fit a window: sound for
+            // upper arrival curves.
+            assert!(s <= e);
+        }
+        let exact_max = max_spans(&t, 40, WindowMode::Exact).unwrap();
+        let strided_max = max_spans(
+            &t,
+            40,
+            WindowMode::Strided {
+                exact_upto: 5,
+                stride: 7,
+            },
+        )
+        .unwrap();
+        for (e, s) in exact_max.iter().zip(&strided_max) {
+            assert!(s >= e);
+        }
+    }
+
+    #[test]
+    fn uniform_values_make_linear_curves() {
+        let v = [4u64; 10];
+        let maxs = max_window_sums(&v, 10, WindowMode::Exact).unwrap();
+        for (i, m) in maxs.iter().enumerate() {
+            assert_eq!(*m, 4 * (i as u64 + 1));
+        }
+    }
+}

@@ -1,0 +1,55 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by the MPEG workload model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MpegError {
+    /// A parameter was out of range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+    },
+    /// An error bubbled up from the event substrate.
+    Event(wcm_events::EventError),
+}
+
+impl fmt::Display for MpegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpegError::InvalidParameter { name } => {
+                write!(f, "invalid value for parameter `{name}`")
+            }
+            MpegError::Event(e) => write!(f, "event error: {e}"),
+        }
+    }
+}
+
+impl Error for MpegError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MpegError::Event(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<wcm_events::EventError> for MpegError {
+    fn from(e: wcm_events::EventError) -> Self {
+        MpegError::Event(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_traits() {
+        let e = MpegError::InvalidParameter { name: "fps" };
+        assert!(e.to_string().contains("fps"));
+        fn check<E: Error + Send + Sync + 'static>() {}
+        check::<MpegError>();
+    }
+}

@@ -1,0 +1,270 @@
+//! Video stream parameters: resolution, rate, GOP structure.
+
+use crate::MpegError;
+
+/// Picture coding kind of MPEG-2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum FrameKind {
+    /// Intra-coded picture: every macroblock coded without prediction.
+    I,
+    /// Forward-predicted picture.
+    P,
+    /// Bidirectionally predicted picture.
+    B,
+}
+
+/// Group-of-pictures structure `(N, M)`: `N` frames per GOP, a reference
+/// frame (I or P) every `M` frames. The classic broadcast pattern is
+/// `N = 12, M = 3`: `I B B P B B P B B P B B`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GopStructure {
+    n: usize,
+    m: usize,
+}
+
+impl GopStructure {
+    /// Creates an `(N, M)` GOP structure; `M` must divide `N`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpegError::InvalidParameter`] if `n == 0`, `m == 0`, or
+    /// `m` does not divide `n`.
+    pub fn new(n: usize, m: usize) -> Result<Self, MpegError> {
+        if n == 0 || m == 0 || !n.is_multiple_of(m) {
+            return Err(MpegError::InvalidParameter { name: "gop" });
+        }
+        Ok(Self { n, m })
+    }
+
+    /// The broadcast-standard `N = 12, M = 3` structure.
+    #[must_use]
+    pub fn broadcast() -> Self {
+        Self { n: 12, m: 3 }
+    }
+
+    /// Frames per GOP.
+    #[must_use]
+    pub fn frames_per_gop(&self) -> usize {
+        self.n
+    }
+
+    /// Reference-frame spacing.
+    #[must_use]
+    pub fn reference_spacing(&self) -> usize {
+        self.m
+    }
+
+    /// Frame kinds of one GOP in *decode* order (references before the B
+    /// frames that use them): `I P B B P B B …`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use wcm_mpeg::{FrameKind, GopStructure};
+    ///
+    /// let gop = GopStructure::broadcast();
+    /// let order = gop.decode_order();
+    /// assert_eq!(order.len(), 12);
+    /// assert_eq!(order[0], FrameKind::I);
+    /// assert_eq!(order[1], FrameKind::P);
+    /// assert_eq!(order[2], FrameKind::B);
+    /// ```
+    #[must_use]
+    pub fn decode_order(&self) -> Vec<FrameKind> {
+        let mut order = Vec::with_capacity(self.n);
+        order.push(FrameKind::I);
+        let groups = self.n / self.m;
+        for _ in 1..groups {
+            order.push(FrameKind::P);
+            for _ in 1..self.m {
+                order.push(FrameKind::B);
+            }
+        }
+        // Trailing B frames of the last sub-group (they reference the next
+        // GOP's I; decode-order placement at the end is a simplification).
+        while order.len() < self.n {
+            order.push(FrameKind::B);
+        }
+        order
+    }
+
+    /// Count of frames of a kind per GOP.
+    #[must_use]
+    pub fn count(&self, kind: FrameKind) -> usize {
+        self.decode_order().iter().filter(|&&k| k == kind).count()
+    }
+}
+
+/// Stream-level parameters of the analyzed video.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct VideoParams {
+    width: usize,
+    height: usize,
+    fps: f64,
+    bitrate_bps: f64,
+    gop: GopStructure,
+}
+
+impl VideoParams {
+    /// Creates stream parameters; dimensions must be multiples of 16
+    /// (whole macroblocks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpegError::InvalidParameter`] for non-multiple-of-16
+    /// dimensions or non-positive rates.
+    pub fn new(
+        width: usize,
+        height: usize,
+        fps: f64,
+        bitrate_bps: f64,
+        gop: GopStructure,
+    ) -> Result<Self, MpegError> {
+        if width == 0 || !width.is_multiple_of(16) {
+            return Err(MpegError::InvalidParameter { name: "width" });
+        }
+        if height == 0 || !height.is_multiple_of(16) {
+            return Err(MpegError::InvalidParameter { name: "height" });
+        }
+        if !(fps.is_finite() && fps > 0.0) {
+            return Err(MpegError::InvalidParameter { name: "fps" });
+        }
+        if !(bitrate_bps.is_finite() && bitrate_bps > 0.0) {
+            return Err(MpegError::InvalidParameter { name: "bitrate_bps" });
+        }
+        Ok(Self {
+            width,
+            height,
+            fps,
+            bitrate_bps,
+            gop,
+        })
+    }
+
+    /// The paper's configuration: 720×576 @ 25 fps, 9.78 Mbit/s CBR,
+    /// broadcast GOP.
+    ///
+    /// # Errors
+    ///
+    /// Never fails (constants are valid); the `Result` keeps the
+    /// constructor signature uniform.
+    pub fn main_profile_main_level() -> Result<Self, MpegError> {
+        Self::new(720, 576, 25.0, 9.78e6, GopStructure::broadcast())
+    }
+
+    /// Picture width in pixels.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Picture height in pixels.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Frame rate (pictures per second).
+    #[must_use]
+    pub fn fps(&self) -> f64 {
+        self.fps
+    }
+
+    /// Constant bit rate in bits per second.
+    #[must_use]
+    pub fn bitrate_bps(&self) -> f64 {
+        self.bitrate_bps
+    }
+
+    /// The GOP structure.
+    #[must_use]
+    pub fn gop(&self) -> GopStructure {
+        self.gop
+    }
+
+    /// Macroblocks per picture (16×16 blocks): 1620 for 720×576.
+    #[must_use]
+    pub fn mb_per_frame(&self) -> usize {
+        (self.width / 16) * (self.height / 16)
+    }
+
+    /// Frame period in seconds.
+    #[must_use]
+    pub fn frame_period(&self) -> f64 {
+        1.0 / self.fps
+    }
+
+    /// Average compressed bits per frame at the CBR rate.
+    #[must_use]
+    pub fn bits_per_frame(&self) -> f64 {
+        self.bitrate_bps / self.fps
+    }
+
+    /// Long-run macroblock rate (MB per second): 40 500 for the paper's
+    /// configuration.
+    #[must_use]
+    pub fn mb_rate(&self) -> f64 {
+        self.mb_per_frame() as f64 * self.fps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration_constants() {
+        let p = VideoParams::main_profile_main_level().unwrap();
+        assert_eq!(p.mb_per_frame(), 1620);
+        assert!((p.frame_period() - 0.04).abs() < 1e-12);
+        assert!((p.mb_rate() - 40_500.0).abs() < 1e-9);
+        assert!((p.bits_per_frame() - 391_200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gop_broadcast_composition() {
+        let g = GopStructure::broadcast();
+        assert_eq!(g.frames_per_gop(), 12);
+        assert_eq!(g.count(FrameKind::I), 1);
+        assert_eq!(g.count(FrameKind::P), 3);
+        assert_eq!(g.count(FrameKind::B), 8);
+    }
+
+    #[test]
+    fn decode_order_starts_with_references() {
+        let order = GopStructure::broadcast().decode_order();
+        assert_eq!(order[0], FrameKind::I);
+        assert_eq!(order[1], FrameKind::P);
+        // Exactly 12 entries, B's fill the rest.
+        assert_eq!(order.len(), 12);
+    }
+
+    #[test]
+    fn ipp_only_gop() {
+        // M = 1: no B frames at all.
+        let g = GopStructure::new(6, 1).unwrap();
+        let order = g.decode_order();
+        assert_eq!(g.count(FrameKind::B), 0);
+        assert_eq!(order[0], FrameKind::I);
+        assert!(order[1..].iter().all(|&k| k == FrameKind::P));
+    }
+
+    #[test]
+    fn gop_validation() {
+        assert!(GopStructure::new(0, 1).is_err());
+        assert!(GopStructure::new(12, 0).is_err());
+        assert!(GopStructure::new(12, 5).is_err()); // 5 ∤ 12
+    }
+
+    #[test]
+    fn params_validation() {
+        let g = GopStructure::broadcast();
+        assert!(VideoParams::new(100, 576, 25.0, 1e6, g).is_err());
+        assert!(VideoParams::new(720, 500, 25.0, 1e6, g).is_err());
+        assert!(VideoParams::new(720, 576, 0.0, 1e6, g).is_err());
+        assert!(VideoParams::new(720, 576, 25.0, -1.0, g).is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! Per-clip complexity profiles — the stand-ins for the paper's 14 video
+//! clips.
+//!
+//! A profile controls the stochastic coding decisions of the synthesizer:
+//! how much of each picture is skipped, how much residual texture is coded,
+//! and how aggressive the motion is. The 14 standard profiles span the
+//! realistic range from static talking-head material to high-motion sports,
+//! mirroring the diversity a real 14-clip test suite would have.
+
+use crate::MpegError;
+
+/// Synthesis profile of one clip.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ClipProfile {
+    /// Human-readable clip name.
+    pub name: String,
+    /// Texture complexity in `(0, 1]`: drives coded-block counts and
+    /// residual bits.
+    pub complexity: f64,
+    /// Motion activity in `(0, 1]`: drives motion-compensation modes and
+    /// skip probabilities.
+    pub motion: f64,
+    /// RNG seed — each clip is fully reproducible.
+    pub seed: u64,
+    scene_cut_rate: f64,
+}
+
+impl ClipProfile {
+    /// Creates a profile; `complexity` and `motion` must lie in `(0, 1]`.
+    /// Scene cuts are off by default (see
+    /// [`with_scene_cuts`](ClipProfile::with_scene_cuts)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpegError::InvalidParameter`] for out-of-range knobs.
+    pub fn new(
+        name: impl Into<String>,
+        complexity: f64,
+        motion: f64,
+        seed: u64,
+    ) -> Result<Self, MpegError> {
+        if !(complexity.is_finite() && complexity > 0.0 && complexity <= 1.0) {
+            return Err(MpegError::InvalidParameter { name: "complexity" });
+        }
+        if !(motion.is_finite() && motion > 0.0 && motion <= 1.0) {
+            return Err(MpegError::InvalidParameter { name: "motion" });
+        }
+        Ok(Self {
+            name: name.into(),
+            complexity,
+            motion,
+            seed,
+            scene_cut_rate: 0.0,
+        })
+    }
+
+    /// Enables scene cuts: each non-I picture becomes intra-dominated with
+    /// probability `rate` (a new scene cannot be predicted from the old
+    /// one, so encoders fall back to intra coding mid-GOP).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpegError::InvalidParameter`] if `rate ∉ [0, 1]`.
+    pub fn with_scene_cuts(mut self, rate: f64) -> Result<Self, MpegError> {
+        if !(rate.is_finite() && (0.0..=1.0).contains(&rate)) {
+            return Err(MpegError::InvalidParameter {
+                name: "scene_cut_rate",
+            });
+        }
+        self.scene_cut_rate = rate;
+        Ok(self)
+    }
+
+    /// Probability that a non-I picture is a scene cut.
+    #[must_use]
+    pub fn scene_cut_rate(&self) -> f64 {
+        self.scene_cut_rate
+    }
+}
+
+/// The 14 standard clips used by the experiments, ordered roughly by load.
+///
+/// # Example
+///
+/// ```
+/// let clips = wcm_mpeg::profile::standard_clips();
+/// assert_eq!(clips.len(), 14);
+/// assert!(clips.iter().all(|c| c.complexity > 0.0 && c.motion > 0.0));
+/// ```
+#[must_use]
+pub fn standard_clips() -> Vec<ClipProfile> {
+    let spec: [(&str, f64, f64); 14] = [
+        ("newscast", 0.30, 0.20),
+        ("talking_head", 0.35, 0.25),
+        ("interview", 0.40, 0.30),
+        ("documentary", 0.45, 0.35),
+        ("drama", 0.50, 0.40),
+        ("sitcom", 0.50, 0.50),
+        ("nature", 0.60, 0.45),
+        ("music_video", 0.60, 0.70),
+        ("cartoon", 0.65, 0.55),
+        ("commercial", 0.70, 0.65),
+        ("concert", 0.75, 0.60),
+        ("action_movie", 0.80, 0.85),
+        ("sports", 0.90, 0.95),
+        ("stress_chase", 1.00, 1.00),
+    ];
+    spec.iter()
+        .enumerate()
+        .map(|(i, &(name, c, m))| {
+            ClipProfile::new(name, c, m, 0xC11F_0000 + i as u64)
+                .expect("standard profiles are in range")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_clips_are_distinct() {
+        let clips = standard_clips();
+        for i in 0..clips.len() {
+            for j in i + 1..clips.len() {
+                assert_ne!(clips[i].name, clips[j].name);
+                assert_ne!(clips[i].seed, clips[j].seed);
+            }
+        }
+    }
+
+    #[test]
+    fn profile_validation() {
+        assert!(ClipProfile::new("x", 0.0, 0.5, 1).is_err());
+        assert!(ClipProfile::new("x", 1.1, 0.5, 1).is_err());
+        assert!(ClipProfile::new("x", 0.5, f64::NAN, 1).is_err());
+        assert!(ClipProfile::new("x", 0.5, 0.5, 1).is_ok());
+    }
+
+    #[test]
+    fn clips_span_the_complexity_range() {
+        let clips = standard_clips();
+        let min = clips.iter().map(|c| c.complexity).fold(f64::MAX, f64::min);
+        let max = clips.iter().map(|c| c.complexity).fold(f64::MIN, f64::max);
+        assert!(min <= 0.35);
+        assert!(max >= 0.95);
+    }
+}

@@ -1,0 +1,217 @@
+//! Processor-demand (demand-bound function) analysis for EDF.
+//!
+//! The paper's related-work section notes that workload curves are
+//! orthogonal to Baruah's demand-bound functions and that "both models can
+//! be easily combined into a powerful analytical framework" — this module is
+//! that combination for periodic tasks: the demand-bound function of task
+//! `τᵢ` over an interval of length `t` counts the jobs whose release *and*
+//! deadline fall inside, `nᵢ(t) = max(0, ⌊(t − Dᵢ)/Tᵢ⌋ + 1)`, and bounds
+//! their cumulative demand by
+//!
+//! * `nᵢ(t)·Cᵢ` (classic), or
+//! * `γᵘᵢ(nᵢ(t))` (workload curves — tighter whenever demands vary).
+//!
+//! EDF schedulability on a processor of `F` cycles/s holds iff
+//! `Σᵢ dbfᵢ(t) ≤ F·t` for all `t` up to a testing horizon; the check points
+//! are the absolute deadlines `l·Tᵢ + Dᵢ`.
+
+use crate::task::TaskSet;
+use crate::SchedError;
+use wcm_core::Cycles;
+
+/// Result of an EDF demand-bound test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdfAnalysis {
+    /// Whether the demand never exceeded capacity up to the horizon.
+    pub schedulable: bool,
+    /// The maximum observed demand/capacity ratio.
+    pub max_load: f64,
+    /// The interval length at which the maximum load occurred.
+    pub critical_t: f64,
+}
+
+/// Number of jobs of a task with both release and deadline inside `[0, t]`.
+fn job_count(period: f64, deadline: f64, t: f64) -> usize {
+    if t < deadline {
+        0
+    } else {
+        (((t - deadline) / period).floor() as usize) + 1
+    }
+}
+
+/// The demand-bound function of a single task at `t`, in cycles.
+///
+/// Uses the workload curve if `use_curves` and one is attached.
+fn dbf(task: &crate::task::PeriodicTask, t: f64, use_curves: bool) -> Cycles {
+    let n = job_count(task.period(), task.deadline(), t);
+    if use_curves {
+        task.demand_of_jobs(n)
+    } else {
+        Cycles(task.wcet().get() * n as u64)
+    }
+}
+
+/// Classic EDF demand-bound test over `[0, horizon]`.
+///
+/// For exactness the horizon should cover the hyperperiod (use
+/// [`TaskSet::hyperperiod`]); shorter horizons make the test optimistic,
+/// longer ones are safe.
+///
+/// # Errors
+///
+/// Returns [`SchedError::InvalidParameter`] for non-positive `frequency` or
+/// `horizon`.
+pub fn edf_wcet(set: &TaskSet, frequency: f64, horizon: f64) -> Result<EdfAnalysis, SchedError> {
+    analyze(set, frequency, horizon, false)
+}
+
+/// Workload-curve EDF demand-bound test over `[0, horizon]`.
+///
+/// # Errors
+///
+/// Returns [`SchedError::InvalidParameter`] for non-positive `frequency` or
+/// `horizon`.
+pub fn edf_workload(
+    set: &TaskSet,
+    frequency: f64,
+    horizon: f64,
+) -> Result<EdfAnalysis, SchedError> {
+    analyze(set, frequency, horizon, true)
+}
+
+fn analyze(
+    set: &TaskSet,
+    frequency: f64,
+    horizon: f64,
+    use_curves: bool,
+) -> Result<EdfAnalysis, SchedError> {
+    if !(frequency.is_finite() && frequency > 0.0) {
+        return Err(SchedError::InvalidParameter { name: "frequency" });
+    }
+    if !(horizon.is_finite() && horizon > 0.0) {
+        return Err(SchedError::InvalidParameter { name: "horizon" });
+    }
+    // Check points: absolute deadlines up to the horizon.
+    let mut points: Vec<f64> = Vec::new();
+    for task in set.tasks() {
+        let mut l = 0.0;
+        loop {
+            let t = l * task.period() + task.deadline();
+            if t > horizon {
+                break;
+            }
+            points.push(t);
+            l += 1.0;
+        }
+    }
+    points.sort_by(|a, b| a.partial_cmp(b).expect("finite deadlines"));
+    points.dedup_by(|a, b| (*a - *b).abs() < 1e-12 * (1.0 + b.abs()));
+
+    let mut max_load = 0.0_f64;
+    let mut critical_t = 0.0_f64;
+    for &t in &points {
+        let demand: f64 = set
+            .tasks()
+            .iter()
+            .map(|task| dbf(task, t, use_curves).get() as f64)
+            .sum();
+        let load = demand / (frequency * t);
+        if load > max_load {
+            max_load = load;
+            critical_t = t;
+        }
+    }
+    // Long-run rate condition (covers t beyond the horizon).
+    let u = set.utilization_cycles() / frequency;
+    let schedulable = max_load <= 1.0 + 1e-12 && u <= 1.0 + 1e-12;
+    Ok(EdfAnalysis {
+        schedulable,
+        max_load: max_load.max(u),
+        critical_t,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::PeriodicTask;
+
+    #[test]
+    fn implicit_deadline_edf_is_utilization_test() {
+        // For D = T, EDF is feasible iff U ≤ 1.
+        let set = TaskSet::new(vec![
+            PeriodicTask::new("a", 10.0, Cycles(5)).unwrap(),
+            PeriodicTask::new("b", 20.0, Cycles(10)).unwrap(),
+        ])
+        .unwrap();
+        let a = edf_wcet(&set, 1.0, 40.0).unwrap();
+        assert!(a.schedulable, "U = 1.0 must be feasible under EDF");
+        let over = TaskSet::new(vec![
+            PeriodicTask::new("a", 10.0, Cycles(6)).unwrap(),
+            PeriodicTask::new("b", 20.0, Cycles(10)).unwrap(),
+        ])
+        .unwrap();
+        assert!(!edf_wcet(&over, 1.0, 40.0).unwrap().schedulable);
+    }
+
+    #[test]
+    fn constrained_deadline_tightens() {
+        let tight = TaskSet::new(vec![PeriodicTask::new("a", 10.0, Cycles(5))
+            .unwrap()
+            .with_deadline(4.0)
+            .unwrap()])
+        .unwrap();
+        // 5 cycles due within 4 seconds at 1 Hz: infeasible.
+        assert!(!edf_wcet(&tight, 1.0, 40.0).unwrap().schedulable);
+        assert!(edf_wcet(&tight, 2.0, 40.0).unwrap().schedulable);
+    }
+
+    #[test]
+    fn workload_curves_admit_more() {
+        // Variable demand: the expensive job happens once per 4 periods.
+        let video = PeriodicTask::new("v", 10.0, Cycles(8))
+            .unwrap()
+            .with_pattern(vec![Cycles(8), Cycles(2), Cycles(2), Cycles(2)])
+            .unwrap();
+        let audio = PeriodicTask::new("a", 20.0, Cycles(8)).unwrap();
+        let set = TaskSet::new(vec![video, audio]).unwrap();
+        let classic = edf_wcet(&set, 1.0, 80.0).unwrap();
+        let refined = edf_workload(&set, 1.0, 80.0).unwrap();
+        assert!(!classic.schedulable, "classic load {}", classic.max_load);
+        assert!(refined.schedulable, "refined load {}", refined.max_load);
+        assert!(refined.max_load <= classic.max_load);
+    }
+
+    #[test]
+    fn critical_t_is_a_deadline() {
+        let set = TaskSet::new(vec![
+            PeriodicTask::new("a", 3.0, Cycles(2)).unwrap(),
+            PeriodicTask::new("b", 5.0, Cycles(2)).unwrap(),
+        ])
+        .unwrap();
+        let a = edf_wcet(&set, 1.0, 15.0).unwrap();
+        // critical_t must be of the form l·T + D.
+        let t = a.critical_t;
+        let is_deadline = (0..10).any(|l| {
+            ((t - (l as f64 * 3.0 + 3.0)).abs() < 1e-9)
+                || ((t - (l as f64 * 5.0 + 5.0)).abs() < 1e-9)
+        });
+        assert!(is_deadline, "critical_t = {t}");
+    }
+
+    #[test]
+    fn job_count_boundaries() {
+        assert_eq!(job_count(10.0, 10.0, 9.9), 0);
+        assert_eq!(job_count(10.0, 10.0, 10.0), 1);
+        assert_eq!(job_count(10.0, 10.0, 20.0), 2);
+        assert_eq!(job_count(10.0, 4.0, 4.0), 1);
+        assert_eq!(job_count(10.0, 4.0, 14.0), 2);
+    }
+
+    #[test]
+    fn validates_parameters() {
+        let set = TaskSet::new(vec![PeriodicTask::new("a", 1.0, Cycles(1)).unwrap()]).unwrap();
+        assert!(edf_wcet(&set, 0.0, 10.0).is_err());
+        assert!(edf_wcet(&set, 1.0, 0.0).is_err());
+    }
+}

@@ -1,0 +1,75 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by schedulability analyses and the scheduler simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SchedError {
+    /// A numeric parameter was invalid.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+    },
+    /// The task set is empty.
+    EmptyTaskSet,
+    /// A per-job demand exceeds what the task's workload curve allows.
+    DemandExceedsCurve {
+        /// Task name.
+        task: String,
+    },
+    /// An error bubbled up from the workload-curve layer.
+    Workload(wcm_core::WorkloadError),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::InvalidParameter { name } => {
+                write!(f, "invalid value for parameter `{name}`")
+            }
+            SchedError::EmptyTaskSet => write!(f, "task set is empty"),
+            SchedError::DemandExceedsCurve { task } => {
+                write!(f, "job demand of task `{task}` exceeds its workload curve")
+            }
+            SchedError::Workload(e) => write!(f, "workload error: {e}"),
+        }
+    }
+}
+
+impl Error for SchedError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SchedError::Workload(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<wcm_core::WorkloadError> for SchedError {
+    fn from(e: wcm_core::WorkloadError) -> Self {
+        SchedError::Workload(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SchedError::DemandExceedsCurve {
+            task: "vld".into(),
+        };
+        assert!(e.to_string().contains("vld"));
+        assert!(e.source().is_none());
+        let w = SchedError::from(wcm_core::WorkloadError::Empty);
+        assert!(w.source().is_some());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<E: Error + Send + Sync + 'static>() {}
+        check::<SchedError>();
+    }
+}

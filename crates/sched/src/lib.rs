@@ -1,0 +1,55 @@
+//! Schedulability analysis with workload curves, plus a discrete-event
+//! scheduler simulator.
+//!
+//! Implements the first application of the paper (Sec. 3.1): improving the
+//! exact rate-monotonic schedulability condition of Lehoczky, Sha & Ding by
+//! replacing the per-task term `Cⱼ·⌈t/Tⱼ⌉` of eq. 3 with the workload curve
+//! `γᵘⱼ(⌈t/Tⱼ⌉)` of eq. 4 — giving load factors `L̃ᵢ ≤ Lᵢ`, i.e. a test
+//! that admits every task set the classic test admits and more.
+//!
+//! # Modules
+//!
+//! * [`task`] — periodic task model with per-job demand patterns;
+//! * [`rms`] — Liu–Layland utilization bound, the classic Lehoczky test and
+//!   its workload-curve refinement;
+//! * [`response`] — iterative response-time analysis, classic and γ-based;
+//! * [`edf`] — processor-demand (demand-bound-function) EDF test, classic
+//!   and γ-based (the Baruah-style combination mentioned in the paper's
+//!   related work);
+//! * [`sim`] — a preemptive discrete-event scheduler simulator
+//!   (fixed-priority or EDF) used to validate analysis verdicts against
+//!   executable behaviour.
+//!
+//! # Example
+//!
+//! ```
+//! use wcm_sched::{rms, task::{PeriodicTask, TaskSet}};
+//! use wcm_core::{Cycles, UpperWorkloadCurve};
+//!
+//! # fn main() -> Result<(), wcm_sched::SchedError> {
+//! // A task whose expensive job occurs at most once every 3 activations.
+//! let gamma = UpperWorkloadCurve::new(vec![9, 11, 13])
+//!     .map_err(wcm_sched::SchedError::from)?;
+//! let t1 = PeriodicTask::new("video", 10.0, Cycles(9))?.with_curve(gamma)?;
+//! let t2 = PeriodicTask::new("audio", 15.0, Cycles(5))?;
+//! let set = TaskSet::new(vec![t1, t2])?;
+//! let classic = rms::lehoczky_wcet(&set, 1.0)?;
+//! let refined = rms::lehoczky_workload(&set, 1.0)?;
+//! assert!(refined.l <= classic.l); // eq. 5: L̃ ≤ L
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod edf;
+mod error;
+pub mod response;
+pub mod rms;
+pub mod sim;
+pub mod task;
+pub mod traced;
+
+pub use error::SchedError;
+pub use task::{PeriodicTask, TaskSet};

@@ -1,0 +1,238 @@
+//! Rate-monotonic schedulability analysis (Sec. 3.1 of the paper).
+//!
+//! The exact test of Lehoczky, Sha & Ding (1989): task `τᵢ` (RM priority
+//! order, `T₁ ≤ … ≤ Tₙ`, deadlines = periods) is schedulable iff
+//!
+//! > `Lᵢ = min_{0 < t ≤ Tᵢ} Wᵢ(t)/t ≤ 1`, where
+//! > `Wᵢ(t) = Σ_{j ≤ i} Cⱼ·⌈t/Tⱼ⌉`  (eq. 3)
+//!
+//! and the whole set is schedulable iff `L = max Lᵢ ≤ 1`. The paper's
+//! refinement (eq. 4) replaces the per-task demand with the workload curve:
+//! `W̃ᵢ(t) = Σ_{j ≤ i} γᵘⱼ(⌈t/Tⱼ⌉)`. Since `γᵘⱼ(k) ≤ k·Cⱼ`, every load
+//! factor can only improve: `W̃ᵢ ≤ Wᵢ`, `L̃ᵢ ≤ Lᵢ`, `L̃ ≤ L` (eq. 5).
+//!
+//! `Wᵢ(t)/t` is piecewise decreasing between arrival instants, so the
+//! minimum over `t` is attained on the classic *scheduling points*
+//! `Sᵢ = { l·Tⱼ : j ≤ i, l = 1 … ⌊Tᵢ/Tⱼ⌋ } ∪ {Tᵢ}`.
+
+use crate::task::TaskSet;
+use crate::SchedError;
+
+/// Result of an exact RMS analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RmsAnalysis {
+    /// Load factor `Lᵢ` per task, in priority order.
+    pub l_factors: Vec<f64>,
+    /// The set-level factor `L = max Lᵢ`.
+    pub l: f64,
+    /// Per-task schedulability verdict (`Lᵢ ≤ 1`).
+    pub per_task: Vec<bool>,
+}
+
+impl RmsAnalysis {
+    /// Whether the whole set is schedulable (`L ≤ 1`).
+    #[must_use]
+    pub fn schedulable(&self) -> bool {
+        self.l <= 1.0 + 1e-12
+    }
+}
+
+/// Liu & Layland's sufficient utilization bound `n·(2^{1/n} − 1)`.
+///
+/// # Example
+///
+/// ```
+/// let b1 = wcm_sched::rms::liu_layland_bound(1);
+/// let b3 = wcm_sched::rms::liu_layland_bound(3);
+/// assert!((b1 - 1.0).abs() < 1e-12);
+/// assert!(b3 < b1 && b3 > 0.693);
+/// ```
+#[must_use]
+pub fn liu_layland_bound(n: usize) -> f64 {
+    let n = n.max(1) as f64;
+    n * (2f64.powf(1.0 / n) - 1.0)
+}
+
+/// The classic exact test (eq. 3), with demands taken as `k·Cⱼ`.
+///
+/// `frequency` is the processor speed in cycles per second used to convert
+/// cycle demands into time.
+///
+/// # Errors
+///
+/// Returns [`SchedError::InvalidParameter`] if `frequency` is not positive
+/// and finite.
+pub fn lehoczky_wcet(set: &TaskSet, frequency: f64) -> Result<RmsAnalysis, SchedError> {
+    analyze(set, frequency, false)
+}
+
+/// The workload-curve test (eq. 4): demands `γᵘⱼ(⌈t/Tⱼ⌉)` where curves are
+/// attached, falling back to `k·Cⱼ` otherwise.
+///
+/// # Errors
+///
+/// Returns [`SchedError::InvalidParameter`] if `frequency` is not positive
+/// and finite.
+pub fn lehoczky_workload(set: &TaskSet, frequency: f64) -> Result<RmsAnalysis, SchedError> {
+    analyze(set, frequency, true)
+}
+
+fn analyze(set: &TaskSet, frequency: f64, use_curves: bool) -> Result<RmsAnalysis, SchedError> {
+    if !(frequency.is_finite() && frequency > 0.0) {
+        return Err(SchedError::InvalidParameter { name: "frequency" });
+    }
+    let tasks = set.tasks();
+    let mut l_factors = Vec::with_capacity(tasks.len());
+    let mut per_task = Vec::with_capacity(tasks.len());
+    for i in 0..tasks.len() {
+        let t_i = tasks[i].period();
+        // Scheduling points.
+        let mut points: Vec<f64> = Vec::new();
+        for task in &tasks[..=i] {
+            let mut l = 1.0;
+            while l * task.period() <= t_i * (1.0 + 1e-12) {
+                points.push(l * task.period());
+                l += 1.0;
+            }
+        }
+        points.push(t_i);
+        points.sort_by(|a, b| a.partial_cmp(b).expect("finite periods"));
+        points.dedup_by(|a, b| (*a - *b).abs() < 1e-12 * (1.0 + b.abs()));
+
+        let mut l_i = f64::INFINITY;
+        for &t in &points {
+            let mut demand_cycles = 0.0;
+            for task in &tasks[..=i] {
+                let k = (t / task.period()).ceil().max(1.0) as usize;
+                let d = if use_curves {
+                    task.demand_of_jobs(k)
+                } else {
+                    wcm_core::Cycles(task.wcet().get() * k as u64)
+                };
+                demand_cycles += d.get() as f64;
+            }
+            let w = demand_cycles / frequency;
+            l_i = l_i.min(w / t);
+        }
+        per_task.push(l_i <= 1.0 + 1e-12);
+        l_factors.push(l_i);
+    }
+    let l = l_factors.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    Ok(RmsAnalysis {
+        l_factors,
+        l,
+        per_task,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::PeriodicTask;
+    use wcm_core::Cycles;
+
+    fn simple_set(c1: u64, c2: u64) -> TaskSet {
+        TaskSet::new(vec![
+            PeriodicTask::new("t1", 10.0, Cycles(c1)).unwrap(),
+            PeriodicTask::new("t2", 15.0, Cycles(c2)).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn liu_layland_limits() {
+        assert!((liu_layland_bound(1) - 1.0).abs() < 1e-12);
+        assert!((liu_layland_bound(2) - 0.8284).abs() < 1e-3);
+        // n → ∞ limit is ln 2.
+        assert!((liu_layland_bound(100_000) - 2f64.ln()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn classic_textbook_schedulable_set() {
+        // U = 4/10 + 6/15 = 0.8 ≤ LL-bound? 0.828 → schedulable; exact test
+        // must agree.
+        let set = simple_set(4, 6);
+        let a = lehoczky_wcet(&set, 1.0).unwrap();
+        assert!(a.schedulable());
+        assert_eq!(a.l_factors.len(), 2);
+        assert!(a.per_task.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn classic_overloaded_set_rejected() {
+        // U = 9/10 + 6/15 = 1.3 > 1.
+        let set = simple_set(9, 6);
+        let a = lehoczky_wcet(&set, 1.0).unwrap();
+        assert!(!a.schedulable());
+    }
+
+    #[test]
+    fn exact_test_beats_utilization_bound() {
+        // Harmonic periods are schedulable up to U = 1, beyond LL-bound.
+        let set = TaskSet::new(vec![
+            PeriodicTask::new("a", 10.0, Cycles(5)).unwrap(),
+            PeriodicTask::new("b", 20.0, Cycles(10)).unwrap(),
+        ])
+        .unwrap();
+        // U = 1.0 > 0.828, yet exactly schedulable.
+        let a = lehoczky_wcet(&set, 1.0).unwrap();
+        assert!(a.schedulable());
+        assert!((a.l - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frequency_scales_demand() {
+        let set = simple_set(9, 6);
+        // At double speed the overloaded set becomes schedulable.
+        let a = lehoczky_wcet(&set, 2.0).unwrap();
+        assert!(a.schedulable());
+    }
+
+    #[test]
+    fn workload_test_never_worse_than_classic() {
+        // Eq. 5: L̃ ≤ L, elementwise.
+        let t1 = PeriodicTask::new("v", 10.0, Cycles(8))
+            .unwrap()
+            .with_pattern(vec![Cycles(8), Cycles(2), Cycles(2)])
+            .unwrap();
+        let t2 = PeriodicTask::new("a", 15.0, Cycles(5)).unwrap();
+        let set = TaskSet::new(vec![t1, t2]).unwrap();
+        let classic = lehoczky_wcet(&set, 1.0).unwrap();
+        let refined = lehoczky_workload(&set, 1.0).unwrap();
+        assert!(refined.l <= classic.l + 1e-12);
+        for (r, c) in refined.l_factors.iter().zip(&classic.l_factors) {
+            assert!(r <= &(c + 1e-12));
+        }
+    }
+
+    #[test]
+    fn workload_test_admits_set_classic_rejects() {
+        // The Sec. 3.1 scenario: variable demand makes the set feasible
+        // even though the all-WCET assumption overloads the processor.
+        let video = PeriodicTask::new("video", 10.0, Cycles(9))
+            .unwrap()
+            .with_pattern(vec![Cycles(9), Cycles(3), Cycles(3)])
+            .unwrap();
+        let audio = PeriodicTask::new("audio", 30.0, Cycles(9)).unwrap();
+        let set = TaskSet::new(vec![video, audio]).unwrap();
+        let classic = lehoczky_wcet(&set, 1.0).unwrap();
+        let refined = lehoczky_workload(&set, 1.0).unwrap();
+        assert!(!classic.schedulable(), "classic should reject (L={})", classic.l);
+        assert!(refined.schedulable(), "refined should admit (L̃={})", refined.l);
+    }
+
+    #[test]
+    fn without_curves_both_tests_agree() {
+        let set = simple_set(4, 6);
+        let classic = lehoczky_wcet(&set, 1.0).unwrap();
+        let refined = lehoczky_workload(&set, 1.0).unwrap();
+        assert_eq!(classic, refined);
+    }
+
+    #[test]
+    fn rejects_bad_frequency() {
+        let set = simple_set(1, 1);
+        assert!(lehoczky_wcet(&set, 0.0).is_err());
+        assert!(lehoczky_workload(&set, f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,404 @@
+//! Periodic tasks with variable execution demand.
+//!
+//! A [`PeriodicTask`] releases a job every `period` seconds with a relative
+//! `deadline` (default: the period, as in the paper's RMS setting). Its
+//! demand is characterized three ways, from coarse to fine:
+//!
+//! * a single [`wcet`](PeriodicTask::wcet) — the classic model;
+//! * optionally an upper workload curve `γᵘ(k)` bounding any `k`
+//!   consecutive jobs — the paper's model;
+//! * optionally a concrete cyclic per-job demand [`pattern`]
+//!   (e.g. the `I B B P B B …` cycle of an MPEG decoder task) — used by the
+//!   simulator to generate executable behaviour consistent with the curve.
+//!
+//! [`pattern`]: PeriodicTask::with_pattern
+
+use crate::SchedError;
+use wcm_core::{Cycles, UpperWorkloadCurve};
+use wcm_events::window::{max_window_sums, WindowMode};
+
+/// A periodic task.
+///
+/// # Example
+///
+/// ```
+/// use wcm_sched::task::PeriodicTask;
+/// use wcm_core::Cycles;
+///
+/// # fn main() -> Result<(), wcm_sched::SchedError> {
+/// let t = PeriodicTask::new("ctrl", 5.0, Cycles(2))?
+///     .with_deadline(4.0)?;
+/// assert_eq!(t.period(), 5.0);
+/// assert_eq!(t.deadline(), 4.0);
+/// assert_eq!(t.wcet(), Cycles(2));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeriodicTask {
+    name: String,
+    period: f64,
+    deadline: f64,
+    wcet: Cycles,
+    gamma: Option<UpperWorkloadCurve>,
+    pattern: Option<Vec<Cycles>>,
+}
+
+impl PeriodicTask {
+    /// Creates a task with implicit deadline (= period) and WCET-only
+    /// demand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::InvalidParameter`] if `period` is not a
+    /// positive finite number or `wcet` is zero.
+    pub fn new(name: impl Into<String>, period: f64, wcet: Cycles) -> Result<Self, SchedError> {
+        if !(period.is_finite() && period > 0.0) {
+            return Err(SchedError::InvalidParameter { name: "period" });
+        }
+        if wcet == Cycles::ZERO {
+            return Err(SchedError::InvalidParameter { name: "wcet" });
+        }
+        Ok(Self {
+            name: name.into(),
+            period,
+            deadline: period,
+            wcet,
+            gamma: None,
+            pattern: None,
+        })
+    }
+
+    /// Sets a relative deadline (constrained: `0 < D ≤ T`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::InvalidParameter`] for out-of-range deadlines.
+    pub fn with_deadline(mut self, deadline: f64) -> Result<Self, SchedError> {
+        if !(deadline.is_finite() && deadline > 0.0 && deadline <= self.period) {
+            return Err(SchedError::InvalidParameter { name: "deadline" });
+        }
+        self.deadline = deadline;
+        Ok(self)
+    }
+
+    /// Attaches an upper workload curve; `γᵘ(1)` must match the WCET.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::InvalidParameter`] if `γᵘ(1) > wcet` (the curve
+    /// would be inconsistent with the declared per-job worst case).
+    pub fn with_curve(mut self, gamma: UpperWorkloadCurve) -> Result<Self, SchedError> {
+        if gamma.wcet() > self.wcet {
+            return Err(SchedError::InvalidParameter { name: "gamma" });
+        }
+        self.gamma = Some(gamma);
+        Ok(self)
+    }
+
+    /// Attaches a cyclic per-job demand pattern and *derives* the workload
+    /// curve from it: `γᵘ(k)` = the maximum demand of `k` consecutive jobs
+    /// of the infinite repetition of the pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::InvalidParameter`] if the pattern is empty or
+    /// a demand exceeds the declared WCET;
+    /// [`SchedError::DemandExceedsCurve`] never (the curve is derived).
+    pub fn with_pattern(mut self, pattern: Vec<Cycles>) -> Result<Self, SchedError> {
+        if pattern.is_empty() {
+            return Err(SchedError::InvalidParameter { name: "pattern" });
+        }
+        if pattern.iter().any(|&c| c > self.wcet) {
+            return Err(SchedError::InvalidParameter { name: "pattern" });
+        }
+        // Unroll enough repetitions that every window position of the
+        // infinite cyclic sequence appears: 3 periods cover windows up to
+        // 2·len starting anywhere.
+        let len = pattern.len();
+        let demands: Vec<u64> = pattern
+            .iter()
+            .cycle()
+            .take(3 * len)
+            .map(|c| c.get())
+            .collect();
+        let values = max_window_sums(&demands, 2 * len, WindowMode::Exact)
+            .map_err(wcm_core::WorkloadError::from)?;
+        let gamma = UpperWorkloadCurve::new(values).map_err(SchedError::from)?;
+        self.gamma = Some(gamma);
+        self.pattern = Some(pattern);
+        Ok(self)
+    }
+
+    /// Task name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Period `T`.
+    #[must_use]
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// Relative deadline `D ≤ T`.
+    #[must_use]
+    pub fn deadline(&self) -> f64 {
+        self.deadline
+    }
+
+    /// Per-job worst case `C`.
+    #[must_use]
+    pub fn wcet(&self) -> Cycles {
+        self.wcet
+    }
+
+    /// The attached workload curve, if any.
+    #[must_use]
+    pub fn gamma(&self) -> Option<&UpperWorkloadCurve> {
+        self.gamma.as_ref()
+    }
+
+    /// The cyclic demand pattern, if any.
+    #[must_use]
+    pub fn pattern(&self) -> Option<&[Cycles]> {
+        self.pattern.as_deref()
+    }
+
+    /// Demand of job number `j` (0-based) under the pattern, or the WCET if
+    /// no pattern is attached.
+    #[must_use]
+    pub fn job_demand(&self, j: usize) -> Cycles {
+        match &self.pattern {
+            Some(p) => p[j % p.len()],
+            None => self.wcet,
+        }
+    }
+
+    /// Worst-case cumulative demand of any `k` consecutive jobs: the
+    /// workload curve if present, else `k·C` (the eq. 3 term).
+    #[must_use]
+    pub fn demand_of_jobs(&self, k: usize) -> Cycles {
+        match &self.gamma {
+            Some(g) => g.value(k),
+            None => Cycles(self.wcet.get() * k as u64),
+        }
+    }
+
+    /// Utilization upper bound `C/T` in cycles per second (classic) —
+    /// with a curve, the long-run rate `γᵘ(K)/(K·T)` which is at most the
+    /// classic value.
+    #[must_use]
+    pub fn utilization_cycles(&self) -> f64 {
+        match &self.gamma {
+            Some(g) => g.tail_cycles_per_event() / self.period,
+            None => self.wcet.get() as f64 / self.period,
+        }
+    }
+}
+
+/// An ordered set of periodic tasks, sorted by period (rate-monotonic
+/// priority order: index 0 = highest priority).
+///
+/// # Example
+///
+/// ```
+/// use wcm_sched::task::{PeriodicTask, TaskSet};
+/// use wcm_core::Cycles;
+///
+/// # fn main() -> Result<(), wcm_sched::SchedError> {
+/// let set = TaskSet::new(vec![
+///     PeriodicTask::new("slow", 20.0, Cycles(4))?,
+///     PeriodicTask::new("fast", 5.0, Cycles(1))?,
+/// ])?;
+/// assert_eq!(set.tasks()[0].name(), "fast"); // RM order
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskSet {
+    tasks: Vec<PeriodicTask>,
+}
+
+impl TaskSet {
+    /// Creates a task set, sorting by period ascending (RM priorities).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::EmptyTaskSet`] for an empty vector.
+    pub fn new(mut tasks: Vec<PeriodicTask>) -> Result<Self, SchedError> {
+        if tasks.is_empty() {
+            return Err(SchedError::EmptyTaskSet);
+        }
+        tasks.sort_by(|a, b| {
+            a.period
+                .partial_cmp(&b.period)
+                .expect("finite periods by construction")
+        });
+        Ok(Self { tasks })
+    }
+
+    /// Tasks in priority order (index 0 = highest).
+    #[must_use]
+    pub fn tasks(&self) -> &[PeriodicTask] {
+        &self.tasks
+    }
+
+    /// Number of tasks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the set is empty (never true for constructed sets).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Total long-run utilization in cycles per second.
+    #[must_use]
+    pub fn utilization_cycles(&self) -> f64 {
+        self.tasks.iter().map(PeriodicTask::utilization_cycles).sum()
+    }
+
+    /// The hyperperiod (LCM of periods) if the periods are integral
+    /// multiples of a common 1 ms grid; `None` otherwise.
+    #[must_use]
+    pub fn hyperperiod(&self) -> Option<f64> {
+        const GRID: f64 = 1e-3;
+        let mut lcm: u64 = 1;
+        for t in &self.tasks {
+            let ticks = (t.period / GRID).round();
+            if !(ticks.is_finite() && ticks >= 1.0)
+                || ((t.period / GRID) - ticks).abs() > 1e-6
+            {
+                return None;
+            }
+            let ticks = ticks as u64;
+            lcm = lcm / gcd(lcm, ticks) * ticks;
+            if lcm > u64::MAX / 1000 {
+                return None;
+            }
+        }
+        Some(lcm as f64 * GRID)
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_validates() {
+        assert!(PeriodicTask::new("x", 0.0, Cycles(1)).is_err());
+        assert!(PeriodicTask::new("x", f64::INFINITY, Cycles(1)).is_err());
+        assert!(PeriodicTask::new("x", 1.0, Cycles(0)).is_err());
+        let t = PeriodicTask::new("x", 1.0, Cycles(1)).unwrap();
+        assert!(t.clone().with_deadline(2.0).is_err());
+        assert!(t.clone().with_deadline(0.0).is_err());
+        assert!(t.with_deadline(0.5).is_ok());
+    }
+
+    #[test]
+    fn curve_must_match_wcet() {
+        let t = PeriodicTask::new("x", 1.0, Cycles(5)).unwrap();
+        let too_big = UpperWorkloadCurve::new(vec![6, 7]).unwrap();
+        assert!(t.clone().with_curve(too_big).is_err());
+        let ok = UpperWorkloadCurve::new(vec![5, 7]).unwrap();
+        assert!(t.with_curve(ok).is_ok());
+    }
+
+    #[test]
+    fn pattern_derives_curve() {
+        // MPEG-ish: one expensive job out of three.
+        let t = PeriodicTask::new("dec", 1.0, Cycles(9))
+            .unwrap()
+            .with_pattern(vec![Cycles(9), Cycles(2), Cycles(2)])
+            .unwrap();
+        let g = t.gamma().unwrap();
+        assert_eq!(g.value(1), Cycles(9));
+        assert_eq!(g.value(2), Cycles(11));
+        assert_eq!(g.value(3), Cycles(13));
+        assert_eq!(g.value(4), Cycles(9 + 2 + 2 + 9));
+        // Job demands cycle through the pattern.
+        assert_eq!(t.job_demand(0), Cycles(9));
+        assert_eq!(t.job_demand(4), Cycles(2));
+    }
+
+    #[test]
+    fn pattern_validates() {
+        let t = PeriodicTask::new("x", 1.0, Cycles(3)).unwrap();
+        assert!(t.clone().with_pattern(vec![]).is_err());
+        assert!(t.with_pattern(vec![Cycles(4)]).is_err()); // above WCET
+    }
+
+    #[test]
+    fn demand_of_jobs_with_and_without_curve() {
+        let plain = PeriodicTask::new("p", 1.0, Cycles(4)).unwrap();
+        assert_eq!(plain.demand_of_jobs(3), Cycles(12));
+        let curved = PeriodicTask::new("c", 1.0, Cycles(4))
+            .unwrap()
+            .with_pattern(vec![Cycles(4), Cycles(1)])
+            .unwrap();
+        assert_eq!(curved.demand_of_jobs(2), Cycles(5));
+        assert!(curved.demand_of_jobs(3) < Cycles(12));
+    }
+
+    #[test]
+    fn taskset_sorts_by_period() {
+        let set = TaskSet::new(vec![
+            PeriodicTask::new("c", 30.0, Cycles(1)).unwrap(),
+            PeriodicTask::new("a", 10.0, Cycles(1)).unwrap(),
+            PeriodicTask::new("b", 20.0, Cycles(1)).unwrap(),
+        ])
+        .unwrap();
+        let names: Vec<&str> = set.tasks().iter().map(PeriodicTask::name).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        assert!(TaskSet::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn utilization_sums() {
+        let set = TaskSet::new(vec![
+            PeriodicTask::new("a", 10.0, Cycles(2)).unwrap(),
+            PeriodicTask::new("b", 20.0, Cycles(5)).unwrap(),
+        ])
+        .unwrap();
+        assert!((set.utilization_cycles() - (0.2 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_utilization_is_tighter() {
+        let plain = PeriodicTask::new("p", 2.0, Cycles(9)).unwrap();
+        let curved = PeriodicTask::new("c", 2.0, Cycles(9))
+            .unwrap()
+            .with_pattern(vec![Cycles(9), Cycles(1), Cycles(1)])
+            .unwrap();
+        assert!(curved.utilization_cycles() < plain.utilization_cycles());
+    }
+
+    #[test]
+    fn hyperperiod() {
+        let set = TaskSet::new(vec![
+            PeriodicTask::new("a", 0.010, Cycles(1)).unwrap(),
+            PeriodicTask::new("b", 0.015, Cycles(1)).unwrap(),
+        ])
+        .unwrap();
+        assert!((set.hyperperiod().unwrap() - 0.030).abs() < 1e-9);
+        let odd = TaskSet::new(vec![
+            PeriodicTask::new("a", 0.0101234567, Cycles(1)).unwrap(),
+        ])
+        .unwrap();
+        assert!(odd.hyperperiod().is_none());
+    }
+}

@@ -1,0 +1,154 @@
+//! A minimal deterministic discrete-event kernel.
+//!
+//! Events are `(time, payload)` pairs in a calendar queue; pops come out in
+//! time order with FIFO tie-breaking (insertion order within equal
+//! timestamps), which keeps simulations deterministic regardless of float
+//! coincidences.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    time: f64,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on (time, seq).
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times must be finite")
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered event calendar.
+///
+/// # Example
+///
+/// ```
+/// use wcm_sim::engine::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.push(2.0, "late");
+/// q.push(1.0, "early");
+/// q.push(1.0, "early-second");
+/// assert_eq!(q.pop(), Some((1.0, "early")));
+/// assert_eq!(q.pop(), Some((1.0, "early-second")));
+/// assert_eq!(q.pop(), Some((2.0, "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty calendar.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `payload` at absolute `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN (events must be orderable).
+    pub fn push(&mut self, time: f64, payload: E) {
+        assert!(!time.is_nan(), "event time must not be NaN");
+        self.heap.push(Entry {
+            time,
+            seq: self.seq,
+            payload,
+        });
+        self.seq += 1;
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        self.heap.pop().map(|e| (e.time, e.payload))
+    }
+
+    /// The time of the earliest pending event.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the calendar is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(3.0, 3);
+        q.push(1.0, 1);
+        q.push(2.0, 2);
+        assert_eq!(q.pop(), Some((1.0, 1)));
+        assert_eq!(q.pop(), Some((2.0, 2)));
+        assert_eq!(q.pop(), Some((3.0, 3)));
+    }
+
+    #[test]
+    fn fifo_within_equal_times() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(5.0, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((5.0, i)));
+        }
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(7.0, ());
+        assert_eq!(q.peek_time(), Some(7.0));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn rejects_nan_times() {
+        let mut q = EventQueue::new();
+        q.push(f64::NAN, ());
+    }
+}

@@ -1,0 +1,40 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by the architecture simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A configuration parameter was invalid.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+    },
+    /// The workload is empty (nothing to simulate).
+    EmptyWorkload,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidParameter { name } => {
+                write!(f, "invalid value for parameter `{name}`")
+            }
+            SimError::EmptyWorkload => write!(f, "workload contains no macroblocks"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traits() {
+        assert!(SimError::EmptyWorkload.to_string().contains("macroblocks"));
+        fn check<E: Error + Send + Sync + 'static>() {}
+        check::<SimError>();
+    }
+}

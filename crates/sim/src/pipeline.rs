@@ -1,0 +1,582 @@
+//! The CBR → PE₁ → FIFO → PE₂ pipeline model (Fig. 5 of the paper).
+//!
+//! One transaction per macroblock:
+//!
+//! 1. compressed bits arrive at the constant channel rate; macroblock `i`
+//!    is parseable once all its bits (cumulative prefix) have arrived;
+//! 2. PE₁ decodes macroblocks in order (VLD+IQ, `pe1_cycles/F₁` seconds
+//!    each) and pushes each into the FIFO as it finishes — these push
+//!    timestamps are the paper's measured macroblock arrival process `ᾱ`;
+//! 3. PE₂ pops in order (IDCT+MC, `pe2_cycles/F₂` each); a macroblock
+//!    occupies its FIFO slot from push until PE₂ *finishes* it (the
+//!    in-service transaction still holds its buffer).
+//!
+//! The FIFO is unbounded; the experiment checks a-posteriori whether the
+//! observed maximum backlog stays within the provisioned capacity `b`, as
+//! in Fig. 7.
+
+use crate::engine::EventQueue;
+use crate::stats::max_occupancy;
+use crate::SimError;
+use wcm_mpeg::ClipWorkload;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineConfig {
+    /// Channel rate in bits per second.
+    pub bitrate_bps: f64,
+    /// PE₁ clock in Hz.
+    pub pe1_hz: f64,
+    /// PE₂ clock in Hz.
+    pub pe2_hz: f64,
+}
+
+/// Result of one pipeline simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineResult {
+    /// Time each macroblock entered the FIFO (PE₁ completion, or the later
+    /// un-blocking instant under backpressure), seconds.
+    pub fifo_in_times: Vec<f64>,
+    /// Time each macroblock left the FIFO (PE₂ completion), seconds.
+    pub fifo_out_times: Vec<f64>,
+    /// Maximum FIFO occupancy in macroblocks (including the one in
+    /// service at PE₂).
+    pub max_backlog: u64,
+    /// Total PE₁ busy time, seconds.
+    pub pe1_busy: f64,
+    /// Total PE₂ busy time, seconds.
+    pub pe2_busy: f64,
+    /// Time PE₁ spent blocked on a full FIFO (0 without backpressure).
+    pub pe1_stalled: f64,
+    /// Completion time of the last macroblock.
+    pub makespan: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// All bits of macroblock `i` have arrived from the channel.
+    BitsReady(usize),
+    /// PE₁ finished macroblock `i`.
+    Pe1Done(usize),
+    /// PE₂ finished macroblock `i`.
+    Pe2Done(usize),
+}
+
+/// Simulates the clip through the pipeline with an unbounded FIFO
+/// (the paper's measurement setup: capacity is checked a posteriori).
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidParameter`] for non-positive rates and
+/// [`SimError::EmptyWorkload`] for a clip without macroblocks.
+pub fn simulate_pipeline(
+    clip: &ClipWorkload,
+    cfg: &PipelineConfig,
+) -> Result<PipelineResult, SimError> {
+    simulate_with_capacity(clip, cfg, None)
+}
+
+/// Simulates the clip with a *bounded* FIFO of `capacity` macroblocks and
+/// blocking-write backpressure: PE₁ stalls when the FIFO (including the
+/// macroblock in service at PE₂) is full, resuming as PE₂ frees slots.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidParameter`] if `capacity` is 0 or the rates
+/// are invalid, [`SimError::EmptyWorkload`] for an empty clip.
+pub fn simulate_pipeline_bounded(
+    clip: &ClipWorkload,
+    cfg: &PipelineConfig,
+    capacity: u64,
+) -> Result<PipelineResult, SimError> {
+    if capacity == 0 {
+        return Err(SimError::InvalidParameter { name: "capacity" });
+    }
+    simulate_with_capacity(clip, cfg, Some(capacity))
+}
+
+/// How compressed bits reach PE₁.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SourceModel {
+    /// Continuous constant-bit-rate channel at `PipelineConfig::bitrate_bps`
+    /// — the paper's setup and the default of [`simulate_pipeline`].
+    Cbr,
+    /// Frame-burst delivery (VBR-style transport): each picture's bits
+    /// become available starting at its release instant (one frame period
+    /// apart) and stream in at `peak_bps` — idle gaps between pictures
+    /// instead of a smooth channel.
+    FrameBurst {
+        /// Peak delivery rate within a burst, bits per second.
+        peak_bps: f64,
+    },
+}
+
+/// [`simulate_pipeline`] with an explicit [`SourceModel`].
+///
+/// # Errors
+///
+/// Same conditions as [`simulate_pipeline`], plus
+/// [`SimError::InvalidParameter`] for a non-positive `peak_bps`.
+pub fn simulate_pipeline_with_source(
+    clip: &ClipWorkload,
+    cfg: &PipelineConfig,
+    source: SourceModel,
+) -> Result<PipelineResult, SimError> {
+    if let SourceModel::FrameBurst { peak_bps } = source {
+        if !(peak_bps.is_finite() && peak_bps > 0.0) {
+            return Err(SimError::InvalidParameter { name: "peak_bps" });
+        }
+    }
+    simulate_full(clip, cfg, None, source)
+}
+
+fn simulate_with_capacity(
+    clip: &ClipWorkload,
+    cfg: &PipelineConfig,
+    capacity: Option<u64>,
+) -> Result<PipelineResult, SimError> {
+    simulate_full(clip, cfg, capacity, SourceModel::Cbr)
+}
+
+fn simulate_full(
+    clip: &ClipWorkload,
+    cfg: &PipelineConfig,
+    capacity: Option<u64>,
+    source: SourceModel,
+) -> Result<PipelineResult, SimError> {
+    if !(cfg.bitrate_bps.is_finite() && cfg.bitrate_bps > 0.0) {
+        return Err(SimError::InvalidParameter {
+            name: "bitrate_bps",
+        });
+    }
+    if !(cfg.pe1_hz.is_finite() && cfg.pe1_hz > 0.0) {
+        return Err(SimError::InvalidParameter { name: "pe1_hz" });
+    }
+    if !(cfg.pe2_hz.is_finite() && cfg.pe2_hz > 0.0) {
+        return Err(SimError::InvalidParameter { name: "pe2_hz" });
+    }
+    let bits = clip.mb_bits();
+    let pe1_cycles = clip.pe1_demands();
+    let pe2_cycles = clip.pe2_demands();
+    let n = bits.len();
+    if n == 0 {
+        return Err(SimError::EmptyWorkload);
+    }
+
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    match source {
+        SourceModel::Cbr => {
+            // Bits arrive continuously; MB i is complete at cum_bits/rate.
+            let mut cum = 0.0f64;
+            for (i, &b) in bits.iter().enumerate() {
+                cum += b as f64;
+                queue.push(cum / cfg.bitrate_bps, Event::BitsReady(i));
+            }
+        }
+        SourceModel::FrameBurst { peak_bps } => {
+            // Each picture's bits stream in at the peak rate from its
+            // release instant (or the end of the previous burst, whichever
+            // is later).
+            let period = clip.params().frame_period();
+            let mut i = 0usize;
+            let mut channel_free = 0.0f64;
+            for (f, frame) in clip.frames().iter().enumerate() {
+                let mut t = channel_free.max(f as f64 * period);
+                for mb in frame.macroblocks() {
+                    t += f64::from(mb.bits.max(1)) / peak_bps;
+                    queue.push(t, Event::BitsReady(i));
+                    i += 1;
+                }
+                channel_free = t;
+            }
+        }
+    }
+
+    let mut available = vec![false; n];
+    let mut next_pe1 = 0usize; // next MB index PE1 will start
+    let mut pe1_idle = true;
+    // A finished macroblock PE1 could not push (full FIFO) and its finish
+    // time: PE1 is stalled while this is occupied.
+    let mut pe1_held: Option<(usize, f64)> = None;
+    let mut fifo: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    let mut pe2_busy_now = false;
+    let mut fifo_in = vec![0.0f64; n];
+    let mut fifo_out = vec![0.0f64; n];
+    let mut pe1_busy = 0.0f64;
+    let mut pe2_busy = 0.0f64;
+    let mut pe1_stalled = 0.0f64;
+    let mut makespan = 0.0f64;
+
+    while let Some((now, ev)) = queue.pop() {
+        // Resident macroblocks: queued plus the one in service at PE2.
+        let resident = |fifo: &std::collections::VecDeque<usize>, pe2_busy_now: bool| {
+            fifo.len() as u64 + u64::from(pe2_busy_now)
+        };
+        match ev {
+            Event::BitsReady(i) => {
+                available[i] = true;
+                if pe1_idle && pe1_held.is_none() && i == next_pe1 {
+                    pe1_idle = false;
+                    let dt = pe1_cycles[i] as f64 / cfg.pe1_hz;
+                    pe1_busy += dt;
+                    queue.push(now + dt, Event::Pe1Done(i));
+                }
+            }
+            Event::Pe1Done(i) => {
+                next_pe1 = i + 1;
+                if capacity.is_some_and(|c| resident(&fifo, pe2_busy_now) >= c) {
+                    // Backpressure: hold the macroblock; PE1 stalls.
+                    pe1_held = Some((i, now));
+                    pe1_idle = true;
+                } else {
+                    fifo_in[i] = now;
+                    fifo.push_back(i);
+                    if next_pe1 < n && available[next_pe1] {
+                        let dt = pe1_cycles[next_pe1] as f64 / cfg.pe1_hz;
+                        pe1_busy += dt;
+                        queue.push(now + dt, Event::Pe1Done(next_pe1));
+                    } else {
+                        pe1_idle = true;
+                    }
+                    if !pe2_busy_now {
+                        let j = fifo.pop_front().expect("just pushed");
+                        pe2_busy_now = true;
+                        let dt = pe2_cycles[j] as f64 / cfg.pe2_hz;
+                        pe2_busy += dt;
+                        queue.push(now + dt, Event::Pe2Done(j));
+                    }
+                }
+            }
+            Event::Pe2Done(i) => {
+                fifo_out[i] = now;
+                makespan = makespan.max(now);
+                pe2_busy_now = false;
+                // A freed slot first admits the held macroblock, if any.
+                if let Some((h, since)) = pe1_held.take() {
+                    pe1_stalled += now - since;
+                    fifo_in[h] = now;
+                    fifo.push_back(h);
+                    // PE1 resumes with the next macroblock.
+                    if next_pe1 < n && available[next_pe1] {
+                        pe1_idle = false;
+                        let dt = pe1_cycles[next_pe1] as f64 / cfg.pe1_hz;
+                        pe1_busy += dt;
+                        queue.push(now + dt, Event::Pe1Done(next_pe1));
+                    }
+                }
+                if let Some(j) = fifo.pop_front() {
+                    pe2_busy_now = true;
+                    let dt = pe2_cycles[j] as f64 / cfg.pe2_hz;
+                    pe2_busy += dt;
+                    queue.push(now + dt, Event::Pe2Done(j));
+                }
+            }
+        }
+    }
+
+    let max_backlog = max_occupancy(&fifo_in, &fifo_out);
+    Ok(PipelineResult {
+        fifo_in_times: fifo_in,
+        fifo_out_times: fifo_out,
+        max_backlog,
+        pe1_busy,
+        pe2_busy,
+        pe1_stalled,
+        makespan,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcm_mpeg::demand::{Pe1Model, Pe2Model};
+    use wcm_mpeg::mb::{Macroblock, MacroblockClass};
+    use wcm_mpeg::params::{FrameKind, GopStructure, VideoParams};
+    use wcm_mpeg::workload::FrameWorkload;
+
+    /// A hand-sized workload: `n` identical intra macroblocks of 100 bits.
+    fn tiny_clip(n: usize) -> ClipWorkload {
+        let params =
+            VideoParams::new(16, 16, 25.0, 1.0e4, GopStructure::new(1, 1).unwrap()).unwrap();
+        let mbs: Vec<Macroblock> = (0..n)
+            .map(|_| Macroblock {
+                frame: FrameKind::I,
+                class: MacroblockClass::Intra { coded_blocks: 2 },
+                bits: 100,
+            })
+            .collect();
+        let frames = vec![FrameWorkload::new(FrameKind::I, mbs)];
+        ClipWorkload::new(
+            "tiny".into(),
+            params,
+            Pe1Model {
+                base: 0,
+                cycles_per_bit: 1.0,
+                iq_per_block: 0,
+            },
+            Pe2Model {
+                base: 1000,
+                idct_per_block: 0,
+                mc_single: 0,
+                mc_single_field: 0,
+                mc_bidirectional: 0,
+                mc_bidirectional_field: 0,
+                skip_copy: 0,
+            },
+            frames,
+        )
+    }
+
+    #[test]
+    fn hand_computed_timeline() {
+        // 3 MBs × 100 bits at 100 bit/s → bits ready at 1, 2, 3 s.
+        // PE1: 100 cycles at 100 Hz → 1 s per MB, but always waits for
+        // bits: finishes at 2, 3, 4 s.
+        // PE2: 1000 cycles at 1000 Hz → 1 s per MB: finishes at 3, 4, 5 s.
+        let clip = tiny_clip(3);
+        let r = simulate_pipeline(
+            &clip,
+            &PipelineConfig {
+                bitrate_bps: 100.0,
+                pe1_hz: 100.0,
+                pe2_hz: 1000.0,
+            },
+        )
+        .unwrap();
+        let expect_in = [2.0, 3.0, 4.0];
+        let expect_out = [3.0, 4.0, 5.0];
+        for i in 0..3 {
+            assert!((r.fifo_in_times[i] - expect_in[i]).abs() < 1e-9, "in {i}");
+            assert!(
+                (r.fifo_out_times[i] - expect_out[i]).abs() < 1e-9,
+                "out {i}"
+            );
+        }
+        assert_eq!(r.max_backlog, 1);
+        assert!((r.makespan - 5.0).abs() < 1e-9);
+        assert!((r.pe1_busy - 3.0).abs() < 1e-9);
+        assert!((r.pe2_busy - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slow_pe2_accumulates_backlog() {
+        // PE2 at 250 Hz → 4 s per MB while PE1 emits one per second.
+        let clip = tiny_clip(5);
+        let r = simulate_pipeline(
+            &clip,
+            &PipelineConfig {
+                bitrate_bps: 100.0,
+                pe1_hz: 100.0,
+                pe2_hz: 250.0,
+            },
+        )
+        .unwrap();
+        assert!(r.max_backlog >= 3, "backlog {}", r.max_backlog);
+        // FIFO discipline: out times strictly increasing.
+        for w in r.fifo_out_times.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn fast_pe2_keeps_backlog_at_one() {
+        let clip = tiny_clip(10);
+        let r = simulate_pipeline(
+            &clip,
+            &PipelineConfig {
+                bitrate_bps: 100.0,
+                pe1_hz: 100.0,
+                pe2_hz: 1.0e6,
+            },
+        )
+        .unwrap();
+        assert_eq!(r.max_backlog, 1);
+    }
+
+    #[test]
+    fn conservation_and_ordering_on_synthetic_clip() {
+        let params = VideoParams::new(
+            160,
+            128,
+            25.0,
+            1.0e6,
+            GopStructure::broadcast(),
+        )
+        .unwrap();
+        let clip = wcm_mpeg::Synthesizer::new(params)
+            .generate(&wcm_mpeg::profile::standard_clips()[4], 1)
+            .unwrap();
+        let r = simulate_pipeline(
+            &clip,
+            &PipelineConfig {
+                bitrate_bps: 1.0e6,
+                pe1_hz: 20.0e6,
+                pe2_hz: 50.0e6,
+            },
+        )
+        .unwrap();
+        let n = clip.macroblock_count();
+        assert_eq!(r.fifo_in_times.len(), n);
+        assert_eq!(r.fifo_out_times.len(), n);
+        for i in 0..n {
+            assert!(r.fifo_out_times[i] >= r.fifo_in_times[i]);
+        }
+        for w in r.fifo_in_times.windows(2) {
+            assert!(w[1] >= w[0], "PE1 output must be in order");
+        }
+        // Work conservation: busy times equal total demand / frequency.
+        let pe2_total: u64 = clip.pe2_demands().iter().sum();
+        assert!((r.pe2_busy - pe2_total as f64 / 50.0e6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_pe2_clock_reduces_backlog() {
+        let params = VideoParams::new(
+            160,
+            128,
+            25.0,
+            1.0e6,
+            GopStructure::broadcast(),
+        )
+        .unwrap();
+        let clip = wcm_mpeg::Synthesizer::new(params)
+            .generate(&wcm_mpeg::profile::standard_clips()[10], 1)
+            .unwrap();
+        let base = PipelineConfig {
+            bitrate_bps: 1.0e6,
+            pe1_hz: 20.0e6,
+            pe2_hz: 10.0e6,
+        };
+        let slow = simulate_pipeline(&clip, &base).unwrap();
+        let fast = simulate_pipeline(
+            &clip,
+            &PipelineConfig {
+                pe2_hz: 100.0e6,
+                ..base
+            },
+        )
+        .unwrap();
+        assert!(fast.max_backlog <= slow.max_backlog);
+    }
+
+    #[test]
+    fn frame_burst_source_is_burstier_than_cbr() {
+        // Same clip, same long-run bits: the frame-burst source delivers
+        // each picture fast then idles, so PE1's input is available earlier
+        // within each frame and the FIFO sees sharper bursts.
+        let params = VideoParams::new(160, 128, 25.0, 1.0e6, GopStructure::broadcast())
+            .unwrap();
+        let clip = wcm_mpeg::Synthesizer::new(params)
+            .generate(&wcm_mpeg::profile::standard_clips()[12], 1)
+            .unwrap();
+        let cfg = PipelineConfig {
+            bitrate_bps: 1.0e6,
+            pe1_hz: 20.0e6,
+            pe2_hz: 30.0e6,
+        };
+        let cbr = simulate_pipeline(&clip, &cfg).unwrap();
+        let burst = simulate_pipeline_with_source(
+            &clip,
+            &cfg,
+            SourceModel::FrameBurst { peak_bps: 4.0e6 },
+        )
+        .unwrap();
+        assert!(burst.max_backlog >= cbr.max_backlog);
+        // Conservation still holds.
+        assert_eq!(burst.fifo_out_times.len(), clip.macroblock_count());
+        for w in burst.fifo_in_times.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn frame_burst_validates_peak() {
+        let clip = tiny_clip(2);
+        let cfg = PipelineConfig {
+            bitrate_bps: 100.0,
+            pe1_hz: 100.0,
+            pe2_hz: 100.0,
+        };
+        assert!(simulate_pipeline_with_source(
+            &clip,
+            &cfg,
+            SourceModel::FrameBurst { peak_bps: 0.0 }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn cbr_source_model_matches_default() {
+        let clip = tiny_clip(6);
+        let cfg = PipelineConfig {
+            bitrate_bps: 100.0,
+            pe1_hz: 100.0,
+            pe2_hz: 500.0,
+        };
+        let a = simulate_pipeline(&clip, &cfg).unwrap();
+        let b = simulate_pipeline_with_source(&clip, &cfg, SourceModel::Cbr).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn backpressure_caps_occupancy() {
+        // PE2 4× slower than PE1's output: unbounded backlog grows, the
+        // bounded run must stay within capacity.
+        let clip = tiny_clip(12);
+        let cfg = PipelineConfig {
+            bitrate_bps: 100.0,
+            pe1_hz: 100.0,
+            pe2_hz: 250.0,
+        };
+        let unbounded = simulate_pipeline(&clip, &cfg).unwrap();
+        assert!(unbounded.max_backlog > 2);
+        assert_eq!(unbounded.pe1_stalled, 0.0);
+        let bounded = simulate_pipeline_bounded(&clip, &cfg, 2).unwrap();
+        assert!(bounded.max_backlog <= 2);
+        assert!(bounded.pe1_stalled > 0.0, "PE1 must have stalled");
+        // Work conservation: every macroblock still processed, in order.
+        for w in bounded.fifo_out_times.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        // PE2 does the same total work either way.
+        assert!((bounded.pe2_busy - unbounded.pe2_busy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_capacity_matches_unbounded() {
+        let clip = tiny_clip(10);
+        let cfg = PipelineConfig {
+            bitrate_bps: 100.0,
+            pe1_hz: 100.0,
+            pe2_hz: 250.0,
+        };
+        let unbounded = simulate_pipeline(&clip, &cfg).unwrap();
+        let bounded =
+            simulate_pipeline_bounded(&clip, &cfg, unbounded.max_backlog).unwrap();
+        assert_eq!(bounded, unbounded);
+    }
+
+    #[test]
+    fn bounded_rejects_zero_capacity() {
+        let clip = tiny_clip(1);
+        let cfg = PipelineConfig {
+            bitrate_bps: 1.0,
+            pe1_hz: 1.0,
+            pe2_hz: 1.0,
+        };
+        assert!(simulate_pipeline_bounded(&clip, &cfg, 0).is_err());
+    }
+
+    #[test]
+    fn validates_config() {
+        let clip = tiny_clip(1);
+        let ok = PipelineConfig {
+            bitrate_bps: 1.0,
+            pe1_hz: 1.0,
+            pe2_hz: 1.0,
+        };
+        assert!(simulate_pipeline(&clip, &PipelineConfig { bitrate_bps: 0.0, ..ok }).is_err());
+        assert!(simulate_pipeline(&clip, &PipelineConfig { pe1_hz: -1.0, ..ok }).is_err());
+        assert!(simulate_pipeline(&clip, &PipelineConfig { pe2_hz: f64::NAN, ..ok }).is_err());
+    }
+}

@@ -1,0 +1,82 @@
+//! Domain example beyond video: an audio decoder with variable frame
+//! demand.
+//!
+//! An AAC-style decoder processes one frame per 21.3 ms (1024 samples at
+//! 48 kHz). Frame demand varies with the coded content: transient frames
+//! use short windows (8 transforms), steady frames one long transform,
+//! and channel-pair frames roughly double the work. Transients cannot
+//! occur in long runs (an attack is followed by decay), which a mode
+//! graph captures — the same machinery as the paper's MPEG study, applied
+//! to a second medium.
+//!
+//! Run with: `cargo run --example audio_decoder`
+
+use wcm::core::modes::ModeGraph;
+use wcm::core::mpa::{greedy_processing, EventStream, Service};
+use wcm::core::verify;
+use wcm::curves::arrival::PeriodicJitter;
+use wcm::events::{Cycles, ExecutionInterval};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Cycle demands per frame kind (a DSP-class core).
+    let steady = ExecutionInterval::new(Cycles(90_000), Cycles(110_000))?;
+    let pair = ExecutionInterval::new(Cycles(170_000), Cycles(210_000))?;
+    let transient = ExecutionInterval::new(Cycles(260_000), Cycles(320_000))?;
+
+    // Transients are followed by at least two non-transient frames.
+    let mut g = ModeGraph::new();
+    let m_tr = g.add_mode("transient", transient);
+    let m_d1 = g.add_mode("decay1", pair);
+    let m_d2 = g.add_mode("decay2", steady);
+    let m_st = g.add_mode("steady", steady);
+    let m_pr = g.add_mode("pair", pair);
+    g.add_edge(m_tr, m_d1)?;
+    g.add_edge(m_d1, m_d2)?;
+    g.add_edge(m_d2, m_st)?;
+    g.add_edge(m_d2, m_tr)?;
+    g.add_edge(m_st, m_st)?;
+    g.add_edge(m_st, m_pr)?;
+    g.add_edge(m_st, m_tr)?;
+    g.add_edge(m_pr, m_st)?;
+    g.add_edge(m_pr, m_tr)?;
+
+    let bounds = g.bounds(48)?;
+    assert!(verify::upper_is_subadditive(&bounds.upper));
+    let wcet = bounds.upper.wcet();
+    println!("Audio decoder workload curves (one frame = one event):");
+    println!(
+        "  WCET {} kc, gamma_u(12)/12 = {:.0} kc — {:.0} % below the WCET line",
+        wcet.get() / 1000,
+        bounds.upper.value(12).get() as f64 / 12.0 / 1e3,
+        100.0 * (1.0 - bounds.upper.value(12).get() as f64 / (12.0 * wcet.get() as f64)),
+    );
+
+    // Frames arrive from the radio/network with jitter.
+    let frame_period = 1024.0 / 48_000.0;
+    let eta = PeriodicJitter::new(frame_period, 2.0 * frame_period, frame_period / 4.0)?;
+
+    // Size the DSP clock for a 16-frame input buffer: eq. 9 vs eq. 10.
+    let alpha = eta.to_step_upper(64.0 * frame_period)?;
+    let buffer = 16u64;
+    let f_gamma = wcm::core::sizing::min_frequency_workload(&alpha, &bounds.upper, buffer)?;
+    let f_wcet =
+        wcm::core::sizing::min_frequency_wcet(&alpha, wcet, buffer)?;
+    println!("\nMinimum DSP clock for a {buffer}-frame buffer:");
+    println!("  workload curves: {:>6.1} MHz", f_gamma / 1e6);
+    println!("  WCET scaling:    {:>6.1} MHz", f_wcet / 1e6);
+    assert!(f_gamma <= f_wcet);
+
+    // Full MPA component at a standard clock: latency and backlog.
+    let clock = 16.0e6;
+    let gpc = greedy_processing(
+        &EventStream::from_upper_staircase(&alpha),
+        &Service::dedicated(clock)?,
+        &bounds,
+        256,
+    )?;
+    println!("\nAt a {:.0} MHz DSP:", clock / 1e6);
+    println!("  frame delay bound:  {:.2} ms", gpc.delay * 1e3);
+    println!("  buffer bound:       {} frames", gpc.backlog_events);
+    assert!(gpc.delay < 0.150, "an audio path must stay well under 150 ms");
+    Ok(())
+}

@@ -1,0 +1,95 @@
+//! Extension: analytic workload curves from a mode graph, end to end.
+//!
+//! A software-defined-radio-style task decodes frames whose kind follows a
+//! protocol state machine: a SYNC frame (expensive) is followed by at
+//! least three DATA frames, and IDLE frames may be interleaved. The mode
+//! graph yields exact `γᵘ/γˡ`; the curves feed the RMS test; a Markov
+//! simulation over the same graph validates both.
+//!
+//! Run with: `cargo run --example mode_graph`
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wcm::core::modes::ModeGraph;
+use wcm::core::verify;
+use wcm::events::gen::MarkovGen;
+use wcm::events::{Cycles, ExecutionInterval, TypeRegistry};
+use wcm::sched::rms::{lehoczky_wcet, lehoczky_workload};
+use wcm::sched::task::{PeriodicTask, TaskSet};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The protocol state machine.
+    let mut g = ModeGraph::new();
+    let sync = g.add_mode("sync", ExecutionInterval::new(Cycles(80), Cycles(90))?);
+    let d1 = g.add_mode("data1", ExecutionInterval::new(Cycles(18), Cycles(25))?);
+    let d2 = g.add_mode("data2", ExecutionInterval::new(Cycles(18), Cycles(25))?);
+    let d3 = g.add_mode("data3", ExecutionInterval::new(Cycles(18), Cycles(25))?);
+    let idle = g.add_mode("idle", ExecutionInterval::new(Cycles(4), Cycles(6))?);
+    g.add_edge(sync, d1)?;
+    g.add_edge(d1, d2)?;
+    g.add_edge(d2, d3)?;
+    g.add_edge(d3, sync)?;
+    g.add_edge(d3, idle)?;
+    g.add_edge(idle, sync)?;
+    g.add_edge(idle, idle)?;
+
+    let bounds = g.bounds(24)?;
+    println!("Mode-graph workload curves (sync 90c, data 25c, idle 6c):");
+    println!("  k    gamma_u  k*WCET    gamma_l");
+    for k in [1, 2, 4, 8, 12, 24] {
+        println!(
+            "  {k:>2} {:>9} {:>7} {:>10}",
+            bounds.upper.value(k).get(),
+            90 * k as u64,
+            bounds.lower.value(k).get()
+        );
+    }
+    assert!(verify::upper_is_subadditive(&bounds.upper));
+    assert!(verify::bounds_are_consistent(&bounds));
+
+    // Validate against sampled behaviour of the same protocol.
+    let mut reg = TypeRegistry::new();
+    let t_sync = reg.register("sync", ExecutionInterval::new(Cycles(80), Cycles(90))?)?;
+    let t_data = reg.register("data", ExecutionInterval::new(Cycles(18), Cycles(25))?)?;
+    let t_idle = reg.register("idle", ExecutionInterval::new(Cycles(4), Cycles(6))?)?;
+    let markov = MarkovGen::new(
+        vec![
+            vec![0.0, 1.0, 0.0, 0.0, 0.0],
+            vec![0.0, 0.0, 1.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0, 1.0, 0.0],
+            vec![0.7, 0.0, 0.0, 0.0, 0.3],
+            vec![0.5, 0.0, 0.0, 0.0, 0.5],
+        ],
+        vec![t_sync, t_data, t_data, t_data, t_idle],
+        vec![1.0; 5],
+    )?;
+    let mut covered = 0usize;
+    for seed in 0..50 {
+        let trace = markov
+            .generate(&reg, 0, 300, &mut ChaCha8Rng::seed_from_u64(seed))?
+            .to_trace();
+        if verify::bounds_cover_trace(&bounds, &trace) {
+            covered += 1;
+        }
+    }
+    println!("\n  {covered}/50 random protocol runs covered by the analytic curves");
+    assert_eq!(covered, 50);
+
+    // Use the curves in the RMS test: the radio task plus a control task.
+    let radio = PeriodicTask::new("radio", 10.0, Cycles(90))?
+        .with_curve(bounds.upper.clone())?;
+    let ctrl = PeriodicTask::new("ctrl", 40.0, Cycles(150))?;
+    let set = TaskSet::new(vec![radio, ctrl])?;
+    let classic = lehoczky_wcet(&set, 10.0)?;
+    let refined = lehoczky_workload(&set, 10.0)?;
+    println!("\nRMS on a 10 Hz-cycle processor:");
+    println!(
+        "  classic L = {:.3} ({}), refined L~ = {:.3} ({})",
+        classic.l,
+        if classic.schedulable() { "ok" } else { "reject" },
+        refined.l,
+        if refined.schedulable() { "ok" } else { "reject" },
+    );
+    assert!(refined.l <= classic.l);
+    Ok(())
+}

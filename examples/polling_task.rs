@@ -1,0 +1,76 @@
+//! Example 1 of the paper: the polling task (Fig. 2).
+//!
+//! A task polls every `T` for events that arrive at most every `θ_min` and
+//! at least every `θ_max`. The analytic workload curves are derived in
+//! closed form and compared against a brute-force check over randomly
+//! generated admissible event patterns.
+//!
+//! Run with: `cargo run --example polling_task`
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use wcm::core::polling::PollingTask;
+use wcm::events::Cycles;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (t, theta_min, theta_max) = (1.0, 3.0, 5.0);
+    let (e_p, e_c) = (Cycles(10), Cycles(2));
+    let task = PollingTask::new(t, theta_min, theta_max, e_p, e_c)?;
+
+    println!("Polling task: T = {t}, theta_min = {theta_min}, theta_max = {theta_max}");
+    println!("  k: gamma_l(k) .. gamma_u(k)   (WCET line: 10k, BCET line: 2k)");
+    for k in [1, 2, 3, 5, 8, 12, 20] {
+        println!(
+            "  {k:>2}: {:>3} .. {:<3}",
+            task.gamma_lower(k).get(),
+            task.gamma_upper(k).get()
+        );
+    }
+
+    // Brute-force validation: simulate many admissible event streams and
+    // check every window of polls against the analytic curves.
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let polls = 400usize;
+    let mut worst_seen = [0u64; 25];
+    for _ in 0..200 {
+        // Random admissible inter-arrival times in [θ_min, θ_max].
+        let mut events = Vec::new();
+        let mut at = rng.gen_range(0.0..theta_max);
+        while at < polls as f64 * t {
+            events.push(at);
+            at += rng.gen_range(theta_min..=theta_max);
+        }
+        // Each poll at i·T detects events in ((i−1)T, iT].
+        let mut costs = Vec::with_capacity(polls);
+        for i in 1..=polls {
+            let lo = (i as f64 - 1.0) * t;
+            let hi = i as f64 * t;
+            let detected = events.iter().any(|&e| e > lo && e <= hi);
+            costs.push(if detected { e_p.get() } else { e_c.get() });
+        }
+        for (k, worst) in worst_seen.iter_mut().enumerate().skip(1) {
+            for w in costs.windows(k) {
+                let sum: u64 = w.iter().sum();
+                *worst = (*worst).max(sum);
+                assert!(
+                    sum <= task.gamma_upper(k).get(),
+                    "window of {k} polls exceeded gamma_u"
+                );
+                assert!(
+                    sum >= task.gamma_lower(k).get(),
+                    "window of {k} polls fell below gamma_l"
+                );
+            }
+        }
+    }
+    println!("\n  200 random admissible streams, all windows within the curves: ok");
+    println!("  tightness of gamma_u (worst observed / bound):");
+    for k in [3, 6, 12, 24] {
+        println!(
+            "    k = {k:>2}: {} / {}",
+            worst_seen[k],
+            task.gamma_upper(k).get()
+        );
+    }
+    Ok(())
+}

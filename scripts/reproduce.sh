@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper plus all ablations.
+# See EXPERIMENTS.md for the experiment index and recorded results.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BINS=(
+  fig2_polling
+  table_rms
+  fig6_workload_curves
+  table_fmin
+  fig7_backlogs
+  ablation_stride
+  ablation_buffer
+  ablation_pe1
+  ablation_gop
+  table_end_to_end
+)
+
+cargo build --release -p wcm-bench
+for bin in "${BINS[@]}"; do
+  echo
+  echo "=================================================================="
+  echo "== $bin"
+  echo "=================================================================="
+  cargo run --release -q -p wcm-bench --bin "$bin"
+done

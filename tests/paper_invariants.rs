@@ -1,0 +1,219 @@
+//! Cross-crate integration tests pinning the paper's stated facts and
+//! inequalities.
+
+use wcm::core::curve::WorkloadBounds;
+use wcm::core::polling::PollingTask;
+use wcm::core::verify;
+use wcm::events::window::WindowMode;
+use wcm::events::{Cycles, ExecutionInterval, Trace, TypeRegistry};
+use wcm::sched::rms::{lehoczky_wcet, lehoczky_workload};
+use wcm::sched::task::{PeriodicTask, TaskSet};
+
+/// Sec. 2.1 / Fig. 1: the example sequence with its printed γ values.
+#[test]
+fn fig1_example_values() {
+    let mut reg = TypeRegistry::new();
+    reg.register("a", ExecutionInterval::new(Cycles(1), Cycles(3)).unwrap())
+        .unwrap();
+    reg.register("b", ExecutionInterval::new(Cycles(2), Cycles(6)).unwrap())
+        .unwrap();
+    reg.register("c", ExecutionInterval::new(Cycles(1), Cycles(2)).unwrap())
+        .unwrap();
+    let trace = Trace::parse(reg, "a b a b c c a a c").unwrap();
+    assert_eq!(trace.gamma_b(3, 4), Cycles(5));
+    assert_eq!(trace.gamma_w(3, 4), Cycles(13));
+    assert_eq!(trace.gamma_w(1, 0), Cycles(0));
+}
+
+/// Def. 1 properties: γᵘ(1) = WCET, γˡ(1) = BCET, curves cover every
+/// window, and the pseudo-inverse satisfies the Galois relations of
+/// Sec. 2.1.
+#[test]
+fn definition1_properties_on_fig1_trace() {
+    let mut reg = TypeRegistry::new();
+    reg.register("a", ExecutionInterval::new(Cycles(1), Cycles(3)).unwrap())
+        .unwrap();
+    reg.register("b", ExecutionInterval::new(Cycles(2), Cycles(6)).unwrap())
+        .unwrap();
+    reg.register("c", ExecutionInterval::new(Cycles(1), Cycles(2)).unwrap())
+        .unwrap();
+    let trace = Trace::parse(reg, "a b a b c c a a c").unwrap();
+    let bounds = WorkloadBounds::from_trace(&trace, 9, WindowMode::Exact).unwrap();
+    assert_eq!(bounds.upper.wcet(), Cycles(6));
+    assert_eq!(bounds.lower.bcet(), Cycles(1));
+    assert!(verify::bounds_cover_trace(&bounds, &trace));
+    // γᵘ(k) ≤ e ⇔ k ≤ γᵘ⁻¹(e), and γᵘ⁻¹(γᵘ(k)) = k for strictly
+    // increasing curves.
+    for k in 1..=9usize {
+        let e = bounds.upper.value(k).get() as f64;
+        assert_eq!(bounds.upper.pseudo_inverse(e), k as u64);
+    }
+}
+
+/// Example 1 / Fig. 2: the analytic polling curves against a trace-based
+/// reconstruction of the same constraint system.
+#[test]
+fn polling_analytic_matches_trace_based() {
+    let task = PollingTask::new(1.0, 3.0, 5.0, Cycles(10), Cycles(2)).unwrap();
+    // Adversarial event stream: as fast as allowed (every θ_min).
+    let mut reg = TypeRegistry::new();
+    let p = reg
+        .register("process", ExecutionInterval::fixed(Cycles(10)))
+        .unwrap();
+    let c = reg
+        .register("check", ExecutionInterval::fixed(Cycles(2)))
+        .unwrap();
+    let polls = 300usize;
+    let events: Vec<_> = (1..=polls)
+        .map(|i| {
+            // Events at 0, 3, 6, …; poll i covers ((i−1)·T, i·T].
+            let hit = (i - 1) % 3 == 0 || i == 1;
+            if hit {
+                p
+            } else {
+                c
+            }
+        })
+        .collect();
+    let trace = Trace::new(reg, events);
+    let measured = WorkloadBounds::from_trace(&trace, 30, WindowMode::Exact).unwrap();
+    for k in 1..=30usize {
+        assert!(
+            measured.upper.value(k) <= task.gamma_upper(k),
+            "measured exceeds analytic bound at k={k}"
+        );
+        assert!(
+            measured.lower.value(k) >= task.gamma_lower(k),
+            "measured below analytic lower bound at k={k}"
+        );
+    }
+}
+
+/// Eq. 5: the workload-curve RMS test is never more pessimistic than the
+/// classic one, on a grid of task sets.
+#[test]
+fn eq5_holds_across_task_set_grid() {
+    for peak in [20u64, 40, 60, 80, 100] {
+        for audio_c in [10u64, 30, 50] {
+            let video = PeriodicTask::new("v", 10.0, Cycles(peak))
+                .unwrap()
+                .with_pattern(vec![
+                    Cycles(peak),
+                    Cycles(peak / 4 + 1),
+                    Cycles(peak / 8 + 1),
+                ])
+                .unwrap();
+            let audio = PeriodicTask::new("a", 35.0, Cycles(audio_c)).unwrap();
+            let set = TaskSet::new(vec![video, audio]).unwrap();
+            let classic = lehoczky_wcet(&set, 10.0).unwrap();
+            let refined = lehoczky_workload(&set, 10.0).unwrap();
+            assert!(
+                refined.l <= classic.l + 1e-12,
+                "peak={peak} audio={audio_c}: {} > {}",
+                refined.l,
+                classic.l
+            );
+            for (r, c) in refined.l_factors.iter().zip(&classic.l_factors) {
+                assert!(r <= &(c + 1e-12));
+            }
+        }
+    }
+}
+
+/// The refined verdict is validated by execution: any set admitted by
+/// eq. 4 runs without misses when its jobs follow the declared pattern.
+#[test]
+fn refined_verdicts_hold_in_simulation() {
+    use wcm::sched::sim::{simulate, Policy, SimConfig};
+    for peak in [30u64, 60, 90, 120] {
+        let video = PeriodicTask::new("v", 10.0, Cycles(peak))
+            .unwrap()
+            .with_pattern(vec![Cycles(peak), Cycles(10), Cycles(10)])
+            .unwrap();
+        let audio = PeriodicTask::new("a", 30.0, Cycles(50)).unwrap();
+        let set = TaskSet::new(vec![video, audio]).unwrap();
+        let refined = lehoczky_workload(&set, 10.0).unwrap();
+        let sim = simulate(
+            &set,
+            &SimConfig {
+                frequency: 10.0,
+                horizon: 3000.0,
+                policy: Policy::FixedPriority,
+            },
+        )
+        .unwrap();
+        if refined.schedulable() {
+            assert!(sim.no_misses(), "peak={peak}: admitted set missed");
+        }
+    }
+}
+
+/// Mode-graph curves (extension) cover every trace a Markov chain over the
+/// same graph can generate — the analytic γ dominates all sampled
+/// behaviour.
+#[test]
+fn mode_graph_covers_markov_traces() {
+    use rand::SeedableRng;
+    use wcm::core::modes::ModeGraph;
+    use wcm::events::gen::MarkovGen;
+
+    // Three-state graph: hot must cool down for two steps.
+    let mut reg = TypeRegistry::new();
+    let hot_t = reg
+        .register("hot", ExecutionInterval::fixed(Cycles(10)))
+        .unwrap();
+    let cool_t = reg
+        .register("cool", ExecutionInterval::fixed(Cycles(2)))
+        .unwrap();
+
+    let mut graph = ModeGraph::new();
+    let hot = graph.add_mode("hot", ExecutionInterval::fixed(Cycles(10)));
+    let c1 = graph.add_mode("c1", ExecutionInterval::fixed(Cycles(2)));
+    let c2 = graph.add_mode("c2", ExecutionInterval::fixed(Cycles(2)));
+    graph.add_edge(hot, c1).unwrap();
+    graph.add_edge(c1, c2).unwrap();
+    graph.add_edge(c2, hot).unwrap();
+    graph.add_edge(c2, c2).unwrap();
+    let bounds = graph.bounds(20).unwrap();
+
+    // A Markov chain whose transitions follow the graph edges.
+    let markov = MarkovGen::new(
+        vec![
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+            vec![0.6, 0.0, 0.4],
+        ],
+        vec![hot_t, cool_t, cool_t],
+        vec![1.0, 1.0, 1.0],
+    )
+    .unwrap();
+    for seed in 0..20 {
+        let timed = markov
+            .generate(
+                &reg,
+                (seed % 3) as usize,
+                200,
+                &mut rand_chacha::ChaCha8Rng::seed_from_u64(seed),
+            )
+            .unwrap();
+        let trace = timed.to_trace();
+        assert!(
+            wcm::core::verify::bounds_cover_trace(&bounds, &trace),
+            "graph curves failed to cover Markov trace (seed {seed})"
+        );
+    }
+}
+
+/// Workload curves refine the WCET line but never cross it (the gray areas
+/// of Fig. 2 are one-sided).
+#[test]
+fn curves_always_inside_wcet_bcet_cone() {
+    let task = PollingTask::new(1.0, 4.0, 9.0, Cycles(7), Cycles(3)).unwrap();
+    let bounds = task.bounds(64).unwrap();
+    let wline =
+        wcm::UpperWorkloadCurve::wcet_line(bounds.upper.wcet(), 64).unwrap();
+    assert!(verify::upper_refines(&bounds.upper, &wline));
+    for k in 1..=64usize {
+        assert!(bounds.lower.value(k).get() >= bounds.lower.bcet().get() * k as u64);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests of the MPA greedy-processing component.
+
+use proptest::prelude::*;
+use wcm::core::mpa::{fixed_priority_chain, greedy_processing, EventStream, Service};
+use wcm::core::{LowerWorkloadCurve, UpperWorkloadCurve, WorkloadBounds};
+use wcm::curves::StepCurve;
+
+/// Random consistent workload bounds: per-event demands in a small range,
+/// lower ≤ upper cumulative.
+fn arb_task() -> impl Strategy<Value = WorkloadBounds> {
+    (
+        proptest::collection::vec(1u64..=20, 3..8),
+        proptest::collection::vec(1u64..=20, 3..8),
+    )
+        .prop_map(|(mut cheap, mut dear)| {
+            let n = cheap.len().min(dear.len());
+            cheap.truncate(n);
+            dear.truncate(n);
+            // Build cumulative curves with lower increments = min, upper =
+            // max of the two draws.
+            let mut lo = Vec::with_capacity(n);
+            let mut hi = Vec::with_capacity(n);
+            let (mut l, mut h) = (0u64, 0u64);
+            for i in 0..n {
+                l += cheap[i].min(dear[i]);
+                h += cheap[i].max(dear[i]);
+                lo.push(l);
+                hi.push(h);
+            }
+            WorkloadBounds {
+                upper: UpperWorkloadCurve::new(hi).expect("monotone"),
+                lower: LowerWorkloadCurve::new(lo).expect("monotone"),
+            }
+        })
+}
+
+/// Random arrival staircase with unit long-run rate.
+fn arb_stream() -> impl Strategy<Value = EventStream> {
+    proptest::collection::vec(0.1f64..2.0, 2..8).prop_map(|gaps| {
+        let mut steps = vec![(0.0, 1u64)];
+        let mut d = 0.0;
+        for (i, g) in gaps.iter().enumerate() {
+            d += g;
+            steps.push((d, i as u64 + 2));
+        }
+        let alpha = StepCurve::new(steps, d, 1.0).expect("sorted steps");
+        EventStream::from_upper_staircase(&alpha)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A sufficiently fast PE always yields consistent outputs; bounds are
+    /// monotone in the service speed.
+    #[test]
+    fn gpc_consistency_and_monotonicity(task in arb_task(), stream in arb_stream()) {
+        // Fast enough for any of the generated tasks/streams.
+        let fast = Service::dedicated(2000.0).unwrap();
+        let slow = Service::dedicated(90.0).unwrap();
+        let out_fast = greedy_processing(&stream, &fast, &task, 64).unwrap();
+        if let Ok(out_slow) = greedy_processing(&stream, &slow, &task, 64) {
+            prop_assert!(out_slow.delay + 1e-9 >= out_fast.delay);
+            prop_assert!(out_slow.backlog_events >= out_fast.backlog_events);
+        }
+        // Output curves ordered.
+        for i in 0..30 {
+            let d = i as f64 * 0.3;
+            prop_assert!(
+                out_fast.output.lower.value(d)
+                    <= out_fast.output.upper.value(d) + 1e-6,
+                "output curves crossed at Δ={}", d
+            );
+        }
+        // Remaining service ordered and below the raw service.
+        for i in 0..30 {
+            let d = i as f64 * 0.3;
+            prop_assert!(
+                out_fast.remaining.lower.value(d)
+                    <= out_fast.remaining.upper.value(d) + 1e-6
+            );
+            prop_assert!(out_fast.remaining.lower.value(d) <= 2000.0 * d + 1e-6);
+        }
+    }
+
+    /// In a priority chain, lower priority never gets better bounds than it
+    /// would alone on the full PE.
+    #[test]
+    fn chain_priority_ordering(
+        hp_task in arb_task(),
+        lp_task in arb_task(),
+        stream in arb_stream(),
+    ) {
+        let service = Service::dedicated(1500.0).unwrap();
+        let chain = fixed_priority_chain(
+            &[(stream.clone(), hp_task), (stream.clone(), lp_task.clone())],
+            &service,
+            64,
+        );
+        let Ok(chain) = chain else { return Ok(()); };
+        let alone = greedy_processing(&stream, &service, &lp_task, 64).unwrap();
+        prop_assert!(chain[1].delay + 1e-9 >= alone.delay);
+        prop_assert!(chain[1].backlog_events >= alone.backlog_events);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests of the scheduling layer: analysis inequalities and
+//! analysis-vs-simulation agreement on random task sets.
+
+use proptest::prelude::*;
+use wcm::core::Cycles;
+use wcm::sched::edf::{edf_wcet, edf_workload};
+use wcm::sched::response::{response_times_wcet, response_times_workload};
+use wcm::sched::rms::{lehoczky_wcet, lehoczky_workload};
+use wcm::sched::sim::{simulate, Policy, SimConfig};
+use wcm::sched::task::{PeriodicTask, TaskSet};
+
+/// A random task set of 2–4 tasks with patterned demand, periods on a
+/// small integer grid (so hyperperiods stay bounded).
+fn arb_task_set() -> impl Strategy<Value = TaskSet> {
+    proptest::collection::vec(
+        (
+            2u64..=8,                                       // period in grid units
+            1u64..=30,                                      // peak demand
+            proptest::collection::vec(1u64..=30, 1..=4),    // pattern tail
+        ),
+        2..=4,
+    )
+    .prop_map(|specs| {
+        let tasks = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (p, peak, tail))| {
+                let mut pattern = vec![Cycles(peak)];
+                pattern.extend(tail.iter().map(|&c| Cycles(c.min(peak))));
+                PeriodicTask::new(format!("t{i}"), p as f64 * 5.0, Cycles(peak))
+                    .expect("valid period")
+                    .with_pattern(pattern)
+                    .expect("pattern within wcet")
+            })
+            .collect();
+        TaskSet::new(tasks).expect("non-empty")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Eq. 5 on random sets: L̃ ≤ L, per task and overall.
+    #[test]
+    fn refined_rms_never_worse(set in arb_task_set(), f in 1u32..20) {
+        let f = f64::from(f);
+        let classic = lehoczky_wcet(&set, f).unwrap();
+        let refined = lehoczky_workload(&set, f).unwrap();
+        prop_assert!(refined.l <= classic.l + 1e-9);
+        for (r, c) in refined.l_factors.iter().zip(&classic.l_factors) {
+            prop_assert!(r <= &(c + 1e-9));
+        }
+    }
+
+    /// Response-time analysis: γ-based bounds are never larger, and both
+    /// dominate the simulated worst response when the analysis admits the
+    /// set.
+    #[test]
+    fn response_bounds_dominate_simulation(set in arb_task_set(), f in 2u32..20) {
+        let f = f64::from(f);
+        let classic = response_times_wcet(&set, f).unwrap();
+        let refined = response_times_workload(&set, f).unwrap();
+        for (r, c) in refined.response_times.iter().zip(&classic.response_times) {
+            if let (Some(r), Some(c)) = (r, c) {
+                prop_assert!(r <= &(c + 1e-9));
+            }
+            // Classic admitted ⇒ refined admits.
+            if c.is_some() {
+                prop_assert!(r.is_some());
+            }
+        }
+        if refined.schedulable() {
+            let horizon = set.hyperperiod().unwrap_or(1000.0) * 4.0;
+            let sim = simulate(&set, &SimConfig {
+                frequency: f,
+                horizon,
+                policy: Policy::FixedPriority,
+            }).unwrap();
+            prop_assert!(sim.no_misses());
+            for (stats, bound) in sim.per_task.iter().zip(&refined.response_times) {
+                let bound = bound.expect("schedulable");
+                prop_assert!(
+                    stats.max_response <= bound + 1e-9,
+                    "task {} observed {} > bound {}", stats.name, stats.max_response, bound
+                );
+            }
+        }
+    }
+
+    /// EDF: the γ-based demand test admits at least as much, and an
+    /// admitted set executes without misses under EDF.
+    #[test]
+    fn edf_refinement_and_simulation(set in arb_task_set(), f in 2u32..20) {
+        let f = f64::from(f);
+        let horizon = set.hyperperiod().unwrap_or(500.0) * 2.0;
+        let classic = edf_wcet(&set, f, horizon).unwrap();
+        let refined = edf_workload(&set, f, horizon).unwrap();
+        prop_assert!(refined.max_load <= classic.max_load + 1e-9);
+        if classic.schedulable {
+            prop_assert!(refined.schedulable);
+        }
+        if refined.schedulable {
+            let sim = simulate(&set, &SimConfig {
+                frequency: f,
+                horizon,
+                policy: Policy::Edf,
+            }).unwrap();
+            prop_assert!(sim.no_misses());
+        }
+    }
+
+    /// The simulator never creates or loses jobs, and busy time equals the
+    /// executed demand.
+    #[test]
+    fn simulator_conservation(set in arb_task_set(), f in 2u32..20) {
+        let f = f64::from(f);
+        let horizon = 400.0;
+        let sim = simulate(&set, &SimConfig {
+            frequency: f,
+            horizon,
+            policy: Policy::FixedPriority,
+        }).unwrap();
+        for (task, stats) in set.tasks().iter().zip(&sim.per_task) {
+            let expected = (horizon / task.period()).ceil() as usize;
+            prop_assert!(stats.released <= expected);
+            prop_assert!(stats.released >= expected - 1);
+            prop_assert!(stats.completed <= stats.released);
+        }
+        // Busy time never exceeds wall-clock drain window.
+        prop_assert!(sim.busy_time <= horizon * 10.0 + 1.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Compile-time checks that the optional `serde` feature provides
+//! `Serialize`/`Deserialize` on the data-structure types (C-SERDE).
+//!
+//! Run with `cargo test --features serde`.
+
+#![cfg(feature = "serde")]
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+fn assert_serde<T: Serialize + DeserializeOwned>() {}
+
+#[test]
+fn curve_types_are_serde() {
+    assert_serde::<wcm::curves::Pwl>();
+    assert_serde::<wcm::curves::Segment>();
+    assert_serde::<wcm::curves::StepCurve>();
+    assert_serde::<wcm::curves::arrival::LeakyBucket>();
+    assert_serde::<wcm::curves::arrival::PeriodicJitter>();
+    assert_serde::<wcm::curves::service::RateLatency>();
+    assert_serde::<wcm::curves::service::Tdma>();
+}
+
+#[test]
+fn event_types_are_serde() {
+    assert_serde::<wcm::events::Cycles>();
+    assert_serde::<wcm::events::ExecutionInterval>();
+    assert_serde::<wcm::events::EventType>();
+    assert_serde::<wcm::events::TypeRegistry>();
+    assert_serde::<wcm::events::Trace>();
+    assert_serde::<wcm::events::TimedTrace>();
+}
+
+#[test]
+fn workload_types_are_serde() {
+    assert_serde::<wcm::UpperWorkloadCurve>();
+    assert_serde::<wcm::LowerWorkloadCurve>();
+    assert_serde::<wcm::WorkloadBounds>();
+    assert_serde::<wcm::core::polling::PollingTask>();
+}
+
+#[test]
+fn mpeg_types_are_serde() {
+    assert_serde::<wcm::mpeg::FrameKind>();
+    assert_serde::<wcm::mpeg::GopStructure>();
+    assert_serde::<wcm::mpeg::VideoParams>();
+    assert_serde::<wcm::mpeg::profile::ClipProfile>();
+    assert_serde::<wcm::mpeg::demand::Pe1Model>();
+    assert_serde::<wcm::mpeg::demand::Pe2Model>();
+    assert_serde::<wcm::mpeg::mb::Macroblock>();
+}
