@@ -5,7 +5,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use wcm_core::UpperWorkloadCurve;
-use wcm_events::window::{max_window_sums, min_spans, WindowMode};
+use wcm_events::window::{
+    max_window_sums, max_window_sums_with, min_spans, min_spans_with, Parallelism, WindowMode,
+};
 
 fn demand_vector(n: usize) -> Vec<u64> {
     let mut rng = ChaCha8Rng::seed_from_u64(7);
@@ -55,6 +57,75 @@ fn bench_window_sums(c: &mut Criterion) {
     group.finish();
 }
 
+/// The pre-prefix-sum algorithm: one sliding-window rescan of the trace per
+/// window size. Kept here as the old-vs-new baseline.
+fn window_sums_rescan(values: &[u64], k_max: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(k_max);
+    for k in 1..=k_max {
+        let mut sum: u64 = values[..k].iter().sum();
+        let mut best = sum;
+        for i in k..values.len() {
+            sum = sum + values[i] - values[i - k];
+            best = best.max(sum);
+        }
+        out.push(best);
+    }
+    out
+}
+
+fn bench_old_vs_new(c: &mut Criterion) {
+    let mut group = c.benchmark_group("window_sums_old_vs_new");
+    for &(n, k) in &[(10_000usize, 1_000usize), (50_000, 2_000)] {
+        let v = demand_vector(n);
+        group.bench_with_input(
+            BenchmarkId::new("old_rescan", format!("N{n}_K{k}")),
+            &(&v, k),
+            |b, (v, k)| b.iter(|| window_sums_rescan(v, *k)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("new_prefix_seq", format!("N{n}_K{k}")),
+            &(&v, k),
+            |b, (v, k)| {
+                b.iter(|| max_window_sums_with(v, *k, WindowMode::Exact, Parallelism::Seq).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_seq_vs_par(c: &mut Criterion) {
+    let mut group = c.benchmark_group("window_sums_threads");
+    let threads = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+    for &(n, k) in &[(50_000usize, 2_000usize), (100_000, 4_000)] {
+        let v = demand_vector(n);
+        group.bench_with_input(
+            BenchmarkId::new("seq", format!("N{n}_K{k}")),
+            &(&v, k),
+            |b, (v, k)| {
+                b.iter(|| max_window_sums_with(v, *k, WindowMode::Exact, Parallelism::Seq).unwrap())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("threads{threads}"), format!("N{n}_K{k}")),
+            &(&v, k),
+            |b, (v, k)| {
+                b.iter(|| {
+                    max_window_sums_with(v, *k, WindowMode::Exact, Parallelism::Threads(threads))
+                        .unwrap()
+                })
+            },
+        );
+    }
+    let t = timestamps(50_000);
+    group.bench_function("spans_seq_N50000_K2000", |b| {
+        b.iter(|| min_spans_with(&t, 2_000, WindowMode::Exact, Parallelism::Seq).unwrap())
+    });
+    group.bench_function(format!("spans_threads{threads}_N50000_K2000"), |b| {
+        b.iter(|| min_spans_with(&t, 2_000, WindowMode::Exact, Parallelism::Threads(threads)).unwrap())
+    });
+    group.finish();
+}
+
 fn bench_curve_from_values(c: &mut Criterion) {
     let v = demand_vector(20_000);
     c.bench_function("upper_curve_from_20k_trace_k1000", |b| {
@@ -98,6 +169,8 @@ fn bench_min_spans(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_window_sums,
+    bench_old_vs_new,
+    bench_seq_vs_par,
     bench_curve_from_values,
     bench_pseudo_inverse,
     bench_min_spans

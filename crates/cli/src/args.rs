@@ -68,6 +68,15 @@ impl Options {
             None => Ok(default),
         }
     }
+
+    /// The `--threads` knob: absent or `auto`/`0` → [`Parallelism::Auto`],
+    /// `1` → sequential, `N` → exactly `N` workers.
+    pub fn parallelism(&self) -> Result<wcm_par::Parallelism, String> {
+        match self.optional("threads") {
+            None => Ok(wcm_par::Parallelism::Auto),
+            Some(v) => wcm_par::Parallelism::parse(v).map_err(|e| format!("option `--threads`: {e}")),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -106,5 +115,20 @@ mod tests {
         assert_eq!(o.usize_or("stride", 7).unwrap(), 7);
         let o = Options::parse(&argv("--stride 3")).unwrap();
         assert_eq!(o.usize_or("stride", 7).unwrap(), 3);
+    }
+
+    #[test]
+    fn threads_knob() {
+        use wcm_par::Parallelism;
+        let o = Options::parse(&argv("")).unwrap();
+        assert_eq!(o.parallelism().unwrap(), Parallelism::Auto);
+        let o = Options::parse(&argv("--threads auto")).unwrap();
+        assert_eq!(o.parallelism().unwrap(), Parallelism::Auto);
+        let o = Options::parse(&argv("--threads 1")).unwrap();
+        assert_eq!(o.parallelism().unwrap(), Parallelism::Seq);
+        let o = Options::parse(&argv("--threads 6")).unwrap();
+        assert_eq!(o.parallelism().unwrap(), Parallelism::Threads(6));
+        let o = Options::parse(&argv("--threads many")).unwrap();
+        assert!(o.parallelism().unwrap_err().contains("threads"));
     }
 }

@@ -6,18 +6,18 @@ use std::path::Path;
 use wcm_core::curve::{LowerWorkloadCurve, UpperWorkloadCurve};
 use wcm_core::polling::PollingTask;
 use wcm_core::sizing;
-use wcm_events::window::{max_window_sums, min_window_sums, min_spans, WindowMode};
+use wcm_events::window::{max_window_sums_with, min_window_sums_with, min_spans_with, WindowMode};
 use wcm_events::Cycles;
 
 /// Usage text shown by `help` and on errors.
 pub const USAGE: &str = "usage: wcm-cli <subcommand> [--option value]...
 
 subcommands:
-  curves   --demands FILE --k K [--exact-upto N --stride S]
+  curves   --demands FILE --k K [--exact-upto N --stride S] [--threads T]
            workload curves gamma_u/gamma_l from a per-event demand trace
-  arrival  --times FILE --k K
+  arrival  --times FILE --k K [--threads T]
            empirical arrival staircase from sorted timestamps
-  fmin     --times FILE --demands FILE --buffer B --k K
+  fmin     --times FILE --demands FILE --buffer B --k K [--threads T]
            minimum clock frequency (eq. 9 vs eq. 10)
   polling  --period T --theta-min A --theta-max B --ep E --ec C --k K
            analytic polling-task curves (Example 1 / Fig. 2)
@@ -25,7 +25,12 @@ subcommands:
            synthesize one of the 14 standard clips (use --clip list)
   pipeline --clip NAME --gops N --pe1-mhz X --pe2-mhz Y [--capacity C]
            simulate the two-PE decoder pipeline on a synthesized clip
-  help     this text";
+  help     this text
+
+options:
+  --threads T   worker threads for the window scans: `auto' (default; all
+                cores once the trace is large enough), `1' (sequential) or
+                an explicit count. Results are identical for any setting.";
 
 fn mode(opts: &Options) -> Result<WindowMode, String> {
     match (opts.optional("exact-upto"), opts.optional("stride")) {
@@ -42,8 +47,9 @@ pub fn curves(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     let demands = io::read_demands(Path::new(opts.required("demands")?))?;
     let k_max = opts.required_usize("k")?;
     let mode = mode(opts)?;
-    let upper = UpperWorkloadCurve::new(max_window_sums(&demands, k_max, mode)?)?;
-    let lower = LowerWorkloadCurve::new(min_window_sums(&demands, k_max, mode)?)?;
+    let par = opts.parallelism()?;
+    let upper = UpperWorkloadCurve::new(max_window_sums_with(&demands, k_max, mode, par)?)?;
+    let lower = LowerWorkloadCurve::new(min_window_sums_with(&demands, k_max, mode, par)?)?;
     println!("# k gamma_u gamma_l wcet_line bcet_line");
     let (w, b) = (upper.wcet().get(), lower.bcet().get());
     for k in 1..=k_max {
@@ -62,7 +68,7 @@ pub fn curves(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
 pub fn arrival(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     let times = io::read_times(Path::new(opts.required("times")?))?;
     let k_max = opts.required_usize("k")?;
-    let spans = min_spans(&times, k_max, WindowMode::Exact)?;
+    let spans = min_spans_with(&times, k_max, WindowMode::Exact, opts.parallelism()?)?;
     println!("# delta_seconds events");
     for (i, d) in spans.iter().enumerate() {
         println!("{d} {}", i + 1);
@@ -85,7 +91,8 @@ pub fn fmin(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     let buffer = opts.required_u64("buffer")?;
     let k_max = opts.required_usize("k")?;
     let mode = mode(opts)?;
-    let gamma = UpperWorkloadCurve::new(max_window_sums(&demands, k_max, mode)?)?;
+    let par = opts.parallelism()?;
+    let gamma = UpperWorkloadCurve::new(max_window_sums_with(&demands, k_max, mode, par)?)?;
     let mut reg = wcm_events::TypeRegistry::new();
     let ty = reg.register("event", wcm_events::ExecutionInterval::fixed(Cycles(1)))?;
     let trace = wcm_events::TimedTrace::new(
@@ -95,7 +102,7 @@ pub fn fmin(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
             .map(|&time| wcm_events::TimedEvent { time, ty })
             .collect(),
     )?;
-    let alpha = wcm_core::build::arrival_upper(&trace, k_max, mode)?;
+    let alpha = wcm_core::build::arrival_upper_with(&trace, k_max, mode, par)?;
     let f_gamma = sizing::min_frequency_workload(&alpha, &gamma, buffer)?;
     let f_wcet = sizing::min_frequency_wcet(&alpha, gamma.wcet(), buffer)?;
     println!("buffer_events {buffer}");

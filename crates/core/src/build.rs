@@ -10,7 +10,7 @@
 use crate::curve::WorkloadBounds;
 use crate::WorkloadError;
 use wcm_curves::StepCurve;
-use wcm_events::window::{max_spans, min_spans, WindowMode};
+use wcm_events::window::{max_spans_with, min_spans_with, Parallelism, WindowMode};
 use wcm_events::{TimedTrace, Trace};
 
 /// Builds workload bounds for several traces and merges them
@@ -43,9 +43,24 @@ pub fn bounds_from_traces(
     k_max: usize,
     mode: WindowMode,
 ) -> Result<WorkloadBounds, WorkloadError> {
+    bounds_from_traces_with(traces, k_max, mode, Parallelism::Auto)
+}
+
+/// [`bounds_from_traces`] with an explicit [`Parallelism`] knob, applied to
+/// the window analysis of each trace in turn.
+///
+/// # Errors
+///
+/// Same conditions as [`bounds_from_traces`].
+pub fn bounds_from_traces_with(
+    traces: &[Trace],
+    k_max: usize,
+    mode: WindowMode,
+    par: Parallelism,
+) -> Result<WorkloadBounds, WorkloadError> {
     let all: Vec<WorkloadBounds> = traces
         .iter()
-        .map(|t| WorkloadBounds::from_trace(t, k_max, mode))
+        .map(|t| WorkloadBounds::from_trace_with(t, k_max, mode, par))
         .collect::<Result<_, _>>()?;
     WorkloadBounds::merge_all(&all)
 }
@@ -67,8 +82,23 @@ pub fn arrival_upper(
     k_max: usize,
     mode: WindowMode,
 ) -> Result<StepCurve, WorkloadError> {
+    arrival_upper_with(trace, k_max, mode, Parallelism::Auto)
+}
+
+/// [`arrival_upper`] with an explicit [`Parallelism`] knob for the span
+/// analysis.
+///
+/// # Errors
+///
+/// Same conditions as [`arrival_upper`].
+pub fn arrival_upper_with(
+    trace: &TimedTrace,
+    k_max: usize,
+    mode: WindowMode,
+    par: Parallelism,
+) -> Result<StepCurve, WorkloadError> {
     let times = trace.times();
-    let spans = min_spans(&times, k_max, mode)?;
+    let spans = min_spans_with(&times, k_max, mode, par)?;
     // spans is non-decreasing; build steps at strictly increasing Δ.
     let mut steps: Vec<(f64, u64)> = Vec::with_capacity(spans.len());
     for (i, &d) in spans.iter().enumerate() {
@@ -107,8 +137,23 @@ pub fn arrival_lower(
     k_max: usize,
     mode: WindowMode,
 ) -> Result<StepCurve, WorkloadError> {
+    arrival_lower_with(trace, k_max, mode, Parallelism::Auto)
+}
+
+/// [`arrival_lower`] with an explicit [`Parallelism`] knob for the span
+/// analysis.
+///
+/// # Errors
+///
+/// Same conditions as [`arrival_upper`].
+pub fn arrival_lower_with(
+    trace: &TimedTrace,
+    k_max: usize,
+    mode: WindowMode,
+    par: Parallelism,
+) -> Result<StepCurve, WorkloadError> {
     let times = trace.times();
-    let spans = max_spans(&times, k_max, mode)?;
+    let spans = max_spans_with(&times, k_max, mode, par)?;
     let mut steps: Vec<(f64, u64)> = vec![(0.0, 0)];
     for (i, &d) in spans.iter().enumerate() {
         let k = i as u64; // a window of length D(k+1) always contains ≥ k events

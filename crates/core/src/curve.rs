@@ -11,7 +11,7 @@
 //! * dually `γˡ(q·K + r) ≥ q·γˡ(K) + γˡ(r)` is a valid lower value.
 
 use crate::WorkloadError;
-use wcm_events::window::WindowMode;
+use wcm_events::window::{Parallelism, WindowMode};
 use wcm_events::{Cycles, Trace};
 
 fn validate_monotone(values: &[u64]) -> Result<(), WorkloadError> {
@@ -73,14 +73,19 @@ impl UpperWorkloadCurve {
     ///
     /// # Errors
     ///
-    /// Returns [`WorkloadError::InvalidParameter`] if `k_max` is 0.
+    /// Returns [`WorkloadError::InvalidParameter`] if `k_max` is 0, and
+    /// [`WorkloadError::Overflow`] if `k_max · wcet` exceeds `u64::MAX`.
     pub fn wcet_line(wcet: Cycles, k_max: usize) -> Result<Self, WorkloadError> {
         if k_max == 0 {
             return Err(WorkloadError::InvalidParameter { name: "k_max" });
         }
-        Ok(Self {
-            values: (1..=k_max as u64).map(|k| k * wcet.get()).collect(),
-        })
+        let values = (1..=k_max as u64)
+            .map(|k| {
+                k.checked_mul(wcet.get())
+                    .ok_or(WorkloadError::Overflow { what: "k·WCET" })
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(Self { values })
     }
 
     /// Builds the curve from a measured trace:
@@ -90,8 +95,23 @@ impl UpperWorkloadCurve {
     ///
     /// Propagates window-analysis parameter errors.
     pub fn from_trace(trace: &Trace, k_max: usize, mode: WindowMode) -> Result<Self, WorkloadError> {
+        Self::from_trace_with(trace, k_max, mode, Parallelism::Auto)
+    }
+
+    /// [`UpperWorkloadCurve::from_trace`] with an explicit [`Parallelism`]
+    /// knob; sequential and parallel runs produce identical curves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates window-analysis parameter errors.
+    pub fn from_trace_with(
+        trace: &Trace,
+        k_max: usize,
+        mode: WindowMode,
+        par: Parallelism,
+    ) -> Result<Self, WorkloadError> {
         let demands: Vec<u64> = trace.worst_demands().iter().map(|c| c.get()).collect();
-        let values = wcm_events::window::max_window_sums(&demands, k_max, mode)?;
+        let values = wcm_events::window::max_window_sums_with(&demands, k_max, mode, par)?;
         Self::new(values)
     }
 
@@ -271,14 +291,19 @@ impl LowerWorkloadCurve {
     ///
     /// # Errors
     ///
-    /// Returns [`WorkloadError::InvalidParameter`] if `k_max` is 0.
+    /// Returns [`WorkloadError::InvalidParameter`] if `k_max` is 0, and
+    /// [`WorkloadError::Overflow`] if `k_max · bcet` exceeds `u64::MAX`.
     pub fn bcet_line(bcet: Cycles, k_max: usize) -> Result<Self, WorkloadError> {
         if k_max == 0 {
             return Err(WorkloadError::InvalidParameter { name: "k_max" });
         }
-        Ok(Self {
-            values: (1..=k_max as u64).map(|k| k * bcet.get()).collect(),
-        })
+        let values = (1..=k_max as u64)
+            .map(|k| {
+                k.checked_mul(bcet.get())
+                    .ok_or(WorkloadError::Overflow { what: "k·BCET" })
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(Self { values })
     }
 
     /// Builds the curve from a measured trace:
@@ -288,8 +313,23 @@ impl LowerWorkloadCurve {
     ///
     /// Propagates window-analysis parameter errors.
     pub fn from_trace(trace: &Trace, k_max: usize, mode: WindowMode) -> Result<Self, WorkloadError> {
+        Self::from_trace_with(trace, k_max, mode, Parallelism::Auto)
+    }
+
+    /// [`LowerWorkloadCurve::from_trace`] with an explicit [`Parallelism`]
+    /// knob; sequential and parallel runs produce identical curves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates window-analysis parameter errors.
+    pub fn from_trace_with(
+        trace: &Trace,
+        k_max: usize,
+        mode: WindowMode,
+        par: Parallelism,
+    ) -> Result<Self, WorkloadError> {
         let demands: Vec<u64> = trace.best_demands().iter().map(|c| c.get()).collect();
-        let values = wcm_events::window::min_window_sums(&demands, k_max, mode)?;
+        let values = wcm_events::window::min_window_sums_with(&demands, k_max, mode, par)?;
         Self::new(values)
     }
 
@@ -471,8 +511,22 @@ impl WorkloadBounds {
         k_max: usize,
         mode: WindowMode,
     ) -> Result<Self, WorkloadError> {
-        let upper = UpperWorkloadCurve::from_trace(trace, k_max, mode)?;
-        let lower = LowerWorkloadCurve::from_trace(trace, k_max, mode)?;
+        Self::from_trace_with(trace, k_max, mode, Parallelism::Auto)
+    }
+
+    /// [`WorkloadBounds::from_trace`] with an explicit [`Parallelism`] knob.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`WorkloadBounds::from_trace`].
+    pub fn from_trace_with(
+        trace: &Trace,
+        k_max: usize,
+        mode: WindowMode,
+        par: Parallelism,
+    ) -> Result<Self, WorkloadError> {
+        let upper = UpperWorkloadCurve::from_trace_with(trace, k_max, mode, par)?;
+        let lower = LowerWorkloadCurve::from_trace_with(trace, k_max, mode, par)?;
         Ok(Self { upper, lower })
     }
 
@@ -583,6 +637,36 @@ mod tests {
             assert!(line.value(k) >= g.value(k));
         }
         assert_eq!(line.value(8), Cycles(80));
+    }
+
+    #[test]
+    fn reference_lines_report_overflow() {
+        // 3 · (u64::MAX / 2) wraps: must be an error, not a bogus curve.
+        let huge = Cycles(u64::MAX / 2);
+        assert_eq!(
+            UpperWorkloadCurve::wcet_line(huge, 3).unwrap_err(),
+            WorkloadError::Overflow { what: "k·WCET" }
+        );
+        assert_eq!(
+            LowerWorkloadCurve::bcet_line(huge, 3).unwrap_err(),
+            WorkloadError::Overflow { what: "k·BCET" }
+        );
+        // 2 · (u64::MAX / 2) still fits.
+        assert!(UpperWorkloadCurve::wcet_line(huge, 2).is_ok());
+        assert!(LowerWorkloadCurve::bcet_line(huge, 2).is_ok());
+    }
+
+    #[test]
+    fn from_trace_with_matches_from_trace() {
+        let t = alternating_trace(40);
+        let seq = WorkloadBounds::from_trace(&t, 20, WindowMode::Exact).unwrap();
+        for par in [Parallelism::Seq, Parallelism::Threads(4), Parallelism::Auto] {
+            assert_eq!(
+                WorkloadBounds::from_trace_with(&t, 20, WindowMode::Exact, par).unwrap(),
+                seq,
+                "bounds differ under {par:?}"
+            );
+        }
     }
 
     #[test]

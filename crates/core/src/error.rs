@@ -23,6 +23,12 @@ pub enum WorkloadError {
         /// Human-readable description.
         reason: &'static str,
     },
+    /// An intermediate value exceeded the representable range (e.g.
+    /// `k·WCET` past `u64::MAX` in a WCET/BCET reference line).
+    Overflow {
+        /// What overflowed.
+        what: &'static str,
+    },
     /// An error bubbled up from the event substrate.
     Event(wcm_events::EventError),
     /// An error bubbled up from the curve substrate.
@@ -40,6 +46,9 @@ impl fmt::Display for WorkloadError {
                 write!(f, "invalid value for parameter `{name}`")
             }
             WorkloadError::Infeasible { reason } => write!(f, "infeasible: {reason}"),
+            WorkloadError::Overflow { what } => {
+                write!(f, "arithmetic overflow computing {what}")
+            }
             WorkloadError::Event(e) => write!(f, "event error: {e}"),
             WorkloadError::Curve(e) => write!(f, "curve error: {e}"),
         }
@@ -81,6 +90,9 @@ mod tests {
         assert!(e.source().is_none());
         let e = WorkloadError::from(wcm_events::EventError::InvalidParameter { name: "x" });
         assert!(e.source().is_some());
+        let e = WorkloadError::Overflow { what: "k·WCET" };
+        assert!(e.to_string().contains("overflow"));
+        assert!(e.source().is_none());
     }
 
     #[test]

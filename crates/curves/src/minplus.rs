@@ -22,10 +22,25 @@
 //! objective is PWL in `s`), so the convolution equals the lower envelope of
 //! finitely many shifted copies of `f` and `g` and is computed exactly.
 //! Deconvolution is the exact upper envelope of the per-kink branches.
+//!
+//! # Performance
+//!
+//! Both operators first **prune dominated branches**: curves here are
+//! monotone non-decreasing, so a shifted copy `f(· − b₁) + c₁` lies
+//! pointwise below `f(· − b₂) + c₂` whenever `b₁ ≥ b₂` and `c₁ ≤ c₂`, and
+//! the dominated branch can never contribute to the lower envelope (dually
+//! for the upper envelope of deconvolution). Flat/staircase regions — the
+//! common case for arrival curves derived from [`crate::StepCurve`]s —
+//! collapse to a single branch each. The surviving branches are evaluated
+//! and folded through [`wcm_par::par_map_reduce`]; the pointwise min/max is
+//! associative, so the chunked fold computes the same envelope. The `_with`
+//! variants expose the [`Parallelism`] knob; the plain functions default to
+//! [`Parallelism::Auto`].
 
 use crate::num::{approx_eq, EPSILON};
 use crate::pwl::{Pwl, Segment};
 use crate::CurveError;
+pub use wcm_par::Parallelism;
 
 /// Min-plus convolution `(f ⊗ g)(t) = inf_{0 ≤ s ≤ t} f(t−s) + g(s)`.
 ///
@@ -47,28 +62,90 @@ use crate::CurveError;
 /// ```
 #[must_use]
 pub fn convolve(f: &Pwl, g: &Pwl) -> Pwl {
+    convolve_with(f, g, Parallelism::Auto)
+}
+
+/// A pending lower-envelope branch: shift one of the operands right by `dx`
+/// and up by `dy`.
+enum ShiftOf {
+    F(f64, f64),
+    G(f64, f64),
+}
+
+/// [`convolve`] with an explicit [`Parallelism`] knob for the branch
+/// envelope. All worker counts compute the same exact envelope.
+#[must_use]
+pub fn convolve_with(f: &Pwl, g: &Pwl, par: Parallelism) -> Pwl {
     // Boundary candidates with the true f(0) = g(0) = 0 convention:
     // s = 0 contributes g alone, s = t contributes f alone.
-    let mut env = f.min(g);
-    // Candidate with s = 0⁺ (the stored right-limit of g).
-    env = env.min(
-        &f.shift(0.0, g.value(0.0))
-            .expect("shift by non-negative offsets"),
+    let base = f.min(g);
+    // s at the breakpoints of g (b = 0 uses the stored right-limit, later
+    // ones the left limits — the inf includes them), t − s at breakpoints
+    // of f; dominated shifts are pruned before any envelope work.
+    let mut branches: Vec<ShiftOf> = Vec::new();
+    branches.extend(
+        pruned_shifts(g, false)
+            .into_iter()
+            .map(|(b, c)| ShiftOf::F(b, c)),
     );
-    // s at the remaining breakpoints of g (left limits: inf includes them).
-    for &b in &g.breakpoint_xs()[1..] {
-        let cand = f
-            .shift(b, g.value_left(b))
-            .expect("shift by non-negative offsets");
-        env = env.min(&cand);
+    branches.extend(
+        pruned_shifts(f, false)
+            .into_iter()
+            .map(|(a, c)| ShiftOf::G(a, c)),
+    );
+    let cost = branch_cost(branches.len(), f, g);
+    let env = wcm_par::par_map_reduce(
+        par,
+        &branches,
+        cost,
+        |_, br| match *br {
+            ShiftOf::F(dx, dy) => f.shift(dx, dy).expect("shift by non-negative offsets"),
+            ShiftOf::G(dx, dy) => g.shift(dx, dy).expect("shift by non-negative offsets"),
+        },
+        |a, b| a.min(&b),
+    );
+    match env {
+        Some(e) => base.min(&e),
+        None => base,
     }
-    // t − s at breakpoints of f.
-    for (i, &a) in f.breakpoint_xs().iter().enumerate() {
-        let fy = if i == 0 { f.value(0.0) } else { f.value_left(a) };
-        let cand = g.shift(a, fy).expect("shift by non-negative offsets");
-        env = env.min(&cand);
+}
+
+/// Shift candidates `(b, h(b⁻))` of a curve `h`, with runs of equal raise
+/// collapsed to the largest shift: for monotone curves,
+/// `x(· − b₁) + c` ≤ `x(· − b₂) + c` pointwise whenever `b₁ ≥ b₂`, so the
+/// earlier shifts of a flat run can never win a lower envelope — and for an
+/// *upper* envelope of `x(· + b) − c` branches (deconvolution) the same
+/// largest shift dominates. `zero_at_origin` selects the Network-Calculus
+/// `h(0) = 0` convention for the first candidate instead of the stored
+/// right-limit.
+fn pruned_shifts(h: &Pwl, zero_at_origin: bool) -> Vec<(f64, f64)> {
+    let xs = h.breakpoint_xs();
+    let mut out: Vec<(f64, f64)> = Vec::with_capacity(xs.len());
+    for (i, &b) in xs.iter().enumerate() {
+        let c = if i == 0 {
+            if zero_at_origin {
+                0.0
+            } else {
+                h.value(0.0)
+            }
+        } else {
+            h.value_left(b)
+        };
+        match out.last_mut() {
+            // Same raise, larger shift: the new branch dominates.
+            Some(last) if approx_eq(last.1, c) => *last = (b, c),
+            _ => out.push((b, c)),
+        }
     }
-    env
+    out
+}
+
+/// Work estimate for evaluating `n` branches against the envelope of `f`
+/// and `g` — lets [`Parallelism::Auto`] skip thread start-up for the small
+/// curves that dominate unit tests and analytic models.
+fn branch_cost(n: usize, f: &Pwl, g: &Pwl) -> u64 {
+    let segs = (f.segments().len() + g.segments().len()) as u64;
+    (n as u64) * segs * segs
 }
 
 /// Min-plus deconvolution `(f ⊘ g)(t) = sup_{s ≥ 0} f(t+s) − g(s)`,
@@ -96,6 +173,24 @@ pub fn convolve(f: &Pwl, g: &Pwl) -> Pwl {
 /// # }
 /// ```
 pub fn deconvolve(f: &Pwl, g: &Pwl) -> Result<Pwl, CurveError> {
+    deconvolve_with(f, g, Parallelism::Auto)
+}
+
+/// A pending upper-envelope branch of the deconvolution.
+enum DeconvBranch {
+    /// `t ↦ f(t + b) − gv`.
+    Shift(f64, f64),
+    /// `t ↦ fa − g(a − t)`.
+    Reflected(f64, f64),
+}
+
+/// [`deconvolve`] with an explicit [`Parallelism`] knob for the branch
+/// envelope. All worker counts compute the same exact envelope.
+///
+/// # Errors
+///
+/// Same conditions as [`deconvolve`].
+pub fn deconvolve_with(f: &Pwl, g: &Pwl, par: Parallelism) -> Result<Pwl, CurveError> {
     if f.ultimate_rate() > g.ultimate_rate() + EPSILON {
         return Err(CurveError::Unbounded {
             operation: "deconvolution (flow rate exceeds service rate)",
@@ -107,24 +202,42 @@ pub fn deconvolve(f: &Pwl, g: &Pwl) -> Result<Pwl, CurveError> {
     // tie is covered by the kink value). Each kink family, as a function of
     // t, is itself a PWL "branch"; the deconvolution is the exact upper
     // envelope of all branches.
-    let mut branches: Vec<Pwl> = Vec::new();
+    let mut branches: Vec<DeconvBranch> = Vec::new();
     // Family B_b(t) = f(t + b) − g(b⁻): f shifted left by b, lowered by the
     // smallest admissible g value at b. At b = 0 the true g(0) = 0 applies
-    // (the stored value is only the right-limit).
-    for (i, &b) in g.breakpoint_xs().iter().enumerate() {
-        let gv = if i == 0 { 0.0 } else { g.value_left(b) };
-        branches.push(shift_left_minus(f, b, gv));
-    }
+    // (the stored value is only the right-limit). Along a flat run of g the
+    // largest b dominates (f(t+b) only grows at equal gv); the dominated
+    // branches are pruned before any envelope work.
+    branches.extend(
+        pruned_shifts(g, true)
+            .into_iter()
+            .map(|(b, gv)| DeconvBranch::Shift(b, gv)),
+    );
     // Family C_a(t) = f(a) − g(a − t) for t ≤ a, constant afterwards.
+    // Along a flat run of f the smallest a dominates: equal fa, and
+    // g(a − t) only grows with a.
+    let mut last_fa: Option<f64> = None;
     for &a in &f.breakpoint_xs() {
         if a > EPSILON {
-            branches.push(reflected_branch(f.value(a), g, a));
+            let fa = f.value(a);
+            if !last_fa.is_some_and(|prev| approx_eq(fa, prev)) {
+                branches.push(DeconvBranch::Reflected(a, fa));
+                last_fa = Some(fa);
+            }
         }
     }
-    let mut env = branches.pop().expect("g has at least one breakpoint");
-    for b in &branches {
-        env = env.max(b);
-    }
+    let cost = branch_cost(branches.len(), f, g);
+    let env = wcm_par::par_map_reduce(
+        par,
+        &branches,
+        cost,
+        |_, br| match *br {
+            DeconvBranch::Shift(b, gv) => shift_left_minus(f, b, gv),
+            DeconvBranch::Reflected(a, fa) => reflected_branch(fa, g, a),
+        },
+        |a, b| a.max(&b),
+    );
+    let env = env.expect("g has at least one breakpoint");
     // Clamp at zero (arrival/service curves are non-negative).
     Ok(env.max(&Pwl::zero()))
 }
@@ -384,6 +497,79 @@ mod tests {
         for i in 0..64 {
             let t = i as f64 * 0.3;
             assert!(approx_eq(c.value(t), f.value(t)), "t={t}");
+        }
+    }
+
+    #[test]
+    fn staircase_operands_match_brute_force_after_pruning() {
+        // Flat runs generate dominated branches; after pruning the result
+        // must still match the dense sampled infimum.
+        let stairs = Pwl::from_breakpoints(vec![
+            (0.0, 1.0, 0.0),
+            (1.0, 2.0, 0.0),
+            (2.0, 2.0, 0.0), // collapses into the previous flat run
+            (3.0, 5.0, 0.5),
+        ])
+        .unwrap();
+        let g = rate_latency(2.0, 1.0);
+        let c = convolve(&stairs, &g);
+        for i in 0..80 {
+            let t = i as f64 * 0.1;
+            let brute = convolve_sampled(&stairs, &g, t, 4000);
+            assert!(c.value(t) <= brute + 1e-9, "t={t}");
+            assert!(brute - c.value(t) < 1e-2 * (1.0 + brute.abs()), "t={t}");
+        }
+        // Deconvolution of the staircase: exact result dominates every
+        // sampled candidate sup f(t+s) − g(s) and stays close to it.
+        let out = deconvolve(&stairs, &g).unwrap();
+        for i in 0..60 {
+            let t = i as f64 * 0.1;
+            let mut brute = 0.0f64;
+            for j in 0..=4000 {
+                let s = j as f64 * 0.005;
+                brute = brute.max(stairs.value(t + s) - g.value(s));
+                brute = brute.max(stairs.value_left(t + s) - g.value_left(s));
+            }
+            assert!(out.value(t) >= brute - 1e-9, "t={t}");
+            assert!(out.value(t) - brute < 1e-2 * (1.0 + brute.abs()), "t={t}");
+        }
+    }
+
+    #[test]
+    fn parallel_envelopes_match_sequential() {
+        // Many-kink monotone curve: slopes cycle, upward jumps every third
+        // breakpoint.
+        let mut bps = Vec::new();
+        let mut y = 0.0;
+        for i in 0..40 {
+            let x = i as f64 * 0.5;
+            let slope = 0.5 + (i % 4) as f64 * 0.25;
+            y += (i % 3) as f64 * 0.3;
+            bps.push((x, y, slope));
+            y += slope * 0.5;
+        }
+        let f = Pwl::from_breakpoints(bps).unwrap();
+        let g = rate_latency(3.0, 1.5);
+        let seq_conv = convolve_with(&f, &g, Parallelism::Seq);
+        let seq_dec = deconvolve_with(&f, &g, Parallelism::Seq).unwrap();
+        for par in [
+            Parallelism::Threads(2),
+            Parallelism::Threads(5),
+            Parallelism::Auto,
+        ] {
+            let conv = convolve_with(&f, &g, par);
+            let dec = deconvolve_with(&f, &g, par).unwrap();
+            for i in 0..120 {
+                let t = i as f64 * 0.2;
+                assert!(
+                    approx_eq(conv.value(t), seq_conv.value(t)),
+                    "convolve differs under {par:?} at t={t}"
+                );
+                assert!(
+                    approx_eq(dec.value(t), seq_dec.value(t)),
+                    "deconvolve differs under {par:?} at t={t}"
+                );
+            }
         }
     }
 

@@ -16,8 +16,22 @@
 //! computes exact values on a grid of `k` and extends them *conservatively*
 //! (upper results rounded up to the next grid point, lower results down), so
 //! derived bounds stay guaranteed and only lose tightness.
+//!
+//! # Performance
+//!
+//! Demand scans run over a [`PrefixSums`] table built once in `O(N)`: the
+//! sum of any window is two array reads (`p[i+k] − p[i]`), so the per-`k`
+//! scan has no loop-carried dependency and auto-vectorizes (the table stays
+//! in `u64` whenever the total demand fits, widening to `u128` only when it
+//! would wrap), and every grid size shares the same table. The independent per-`k` scans are chunked
+//! across threads by [`wcm_par::par_map`] with deterministic output
+//! ordering: the `*_with` variants take a [`Parallelism`] knob, the plain
+//! functions default to [`Parallelism::Auto`] (threads only when the work
+//! amortizes their start-up). Sequential and parallel runs produce
+//! **bit-identical** results.
 
 use crate::EventError;
+pub use wcm_par::Parallelism;
 
 /// How to trade effort against tightness in whole-curve window analysis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,7 +57,10 @@ impl WindowMode {
             WindowMode::Exact => (1..=k_max).collect(),
             WindowMode::Strided { exact_upto, stride } => {
                 let stride = stride.max(1);
-                let mut ks: Vec<usize> = (1..=exact_upto.min(k_max)).collect();
+                // Early clamp: `exact_upto ≥ k_max` covers the whole range
+                // (and an unclamped `exact_upto + stride` could overflow).
+                let exact_upto = exact_upto.min(k_max);
+                let mut ks: Vec<usize> = (1..=exact_upto).collect();
                 let mut k = exact_upto + stride;
                 while k < k_max {
                     ks.push(k);
@@ -53,6 +70,153 @@ impl WindowMode {
                     ks.push(k_max);
                 }
                 ks
+            }
+        }
+    }
+}
+
+/// Prefix-sum table over a demand sequence: `p[i]` is the sum of the first
+/// `i` values.
+///
+/// Built once in `O(N)`; afterwards the sum of **any** window `[i, i+k)` is
+/// the difference `p[i+k] − p[i]` — two array reads. All window sizes share
+/// the same table, which is what turns whole-curve construction from
+/// "rescan the trace per `k`" into "one scan per `k` over independent
+/// differences" (branch-free, vectorizable, and trivially parallel).
+///
+/// The table is adaptive: while the running total fits in `u64` (every
+/// realistic trace) it stays a narrow `Vec<u64>` whose difference scans
+/// auto-vectorize; if the total would wrap, construction transparently
+/// switches to a wide `Vec<u128>` table that cannot overflow.
+///
+/// # Example
+///
+/// ```
+/// use wcm_events::window::PrefixSums;
+///
+/// let p = PrefixSums::new(&[1, 9, 2, 8]);
+/// assert_eq!(p.window_sum(1, 2), 11); // 9 + 2
+/// assert_eq!(p.max_window_sum(2), Some(11));
+/// assert_eq!(p.min_window_sum(2), Some(10));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixSums {
+    table: Table,
+}
+
+/// Storage for the prefix table; see [`PrefixSums`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Table {
+    /// Total sum fits `u64`: differences are exact `u64` subtractions and
+    /// the per-`k` scans vectorize (u64 lanes).
+    Narrow(Vec<u64>),
+    /// Total sum exceeds `u64::MAX`: fall back to a table that cannot wrap.
+    Wide(Vec<u128>),
+}
+
+impl PrefixSums {
+    /// Builds the table in one `O(N)` pass (plus a second pass only in the
+    /// degenerate case where the total demand overflows `u64`).
+    #[must_use]
+    pub fn new(values: &[u64]) -> Self {
+        let mut prefix = Vec::with_capacity(values.len() + 1);
+        let mut acc: u64 = 0;
+        prefix.push(acc);
+        for &v in values {
+            match acc.checked_add(v) {
+                Some(next) => {
+                    acc = next;
+                    prefix.push(acc);
+                }
+                None => return Self::new_wide(values),
+            }
+        }
+        Self {
+            table: Table::Narrow(prefix),
+        }
+    }
+
+    fn new_wide(values: &[u64]) -> Self {
+        let mut prefix = Vec::with_capacity(values.len() + 1);
+        let mut acc: u128 = 0;
+        prefix.push(acc);
+        for &v in values {
+            acc += u128::from(v);
+            prefix.push(acc);
+        }
+        Self {
+            table: Table::Wide(prefix),
+        }
+    }
+
+    /// Number of underlying values.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match &self.table {
+            Table::Narrow(p) => p.len() - 1,
+            Table::Wide(p) => p.len() - 1,
+        }
+    }
+
+    /// Whether the underlying sequence is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sum of the `k` values starting at `start` (two array reads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + k` exceeds the sequence length or the sum
+    /// overflows `u64` (the table itself cannot wrap).
+    #[must_use]
+    pub fn window_sum(&self, start: usize, k: usize) -> u64 {
+        match &self.table {
+            Table::Narrow(p) => p[start + k] - p[start],
+            Table::Wide(p) => {
+                u64::try_from(p[start + k] - p[start]).expect("window sum exceeds u64::MAX")
+            }
+        }
+    }
+
+    /// Maximum sum over all windows of `k` consecutive values.
+    ///
+    /// Returns `Some(0)` for `k = 0`, `None` if `k > len()`.
+    #[must_use]
+    pub fn max_window_sum(&self, k: usize) -> Option<u64> {
+        self.scan(k, true)
+    }
+
+    /// Minimum sum over all windows of `k` consecutive values.
+    ///
+    /// Returns `Some(0)` for `k = 0`, `None` if `k > len()`.
+    #[must_use]
+    pub fn min_window_sum(&self, k: usize) -> Option<u64> {
+        self.scan(k, false)
+    }
+
+    fn scan(&self, k: usize, maximize: bool) -> Option<u64> {
+        if k == 0 {
+            return Some(0);
+        }
+        if k > self.len() {
+            return None;
+        }
+        // Independent differences p[i+k] − p[i]: no loop-carried state.
+        match &self.table {
+            Table::Narrow(p) => {
+                let diffs = p[k..].iter().zip(p).map(|(hi, lo)| hi - lo);
+                if maximize {
+                    diffs.max()
+                } else {
+                    diffs.min()
+                }
+            }
+            Table::Wide(p) => {
+                let diffs = p[k..].iter().zip(p).map(|(hi, lo)| hi - lo);
+                let best = if maximize { diffs.max() } else { diffs.min() };
+                best.map(|b| u64::try_from(b).expect("window sum exceeds u64::MAX"))
             }
         }
     }
@@ -73,7 +237,7 @@ impl WindowMode {
 /// ```
 #[must_use]
 pub fn max_window_sum(values: &[u64], k: usize) -> Option<u64> {
-    window_sum(values, k, true)
+    PrefixSums::new(values).max_window_sum(k)
 }
 
 /// Minimum sum of any `k` consecutive values, for a single `k`.
@@ -81,26 +245,11 @@ pub fn max_window_sum(values: &[u64], k: usize) -> Option<u64> {
 /// Returns 0 for `k = 0`; `None` if `k > values.len()`.
 #[must_use]
 pub fn min_window_sum(values: &[u64], k: usize) -> Option<u64> {
-    window_sum(values, k, false)
+    PrefixSums::new(values).min_window_sum(k)
 }
 
-fn window_sum(values: &[u64], k: usize, maximize: bool) -> Option<u64> {
-    if k == 0 {
-        return Some(0);
-    }
-    if k > values.len() {
-        return None;
-    }
-    let mut sum: u64 = values[..k].iter().sum();
-    let mut best = sum;
-    for i in k..values.len() {
-        sum = sum + values[i] - values[i - k];
-        best = if maximize { best.max(sum) } else { best.min(sum) };
-    }
-    Some(best)
-}
-
-/// Maximum window sums for all `k = 1 ..= k_max`, index 0 ↦ `k = 1`.
+/// Maximum window sums for all `k = 1 ..= k_max`, index 0 ↦ `k = 1`, with
+/// [`Parallelism::Auto`] threading.
 ///
 /// With [`WindowMode::Strided`], non-grid entries are filled with the value
 /// of the *next* grid point — an over-approximation, sound for upper curves
@@ -115,10 +264,26 @@ pub fn max_window_sums(
     k_max: usize,
     mode: WindowMode,
 ) -> Result<Vec<u64>, EventError> {
-    window_sums(values, k_max, mode, true)
+    max_window_sums_with(values, k_max, mode, Parallelism::Auto)
 }
 
-/// Minimum window sums for all `k = 1 ..= k_max`, index 0 ↦ `k = 1`.
+/// [`max_window_sums`] with an explicit [`Parallelism`] knob. Sequential
+/// and parallel runs return bit-identical vectors.
+///
+/// # Errors
+///
+/// Same conditions as [`max_window_sums`].
+pub fn max_window_sums_with(
+    values: &[u64],
+    k_max: usize,
+    mode: WindowMode,
+    par: Parallelism,
+) -> Result<Vec<u64>, EventError> {
+    window_sums(values, k_max, mode, true, par)
+}
+
+/// Minimum window sums for all `k = 1 ..= k_max`, index 0 ↦ `k = 1`, with
+/// [`Parallelism::Auto`] threading.
 ///
 /// With [`WindowMode::Strided`], non-grid entries are filled with the value
 /// of the *previous* grid point — an under-approximation, sound for lower
@@ -132,7 +297,22 @@ pub fn min_window_sums(
     k_max: usize,
     mode: WindowMode,
 ) -> Result<Vec<u64>, EventError> {
-    window_sums(values, k_max, mode, false)
+    min_window_sums_with(values, k_max, mode, Parallelism::Auto)
+}
+
+/// [`min_window_sums`] with an explicit [`Parallelism`] knob. Sequential
+/// and parallel runs return bit-identical vectors.
+///
+/// # Errors
+///
+/// Same conditions as [`max_window_sums`].
+pub fn min_window_sums_with(
+    values: &[u64],
+    k_max: usize,
+    mode: WindowMode,
+    par: Parallelism,
+) -> Result<Vec<u64>, EventError> {
+    window_sums(values, k_max, mode, false, par)
 }
 
 fn window_sums(
@@ -140,6 +320,7 @@ fn window_sums(
     k_max: usize,
     mode: WindowMode,
     maximize: bool,
+    par: Parallelism,
 ) -> Result<Vec<u64>, EventError> {
     if k_max == 0 || k_max > values.len() {
         return Err(EventError::InvalidParameter { name: "k_max" });
@@ -148,20 +329,43 @@ fn window_sums(
         return Err(EventError::InvalidParameter { name: "stride" });
     }
     let grid = mode.grid(k_max);
-    let mut out = vec![0u64; k_max];
+    let prefix = PrefixSums::new(values);
+    // Each grid point scans ≤ N differences; the hint lets Auto skip
+    // thread start-up for small analyses.
+    let cost = grid.len() as u64 * values.len() as u64;
+    let exact = wcm_par::par_map(par, &grid, cost, |_, &k| {
+        if maximize {
+            prefix.max_window_sum(k).expect("k ≤ len by validation")
+        } else {
+            prefix.min_window_sum(k).expect("k ≤ len by validation")
+        }
+    });
+    Ok(fill_gaps(&grid, &exact, k_max, maximize, 0u64))
+}
+
+/// Spreads exact grid values over the dense `1..=k_max` output with the
+/// conservative filling direction: gaps take the *next* grid value when
+/// maximizing (sound over-approximation for non-decreasing maxima) and the
+/// *previous* one when minimizing.
+fn fill_gaps<T: Copy>(
+    grid: &[usize],
+    exact: &[T],
+    k_max: usize,
+    take_next: bool,
+    zero: T,
+) -> Vec<T> {
+    let mut out = vec![zero; k_max];
     let mut prev_k = 0usize;
-    let mut prev_v = 0u64;
-    for &k in &grid {
-        let v = window_sum(values, k, maximize).expect("k ≤ len by validation");
-        // Fill the gap (prev_k, k): conservative direction depends on side.
+    let mut prev_v = zero;
+    for (&k, &v) in grid.iter().zip(exact) {
         for gap in prev_k + 1..k {
-            out[gap - 1] = if maximize { v } else { prev_v };
+            out[gap - 1] = if take_next { v } else { prev_v };
         }
         out[k - 1] = v;
         prev_k = k;
         prev_v = v;
     }
-    Ok(out)
+    out
 }
 
 /// Minimal time span covered by any `k` consecutive timestamps
@@ -197,36 +401,69 @@ fn span(times: &[f64], k: usize, maximize: bool) -> Option<f64> {
     if k <= 1 {
         return Some(0.0);
     }
-    let mut best = if maximize { f64::NEG_INFINITY } else { f64::INFINITY };
-    for i in 0..=(times.len() - k) {
-        let s = times[i + k - 1] - times[i];
-        best = if maximize { best.max(s) } else { best.min(s) };
-    }
-    Some(best)
+    // Like the prefix-sum scan: t[i+k−1] − t[i] are independent reads with
+    // no loop-carried state.
+    let diffs = times[k - 1..].iter().zip(times).map(|(hi, lo)| hi - lo);
+    Some(if maximize {
+        diffs.fold(f64::NEG_INFINITY, f64::max)
+    } else {
+        diffs.fold(f64::INFINITY, f64::min)
+    })
 }
 
 /// Minimal spans for all `k = 1 ..= k_max` (index 0 ↦ `k = 1`), with the
 /// same strided-conservative filling as the window sums: gaps take the
 /// *previous* grid value (an under-approximation of the span, hence an
 /// over-approximation of the event count per Δ — sound for upper arrival
-/// curves).
+/// curves). Runs with [`Parallelism::Auto`] threading.
 ///
 /// # Errors
 ///
 /// Returns [`EventError::InvalidParameter`] if `k_max` is 0 or exceeds the
 /// number of timestamps, or if a strided mode has `stride = 0`.
 pub fn min_spans(times: &[f64], k_max: usize, mode: WindowMode) -> Result<Vec<f64>, EventError> {
-    spans(times, k_max, mode, false)
+    min_spans_with(times, k_max, mode, Parallelism::Auto)
+}
+
+/// [`min_spans`] with an explicit [`Parallelism`] knob. Sequential and
+/// parallel runs return bit-identical vectors.
+///
+/// # Errors
+///
+/// Same conditions as [`min_spans`].
+pub fn min_spans_with(
+    times: &[f64],
+    k_max: usize,
+    mode: WindowMode,
+    par: Parallelism,
+) -> Result<Vec<f64>, EventError> {
+    spans(times, k_max, mode, false, par)
 }
 
 /// Maximal spans for all `k = 1 ..= k_max`; gaps take the *next* grid value
-/// (over-approximation of the span — sound for lower arrival curves).
+/// (over-approximation of the span — sound for lower arrival curves). Runs
+/// with [`Parallelism::Auto`] threading.
 ///
 /// # Errors
 ///
 /// Same conditions as [`min_spans`].
 pub fn max_spans(times: &[f64], k_max: usize, mode: WindowMode) -> Result<Vec<f64>, EventError> {
-    spans(times, k_max, mode, true)
+    max_spans_with(times, k_max, mode, Parallelism::Auto)
+}
+
+/// [`max_spans`] with an explicit [`Parallelism`] knob. Sequential and
+/// parallel runs return bit-identical vectors.
+///
+/// # Errors
+///
+/// Same conditions as [`min_spans`].
+pub fn max_spans_with(
+    times: &[f64],
+    k_max: usize,
+    mode: WindowMode,
+    par: Parallelism,
+) -> Result<Vec<f64>, EventError> {
+    spans(times, k_max, mode, true, par)
 }
 
 fn spans(
@@ -234,6 +471,7 @@ fn spans(
     k_max: usize,
     mode: WindowMode,
     maximize: bool,
+    par: Parallelism,
 ) -> Result<Vec<f64>, EventError> {
     if k_max == 0 || k_max > times.len() {
         return Err(EventError::InvalidParameter { name: "k_max" });
@@ -242,19 +480,11 @@ fn spans(
         return Err(EventError::InvalidParameter { name: "stride" });
     }
     let grid = mode.grid(k_max);
-    let mut out = vec![0.0f64; k_max];
-    let mut prev_k = 0usize;
-    let mut prev_v = 0.0f64;
-    for &k in &grid {
-        let v = span(times, k, maximize).expect("k ≤ len by validation");
-        for gap in prev_k + 1..k {
-            out[gap - 1] = if maximize { v } else { prev_v };
-        }
-        out[k - 1] = v;
-        prev_k = k;
-        prev_v = v;
-    }
-    Ok(out)
+    let cost = grid.len() as u64 * times.len() as u64;
+    let exact = wcm_par::par_map(par, &grid, cost, |_, &k| {
+        span(times, k, maximize).expect("k ≤ len by validation")
+    });
+    Ok(fill_gaps(&grid, &exact, k_max, maximize, 0.0f64))
 }
 
 #[cfg(test)]
@@ -262,6 +492,24 @@ mod tests {
     use super::*;
 
     const V: [u64; 8] = [5, 1, 1, 9, 9, 1, 1, 5];
+
+    /// The pre-prefix-sum implementation (one sliding-window rescan per
+    /// `k`), kept verbatim as an oracle for the new scan.
+    fn window_sum_sliding_oracle(values: &[u64], k: usize, maximize: bool) -> Option<u64> {
+        if k == 0 {
+            return Some(0);
+        }
+        if k > values.len() {
+            return None;
+        }
+        let mut sum: u64 = values[..k].iter().sum();
+        let mut best = sum;
+        for i in k..values.len() {
+            sum = sum + values[i] - values[i - k];
+            best = if maximize { best.max(sum) } else { best.min(sum) };
+        }
+        Some(best)
+    }
 
     #[test]
     fn single_window_sums() {
@@ -273,6 +521,107 @@ mod tests {
         assert_eq!(min_window_sum(&V, 8), Some(32));
         assert_eq!(max_window_sum(&V, 9), None);
         assert_eq!(max_window_sum(&V, 0), Some(0));
+    }
+
+    #[test]
+    fn prefix_scan_matches_sliding_oracle() {
+        // Deterministic pseudo-random trace exercising both directions.
+        let mut x = 0x2545_F491_4F6C_DD1Du64;
+        let values: Vec<u64> = (0..257)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x % 10_000
+            })
+            .collect();
+        let p = PrefixSums::new(&values);
+        for k in 0..=values.len() + 1 {
+            assert_eq!(
+                p.max_window_sum(k),
+                window_sum_sliding_oracle(&values, k, true),
+                "max mismatch at k={k}"
+            );
+            assert_eq!(
+                p.min_window_sum(k),
+                window_sum_sliding_oracle(&values, k, false),
+                "min mismatch at k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_sums_handle_huge_values_without_table_overflow() {
+        // Total sum exceeds u64 (would wrap a u64 prefix table), but each
+        // window of 1 still fits.
+        let big = u64::MAX / 2;
+        let values = [big, big, big];
+        let p = PrefixSums::new(&values);
+        assert_eq!(p.max_window_sum(1), Some(big));
+        assert_eq!(p.min_window_sum(1), Some(big));
+        assert_eq!(p.window_sum(2, 1), big);
+    }
+
+    #[test]
+    fn narrow_and_wide_tables_agree_at_the_boundary() {
+        // Total exactly u64::MAX: still the narrow u64 table.
+        let narrow = [u64::MAX - 10, 4, 6];
+        let p = PrefixSums::new(&narrow);
+        assert!(matches!(p.table, Table::Narrow(_)));
+        assert_eq!(p.max_window_sum(2), Some(u64::MAX - 6));
+        assert_eq!(p.min_window_sum(2), Some(10));
+        // One more unit of demand: wide fallback, same per-window answers.
+        let wide = [u64::MAX - 10, 4, 7];
+        let p = PrefixSums::new(&wide);
+        assert!(matches!(p.table, Table::Wide(_)));
+        assert_eq!(p.max_window_sum(2), Some(u64::MAX - 6));
+        assert_eq!(p.min_window_sum(2), Some(11));
+        assert_eq!(p.window_sum(1, 2), 11);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bit_for_bit() {
+        let values: Vec<u64> = (0..500).map(|i| (i * 7919) % 1000).collect();
+        let times: Vec<f64> = (0..500).map(|i| (i as f64).sqrt() * 2.5).collect();
+        for mode in [
+            WindowMode::Exact,
+            WindowMode::Strided {
+                exact_upto: 10,
+                stride: 7,
+            },
+        ] {
+            let seq = max_window_sums_with(&values, 500, mode, Parallelism::Seq).unwrap();
+            let seq_min = min_window_sums_with(&values, 500, mode, Parallelism::Seq).unwrap();
+            let seq_sp = min_spans_with(&times, 500, mode, Parallelism::Seq).unwrap();
+            let seq_sp_max = max_spans_with(&times, 500, mode, Parallelism::Seq).unwrap();
+            for par in [
+                Parallelism::Threads(2),
+                Parallelism::Threads(3),
+                Parallelism::Threads(16),
+                Parallelism::Auto,
+            ] {
+                assert_eq!(
+                    max_window_sums_with(&values, 500, mode, par).unwrap(),
+                    seq,
+                    "max sums differ under {par:?} {mode:?}"
+                );
+                assert_eq!(
+                    min_window_sums_with(&values, 500, mode, par).unwrap(),
+                    seq_min,
+                    "min sums differ under {par:?} {mode:?}"
+                );
+                assert_eq!(
+                    min_spans_with(&times, 500, mode, par).unwrap(),
+                    seq_sp,
+                    "min spans differ under {par:?} {mode:?}"
+                );
+                assert_eq!(
+                    max_spans_with(&times, 500, mode, par).unwrap(),
+                    seq_sp_max,
+                    "max spans differ under {par:?} {mode:?}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -339,6 +688,41 @@ mod tests {
         }
         .grid(11);
         assert_eq!(grid, vec![1, 2, 3, 7, 11]);
+    }
+
+    #[test]
+    fn strided_grid_clamps_exact_upto_at_kmax() {
+        // exact_upto = k_max: plain dense grid, no point beyond k_max.
+        let grid = WindowMode::Strided {
+            exact_upto: 6,
+            stride: 3,
+        }
+        .grid(6);
+        assert_eq!(grid, vec![1, 2, 3, 4, 5, 6]);
+        // exact_upto > k_max: same, and no overflow even at usize::MAX.
+        let grid = WindowMode::Strided {
+            exact_upto: 9,
+            stride: 3,
+        }
+        .grid(6);
+        assert_eq!(grid, vec![1, 2, 3, 4, 5, 6]);
+        let grid = WindowMode::Strided {
+            exact_upto: usize::MAX,
+            stride: 1,
+        }
+        .grid(4);
+        assert_eq!(grid, vec![1, 2, 3, 4]);
+        // The clamped grids drive the full analysis without error.
+        let sums = max_window_sums(
+            &V,
+            6,
+            WindowMode::Strided {
+                exact_upto: 8,
+                stride: 2,
+            },
+        )
+        .unwrap();
+        assert_eq!(sums, max_window_sums(&V, 6, WindowMode::Exact).unwrap());
     }
 
     #[test]

@@ -1,0 +1,271 @@
+//! Zero-dependency data-parallel runtime.
+//!
+//! The analysis hot paths of this workspace (window scans over traces,
+//! min-plus branch envelopes) are embarrassingly parallel maps over
+//! independent items. This crate provides exactly that — nothing more — on
+//! top of [`std::thread::scope`], so the workspace stays free of external
+//! runtime dependencies (the build environment is offline; see
+//! `vendor/README.md`).
+//!
+//! # Determinism
+//!
+//! [`par_map`] and [`par_map_reduce`] partition the input into contiguous
+//! chunks, one per worker, and each worker writes results only into its own
+//! pre-assigned output slots (or folds its own chunk in input order). The
+//! combined result is therefore **identical to the sequential result** —
+//! same values, same order — for any worker count, as long as the map
+//! function is a pure function of `(index, item)` and the reduction is
+//! associative.
+//!
+//! # Choosing a worker count
+//!
+//! [`Parallelism`] is a small knob threaded through the public APIs of the
+//! analysis crates:
+//!
+//! * [`Parallelism::Seq`] — run inline on the caller's thread;
+//! * [`Parallelism::Threads(n)`] — exactly `n` workers;
+//! * [`Parallelism::Auto`] — [`std::thread::available_parallelism`]
+//!   workers, but only when the caller's cost hint says the work dwarfs
+//!   thread start-up (≈ 50–100 µs per worker).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+
+/// Work below this many "unit operations" (caller-estimated) runs
+/// sequentially under [`Parallelism::Auto`]: thread start-up would dominate.
+pub const AUTO_SEQ_THRESHOLD_OPS: u64 = 1 << 20;
+
+/// How to split data-parallel work across threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Run on the calling thread.
+    Seq,
+    /// Use exactly this many workers (`0` is treated as `1`).
+    Threads(usize),
+    /// Use all available cores when the work is large enough to amortize
+    /// thread start-up, otherwise run sequentially.
+    #[default]
+    Auto,
+}
+
+impl Parallelism {
+    /// Parses a CLI-style value: `"auto"`/`"0"` → [`Parallelism::Auto`],
+    /// `"1"` → [`Parallelism::Seq`], `"n"` → [`Parallelism::Threads`]`(n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending string if it is neither `auto` nor an integer.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "auto" | "Auto" | "AUTO" => Ok(Self::Auto),
+            _ => match s.parse::<usize>() {
+                Ok(0) => Ok(Self::Auto),
+                Ok(1) => Ok(Self::Seq),
+                Ok(n) => Ok(Self::Threads(n)),
+                Err(_) => Err(format!("invalid thread count `{s}` (expected `auto` or N)")),
+            },
+        }
+    }
+
+    /// The number of workers to use for `items` items whose total cost is
+    /// roughly `cost_hint_ops` unit operations.
+    #[must_use]
+    pub fn workers(self, items: usize, cost_hint_ops: u64) -> usize {
+        let hard = match self {
+            Self::Seq => 1,
+            Self::Threads(n) => n.max(1),
+            Self::Auto => {
+                if cost_hint_ops < AUTO_SEQ_THRESHOLD_OPS {
+                    1
+                } else {
+                    std::thread::available_parallelism()
+                        .map(NonZeroUsize::get)
+                        .unwrap_or(1)
+                }
+            }
+        };
+        hard.min(items.max(1))
+    }
+}
+
+/// Maps `f` over `items` with deterministic output ordering:
+/// `out[i] = f(i, &items[i])` exactly as in the sequential loop.
+///
+/// `cost_hint_ops` estimates the total work in unit operations (e.g.
+/// `items × inner-loop length`); [`Parallelism::Auto`] uses it to decide
+/// whether threads are worth starting.
+pub fn par_map<T, U, F>(par: Parallelism, items: &[T], cost_hint_ops: u64, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let workers = par.workers(items.len(), cost_hint_ops);
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut out: Vec<Option<U>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        for (w, (in_chunk, out_chunk)) in items.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate()
+        {
+            let f = &f;
+            scope.spawn(move || {
+                let base = w * chunk;
+                for (j, (item, slot)) in in_chunk.iter().zip(out_chunk.iter_mut()).enumerate() {
+                    *slot = Some(f(base + j, item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("every chunk fills its own slots"))
+        .collect()
+}
+
+/// Maps `f` over `items` and folds the results with the associative
+/// operation `reduce`, preserving input order inside and across chunks
+/// (`((r0 ⊕ r1) ⊕ r2) ⊕ …` in index order). Returns `None` for empty input.
+///
+/// For an associative `reduce` the result equals the sequential
+/// left-to-right fold; if `reduce` is only *approximately* associative
+/// (e.g. floating-point envelopes), results may differ across worker counts
+/// by the usual re-association error.
+pub fn par_map_reduce<T, U, F, R>(
+    par: Parallelism,
+    items: &[T],
+    cost_hint_ops: u64,
+    f: F,
+    reduce: R,
+) -> Option<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+    R: Fn(U, U) -> U + Sync,
+{
+    let workers = par.workers(items.len(), cost_hint_ops);
+    if workers <= 1 || items.len() <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .reduce(&reduce);
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut partials: Vec<Option<U>> = Vec::with_capacity(workers);
+    partials.resize_with(items.chunks(chunk).len(), || None);
+    std::thread::scope(|scope| {
+        for (w, (in_chunk, slot)) in items.chunks(chunk).zip(partials.iter_mut()).enumerate() {
+            let f = &f;
+            let reduce = &reduce;
+            scope.spawn(move || {
+                let base = w * chunk;
+                *slot = in_chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(j, item)| f(base + j, item))
+                    .reduce(reduce);
+            });
+        }
+    });
+    partials
+        .into_iter()
+        .map(|slot| slot.expect("non-empty chunks produce a partial"))
+        .reduce(&reduce)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_knob() {
+        assert_eq!(Parallelism::parse("auto").unwrap(), Parallelism::Auto);
+        assert_eq!(Parallelism::parse("0").unwrap(), Parallelism::Auto);
+        assert_eq!(Parallelism::parse("1").unwrap(), Parallelism::Seq);
+        assert_eq!(Parallelism::parse("4").unwrap(), Parallelism::Threads(4));
+        assert!(Parallelism::parse("four").is_err());
+    }
+
+    #[test]
+    fn workers_respect_mode_and_items() {
+        assert_eq!(Parallelism::Seq.workers(100, u64::MAX), 1);
+        assert_eq!(Parallelism::Threads(8).workers(100, 0), 8);
+        assert_eq!(Parallelism::Threads(8).workers(3, u64::MAX), 3);
+        assert_eq!(Parallelism::Threads(0).workers(5, 0), 1);
+        // Auto stays sequential below the cost threshold.
+        assert_eq!(Parallelism::Auto.workers(100, 10), 1);
+        assert!(Parallelism::Auto.workers(100, u64::MAX) >= 1);
+    }
+
+    #[test]
+    fn par_map_matches_sequential_for_all_worker_counts() {
+        let items: Vec<u64> = (0..1_003).collect();
+        let expect: Vec<u64> = items.iter().enumerate().map(|(i, v)| v * 3 + i as u64).collect();
+        for par in [
+            Parallelism::Seq,
+            Parallelism::Threads(1),
+            Parallelism::Threads(2),
+            Parallelism::Threads(3),
+            Parallelism::Threads(7),
+            Parallelism::Threads(64),
+            Parallelism::Auto,
+        ] {
+            let got = par_map(par, &items, u64::MAX, |i, v| v * 3 + i as u64);
+            assert_eq!(got, expect, "mismatch under {par:?}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_tiny_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(Parallelism::Threads(4), &empty, u64::MAX, |_, v| *v).is_empty());
+        assert_eq!(
+            par_map(Parallelism::Threads(4), &[9u32], u64::MAX, |_, v| v + 1),
+            vec![10]
+        );
+    }
+
+    #[test]
+    fn par_map_reduce_matches_sequential_fold() {
+        let items: Vec<u64> = (1..=500).collect();
+        let expect = items.iter().sum::<u64>();
+        for par in [
+            Parallelism::Seq,
+            Parallelism::Threads(2),
+            Parallelism::Threads(5),
+            Parallelism::Threads(100),
+        ] {
+            let got = par_map_reduce(par, &items, u64::MAX, |_, v| *v, |a, b| a + b);
+            assert_eq!(got, Some(expect), "mismatch under {par:?}");
+        }
+        let empty: Vec<u64> = vec![];
+        assert_eq!(
+            par_map_reduce(Parallelism::Threads(2), &empty, 0, |_, v| *v, |a, b| a + b),
+            None
+        );
+    }
+
+    #[test]
+    fn par_map_reduce_keeps_chunk_order_for_noncommutative_ops() {
+        // String concatenation is associative but NOT commutative: any
+        // chunk reordering would corrupt the result.
+        let items: Vec<String> = (0..57).map(|i| format!("{i},")).collect();
+        let expect = items.concat();
+        for threads in [2usize, 3, 8, 57] {
+            let got = par_map_reduce(
+                Parallelism::Threads(threads),
+                &items,
+                u64::MAX,
+                |_, s| s.clone(),
+                |a, b| a + &b,
+            )
+            .unwrap();
+            assert_eq!(got, expect, "order broken with {threads} workers");
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! Offline stand-in for the parts of `criterion` 0.5 this workspace uses.
+//!
+//! Implements a real wall-clock measurement loop (warm-up, batched
+//! sampling, mean/min report) behind the familiar `criterion_group!` /
+//! `criterion_main!` / `bench_function` / `benchmark_group` API. Reports
+//! one line per benchmark on stdout, and appends a JSON line per benchmark
+//! to the file named by the `WCM_BENCH_JSON` environment variable when set
+//! (used by `scripts/` to build `BENCH_curves.json`).
+//!
+//! Supported CLI flags: `--warm-up-time <s>`, `--measurement-time <s>`,
+//! `--sample-size <n>` (accepted, ignored), `--quick`, `--bench`, plus a
+//! positional substring filter. Unknown `--flags` are ignored.
+
+#![forbid(unsafe_code)]
+
+pub use std::hint::black_box;
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only identifier.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handed to the benchmark closure.
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    mean_ns: f64,
+    min_ns: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records its mean/min time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up with geometric growth, which also calibrates the batch
+        // size so one batch costs ≈ 1/20 of the measurement budget.
+        let mut batch: u64 = 1;
+        let warm_started = Instant::now();
+        let per_iter_ns;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if warm_started.elapsed() >= self.warm_up {
+                per_iter_ns = elapsed.as_nanos() as f64 / batch as f64;
+                break;
+            }
+            if elapsed < Duration::from_millis(5) {
+                batch = batch.saturating_mul(2);
+            }
+        }
+        let target_batch_ns = (self.measure.as_nanos() as f64 / 20.0).max(1.0);
+        let batch = ((target_batch_ns / per_iter_ns.max(1.0)).ceil() as u64).clamp(1, 1 << 24);
+        let mut total_ns = 0.0f64;
+        let mut iters = 0u64;
+        let mut min_ns = f64::INFINITY;
+        let started = Instant::now();
+        while started.elapsed() < self.measure || iters == 0 {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let ns = t.elapsed().as_nanos() as f64;
+            total_ns += ns;
+            iters += batch;
+            min_ns = min_ns.min(ns / batch as f64);
+        }
+        self.mean_ns = total_ns / iters as f64;
+        self.min_ns = min_ns;
+        self.iterations = iters;
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            filter: None,
+            warm_up: Duration::from_millis(500),
+            measure: Duration::from_millis(1500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies the supported command-line flags.
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--warm-up-time" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse::<f64>().ok()) {
+                        self.warm_up = Duration::from_secs_f64(v.max(0.01));
+                    }
+                }
+                "--measurement-time" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse::<f64>().ok()) {
+                        self.measure = Duration::from_secs_f64(v.max(0.01));
+                    }
+                }
+                "--sample-size" | "--save-baseline" | "--baseline" => {
+                    let _ = args.next();
+                }
+                "--quick" => {
+                    self.warm_up = Duration::from_millis(100);
+                    self.measure = Duration::from_millis(300);
+                }
+                other if other.starts_with("--") => {}
+                other => self.filter = Some(other.to_string()),
+            }
+        }
+        self
+    }
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measure: self.measure,
+            mean_ns: f64::NAN,
+            min_ns: f64::NAN,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        println!(
+            "{id:<56} time: [{} mean, {} min, {} iters]",
+            format_time(bencher.mean_ns),
+            format_time(bencher.min_ns),
+            bencher.iterations
+        );
+        if let Ok(path) = std::env::var("WCM_BENCH_JSON") {
+            if let Ok(mut file) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                let _ = writeln!(
+                    file,
+                    "{{\"id\":\"{id}\",\"mean_ns\":{:.1},\"min_ns\":{:.1},\"iterations\":{}}}",
+                    bencher.mean_ns, bencher.min_ns, bencher.iterations
+                );
+            }
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        self.run(id, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.run(&full, &mut |b| f(b, input));
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run(&full, &mut |b| f(b));
+        self
+    }
+
+    /// Overrides the group's measurement time.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measure = d;
+        self
+    }
+
+    /// Overrides the group's warm-up time.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.warm_up = d;
+        self
+    }
+
+    /// Accepted for API compatibility; sampling is time-driven here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group-runner function calling each benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &n| {
+            b.iter(|| black_box(n * n))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn measurement_loop_produces_finite_times() {
+        let mut c = Criterion {
+            filter: None,
+            warm_up: Duration::from_millis(10),
+            measure: Duration::from_millis(20),
+        };
+        target(&mut c);
+        let mut b = Bencher {
+            warm_up: Duration::from_millis(5),
+            measure: Duration::from_millis(10),
+            mean_ns: f64::NAN,
+            min_ns: f64::NAN,
+            iterations: 0,
+        };
+        b.iter(|| black_box(2u64.pow(10)));
+        assert!(b.mean_ns.is_finite() && b.mean_ns > 0.0);
+        assert!(b.min_ns <= b.mean_ns * 1.5);
+        assert!(b.iterations > 0);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("no_such_bench".into()),
+            warm_up: Duration::from_millis(1),
+            measure: Duration::from_millis(1),
+        };
+        // Would take noticeable time if not filtered; a panic inside the
+        // closure would also fail the test if it ran.
+        c.bench_function("other", |_b| panic!("must be filtered out"));
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("exact", "N10_K2").id, "exact/N10_K2");
+        assert_eq!(BenchmarkId::from_parameter(64).id, "64");
+    }
+}

@@ -1,0 +1,227 @@
+//! Offline stand-in for the parts of `rand` 0.8 this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! patches `rand` to this vendored subset (see `vendor/README.md`). Only
+//! the API surface exercised by the repo is provided: [`RngCore`],
+//! [`Rng::gen_range`] / [`Rng::gen_bool`] / [`Rng::gen`], and
+//! [`SeedableRng::seed_from_u64`]. Distribution quality matches what the
+//! tests need (uniform, deterministic per seed) rather than the upstream
+//! bit-for-bit streams.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random-number source: a 64-bit generator.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A uniform double in `[0, 1)` built from the top 53 bits.
+fn unit_f64(rng: &mut (impl RngCore + ?Sized)) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) as f64))
+}
+
+/// Types producible by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws a uniform value of this type.
+    fn draw(rng: &mut (impl RngCore + ?Sized)) -> Self;
+}
+
+impl Standard for f64 {
+    fn draw(rng: &mut (impl RngCore + ?Sized)) -> Self {
+        unit_f64(rng)
+    }
+}
+
+impl Standard for f32 {
+    fn draw(rng: &mut (impl RngCore + ?Sized)) -> Self {
+        unit_f64(rng) as f32
+    }
+}
+
+impl Standard for u64 {
+    fn draw(rng: &mut (impl RngCore + ?Sized)) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn draw(rng: &mut (impl RngCore + ?Sized)) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn draw(rng: &mut (impl RngCore + ?Sized)) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that can be sampled uniformly (`Range` and `RangeInclusive` of
+/// the primitive numeric types).
+pub trait SampleRange<T> {
+    /// Draws a uniform value from the range.
+    ///
+    /// Panics on empty ranges, mirroring upstream `rand`.
+    fn sample(self, rng: &mut (impl RngCore + ?Sized)) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut (impl RngCore + ?Sized)) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut (impl RngCore + ?Sized)) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut (impl RngCore + ?Sized)) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                self.start + (unit_f64(rng) as $t) * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut (impl RngCore + ?Sized)) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                lo + (unit_f64(rng) as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f32, f64);
+
+/// Convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform value from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (`p` clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        unit_f64(self) < p
+    }
+
+    /// A uniform value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Generators constructible from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The `rand::rngs` module namespace (subset).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast standard generator (splitmix64-seeded xorshift128+).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s0: u64,
+        s1: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s0: next(),
+                s1: next() | 1,
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.s0;
+            let y = self.s1;
+            self.s0 = y;
+            x ^= x << 23;
+            self.s1 = x ^ y ^ (x >> 17) ^ (y >> 26);
+            self.s1.wrapping_add(y)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: u64 = rng.gen_range(150..4_000);
+            assert!((150..4_000).contains(&v));
+            let f: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let g: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&g));
+            let i: i64 = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "got {hits}");
+    }
+}

@@ -1,0 +1,150 @@
+//! Offline stand-in for `rand_chacha` 0.3: a genuine ChaCha8 block cipher
+//! core behind the [`ChaCha8Rng`] name.
+//!
+//! The keystream is deterministic per seed but does **not** reproduce the
+//! upstream crate's exact byte stream (the upstream seed-expansion differs);
+//! every consumer in this workspace only relies on determinism and uniform
+//! statistics, both of which hold here.
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// ChaCha with 8 rounds, exposed as a 64-bit random source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaCha8Rng {
+    /// Cipher input block: constants, key, counter, nonce.
+    input: [u32; 16],
+    /// Buffered keystream words of the current block.
+    buffer: [u32; 16],
+    /// Next unread index into `buffer` (16 ⇒ refill).
+    cursor: usize,
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.input;
+        for _ in 0..4 {
+            // 8 rounds = 4 double-rounds (column + diagonal).
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, inp)) in self.buffer.iter_mut().zip(working.iter().zip(&self.input)) {
+            *out = w.wrapping_add(*inp);
+        }
+        // 64-bit block counter in words 12/13.
+        let (lo, carry) = self.input[12].overflowing_add(1);
+        self.input[12] = lo;
+        if carry {
+            self.input[13] = self.input[13].wrapping_add(1);
+        }
+        self.cursor = 0;
+    }
+
+    fn next_word(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let w = self.buffer[self.cursor];
+        self.cursor += 1;
+        w
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Expand the 64-bit seed into a 256-bit key with splitmix64.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut input = [0u32; 16];
+        // "expand 32-byte k" constants.
+        input[0] = 0x6170_7865;
+        input[1] = 0x3320_646E;
+        input[2] = 0x7962_2D32;
+        input[3] = 0x6B20_6574;
+        for i in 0..4 {
+            let k = next();
+            input[4 + 2 * i] = k as u32;
+            input[5 + 2 * i] = (k >> 32) as u32;
+        }
+        // Counter and nonce start at zero.
+        Self {
+            input,
+            buffer: [0; 16],
+            cursor: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        (hi << 32) | lo
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed_and_seed_sensitive() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn keystream_is_roughly_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut ones = 0u32;
+        for _ in 0..1_000 {
+            ones += rng.next_u64().count_ones();
+        }
+        // 64 000 bits, expect ~32 000 set.
+        assert!((30_000..34_000).contains(&ones), "got {ones}");
+    }
+
+    #[test]
+    fn works_through_rand_traits() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let v: f64 = rng.gen_range(0.0..1.0);
+        assert!((0.0..1.0).contains(&v));
+        let _ = rng.gen_bool(0.5);
+    }
+}

@@ -1,0 +1,11 @@
+//! Offline placeholder for `serde`.
+//!
+//! `serde` is an *optional* dependency of the wcm crates (behind their
+//! `serde` features, off by default). The offline build environment cannot
+//! fetch the real crate, but Cargo still resolves optional dependencies, so
+//! this placeholder exists purely to satisfy resolution. It provides no
+//! derive macros: building the workspace **with** `--features serde`
+//! requires the real `serde` and is unsupported offline (see
+//! `vendor/README.md`).
+
+#![forbid(unsafe_code)]
