@@ -61,7 +61,7 @@ fn bench_event_queue(c: &mut Criterion) {
         b.iter(|| {
             let mut q = wcm_sim::engine::EventQueue::new();
             for i in 0..100_000u32 {
-                q.push(f64::from(i % 977), i);
+                q.push(f64::from(i % 977), i).unwrap();
             }
             let mut acc = 0u64;
             while let Some((_, v)) = q.pop() {

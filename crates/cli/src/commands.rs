@@ -1,13 +1,16 @@
 //! Subcommand implementations.
 
 use crate::args::Options;
+use crate::error::CliError;
 use crate::io;
 use std::path::Path;
 use wcm_core::curve::{LowerWorkloadCurve, UpperWorkloadCurve};
 use wcm_core::polling::PollingTask;
 use wcm_core::sizing;
+use wcm_core::EnvelopeMonitor;
 use wcm_events::window::{max_window_sums_with, min_window_sums_with, min_spans_with, WindowMode};
 use wcm_events::Cycles;
+use wcm_sim::{FaultPlan, FifoConfig, Injector, OverflowPolicy, ProcessingElement, SourceModel};
 
 /// Usage text shown by `help` and on errors.
 pub const USAGE: &str = "usage: wcm-cli <subcommand> [--option value]...
@@ -25,7 +28,24 @@ subcommands:
            synthesize one of the 14 standard clips (use --clip list)
   pipeline --clip NAME --gops N --pe1-mhz X --pe2-mhz Y [--capacity C]
            simulate the two-PE decoder pipeline on a synthesized clip
+  faults   --clip NAME --gops N --pe1-mhz X --pe2-mhz Y [--capacity C]
+           [--policy backpressure|reject|drop-priority] [--seed S]
+           [--inject SPEC[;SPEC...]] [--monitor on|off] [--k K]
+           pipeline simulation under seeded fault injection with an
+           online gamma_u envelope monitor (exit 4 on violations)
   help     this text
+
+inject specs (name:key=val,key=val):
+  jitter:start=I,len=N,delay=SECONDS   arrival jitter burst
+  drop:pm=P                            drop events, P/1000 probability
+  dup:pm=P                             duplicate events
+  spike:start=I,len=N,factor=PCT       scale PE2 demands to PCT percent
+  drift:pe=1|2,start=I,len=N,factor=PCT  clock drift (PCT >= 100)
+  stall:pe=1|2,at=I,extra=SECONDS      one-off stall window
+  biterr:pm=P                          channel bit errors
+
+exit codes: 0 ok, 1 analysis error, 2 usage, 3 bad input file,
+            4 monitor violations
 
 options:
   --threads T   worker threads for the window scans: `auto' (default; all
@@ -43,7 +63,7 @@ fn mode(opts: &Options) -> Result<WindowMode, String> {
 }
 
 /// `curves` subcommand.
-pub fn curves(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+pub fn curves(opts: &Options) -> Result<(), CliError> {
     let demands = io::read_demands(Path::new(opts.required("demands")?))?;
     let k_max = opts.required_usize("k")?;
     let mode = mode(opts)?;
@@ -65,7 +85,7 @@ pub fn curves(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 /// `arrival` subcommand.
-pub fn arrival(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+pub fn arrival(opts: &Options) -> Result<(), CliError> {
     let times = io::read_times(Path::new(opts.required("times")?))?;
     let k_max = opts.required_usize("k")?;
     let spans = min_spans_with(&times, k_max, WindowMode::Exact, opts.parallelism()?)?;
@@ -77,7 +97,7 @@ pub fn arrival(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 /// `fmin` subcommand.
-pub fn fmin(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+pub fn fmin(opts: &Options) -> Result<(), CliError> {
     let times = io::read_times(Path::new(opts.required("times")?))?;
     let demands = io::read_demands(Path::new(opts.required("demands")?))?;
     if times.len() != demands.len() {
@@ -113,7 +133,7 @@ pub fn fmin(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 /// `polling` subcommand.
-pub fn polling(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+pub fn polling(opts: &Options) -> Result<(), CliError> {
     let task = PollingTask::new(
         opts.required_f64("period")?,
         opts.required_f64("theta-min")?,
@@ -134,7 +154,7 @@ pub fn polling(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 /// `mpeg` subcommand.
-pub fn mpeg(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+pub fn mpeg(opts: &Options) -> Result<(), CliError> {
     let name = opts.required("clip")?;
     let clips = wcm_mpeg::profile::standard_clips();
     if name == "list" {
@@ -176,7 +196,7 @@ pub fn mpeg(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 /// `pipeline` subcommand.
-pub fn pipeline(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+pub fn pipeline(opts: &Options) -> Result<(), CliError> {
     let name = opts.required("clip")?;
     let profile = wcm_mpeg::profile::standard_clips()
         .into_iter()
@@ -215,12 +235,294 @@ pub fn pipeline(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn write_u64s(path: &Path, values: &[u64]) -> Result<(), String> {
-    use std::io::Write;
-    let mut f = std::fs::File::create(path)
-        .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
-    for v in values {
-        writeln!(f, "{v}").map_err(|e| format!("write failed: {e}"))?;
+/// `faults` subcommand: the robust pipeline under seeded fault injection,
+/// bounded-FIFO degradation and an online γᵘ envelope monitor.
+pub fn faults(opts: &Options) -> Result<(), CliError> {
+    let name = opts.required("clip")?;
+    let profile = wcm_mpeg::profile::standard_clips()
+        .into_iter()
+        .find(|c| c.name == name)
+        .ok_or_else(|| format!("unknown clip `{name}` (try `mpeg --clip list`)"))?;
+    let gops = opts.required_usize("gops")?;
+    let params = wcm_mpeg::VideoParams::main_profile_main_level()?;
+    let clip = wcm_mpeg::Synthesizer::new(params).generate(&profile, gops)?;
+    let cfg = wcm_sim::PipelineConfig {
+        bitrate_bps: params.bitrate_bps(),
+        pe1_hz: opts.required_f64("pe1-mhz")? * 1e6,
+        pe2_hz: opts.required_f64("pe2-mhz")? * 1e6,
+    };
+
+    let policy = match opts.optional("policy").unwrap_or("backpressure") {
+        "backpressure" => OverflowPolicy::Backpressure,
+        "reject" => OverflowPolicy::Reject,
+        "drop-priority" => OverflowPolicy::DropByPriority,
+        other => {
+            return Err(CliError::Usage(format!(
+                "--policy: `{other}` is not backpressure|reject|drop-priority"
+            )))
+        }
+    };
+    let fifo = match opts.optional("capacity") {
+        Some(c) => FifoConfig::bounded(
+            c.parse::<u64>().map_err(|e| format!("--capacity: {e}"))?,
+            policy,
+        ),
+        None => FifoConfig::unbounded(),
+    };
+
+    let seed = match opts.optional("seed") {
+        Some(s) => s.parse::<u64>().map_err(|e| format!("--seed: {e}"))?,
+        None => 0,
+    };
+    let mut plan = FaultPlan::new(seed);
+    if let Some(specs) = opts.optional("inject") {
+        for spec in specs.split(';').filter(|s| !s.is_empty()) {
+            plan = plan.with(parse_injector(spec)?);
+        }
+    }
+
+    let monitor_on = match opts.optional("monitor").unwrap_or("on") {
+        "on" => true,
+        "off" => false,
+        other => {
+            return Err(CliError::Usage(format!(
+                "--monitor: `{other}` is not on|off"
+            )))
+        }
+    };
+    let k_max = opts.usize_or("k", 64)?;
+    let mut monitor = if monitor_on {
+        // γᵘ measured on the clean clip: the monitor then checks that the
+        // (possibly faulted) consumed stream stays inside its own envelope.
+        let gamma = UpperWorkloadCurve::new(max_window_sums_with(
+            &clip.pe2_demands(),
+            k_max,
+            WindowMode::Exact,
+            opts.parallelism()?,
+        )?)?;
+        Some(EnvelopeMonitor::upper_only(&gamma, k_max)?)
+    } else {
+        None
+    };
+
+    let result = wcm_sim::simulate_pipeline_robust(
+        &clip,
+        &cfg,
+        &fifo,
+        SourceModel::Cbr,
+        Some(&plan),
+        monitor.as_mut(),
+    )?;
+
+    println!("clip {name}");
+    println!("seed {seed}");
+    println!(
+        "policy {}",
+        match (fifo.capacity, policy) {
+            (None, _) => "unbounded".to_string(),
+            (Some(c), p) => format!("{p:?}({c})").to_lowercase(),
+        }
+    );
+    println!("stream_macroblocks {}", result.stream_len);
+    let fr = &result.faults;
+    println!(
+        "injected dropped={} duplicated={} corrupted={} spiked={} jittered={} slowed={}",
+        fr.dropped_events,
+        fr.duplicated_events,
+        fr.corrupted_events,
+        fr.spiked_events,
+        fr.jittered_events,
+        fr.slowed_events
+    );
+    println!("max_backlog_mb {}", result.pipeline.max_backlog);
+    println!("dropped_by_fifo {}", result.pipeline.dropped.len());
+    if !result.pipeline.dropped.is_empty() {
+        // Re-derive the faulted stream (deterministic under the seed) to
+        // attribute each FIFO drop to its frame kind.
+        let stream = plan.apply(&clip)?;
+        let (mut b, mut p, mut i) = (0u64, 0u64, 0u64);
+        for &idx in &result.pipeline.dropped {
+            match stream.kinds[idx] {
+                wcm_mpeg::params::FrameKind::B => b += 1,
+                wcm_mpeg::params::FrameKind::P => p += 1,
+                wcm_mpeg::params::FrameKind::I => i += 1,
+            }
+        }
+        println!("dropped_kinds B={b} P={p} I={i}");
+    }
+    println!("pe1_stalled_s {:.4}", result.pipeline.pe1_stalled);
+    println!("makespan_s {:.4}", result.pipeline.makespan);
+
+    if let Some(m) = &monitor {
+        let report = m.report();
+        println!("monitor_events {}", m.events());
+        println!("monitor_violations {}", m.total_violations());
+        match report.min_upper_slack() {
+            Some(s) => println!("min_upper_slack_cycles {s}"),
+            None => println!("min_upper_slack_cycles n/a"),
+        }
+        for v in m.violations().iter().take(10) {
+            println!(
+                "violation offset={} k={} observed={} bound={} slack={}",
+                v.offset,
+                v.k,
+                v.observed,
+                v.bound,
+                v.slack()
+            );
+        }
+        if m.total_violations() > 0 {
+            return Err(CliError::Violations {
+                count: m.total_violations(),
+            });
+        }
     }
     Ok(())
+}
+
+/// Parses one `name:key=val,key=val` injector spec.
+fn parse_injector(spec: &str) -> Result<Injector, CliError> {
+    let (name, rest) = match spec.split_once(':') {
+        Some((n, r)) => (n, r),
+        None => (spec, ""),
+    };
+    let mut kv = std::collections::BTreeMap::new();
+    for pair in rest.split(',').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').ok_or_else(|| {
+            CliError::Usage(format!("--inject `{spec}`: `{pair}` is not key=val"))
+        })?;
+        if kv.insert(k, v).is_some() {
+            return Err(CliError::Usage(format!(
+                "--inject `{spec}`: key `{k}` given twice"
+            )));
+        }
+    }
+    let mut get = |key: &str| -> Result<&str, CliError> {
+        kv.remove(key)
+            .ok_or_else(|| CliError::Usage(format!("--inject `{spec}`: missing key `{key}`")))
+    };
+    fn num<T: std::str::FromStr>(spec: &str, key: &str, v: &str) -> Result<T, CliError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        v.parse()
+            .map_err(|e| CliError::Usage(format!("--inject `{spec}`: {key}={v}: {e}")))
+    }
+    let pe = |v: &str| -> Result<ProcessingElement, CliError> {
+        match v {
+            "1" => Ok(ProcessingElement::Pe1),
+            "2" => Ok(ProcessingElement::Pe2),
+            other => Err(CliError::Usage(format!(
+                "--inject `{spec}`: pe={other} is not 1|2"
+            ))),
+        }
+    };
+    let injector = match name {
+        "jitter" => Injector::JitterBurst {
+            start: num(spec, "start", get("start")?)?,
+            len: num(spec, "len", get("len")?)?,
+            max_delay_s: num(spec, "delay", get("delay")?)?,
+        },
+        "drop" => Injector::DropEvents {
+            per_mille: num(spec, "pm", get("pm")?)?,
+        },
+        "dup" => Injector::DuplicateEvents {
+            per_mille: num(spec, "pm", get("pm")?)?,
+        },
+        "spike" => Injector::DemandSpike {
+            start: num(spec, "start", get("start")?)?,
+            len: num(spec, "len", get("len")?)?,
+            factor_pct: num(spec, "factor", get("factor")?)?,
+        },
+        "drift" => Injector::ClockDrift {
+            pe: pe(get("pe")?)?,
+            start: num(spec, "start", get("start")?)?,
+            len: num(spec, "len", get("len")?)?,
+            factor_pct: num(spec, "factor", get("factor")?)?,
+        },
+        "stall" => Injector::Stall {
+            pe: pe(get("pe")?)?,
+            at: num(spec, "at", get("at")?)?,
+            extra_s: num(spec, "extra", get("extra")?)?,
+        },
+        "biterr" => Injector::BitErrors {
+            per_mille: num(spec, "pm", get("pm")?)?,
+        },
+        other => {
+            return Err(CliError::Usage(format!(
+                "--inject: unknown injector `{other}` (see `wcm-cli help`)"
+            )))
+        }
+    };
+    if let Some((k, _)) = kv.into_iter().next() {
+        return Err(CliError::Usage(format!(
+            "--inject `{spec}`: unknown key `{k}`"
+        )));
+    }
+    injector
+        .validate()
+        .map_err(|e| CliError::Usage(format!("--inject `{spec}`: {e}")))?;
+    Ok(injector)
+}
+
+fn write_u64s(path: &Path, values: &[u64]) -> Result<(), CliError> {
+    use std::io::Write;
+    let write = |path: &Path, values: &[u64]| -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        for v in values {
+            writeln!(f, "{v}")?;
+        }
+        Ok(())
+    };
+    write(path, values).map_err(|source| CliError::Io {
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injector_specs_parse() {
+        assert_eq!(
+            parse_injector("drop:pm=50").unwrap(),
+            Injector::DropEvents { per_mille: 50 }
+        );
+        assert_eq!(
+            parse_injector("spike:start=10,len=5,factor=250").unwrap(),
+            Injector::DemandSpike {
+                start: 10,
+                len: 5,
+                factor_pct: 250
+            }
+        );
+        assert_eq!(
+            parse_injector("stall:pe=2,at=7,extra=0.01").unwrap(),
+            Injector::Stall {
+                pe: ProcessingElement::Pe2,
+                at: 7,
+                extra_s: 0.01
+            }
+        );
+        assert_eq!(
+            parse_injector("jitter:start=0,len=9,delay=0.002").unwrap(),
+            Injector::JitterBurst {
+                start: 0,
+                len: 9,
+                max_delay_s: 0.002
+            }
+        );
+    }
+
+    #[test]
+    fn injector_specs_reject_garbage() {
+        assert!(parse_injector("warp:pm=1").is_err()); // unknown injector
+        assert!(parse_injector("drop").is_err()); // missing key
+        assert!(parse_injector("drop:pm=50,x=1").is_err()); // unknown key
+        assert!(parse_injector("drop:pm").is_err()); // not key=val
+        assert!(parse_injector("drop:pm=2000").is_err()); // out of range
+        assert!(parse_injector("drift:pe=3,start=0,len=1,factor=120").is_err());
+    }
 }

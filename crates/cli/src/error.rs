@@ -1,0 +1,207 @@
+//! Typed CLI errors with stable exit codes.
+//!
+//! Every failure path of the binary maps to one [`CliError`] variant, and
+//! each variant to a documented exit code, so scripts can branch on *why*
+//! a run failed instead of parsing stderr:
+//!
+//! | code | meaning                                            |
+//! |------|----------------------------------------------------|
+//! | 0    | success                                            |
+//! | 1    | analysis error (invalid model parameters, overflow) |
+//! | 2    | usage error (unknown subcommand, bad options)       |
+//! | 3    | input error (unreadable or malformed trace file)    |
+//! | 4    | envelope-monitor violations (`faults --monitor on`) |
+
+use std::error::Error;
+use std::fmt;
+use std::path::PathBuf;
+
+/// A failure of the `wcm-cli` binary, carrying enough context to point at
+/// the offending file, line and token.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CliError {
+    /// Command line itself is wrong: unknown subcommand, malformed or
+    /// missing options. Exit code 2.
+    Usage(String),
+    /// A trace file could not be read. Exit code 3.
+    Io {
+        /// The file that failed.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A token in a trace file did not parse. Exit code 3.
+    Parse {
+        /// The file containing the token.
+        path: PathBuf,
+        /// 1-indexed line of the first offending token.
+        line: usize,
+        /// The offending token itself.
+        token: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A trace file contained no values (only comments/whitespace).
+    /// Exit code 3.
+    Empty {
+        /// The empty file.
+        path: PathBuf,
+    },
+    /// Timestamps in a trace file decreased. Exit code 3.
+    Unsorted {
+        /// The file with the regression.
+        path: PathBuf,
+        /// 1-indexed line on which time went backwards.
+        line: usize,
+    },
+    /// The analysis itself failed (library error: invalid parameters,
+    /// overflow, inconsistent model). Exit code 1.
+    Analysis(String),
+    /// The envelope monitor flagged demand outside the workload curve.
+    /// Exit code 4 — distinct from errors so scripts can treat "ran fine,
+    /// bound broken" as a first-class outcome.
+    Violations {
+        /// Total violations across all window sizes.
+        count: u64,
+    },
+}
+
+impl CliError {
+    /// The stable process exit code for this error.
+    #[must_use]
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Analysis(_) => 1,
+            CliError::Usage(_) => 2,
+            CliError::Io { .. }
+            | CliError::Parse { .. }
+            | CliError::Empty { .. }
+            | CliError::Unsorted { .. } => 3,
+            CliError::Violations { .. } => 4,
+        }
+    }
+
+    /// Whether the usage text should accompany the message.
+    #[must_use]
+    pub fn wants_usage(&self) -> bool {
+        matches!(self, CliError::Usage(_))
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Io { path, source } => {
+                write!(f, "cannot read {}: {source}", path.display())
+            }
+            CliError::Parse {
+                path,
+                line,
+                token,
+                reason,
+            } => write!(
+                f,
+                "{}:{line}: bad token `{token}`: {reason}",
+                path.display()
+            ),
+            CliError::Empty { path } => write!(f, "{} contains no values", path.display()),
+            CliError::Unsorted { path, line } => write!(
+                f,
+                "{}:{line}: timestamps must be sorted non-decreasingly",
+                path.display()
+            ),
+            CliError::Analysis(msg) => write!(f, "{msg}"),
+            CliError::Violations { count } => {
+                write!(f, "envelope monitor flagged {count} violation(s)")
+            }
+        }
+    }
+}
+
+impl Error for CliError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CliError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+// Option parsing and ad-hoc validation produce plain strings; they are
+// usage errors by construction.
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Usage(msg)
+    }
+}
+
+// Library errors surface as analysis failures.
+macro_rules! analysis_from {
+    ($($ty:path),* $(,)?) => {$(
+        impl From<$ty> for CliError {
+            fn from(e: $ty) -> Self {
+                CliError::Analysis(e.to_string())
+            }
+        }
+    )*};
+}
+analysis_from!(
+    wcm_core::WorkloadError,
+    wcm_events::EventError,
+    wcm_mpeg::MpegError,
+    wcm_sim::SimError,
+    wcm_curves::CurveError,
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_stable() {
+        assert_eq!(CliError::Usage("x".into()).exit_code(), 2);
+        assert_eq!(
+            CliError::Io {
+                path: "t.txt".into(),
+                source: std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+            }
+            .exit_code(),
+            3
+        );
+        assert_eq!(
+            CliError::Parse {
+                path: "t.txt".into(),
+                line: 7,
+                token: "x".into(),
+                reason: "nope".into(),
+            }
+            .exit_code(),
+            3
+        );
+        assert_eq!(CliError::Analysis("x".into()).exit_code(), 1);
+        assert_eq!(CliError::Violations { count: 3 }.exit_code(), 4);
+    }
+
+    #[test]
+    fn parse_error_points_at_file_line_and_token() {
+        let e = CliError::Parse {
+            path: "trace.txt".into(),
+            line: 42,
+            token: "-3".into(),
+            reason: "invalid digit".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("trace.txt"));
+        assert!(msg.contains(":42:"));
+        assert!(msg.contains("`-3`"));
+    }
+
+    #[test]
+    fn only_usage_errors_want_usage_text() {
+        assert!(CliError::Usage("x".into()).wants_usage());
+        assert!(!CliError::Analysis("x".into()).wants_usage());
+        assert!(!CliError::Violations { count: 1 }.wants_usage());
+    }
+}

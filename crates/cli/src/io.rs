@@ -1,51 +1,100 @@
 //! Trace-file reading: whitespace/newline-separated numbers, `#` comments.
+//!
+//! All readers return [`CliError`] values that carry the file, the
+//! 1-indexed line and the first offending token, so a malformed trace is
+//! reported as `trace.txt:17: bad token ...` rather than a bare message.
 
+use crate::error::CliError;
 use std::fs;
 use std::path::Path;
 
 /// Reads a demand trace: one non-negative integer (cycles) per token.
-pub fn read_demands(path: &Path) -> Result<Vec<u64>, String> {
+///
+/// # Errors
+///
+/// [`CliError::Io`] if the file is unreadable, [`CliError::Parse`] with
+/// the first offending line/token, [`CliError::Empty`] for a file with no
+/// values.
+pub fn read_demands(path: &Path) -> Result<Vec<u64>, CliError> {
     parse_tokens(path, |tok| {
-        tok.parse::<u64>()
-            .map_err(|e| format!("bad demand `{tok}`: {e}"))
+        tok.parse::<u64>().map_err(|e| e.to_string())
     })
 }
 
 /// Reads a timestamp trace: one finite float (seconds) per token; must be
 /// sorted non-decreasingly.
-pub fn read_times(path: &Path) -> Result<Vec<f64>, String> {
+///
+/// # Errors
+///
+/// As [`read_demands`], plus [`CliError::Unsorted`] naming the line on
+/// which time first went backwards.
+pub fn read_times(path: &Path) -> Result<Vec<f64>, CliError> {
     let times = parse_tokens(path, |tok| {
-        let v: f64 = tok
-            .parse()
-            .map_err(|e| format!("bad timestamp `{tok}`: {e}"))?;
+        let v: f64 = tok.parse().map_err(|e: std::num::ParseFloatError| e.to_string())?;
         if !v.is_finite() {
-            return Err(format!("non-finite timestamp `{tok}`"));
+            return Err("not a finite number".to_string());
         }
         Ok(v)
     })?;
-    if times.windows(2).any(|w| w[1] < w[0]) {
-        return Err("timestamps must be sorted non-decreasingly".to_string());
+    if let Some(i) = (1..times.len()).find(|&i| times[i] < times[i - 1]) {
+        // Map the value index back to its source line for the report.
+        let line = nth_value_line(path, i).unwrap_or(0);
+        return Err(CliError::Unsorted {
+            path: path.to_path_buf(),
+            line,
+        });
     }
     Ok(times)
 }
 
+/// Parses every non-comment token of `path` with `parse`, tracking line
+/// numbers so the first failure is located exactly.
 fn parse_tokens<T>(
     path: &Path,
     parse: impl Fn(&str) -> Result<T, String>,
-) -> Result<Vec<T>, String> {
-    let text = fs::read_to_string(path)
-        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+) -> Result<Vec<T>, CliError> {
+    let text = fs::read_to_string(path).map_err(|source| CliError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
     let mut out = Vec::new();
-    for line in text.lines() {
+    for (lineno, line) in text.lines().enumerate() {
         let line = line.split('#').next().unwrap_or("");
         for tok in line.split_whitespace() {
-            out.push(parse(tok)?);
+            match parse(tok) {
+                Ok(v) => out.push(v),
+                Err(reason) => {
+                    return Err(CliError::Parse {
+                        path: path.to_path_buf(),
+                        line: lineno + 1,
+                        token: tok.to_string(),
+                        reason,
+                    })
+                }
+            }
         }
     }
     if out.is_empty() {
-        return Err(format!("{} contains no values", path.display()));
+        return Err(CliError::Empty {
+            path: path.to_path_buf(),
+        });
     }
     Ok(out)
+}
+
+/// 1-indexed line holding the `n`-th (0-indexed) value of `path`.
+fn nth_value_line(path: &Path, n: usize) -> Option<usize> {
+    let text = fs::read_to_string(path).ok()?;
+    let mut seen = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("");
+        let count = line.split_whitespace().count();
+        if seen + count > n {
+            return Some(lineno + 1);
+        }
+        seen += count;
+    }
+    None
 }
 
 #[cfg(test)]
@@ -73,9 +122,15 @@ mod tests {
     }
 
     #[test]
-    fn rejects_bad_demands() {
-        let p = tmp("10 -3\n");
-        assert!(read_demands(&p).is_err());
+    fn rejects_bad_demands_with_line_and_token() {
+        let p = tmp("# header\n10 20\n30 -3\n");
+        match read_demands(&p) {
+            Err(CliError::Parse { line, token, .. }) => {
+                assert_eq!(line, 3);
+                assert_eq!(token, "-3");
+            }
+            other => panic!("expected Parse error, got {other:?}"),
+        }
         fs::remove_file(p).ok();
     }
 
@@ -87,16 +142,32 @@ mod tests {
     }
 
     #[test]
-    fn rejects_unsorted_times() {
-        let p = tmp("1.0 0.5\n");
-        assert!(read_times(&p).is_err());
+    fn rejects_unsorted_times_naming_the_line() {
+        let p = tmp("0.0 1.0\n0.5\n");
+        match read_times(&p) {
+            Err(CliError::Unsorted { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected Unsorted error, got {other:?}"),
+        }
+        fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn rejects_non_finite_times() {
+        let p = tmp("0.0 inf\n");
+        assert!(matches!(read_times(&p), Err(CliError::Parse { .. })));
         fs::remove_file(p).ok();
     }
 
     #[test]
     fn rejects_empty_file() {
         let p = tmp("# only comments\n");
-        assert!(read_demands(&p).is_err());
+        assert!(matches!(read_demands(&p), Err(CliError::Empty { .. })));
         fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let p = Path::new("/nonexistent/wcm-x.txt");
+        assert!(matches!(read_demands(p), Err(CliError::Io { .. })));
     }
 }

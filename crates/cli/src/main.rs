@@ -11,15 +11,24 @@
 //! * `polling --period T --theta-min A --theta-max B --ep E --ec C --k K`
 //!   — the analytic curves of Example 1;
 //! * `mpeg --clip NAME --gops N [--out-demands FILE]` — synthesize a clip
-//!   of the paper's MPEG-2 workload and print (or save) its PE₂ demands.
+//!   of the paper's MPEG-2 workload and print (or save) its PE₂ demands;
+//! * `faults --clip NAME --gops N --pe1-mhz X --pe2-mhz Y ...` — the
+//!   two-PE pipeline under seeded fault injection, bounded-FIFO overflow
+//!   policies and an online γᵘ envelope monitor.
 //!
 //! All output is plain text, one row per `k`/`Δ`, suitable for plotting.
+//!
+//! Exit codes are stable (see [`error::CliError::exit_code`]): 0 success,
+//! 1 analysis error, 2 usage, 3 bad input file, 4 monitor violations.
 
 use std::process::ExitCode;
 
 mod args;
 mod commands;
+mod error;
 mod io;
+
+use error::CliError;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -27,16 +36,18 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!();
-            eprintln!("{}", commands::USAGE);
-            ExitCode::FAILURE
+            if e.wants_usage() {
+                eprintln!();
+                eprintln!("{}", commands::USAGE);
+            }
+            ExitCode::from(e.exit_code())
         }
     }
 }
 
-fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+fn run(argv: &[String]) -> Result<(), CliError> {
     let Some((cmd, rest)) = argv.split_first() else {
-        return Err("missing subcommand".into());
+        return Err(CliError::Usage("missing subcommand".to_string()));
     };
     let opts = args::Options::parse(rest)?;
     match cmd.as_str() {
@@ -46,10 +57,11 @@ fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "polling" => commands::polling(&opts),
         "mpeg" => commands::mpeg(&opts),
         "pipeline" => commands::pipeline(&opts),
+        "faults" => commands::faults(&opts),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())
         }
-        other => Err(format!("unknown subcommand `{other}`").into()),
+        other => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
     }
 }

@@ -105,6 +105,83 @@ fn missing_file_is_a_clean_error() {
         .output()
         .unwrap();
     assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(3)); // input error
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(err.contains("cannot read"));
+}
+
+#[test]
+fn malformed_trace_names_file_line_and_token() {
+    let p = tmp_file("bad-demands.txt", "# header\n10 20\n30 oops\n");
+    let out = cli()
+        .args(["curves", "--demands", p.to_str().unwrap(), "--k", "4"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains(":3:"), "{err}"); // 1-indexed offending line
+    assert!(err.contains("`oops`"), "{err}");
+    std::fs::remove_file(p).ok();
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let out = cli().arg("frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = cli()
+        .args([
+            "faults", "--clip", "newscast", "--gops", "1", "--pe1-mhz", "60", "--pe2-mhz",
+            "340", "--policy", "bogus",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("backpressure|reject|drop-priority"), "{err}");
+}
+
+#[test]
+fn faults_clean_run_is_violation_free() {
+    let out = cli()
+        .args([
+            "faults", "--clip", "newscast", "--gops", "1", "--pe1-mhz", "60", "--pe2-mhz",
+            "340", "--k", "16",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("monitor_violations 0"), "{text}");
+    // The curve was measured on this very clip, so some window is tight.
+    assert!(text.contains("min_upper_slack_cycles 0"), "{text}");
+}
+
+#[test]
+fn faults_spike_trips_the_monitor_with_exit_4() {
+    let args = [
+        "faults", "--clip", "newscast", "--gops", "1", "--pe1-mhz", "60", "--pe2-mhz", "340",
+        "--k", "16", "--seed", "7", "--inject", "spike:start=100,len=50,factor=300",
+    ];
+    let out = cli().args(args).output().unwrap();
+    assert_eq!(out.status.code(), Some(4)); // violations are exit 4
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("violation offset="), "{text}");
+    assert!(text.contains("spiked=50"), "{text}");
+    // Seeded runs are reproducible bit-for-bit.
+    let again = cli().args(args).output().unwrap();
+    assert_eq!(text.as_bytes(), again.stdout.as_slice());
+}
+
+#[test]
+fn faults_injector_spec_errors_are_usage_errors() {
+    let out = cli()
+        .args([
+            "faults", "--clip", "newscast", "--gops", "1", "--pe1-mhz", "60", "--pe2-mhz",
+            "340", "--inject", "warp:pm=5",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown injector"), "{err}");
 }

@@ -28,7 +28,10 @@
 //!   and workload curves (Fig. 4 and eq. 7);
 //! * [`sizing`] — buffer-constrained service bounds and minimum-frequency
 //!   computation (eqs. 8–10 of the MPEG-2 case study);
-//! * [`verify`] — invariant checkers used by tests and examples.
+//! * [`verify`] — invariant checkers used by tests and examples;
+//! * [`monitor`] — [`monitor::EnvelopeMonitor`], the streaming counterpart
+//!   of [`verify`]: slides every window size against `γᵘ/γˡ` as events are
+//!   consumed and reports structured violations online.
 //!
 //! # Example
 //!
@@ -59,6 +62,7 @@ pub mod convert;
 pub mod curve;
 mod error;
 pub mod modes;
+pub mod monitor;
 pub mod mpa;
 pub mod polling;
 pub mod rate;
@@ -67,6 +71,7 @@ pub mod verify;
 
 pub use curve::{LowerWorkloadCurve, UpperWorkloadCurve, WorkloadBounds};
 pub use error::WorkloadError;
+pub use monitor::{EnvelopeMonitor, MonitorReport, Violation};
 
 // Re-export the substrate vocabulary so downstream users need one import.
 pub use wcm_curves as curves;

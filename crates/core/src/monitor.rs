@@ -1,0 +1,449 @@
+//! Online envelope monitoring against workload curves.
+//!
+//! The offline checkers in [`crate::verify`] answer "did this finished
+//! trace respect `γᵘ/γˡ`?" after the fact. The [`EnvelopeMonitor`] answers
+//! it *while the trace happens*: it consumes one demand value per event and
+//! slides every window size `k = 1..=k_max` against the bounds, so a
+//! violation is reported at the exact event that causes it — with the
+//! window offset, the window size, the observed demand and the violated
+//! bound. This is the runtime side of the paper's hard-bound claim: curves
+//! built from clean traces must never be violated by those traces, and an
+//! injected overload must be flagged the moment a window exceeds `γᵘ(k)`.
+//!
+//! The monitor keeps the last `k_max + 1` cumulative sums in a ring, so
+//! each event costs `O(k_max)` comparisons and memory stays constant
+//! regardless of trace length.
+//!
+//! # Example
+//!
+//! ```
+//! use wcm_core::monitor::EnvelopeMonitor;
+//! use wcm_core::UpperWorkloadCurve;
+//!
+//! # fn main() -> Result<(), wcm_core::WorkloadError> {
+//! // At most one expensive event (10) per 2 consecutive events.
+//! let gamma = UpperWorkloadCurve::new(vec![10, 12])?;
+//! let mut mon = EnvelopeMonitor::upper_only(&gamma, 2)?;
+//! mon.observe_all([10, 2, 10]);
+//! assert!(mon.is_clean());
+//! mon.observe(10); // the pair 10,10 breaks γᵘ(2) = 12
+//! assert_eq!(mon.total_violations(), 1);
+//! let v = &mon.violations()[0];
+//! assert_eq!((v.offset, v.k, v.observed, v.bound), (3, 2, 20, 12));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::curve::{LowerWorkloadCurve, UpperWorkloadCurve, WorkloadBounds};
+use crate::WorkloadError;
+use std::collections::VecDeque;
+
+/// Which bound a window broke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundKind {
+    /// The window exceeded `γᵘ(k)`.
+    Upper,
+    /// The window fell below `γˡ(k)`.
+    Lower,
+}
+
+/// One violated window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Violation {
+    /// 1-indexed position of the first event of the window.
+    pub offset: u64,
+    /// Window size.
+    pub k: usize,
+    /// Observed demand of the window, in cycles.
+    pub observed: u128,
+    /// The violated bound value `γᵘ(k)` or `γˡ(k)`.
+    pub bound: u64,
+    /// Which side was broken.
+    pub kind: BoundKind,
+}
+
+impl Violation {
+    /// Signed slack of the window: negative by construction
+    /// (`bound − observed` for upper, `observed − bound` for lower).
+    #[must_use]
+    pub fn slack(&self) -> i128 {
+        match self.kind {
+            BoundKind::Upper => i128::from(self.bound) - self.observed as i128,
+            BoundKind::Lower => self.observed as i128 - i128::from(self.bound),
+        }
+    }
+}
+
+/// Snapshot of a monitoring run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitorReport {
+    /// Events observed.
+    pub events: u64,
+    /// Windows checked (each event closes up to `k_max` windows per bound).
+    pub windows_checked: u64,
+    /// Total violations, including those beyond the stored cap.
+    pub total_violations: u64,
+    /// The first violations in stream order (capped; see
+    /// [`EnvelopeMonitor::VIOLATION_CAP`]).
+    pub violations: Vec<Violation>,
+    /// Per-`k` minimum upper slack `min_j (γᵘ(k) − demand(j, k))`;
+    /// `upper_slack[k−1]`, `None` until a window of size `k` completed or
+    /// when no upper curve is installed. Negative ⇔ violated.
+    pub upper_slack: Vec<Option<i128>>,
+    /// Per-`k` minimum lower slack `min_j (demand(j, k) − γˡ(k))`.
+    pub lower_slack: Vec<Option<i128>>,
+}
+
+impl MonitorReport {
+    /// The tightest upper slack over all window sizes, if any window closed.
+    #[must_use]
+    pub fn min_upper_slack(&self) -> Option<i128> {
+        self.upper_slack.iter().flatten().min().copied()
+    }
+
+    /// The tightest lower slack over all window sizes.
+    #[must_use]
+    pub fn min_lower_slack(&self) -> Option<i128> {
+        self.lower_slack.iter().flatten().min().copied()
+    }
+
+    /// Whether the whole run stayed within the envelope.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.total_violations == 0
+    }
+}
+
+/// Streaming checker of demand windows against `γᵘ(k)` / `γˡ(k)`.
+#[derive(Debug, Clone)]
+pub struct EnvelopeMonitor {
+    upper: Option<UpperWorkloadCurve>,
+    lower: Option<LowerWorkloadCurve>,
+    k_max: usize,
+    /// Ring of cumulative demand sums; front is the sum before the oldest
+    /// retained event, back the sum after the newest. Holds at most
+    /// `k_max + 1` entries, so `sum(window of k ending now) = back − ...`.
+    cum: VecDeque<u128>,
+    events: u64,
+    windows_checked: u64,
+    total_violations: u64,
+    violations: Vec<Violation>,
+    upper_slack: Vec<Option<i128>>,
+    lower_slack: Vec<Option<i128>>,
+}
+
+impl EnvelopeMonitor {
+    /// At most this many violations are stored verbatim; counting continues
+    /// beyond it ([`MonitorReport::total_violations`] is exact).
+    pub const VIOLATION_CAP: usize = 64;
+
+    /// A monitor checking both bounds of `bounds` for windows up to
+    /// `k_max` (curve extrapolation covers `k` beyond the stored range).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidParameter`] if `k_max` is 0.
+    pub fn new(bounds: &WorkloadBounds, k_max: usize) -> Result<Self, WorkloadError> {
+        Self::build(Some(bounds.upper.clone()), Some(bounds.lower.clone()), k_max)
+    }
+
+    /// A monitor checking only the upper curve.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidParameter`] if `k_max` is 0.
+    pub fn upper_only(gamma: &UpperWorkloadCurve, k_max: usize) -> Result<Self, WorkloadError> {
+        Self::build(Some(gamma.clone()), None, k_max)
+    }
+
+    /// A monitor checking only the lower curve.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidParameter`] if `k_max` is 0.
+    pub fn lower_only(gamma: &LowerWorkloadCurve, k_max: usize) -> Result<Self, WorkloadError> {
+        Self::build(None, Some(gamma.clone()), k_max)
+    }
+
+    fn build(
+        upper: Option<UpperWorkloadCurve>,
+        lower: Option<LowerWorkloadCurve>,
+        k_max: usize,
+    ) -> Result<Self, WorkloadError> {
+        if k_max == 0 {
+            return Err(WorkloadError::InvalidParameter { name: "k_max" });
+        }
+        let mut cum = VecDeque::with_capacity(k_max + 1);
+        cum.push_back(0u128);
+        Ok(Self {
+            upper,
+            lower,
+            k_max,
+            cum,
+            events: 0,
+            windows_checked: 0,
+            total_violations: 0,
+            violations: Vec::new(),
+            upper_slack: vec![None; k_max],
+            lower_slack: vec![None; k_max],
+        })
+    }
+
+    /// Largest window size checked.
+    #[must_use]
+    pub fn k_max(&self) -> usize {
+        self.k_max
+    }
+
+    /// Feeds one event's demand; checks every window that this event
+    /// closes. Returns how many new violations the event caused.
+    pub fn observe(&mut self, demand: u64) -> usize {
+        let total = self.cum.back().copied().unwrap_or(0) + u128::from(demand);
+        self.cum.push_back(total);
+        if self.cum.len() > self.k_max + 1 {
+            self.cum.pop_front();
+        }
+        self.events += 1;
+        let mut fresh = 0usize;
+        let deepest = self.k_max.min(self.cum.len() - 1);
+        for k in 1..=deepest {
+            let sum = total - self.cum[self.cum.len() - 1 - k];
+            // 1-indexed first event of the window ending at `events`.
+            let offset = self.events - k as u64 + 1;
+            if let Some(upper) = &self.upper {
+                self.windows_checked += 1;
+                let bound = upper.value(k).get();
+                let slack = i128::from(bound) - sum as i128;
+                let entry = &mut self.upper_slack[k - 1];
+                *entry = Some(entry.map_or(slack, |s| s.min(slack)));
+                if sum > u128::from(bound) {
+                    fresh += 1;
+                    self.record(Violation {
+                        offset,
+                        k,
+                        observed: sum,
+                        bound,
+                        kind: BoundKind::Upper,
+                    });
+                }
+            }
+            if let Some(lower) = &self.lower {
+                self.windows_checked += 1;
+                let bound = lower.value(k).get();
+                let slack = sum as i128 - i128::from(bound);
+                let entry = &mut self.lower_slack[k - 1];
+                *entry = Some(entry.map_or(slack, |s| s.min(slack)));
+                if sum < u128::from(bound) {
+                    fresh += 1;
+                    self.record(Violation {
+                        offset,
+                        k,
+                        observed: sum,
+                        bound,
+                        kind: BoundKind::Lower,
+                    });
+                }
+            }
+        }
+        fresh
+    }
+
+    /// Feeds a batch of demands in order; returns the new violations they
+    /// caused.
+    pub fn observe_all(&mut self, demands: impl IntoIterator<Item = u64>) -> usize {
+        demands.into_iter().map(|d| self.observe(d)).sum()
+    }
+
+    fn record(&mut self, v: Violation) {
+        self.total_violations += 1;
+        if self.violations.len() < Self::VIOLATION_CAP {
+            self.violations.push(v);
+        }
+    }
+
+    /// Events observed so far.
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Total violations so far (exact even beyond the stored cap).
+    #[must_use]
+    pub fn total_violations(&self) -> u64 {
+        self.total_violations
+    }
+
+    /// The stored violations in stream order.
+    #[must_use]
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Whether no window has broken a bound yet.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.total_violations == 0
+    }
+
+    /// Snapshot of the run so far.
+    #[must_use]
+    pub fn report(&self) -> MonitorReport {
+        MonitorReport {
+            events: self.events,
+            windows_checked: self.windows_checked,
+            total_violations: self.total_violations,
+            violations: self.violations.clone(),
+            upper_slack: self.upper_slack.clone(),
+            lower_slack: self.lower_slack.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcm_events::window::WindowMode;
+    use wcm_events::{Cycles, ExecutionInterval, Trace, TypeRegistry};
+
+    fn alternating(n: usize) -> Vec<u64> {
+        (0..n).map(|i| if i % 2 == 0 { 10 } else { 2 }).collect()
+    }
+
+    fn bounds_of(demands: &[u64], k_max: usize) -> WorkloadBounds {
+        let mut reg = TypeRegistry::new();
+        let evs: Vec<_> = demands
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| {
+                reg.register(format!("t{i}"), ExecutionInterval::fixed(Cycles(d)))
+                    .unwrap()
+            })
+            .collect();
+        let trace = Trace::new(reg, evs);
+        WorkloadBounds::from_trace(&trace, k_max, WindowMode::Exact).unwrap()
+    }
+
+    #[test]
+    fn clean_on_the_trace_the_curve_was_built_from() {
+        let demands = alternating(40);
+        let bounds = bounds_of(&demands, 12);
+        let mut mon = EnvelopeMonitor::new(&bounds, 12).unwrap();
+        mon.observe_all(demands.iter().copied());
+        assert!(mon.is_clean());
+        let report = mon.report();
+        assert_eq!(report.events, 40);
+        assert!(report.min_upper_slack().unwrap() >= 0);
+        assert!(report.min_lower_slack().unwrap() >= 0);
+        // The curve is the max/min over windows of this very trace, so the
+        // tightest window has exactly zero slack on each side.
+        assert_eq!(report.min_upper_slack(), Some(0));
+        assert_eq!(report.min_lower_slack(), Some(0));
+    }
+
+    #[test]
+    fn flags_upper_violation_with_exact_window() {
+        let demands = alternating(20);
+        let bounds = bounds_of(&demands, 8);
+        let mut mon = EnvelopeMonitor::new(&bounds, 8).unwrap();
+        // 10,2,10 then a hostile second 10: the closing event breaks both
+        // the k=2 window (10+10 = 20 > 12) and the k=4 window
+        // (10+2+10+10 = 32 > 24).
+        mon.observe_all([10, 2, 10, 10]);
+        assert_eq!(mon.total_violations(), 2);
+        let v = mon.violations()[0];
+        assert_eq!(v.kind, BoundKind::Upper);
+        assert_eq!(v.k, 2);
+        assert_eq!(v.offset, 3);
+        assert_eq!(v.observed, 20);
+        assert_eq!(v.bound, 12);
+        assert_eq!(v.slack(), -8);
+    }
+
+    #[test]
+    fn flags_lower_violation() {
+        let demands = alternating(20);
+        let bounds = bounds_of(&demands, 8);
+        let mut mon = EnvelopeMonitor::new(&bounds, 8).unwrap();
+        // Two consecutive cheap events: γˡ(2) = 12 but observed 4.
+        mon.observe_all([10, 2, 2]);
+        assert!(mon
+            .violations()
+            .iter()
+            .any(|v| v.kind == BoundKind::Lower && v.k == 2 && v.observed == 4));
+    }
+
+    #[test]
+    fn upper_only_ignores_lower_bound() {
+        let demands = alternating(20);
+        let bounds = bounds_of(&demands, 8);
+        let mut mon = EnvelopeMonitor::upper_only(&bounds.upper, 8).unwrap();
+        mon.observe_all([2, 2, 2, 2]); // starves the lower bound
+        assert!(mon.is_clean());
+        assert!(mon.report().lower_slack.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn streaming_matches_offline_oracle() {
+        // Every window of every prefix: the monitor must agree with a
+        // brute-force scan.
+        let demands: Vec<u64> = [3u64, 9, 1, 7, 7, 2, 8, 1, 4, 6, 6, 2].to_vec();
+        let bounds = bounds_of(&alternating(30), 6);
+        let mut mon = EnvelopeMonitor::new(&bounds, 6).unwrap();
+        let streamed: usize = mon.observe_all(demands.iter().copied());
+        let mut oracle = 0usize;
+        for end in 1..=demands.len() {
+            for k in 1..=6.min(end) {
+                let sum: u64 = demands[end - k..end].iter().sum();
+                if sum > bounds.upper.value(k).get() {
+                    oracle += 1;
+                }
+                if sum < bounds.lower.value(k).get() {
+                    oracle += 1;
+                }
+            }
+        }
+        assert_eq!(streamed, oracle);
+        assert_eq!(mon.total_violations(), oracle as u64);
+    }
+
+    #[test]
+    fn violation_cap_keeps_counting() {
+        let gamma = UpperWorkloadCurve::new(vec![1]).unwrap();
+        let mut mon = EnvelopeMonitor::upper_only(&gamma, 1).unwrap();
+        for _ in 0..200 {
+            mon.observe(5);
+        }
+        assert_eq!(mon.total_violations(), 200);
+        assert_eq!(mon.violations().len(), EnvelopeMonitor::VIOLATION_CAP);
+    }
+
+    #[test]
+    fn k_beyond_stored_range_uses_extrapolation() {
+        // Stored only to k=2, monitored to k=4: γᵘ(4) = 2·γᵘ(2) = 24.
+        let gamma = UpperWorkloadCurve::new(vec![10, 12]).unwrap();
+        let mut mon = EnvelopeMonitor::upper_only(&gamma, 4).unwrap();
+        mon.observe_all([6, 6, 6, 6]); // sum 24 = bound, no violation
+        assert!(mon.is_clean());
+        mon.observe(7); // 6,6,6,7 = 25 > 24
+        assert!(!mon.is_clean());
+        assert!(mon.violations().iter().any(|v| v.k == 4 && v.bound == 24));
+    }
+
+    #[test]
+    fn rejects_zero_k_max() {
+        let gamma = UpperWorkloadCurve::new(vec![1]).unwrap();
+        assert!(matches!(
+            EnvelopeMonitor::upper_only(&gamma, 0),
+            Err(WorkloadError::InvalidParameter { name: "k_max" })
+        ));
+    }
+
+    #[test]
+    fn report_slack_tracks_minimum() {
+        let gamma = UpperWorkloadCurve::new(vec![10]).unwrap();
+        let mut mon = EnvelopeMonitor::upper_only(&gamma, 1).unwrap();
+        mon.observe_all([4, 9, 2]);
+        // slacks 6, 1, 8 → min 1.
+        assert_eq!(mon.report().upper_slack[0], Some(1));
+    }
+}

@@ -204,7 +204,7 @@ impl PeriodicJitter {
                 m += 1.0;
             }
         }
-        candidates.sort_by(|a, b| a.partial_cmp(b).expect("finite candidates"));
+        candidates.sort_by(f64::total_cmp);
         for d in candidates {
             // Evaluate just past the candidate to be robust against the
             // floating-point rounding of `k·p − j`.

@@ -104,7 +104,7 @@ pub fn deconvolve(f: &Pwl, g: &Pwl) -> Result<Pwl, CurveError> {
             ts.push(a);
         }
     }
-    ts.sort_by(|p, q| p.partial_cmp(q).expect("finite breakpoints"));
+    ts.sort_by(f64::total_cmp);
     ts.dedup_by(|p, q| (*p - *q).abs() < EPSILON * (1.0 + q.abs()));
 
     let eval = |t: f64| -> f64 {

@@ -98,6 +98,8 @@ pub fn convolve_with(f: &Pwl, g: &Pwl, par: Parallelism) -> Pwl {
         par,
         &branches,
         cost,
+        // Infallible: pruned_shifts only emits breakpoint coordinates of
+        // valid curves, which are non-negative — the only case shift rejects.
         |_, br| match *br {
             ShiftOf::F(dx, dy) => f.shift(dx, dy).expect("shift by non-negative offsets"),
             ShiftOf::G(dx, dy) => g.shift(dx, dy).expect("shift by non-negative offsets"),
@@ -237,6 +239,8 @@ pub fn deconvolve_with(f: &Pwl, g: &Pwl, par: Parallelism) -> Result<Pwl, CurveE
         },
         |a, b| a.max(&b),
     );
+    // Infallible: a valid Pwl has ≥ 1 segment, so `branches` is non-empty
+    // and the reduction always yields a value.
     let env = env.expect("g has at least one breakpoint");
     // Clamp at zero (arrival/service curves are non-negative).
     Ok(env.max(&Pwl::zero()))
@@ -269,7 +273,9 @@ fn reflected_branch(fa: f64, g: &Pwl, a: f64) -> Pwl {
         .filter(|&t| t > EPSILON)
         .collect();
     ts.push(0.0);
-    ts.sort_by(|p, q| p.partial_cmp(q).expect("finite breakpoints"));
+    // total_cmp: breakpoints of a valid Pwl are finite; a total order
+    // keeps the sort panic-free regardless.
+    ts.sort_by(f64::total_cmp);
     ts.dedup_by(|p, q| approx_eq(*p, *q));
     let mut segs: Vec<Segment> = Vec::with_capacity(ts.len() + 1);
     for (j, &t) in ts.iter().enumerate() {

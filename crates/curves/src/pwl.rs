@@ -247,7 +247,7 @@ impl Pwl {
         // Find the segment active immediately before t.
         let idx = match self
             .segments
-            .binary_search_by(|s| s.x.partial_cmp(&t).expect("finite x"))
+            .binary_search_by(|s| s.x.total_cmp(&t))
         {
             Ok(i) => i.saturating_sub(1).min(self.segments.len() - 1),
             Err(0) => 0,
@@ -364,7 +364,7 @@ impl Pwl {
             }
         }
         xs.extend(extra);
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
+        xs.sort_by(f64::total_cmp);
         xs.dedup_by(|a, b| approx_eq(*a, *b));
         let mut running = 0.0_f64;
         let mut segs: Vec<Segment> = Vec::with_capacity(xs.len());
@@ -504,7 +504,7 @@ pub(crate) fn merged_breakpoints(a: &Pwl, b: &Pwl) -> Vec<f64> {
         .into_iter()
         .chain(b.breakpoint_xs())
         .collect();
-    xs.sort_by(|p, q| p.partial_cmp(q).expect("finite breakpoints"));
+    xs.sort_by(f64::total_cmp);
     xs.dedup_by(|p, q| approx_eq(*p, *q));
     xs
 }
@@ -529,7 +529,7 @@ fn envelope(f: &Pwl, g: &Pwl, lower: bool) -> Pwl {
         }
     }
     xs.extend(extra);
-    xs.sort_by(|p, q| p.partial_cmp(q).expect("finite breakpoints"));
+    xs.sort_by(f64::total_cmp);
     xs.dedup_by(|p, q| approx_eq(*p, *q));
 
     let pick = |fa: f64, ga: f64| if lower { fa.min(ga) } else { fa.max(ga) };

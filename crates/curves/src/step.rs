@@ -169,7 +169,7 @@ impl StepCurve {
             .map(|&(d, _)| d)
             .chain(other.steps.iter().map(|&(d, _)| d))
             .collect();
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite steps"));
+        xs.sort_by(f64::total_cmp);
         xs.dedup_by(|a, b| approx_eq(*a, *b));
         let mut steps = Vec::with_capacity(xs.len());
         let mut last: Option<u64> = None;

@@ -11,6 +11,8 @@
 //!   with arrival timestamps) ([`trace`]);
 //! * trace generators: periodic, jittered, bursty and Markov-modulated
 //!   ([`gen`]);
+//! * seeded stream-level fault injection — drops, duplicates, type
+//!   corruption, timing jitter — for robustness studies ([`faults`]);
 //! * sliding-window analysis ([`window`]): exact and strided-conservative
 //!   max/min window sums (the raw material of workload curves, Def. 1 of
 //!   the paper) and minimal/maximal event spans (the raw material of
@@ -41,6 +43,7 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod faults;
 pub mod gen;
 pub mod stats;
 pub mod trace;
@@ -48,5 +51,6 @@ pub mod types;
 pub mod window;
 
 pub use error::EventError;
+pub use faults::{StreamFaultPlan, StreamFaultReport, StreamInjector};
 pub use trace::{TimedEvent, TimedTrace, Trace};
 pub use types::{Cycles, EventType, ExecutionInterval, TypeRegistry};

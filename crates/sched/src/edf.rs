@@ -104,7 +104,9 @@ fn analyze(
             l += 1.0;
         }
     }
-    points.sort_by(|a, b| a.partial_cmp(b).expect("finite deadlines"));
+    // total_cmp: deadline points are finite (period × index + deadline),
+    // and a total order keeps the sort panic-free by construction.
+    points.sort_by(f64::total_cmp);
     points.dedup_by(|a, b| (*a - *b).abs() < 1e-12 * (1.0 + b.abs()));
 
     let mut max_load = 0.0_f64;

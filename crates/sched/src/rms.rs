@@ -96,7 +96,7 @@ fn analyze(set: &TaskSet, frequency: f64, use_curves: bool) -> Result<RmsAnalysi
             }
         }
         points.push(t_i);
-        points.sort_by(|a, b| a.partial_cmp(b).expect("finite periods"));
+        points.sort_by(f64::total_cmp);
         points.dedup_by(|a, b| (*a - *b).abs() < 1e-12 * (1.0 + b.abs()));
 
         let mut l_i = f64::INFINITY;

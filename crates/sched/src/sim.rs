@@ -6,9 +6,14 @@
 //! verdicts: a set admitted by [`crate::rms::lehoczky_workload`] must run
 //! without deadline misses when its jobs follow the pattern the curve was
 //! derived from.
+//!
+//! [`simulate_monitored`] additionally streams every admitted job's demand
+//! through a per-task [`EnvelopeMonitor`], flagging online any run whose
+//! demand sequence escapes the task's workload curve.
 
 use crate::task::TaskSet;
 use crate::SchedError;
+use wcm_core::EnvelopeMonitor;
 
 /// Scheduling policy of the simulated processor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +73,7 @@ struct Job {
     task: usize,
     release: f64,
     abs_deadline: f64,
+    demand: u64,
     remaining_cycles: f64,
 }
 
@@ -99,6 +105,60 @@ struct Job {
 /// # }
 /// ```
 pub fn simulate(set: &TaskSet, cfg: &SimConfig) -> Result<SimResult, SchedError> {
+    simulate_inner(set, cfg, &mut [])
+}
+
+/// Simulates the task set while streaming each task's per-job demand
+/// through an optional per-task [`EnvelopeMonitor`] at the moment the job
+/// is admitted to the ready queue.
+///
+/// `monitors[i]`, when present, observes the demand of every job of task
+/// `i` in release order — the online counterpart of checking the task's
+/// workload curve against the pattern it was derived from. Inspect each
+/// monitor's [`EnvelopeMonitor::report`] after the run for structured
+/// violations and minimum-slack statistics.
+///
+/// # Errors
+///
+/// Returns [`SchedError::InvalidParameter`] for non-positive `frequency`
+/// or `horizon`, or if `monitors.len()` differs from the number of tasks.
+///
+/// # Example
+///
+/// ```
+/// use wcm_core::{curve::UpperWorkloadCurve, Cycles, EnvelopeMonitor};
+/// use wcm_sched::{sim::{simulate_monitored, Policy, SimConfig}, task::{PeriodicTask, TaskSet}};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let set = TaskSet::new(vec![PeriodicTask::new("v", 10.0, Cycles(9))?
+///     .with_pattern(vec![Cycles(9), Cycles(3), Cycles(3)])?])?;
+/// // γᵘ built from the pattern: any 1 job ≤ 9, any 2 ≤ 12, any 3 ≤ 15.
+/// let gamma = UpperWorkloadCurve::new(vec![9, 12, 15])?;
+/// let mut monitors = vec![Some(EnvelopeMonitor::upper_only(&gamma, 3)?)];
+/// let result = simulate_monitored(&set, &SimConfig {
+///     frequency: 1.0, horizon: 100.0, policy: Policy::FixedPriority,
+/// }, &mut monitors)?;
+/// assert!(result.no_misses());
+/// assert!(monitors[0].as_ref().unwrap().is_clean());
+/// # Ok(())
+/// # }
+/// ```
+pub fn simulate_monitored(
+    set: &TaskSet,
+    cfg: &SimConfig,
+    monitors: &mut [Option<EnvelopeMonitor>],
+) -> Result<SimResult, SchedError> {
+    if monitors.len() != set.tasks().len() {
+        return Err(SchedError::InvalidParameter { name: "monitors" });
+    }
+    simulate_inner(set, cfg, monitors)
+}
+
+fn simulate_inner(
+    set: &TaskSet,
+    cfg: &SimConfig,
+    monitors: &mut [Option<EnvelopeMonitor>],
+) -> Result<SimResult, SchedError> {
     if !(cfg.frequency.is_finite() && cfg.frequency > 0.0) {
         return Err(SchedError::InvalidParameter { name: "frequency" });
     }
@@ -126,22 +186,21 @@ pub fn simulate(set: &TaskSet, cfg: &SimConfig) -> Result<SimResult, SchedError>
             if r >= cfg.horizon {
                 break;
             }
+            let demand = task.job_demand(j).get();
             releases.push(Job {
                 task: i,
                 release: r,
                 abs_deadline: r + task.deadline(),
-                remaining_cycles: task.job_demand(j).get() as f64,
+                demand,
+                remaining_cycles: demand as f64,
             });
             stats[i].released += 1;
             j += 1;
         }
     }
-    releases.sort_by(|a, b| {
-        a.release
-            .partial_cmp(&b.release)
-            .expect("finite releases")
-            .then(a.task.cmp(&b.task))
-    });
+    // total_cmp: release times are finite by construction (finite period ×
+    // index), but a total order keeps the sort panic-free by type.
+    releases.sort_by(|a, b| a.release.total_cmp(&b.release).then(a.task.cmp(&b.task)));
 
     let mut ready: Vec<Job> = Vec::new();
     let mut busy_time = 0.0_f64;
@@ -158,17 +217,16 @@ pub fn simulate(set: &TaskSet, cfg: &SimConfig) -> Result<SimResult, SchedError>
             Policy::FixedPriority => ready
                 .iter()
                 .enumerate()
-                .min_by(|(_, a), (_, b)| a.task.cmp(&b.task).then(
-                    a.release.partial_cmp(&b.release).expect("finite"),
-                ))
+                .min_by(|(_, a), (_, b)| {
+                    a.task.cmp(&b.task).then(a.release.total_cmp(&b.release))
+                })
                 .map(|(i, _)| i),
             Policy::Edf => ready
                 .iter()
                 .enumerate()
                 .min_by(|(_, a), (_, b)| {
                     a.abs_deadline
-                        .partial_cmp(&b.abs_deadline)
-                        .expect("finite deadlines")
+                        .total_cmp(&b.abs_deadline)
                         .then(a.task.cmp(&b.task))
                 })
                 .map(|(i, _)| i),
@@ -177,9 +235,14 @@ pub fn simulate(set: &TaskSet, cfg: &SimConfig) -> Result<SimResult, SchedError>
     };
 
     loop {
-        // Admit releases that have occurred.
+        // Admit releases that have occurred, streaming each admitted job's
+        // demand through its task's envelope monitor (if any).
         while next_release < releases.len() && releases[next_release].release <= now + 1e-12 {
-            ready.push(releases[next_release].clone());
+            let job = releases[next_release].clone();
+            if let Some(Some(m)) = monitors.get_mut(job.task) {
+                m.observe(job.demand);
+            }
+            ready.push(job);
             next_release += 1;
         }
         let boundary = if next_release < releases.len() {
@@ -381,6 +444,55 @@ mod tests {
             }
         )
         .is_err());
+    }
+
+    #[test]
+    fn monitored_run_is_clean_on_its_own_pattern() {
+        use wcm_core::curve::UpperWorkloadCurve;
+        let set = TaskSet::new(vec![PeriodicTask::new("v", 10.0, Cycles(9))
+            .unwrap()
+            .with_pattern(vec![Cycles(9), Cycles(3), Cycles(3)])
+            .unwrap()])
+        .unwrap();
+        // γᵘ of the pattern: max over windows — 1 job ≤ 9, 2 ≤ 12, 3 ≤ 15.
+        let gamma = UpperWorkloadCurve::new(vec![9, 12, 15]).unwrap();
+        let mut monitors = vec![Some(EnvelopeMonitor::upper_only(&gamma, 3).unwrap())];
+        let r = simulate_monitored(&set, &cfg(Policy::FixedPriority), &mut monitors).unwrap();
+        assert!(r.no_misses());
+        let m = monitors[0].as_ref().unwrap();
+        assert_eq!(m.events(), 30); // every released job was observed
+        assert!(m.is_clean());
+        // The pattern actually attains the k = 2 bound, so slack is 0.
+        assert_eq!(m.report().min_upper_slack(), Some(0));
+    }
+
+    #[test]
+    fn monitored_run_flags_demands_above_the_curve() {
+        use wcm_core::curve::UpperWorkloadCurve;
+        let set = TaskSet::new(vec![PeriodicTask::new("v", 10.0, Cycles(9))
+            .unwrap()
+            .with_pattern(vec![Cycles(9), Cycles(3), Cycles(3)])
+            .unwrap()])
+        .unwrap();
+        // Tighter curve than the pattern: γᵘ(1) = 8 < the 9-cycle jobs.
+        let gamma = UpperWorkloadCurve::new(vec![8, 12, 15]).unwrap();
+        let mut monitors = vec![Some(EnvelopeMonitor::upper_only(&gamma, 3).unwrap())];
+        simulate_monitored(&set, &cfg(Policy::FixedPriority), &mut monitors).unwrap();
+        let m = monitors[0].as_ref().unwrap();
+        // 10 of the 30 jobs carry 9 cycles; each breaks the k = 1 bound.
+        assert_eq!(m.total_violations(), 10);
+        let v = &m.violations()[0];
+        assert_eq!((v.k, v.observed, v.bound), (1, 9, 8));
+    }
+
+    #[test]
+    fn monitored_rejects_mismatched_monitor_count() {
+        let set = TaskSet::new(vec![PeriodicTask::new("a", 1.0, Cycles(1)).unwrap()]).unwrap();
+        let r = simulate_monitored(&set, &cfg(Policy::FixedPriority), &mut []);
+        assert!(matches!(
+            r,
+            Err(SchedError::InvalidParameter { name: "monitors" })
+        ));
     }
 
     #[test]

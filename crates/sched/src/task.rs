@@ -231,11 +231,8 @@ impl TaskSet {
         if tasks.is_empty() {
             return Err(SchedError::EmptyTaskSet);
         }
-        tasks.sort_by(|a, b| {
-            a.period
-                .partial_cmp(&b.period)
-                .expect("finite periods by construction")
-        });
+        // total_cmp: periods are validated finite at construction.
+        tasks.sort_by(|a, b| a.period.total_cmp(&b.period));
         Ok(Self { tasks })
     }
 

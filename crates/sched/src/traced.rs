@@ -89,12 +89,9 @@ pub fn simulate_traced(
             });
         }
     }
-    releases.sort_by(|a, b| {
-        a.arrival
-            .partial_cmp(&b.arrival)
-            .expect("finite timestamps")
-            .then(a.stream.cmp(&b.stream))
-    });
+    // total_cmp: TimedTrace guarantees finite timestamps, and a total
+    // order keeps the sort panic-free even if that invariant moves.
+    releases.sort_by(|a, b| a.arrival.total_cmp(&b.arrival).then(a.stream.cmp(&b.stream)));
 
     let mut stats: Vec<StreamStats> = streams
         .iter()
@@ -128,11 +125,7 @@ pub fn simulate_traced(
             .iter()
             .enumerate()
             .min_by(|(_, a), (_, b)| {
-                a.stream.cmp(&b.stream).then(
-                    a.arrival
-                        .partial_cmp(&b.arrival)
-                        .expect("finite timestamps"),
-                )
+                a.stream.cmp(&b.stream).then(a.arrival.total_cmp(&b.arrival))
             })
             .map(|(i, _)| i);
         match pick {

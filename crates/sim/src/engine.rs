@@ -5,6 +5,7 @@
 //! timestamps), which keeps simulations deterministic regardless of float
 //! coincidences.
 
+use crate::SimError;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -29,11 +30,12 @@ impl<E> PartialOrd for Entry<E> {
 
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse for a min-heap on (time, seq).
+        // Reverse for a min-heap on (time, seq). `total_cmp` is a total
+        // order, so the comparison itself can never fail; `push` rejects
+        // non-finite times before they reach the heap.
         other
             .time
-            .partial_cmp(&self.time)
-            .expect("event times must be finite")
+            .total_cmp(&self.time)
             .then(other.seq.cmp(&self.seq))
     }
 }
@@ -45,14 +47,17 @@ impl<E> Ord for Entry<E> {
 /// ```
 /// use wcm_sim::engine::EventQueue;
 ///
+/// # fn main() -> Result<(), wcm_sim::SimError> {
 /// let mut q = EventQueue::new();
-/// q.push(2.0, "late");
-/// q.push(1.0, "early");
-/// q.push(1.0, "early-second");
+/// q.push(2.0, "late")?;
+/// q.push(1.0, "early")?;
+/// q.push(1.0, "early-second")?;
 /// assert_eq!(q.pop(), Some((1.0, "early")));
 /// assert_eq!(q.pop(), Some((1.0, "early-second")));
 /// assert_eq!(q.pop(), Some((2.0, "late")));
 /// assert_eq!(q.pop(), None);
+/// # Ok(())
+/// # }
 /// ```
 #[derive(Default)]
 pub struct EventQueue<E> {
@@ -72,17 +77,22 @@ impl<E> EventQueue<E> {
 
     /// Schedules `payload` at absolute `time`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `time` is NaN (events must be orderable).
-    pub fn push(&mut self, time: f64, payload: E) {
-        assert!(!time.is_nan(), "event time must not be NaN");
+    /// Returns [`SimError::NonFiniteTime`] for NaN or infinite `time` —
+    /// the queue only ever holds orderable, finite timestamps, so no
+    /// comparison inside the heap can fail later.
+    pub fn push(&mut self, time: f64, payload: E) -> Result<(), SimError> {
+        if !time.is_finite() {
+            return Err(SimError::NonFiniteTime { time });
+        }
         self.heap.push(Entry {
             time,
             seq: self.seq,
             payload,
         });
         self.seq += 1;
+        Ok(())
     }
 
     /// Removes and returns the earliest event.
@@ -116,9 +126,9 @@ mod tests {
     #[test]
     fn orders_by_time() {
         let mut q = EventQueue::new();
-        q.push(3.0, 3);
-        q.push(1.0, 1);
-        q.push(2.0, 2);
+        q.push(3.0, 3).unwrap();
+        q.push(1.0, 1).unwrap();
+        q.push(2.0, 2).unwrap();
         assert_eq!(q.pop(), Some((1.0, 1)));
         assert_eq!(q.pop(), Some((2.0, 2)));
         assert_eq!(q.pop(), Some((3.0, 3)));
@@ -128,7 +138,7 @@ mod tests {
     fn fifo_within_equal_times() {
         let mut q = EventQueue::new();
         for i in 0..100 {
-            q.push(5.0, i);
+            q.push(5.0, i).unwrap();
         }
         for i in 0..100 {
             assert_eq!(q.pop(), Some((5.0, i)));
@@ -140,15 +150,38 @@ mod tests {
         let mut q = EventQueue::new();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
-        q.push(7.0, ());
+        q.push(7.0, ()).unwrap();
         assert_eq!(q.peek_time(), Some(7.0));
         assert_eq!(q.len(), 1);
     }
 
     #[test]
-    #[should_panic(expected = "NaN")]
-    fn rejects_nan_times() {
+    fn rejects_non_finite_times() {
         let mut q = EventQueue::new();
-        q.push(f64::NAN, ());
+        assert!(matches!(
+            q.push(f64::NAN, ()),
+            Err(SimError::NonFiniteTime { .. })
+        ));
+        assert!(matches!(
+            q.push(f64::INFINITY, ()),
+            Err(SimError::NonFiniteTime { .. })
+        ));
+        assert!(matches!(
+            q.push(f64::NEG_INFINITY, ()),
+            Err(SimError::NonFiniteTime { .. })
+        ));
+        // The queue stays usable after a rejected push.
+        assert!(q.is_empty());
+        q.push(1.0, ()).unwrap();
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn negative_times_are_orderable() {
+        let mut q = EventQueue::new();
+        q.push(-1.0, "before").unwrap();
+        q.push(0.0, "origin").unwrap();
+        assert_eq!(q.pop(), Some((-1.0, "before")));
+        assert_eq!(q.pop(), Some((0.0, "origin")));
     }
 }

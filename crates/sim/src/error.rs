@@ -2,7 +2,7 @@ use std::error::Error;
 use std::fmt;
 
 /// Error returned by the architecture simulator.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum SimError {
     /// A configuration parameter was invalid.
@@ -12,6 +12,20 @@ pub enum SimError {
     },
     /// The workload is empty (nothing to simulate).
     EmptyWorkload,
+    /// An event was scheduled at a NaN or infinite time.
+    NonFiniteTime {
+        /// The offending timestamp.
+        time: f64,
+    },
+    /// A fault-injector parameter was invalid.
+    InvalidInjector {
+        /// Which injector.
+        injector: &'static str,
+        /// Which of its parameters.
+        name: &'static str,
+    },
+    /// The fault plan removed every macroblock from the stream.
+    AllEventsDropped,
 }
 
 impl fmt::Display for SimError {
@@ -21,6 +35,15 @@ impl fmt::Display for SimError {
                 write!(f, "invalid value for parameter `{name}`")
             }
             SimError::EmptyWorkload => write!(f, "workload contains no macroblocks"),
+            SimError::NonFiniteTime { time } => {
+                write!(f, "event time {time} is not finite")
+            }
+            SimError::InvalidInjector { injector, name } => {
+                write!(f, "injector `{injector}`: invalid value for `{name}`")
+            }
+            SimError::AllEventsDropped => {
+                write!(f, "fault plan dropped every macroblock of the stream")
+            }
         }
     }
 }
@@ -34,6 +57,15 @@ mod tests {
     #[test]
     fn traits() {
         assert!(SimError::EmptyWorkload.to_string().contains("macroblocks"));
+        assert!(SimError::NonFiniteTime { time: f64::NAN }
+            .to_string()
+            .contains("not finite"));
+        assert!(SimError::InvalidInjector {
+            injector: "jitter",
+            name: "max_delay_s"
+        }
+        .to_string()
+        .contains("jitter"));
         fn check<E: Error + Send + Sync + 'static>() {}
         check::<SimError>();
     }

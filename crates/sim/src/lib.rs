@@ -10,7 +10,11 @@
 //!   with deterministic FIFO tie-breaking);
 //! * [`pipeline`] — the CBR → PE₁ → FIFO → PE₂ model; reports the
 //!   macroblock timestamps at the FIFO input (the measured `ᾱ` of the
-//!   paper) and the maximum FIFO backlog (Fig. 7's metric);
+//!   paper) and the maximum FIFO backlog (Fig. 7's metric); FIFOs can be
+//!   capacity-bounded with an explicit [`pipeline::OverflowPolicy`];
+//! * [`faults`] — seeded, composable fault injection (jitter bursts,
+//!   drops/duplicates, demand spikes, clock drift, stalls, bit errors)
+//!   consumed by [`pipeline::simulate_pipeline_robust`];
 //! * [`stats`] — occupancy sweeps over enqueue/dequeue timestamp pairs.
 //!
 //! # Example
@@ -39,8 +43,13 @@
 
 pub mod engine;
 mod error;
+pub mod faults;
 pub mod pipeline;
 pub mod stats;
 
 pub use error::SimError;
-pub use pipeline::{simulate_pipeline, PipelineConfig, PipelineResult, SourceModel};
+pub use faults::{FaultPlan, FaultReport, FaultedWorkload, Injector, ProcessingElement};
+pub use pipeline::{
+    simulate_pipeline, simulate_pipeline_robust, FifoConfig, OverflowPolicy, PipelineConfig,
+    PipelineResult, RobustPipelineResult, SourceModel,
+};

@@ -11,13 +11,23 @@
 //!    occupies its FIFO slot from push until PE₂ *finishes* it (the
 //!    in-service transaction still holds its buffer).
 //!
-//! The FIFO is unbounded; the experiment checks a-posteriori whether the
-//! observed maximum backlog stays within the provisioned capacity `b`, as
-//! in Fig. 7.
+//! The FIFO can run unbounded (the paper's measurement setup, capacity
+//! checked a posteriori as in Fig. 7) or bounded with an explicit
+//! [`OverflowPolicy`] so overload degrades gracefully: blocking-write
+//! backpressure, rejection of the incoming macroblock, or priority
+//! dropping that sacrifices B-frame macroblocks before P before I.
+//!
+//! [`simulate_pipeline_robust`] additionally threads a seeded
+//! [`FaultPlan`] through the stream and can feed every macroblock PE₂
+//! consumes into an online [`EnvelopeMonitor`], turning the a-posteriori
+//! backlog check into a live verdict against `γᵘ/γˡ`.
 
 use crate::engine::EventQueue;
+use crate::faults::{FaultPlan, FaultReport, FaultedWorkload};
 use crate::stats::max_occupancy;
 use crate::SimError;
+use wcm_core::monitor::EnvelopeMonitor;
+use wcm_mpeg::params::FrameKind;
 use wcm_mpeg::ClipWorkload;
 
 /// Pipeline configuration.
@@ -31,13 +41,66 @@ pub struct PipelineConfig {
     pub pe2_hz: f64,
 }
 
+/// What a bounded FIFO does when a push would exceed its capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Blocking write: PE₁ stalls until PE₂ frees a slot (lossless).
+    #[default]
+    Backpressure,
+    /// The incoming macroblock is discarded; PE₁ keeps decoding.
+    Reject,
+    /// The lowest-priority macroblock among the queued ones and the
+    /// incoming one is discarded — B-frame macroblocks before P before I,
+    /// newest first within a priority class. The macroblock in service at
+    /// PE₂ is never dropped.
+    DropByPriority,
+}
+
+/// FIFO sizing and overflow behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FifoConfig {
+    /// Capacity in macroblocks, counting the one in service at PE₂;
+    /// `None` = unbounded (the overflow policy is then irrelevant).
+    pub capacity: Option<u64>,
+    /// Behavior when a push finds the FIFO full.
+    pub policy: OverflowPolicy,
+}
+
+impl FifoConfig {
+    /// An unbounded FIFO (the paper's measurement setup).
+    #[must_use]
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// A bounded FIFO with the given policy.
+    #[must_use]
+    pub fn bounded(capacity: u64, policy: OverflowPolicy) -> Self {
+        Self {
+            capacity: Some(capacity),
+            policy,
+        }
+    }
+}
+
+/// MPEG drop priority: B is most expendable, I least (reference frames).
+fn frame_priority(kind: FrameKind) -> u8 {
+    match kind {
+        FrameKind::B => 0,
+        FrameKind::P => 1,
+        FrameKind::I => 2,
+    }
+}
+
 /// Result of one pipeline simulation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PipelineResult {
     /// Time each macroblock entered the FIFO (PE₁ completion, or the later
-    /// un-blocking instant under backpressure), seconds.
+    /// un-blocking instant under backpressure), seconds. A dropped
+    /// macroblock carries its drop instant.
     pub fifo_in_times: Vec<f64>,
-    /// Time each macroblock left the FIFO (PE₂ completion), seconds.
+    /// Time each macroblock left the FIFO (PE₂ completion, or the drop
+    /// instant for discarded macroblocks), seconds.
     pub fifo_out_times: Vec<f64>,
     /// Maximum FIFO occupancy in macroblocks (including the one in
     /// service at PE₂).
@@ -48,8 +111,24 @@ pub struct PipelineResult {
     pub pe2_busy: f64,
     /// Time PE₁ spent blocked on a full FIFO (0 without backpressure).
     pub pe1_stalled: f64,
-    /// Completion time of the last macroblock.
+    /// Completion time of the last macroblock PE₂ processed.
     pub makespan: f64,
+    /// Stream indices of macroblocks discarded by `Reject` /
+    /// `DropByPriority` (empty for lossless runs), in drop order.
+    pub dropped: Vec<usize>,
+}
+
+/// Result of [`simulate_pipeline_robust`]: the pipeline outcome plus what
+/// the fault plan did to the stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustPipelineResult {
+    /// The simulation outcome over the (possibly faulted) stream.
+    pub pipeline: PipelineResult,
+    /// Injection counters (all zero without a fault plan).
+    pub faults: FaultReport,
+    /// Length of the stream actually simulated (drops/duplications change
+    /// it relative to `clip.macroblock_count()`).
+    pub stream_len: usize,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -73,7 +152,15 @@ pub fn simulate_pipeline(
     clip: &ClipWorkload,
     cfg: &PipelineConfig,
 ) -> Result<PipelineResult, SimError> {
-    simulate_with_capacity(clip, cfg, None)
+    let w = FaultedWorkload::clean(clip)?;
+    simulate_core(
+        &w,
+        cfg,
+        &FifoConfig::unbounded(),
+        SourceModel::Cbr,
+        clip.params().frame_period(),
+        None,
+    )
 }
 
 /// Simulates the clip with a *bounded* FIFO of `capacity` macroblocks and
@@ -89,10 +176,17 @@ pub fn simulate_pipeline_bounded(
     cfg: &PipelineConfig,
     capacity: u64,
 ) -> Result<PipelineResult, SimError> {
-    if capacity == 0 {
-        return Err(SimError::InvalidParameter { name: "capacity" });
-    }
-    simulate_with_capacity(clip, cfg, Some(capacity))
+    let fifo = FifoConfig::bounded(capacity, OverflowPolicy::Backpressure);
+    validate_fifo(&fifo)?;
+    let w = FaultedWorkload::clean(clip)?;
+    simulate_core(
+        &w,
+        cfg,
+        &fifo,
+        SourceModel::Cbr,
+        clip.params().frame_period(),
+        None,
+    )
 }
 
 /// How compressed bits reach PE₁.
@@ -122,27 +216,87 @@ pub fn simulate_pipeline_with_source(
     cfg: &PipelineConfig,
     source: SourceModel,
 ) -> Result<PipelineResult, SimError> {
+    validate_source(&source)?;
+    let w = FaultedWorkload::clean(clip)?;
+    simulate_core(
+        &w,
+        cfg,
+        &FifoConfig::unbounded(),
+        source,
+        clip.params().frame_period(),
+        None,
+    )
+}
+
+/// The full-control entry point: seeded fault injection, bounded FIFO with
+/// an explicit overflow policy, and optional online envelope monitoring of
+/// the demand stream PE₂ consumes.
+///
+/// With `plan` absent (or a clean plan), `FifoConfig::unbounded()` and no
+/// monitor, the [`PipelineResult`] is bit-identical to
+/// [`simulate_pipeline`]'s — the robust path costs nothing on the clean
+/// path (regression-tested).
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidParameter`] for invalid rates, a zero
+/// capacity or a non-positive `peak_bps`; [`SimError::EmptyWorkload`] for
+/// an empty clip; [`SimError::InvalidInjector`] /
+/// [`SimError::AllEventsDropped`] from the fault plan.
+pub fn simulate_pipeline_robust(
+    clip: &ClipWorkload,
+    cfg: &PipelineConfig,
+    fifo: &FifoConfig,
+    source: SourceModel,
+    plan: Option<&FaultPlan>,
+    monitor: Option<&mut EnvelopeMonitor>,
+) -> Result<RobustPipelineResult, SimError> {
+    validate_fifo(fifo)?;
+    validate_source(&source)?;
+    let w = match plan {
+        Some(p) => p.apply(clip)?,
+        None => FaultedWorkload::clean(clip)?,
+    };
+    let faults = w.report;
+    let stream_len = w.len();
+    let pipeline = simulate_core(
+        &w,
+        cfg,
+        fifo,
+        source,
+        clip.params().frame_period(),
+        monitor,
+    )?;
+    Ok(RobustPipelineResult {
+        pipeline,
+        faults,
+        stream_len,
+    })
+}
+
+fn validate_fifo(fifo: &FifoConfig) -> Result<(), SimError> {
+    if fifo.capacity == Some(0) {
+        return Err(SimError::InvalidParameter { name: "capacity" });
+    }
+    Ok(())
+}
+
+fn validate_source(source: &SourceModel) -> Result<(), SimError> {
     if let SourceModel::FrameBurst { peak_bps } = source {
-        if !(peak_bps.is_finite() && peak_bps > 0.0) {
+        if !(peak_bps.is_finite() && *peak_bps > 0.0) {
             return Err(SimError::InvalidParameter { name: "peak_bps" });
         }
     }
-    simulate_full(clip, cfg, None, source)
+    Ok(())
 }
 
-fn simulate_with_capacity(
-    clip: &ClipWorkload,
+fn simulate_core(
+    w: &FaultedWorkload,
     cfg: &PipelineConfig,
-    capacity: Option<u64>,
-) -> Result<PipelineResult, SimError> {
-    simulate_full(clip, cfg, capacity, SourceModel::Cbr)
-}
-
-fn simulate_full(
-    clip: &ClipWorkload,
-    cfg: &PipelineConfig,
-    capacity: Option<u64>,
+    fifo_cfg: &FifoConfig,
     source: SourceModel,
+    frame_period: f64,
+    mut monitor: Option<&mut EnvelopeMonitor>,
 ) -> Result<PipelineResult, SimError> {
     if !(cfg.bitrate_bps.is_finite() && cfg.bitrate_bps > 0.0) {
         return Err(SimError::InvalidParameter {
@@ -155,53 +309,63 @@ fn simulate_full(
     if !(cfg.pe2_hz.is_finite() && cfg.pe2_hz > 0.0) {
         return Err(SimError::InvalidParameter { name: "pe2_hz" });
     }
-    let bits = clip.mb_bits();
-    let pe1_cycles = clip.pe1_demands();
-    let pe2_cycles = clip.pe2_demands();
-    let n = bits.len();
+    let n = w.len();
     if n == 0 {
         return Err(SimError::EmptyWorkload);
     }
+    let capacity = fifo_cfg.capacity;
+    let policy = fifo_cfg.policy;
 
     let mut queue: EventQueue<Event> = EventQueue::new();
     match source {
         SourceModel::Cbr => {
-            // Bits arrive continuously; MB i is complete at cum_bits/rate.
+            // Bits arrive continuously; MB i is complete at cum_bits/rate,
+            // shifted by any injected transport jitter. `x + 0.0 == x`
+            // exactly, so a clean stream reproduces the unfaulted times
+            // bit-for-bit.
             let mut cum = 0.0f64;
-            for (i, &b) in bits.iter().enumerate() {
-                cum += b as f64;
-                queue.push(cum / cfg.bitrate_bps, Event::BitsReady(i));
+            for i in 0..n {
+                cum += w.bits[i] as f64;
+                queue.push(cum / cfg.bitrate_bps + w.arrival_delay_s[i], Event::BitsReady(i))?;
             }
         }
         SourceModel::FrameBurst { peak_bps } => {
             // Each picture's bits stream in at the peak rate from its
             // release instant (or the end of the previous burst, whichever
-            // is later).
-            let period = clip.params().frame_period();
-            let mut i = 0usize;
+            // is later). Faulted streams keep their original frame index,
+            // so drops/duplications don't shift later pictures' releases.
             let mut channel_free = 0.0f64;
-            for (f, frame) in clip.frames().iter().enumerate() {
-                let mut t = channel_free.max(f as f64 * period);
-                for mb in frame.macroblocks() {
-                    t += f64::from(mb.bits.max(1)) / peak_bps;
-                    queue.push(t, Event::BitsReady(i));
-                    i += 1;
+            let mut current_frame = usize::MAX;
+            let mut t = 0.0f64;
+            for i in 0..n {
+                if w.frame_of[i] != current_frame {
+                    current_frame = w.frame_of[i];
+                    t = channel_free.max(current_frame as f64 * frame_period);
                 }
+                t += w.bits[i].max(1) as f64 / peak_bps;
+                queue.push(t + w.arrival_delay_s[i], Event::BitsReady(i))?;
                 channel_free = t;
             }
         }
     }
 
+    // PE service times including injected clock drift (multiplicative) and
+    // stalls (additive); both neutral elements are exact in IEEE-754, so
+    // the clean path is unchanged bit-for-bit.
+    let pe1_time = |i: usize| (w.pe1_cycles[i] as f64 / cfg.pe1_hz) * w.pe1_scale[i] + w.pe1_extra_s[i];
+    let pe2_time = |i: usize| (w.pe2_cycles[i] as f64 / cfg.pe2_hz) * w.pe2_scale[i] + w.pe2_extra_s[i];
+
     let mut available = vec![false; n];
     let mut next_pe1 = 0usize; // next MB index PE1 will start
     let mut pe1_idle = true;
     // A finished macroblock PE1 could not push (full FIFO) and its finish
-    // time: PE1 is stalled while this is occupied.
+    // time: PE1 is stalled while this is occupied (Backpressure only).
     let mut pe1_held: Option<(usize, f64)> = None;
     let mut fifo: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
     let mut pe2_busy_now = false;
     let mut fifo_in = vec![0.0f64; n];
     let mut fifo_out = vec![0.0f64; n];
+    let mut dropped: Vec<usize> = Vec::new();
     let mut pe1_busy = 0.0f64;
     let mut pe2_busy = 0.0f64;
     let mut pe1_stalled = 0.0f64;
@@ -217,33 +381,81 @@ fn simulate_full(
                 available[i] = true;
                 if pe1_idle && pe1_held.is_none() && i == next_pe1 {
                     pe1_idle = false;
-                    let dt = pe1_cycles[i] as f64 / cfg.pe1_hz;
+                    let dt = pe1_time(i);
                     pe1_busy += dt;
-                    queue.push(now + dt, Event::Pe1Done(i));
+                    queue.push(now + dt, Event::Pe1Done(i))?;
                 }
             }
             Event::Pe1Done(i) => {
                 next_pe1 = i + 1;
-                if capacity.is_some_and(|c| resident(&fifo, pe2_busy_now) >= c) {
+                let full = capacity.is_some_and(|c| resident(&fifo, pe2_busy_now) >= c);
+                if full && policy == OverflowPolicy::Backpressure {
                     // Backpressure: hold the macroblock; PE1 stalls.
                     pe1_held = Some((i, now));
                     pe1_idle = true;
                 } else {
-                    fifo_in[i] = now;
-                    fifo.push_back(i);
+                    if !full {
+                        fifo_in[i] = now;
+                        fifo.push_back(i);
+                    } else {
+                        match policy {
+                            OverflowPolicy::Backpressure => unreachable!("handled above"),
+                            OverflowPolicy::Reject => {
+                                // Discard the incoming macroblock.
+                                fifo_in[i] = now;
+                                fifo_out[i] = now;
+                                dropped.push(i);
+                            }
+                            OverflowPolicy::DropByPriority => {
+                                // Victim: lowest frame priority among the
+                                // queued macroblocks and the incoming one;
+                                // ties go to the newest (the incoming one
+                                // is newest of all). Scanning back-to-front
+                                // with a strict `<` picks exactly that.
+                                let mut victim: Option<usize> = None;
+                                let mut best = frame_priority(w.kinds[i]);
+                                for pos in (0..fifo.len()).rev() {
+                                    let pq = frame_priority(w.kinds[fifo[pos]]);
+                                    if pq < best {
+                                        best = pq;
+                                        victim = Some(pos);
+                                    }
+                                }
+                                match victim {
+                                    None => {
+                                        // The incoming macroblock is the victim.
+                                        fifo_in[i] = now;
+                                        fifo_out[i] = now;
+                                        dropped.push(i);
+                                    }
+                                    Some(pos) => {
+                                        let v = fifo.remove(pos).unwrap_or(i);
+                                        fifo_out[v] = now;
+                                        dropped.push(v);
+                                        fifo_in[i] = now;
+                                        fifo.push_back(i);
+                                    }
+                                }
+                            }
+                        }
+                    }
                     if next_pe1 < n && available[next_pe1] {
-                        let dt = pe1_cycles[next_pe1] as f64 / cfg.pe1_hz;
+                        let dt = pe1_time(next_pe1);
                         pe1_busy += dt;
-                        queue.push(now + dt, Event::Pe1Done(next_pe1));
+                        queue.push(now + dt, Event::Pe1Done(next_pe1))?;
                     } else {
                         pe1_idle = true;
                     }
                     if !pe2_busy_now {
-                        let j = fifo.pop_front().expect("just pushed");
-                        pe2_busy_now = true;
-                        let dt = pe2_cycles[j] as f64 / cfg.pe2_hz;
-                        pe2_busy += dt;
-                        queue.push(now + dt, Event::Pe2Done(j));
+                        if let Some(j) = fifo.pop_front() {
+                            pe2_busy_now = true;
+                            if let Some(m) = monitor.as_deref_mut() {
+                                m.observe(w.pe2_cycles[j]);
+                            }
+                            let dt = pe2_time(j);
+                            pe2_busy += dt;
+                            queue.push(now + dt, Event::Pe2Done(j))?;
+                        }
                     }
                 }
             }
@@ -259,16 +471,19 @@ fn simulate_full(
                     // PE1 resumes with the next macroblock.
                     if next_pe1 < n && available[next_pe1] {
                         pe1_idle = false;
-                        let dt = pe1_cycles[next_pe1] as f64 / cfg.pe1_hz;
+                        let dt = pe1_time(next_pe1);
                         pe1_busy += dt;
-                        queue.push(now + dt, Event::Pe1Done(next_pe1));
+                        queue.push(now + dt, Event::Pe1Done(next_pe1))?;
                     }
                 }
                 if let Some(j) = fifo.pop_front() {
                     pe2_busy_now = true;
-                    let dt = pe2_cycles[j] as f64 / cfg.pe2_hz;
+                    if let Some(m) = monitor.as_deref_mut() {
+                        m.observe(w.pe2_cycles[j]);
+                    }
+                    let dt = pe2_time(j);
                     pe2_busy += dt;
-                    queue.push(now + dt, Event::Pe2Done(j));
+                    queue.push(now + dt, Event::Pe2Done(j))?;
                 }
             }
         }
@@ -283,12 +498,14 @@ fn simulate_full(
         pe2_busy,
         pe1_stalled,
         makespan,
+        dropped,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::Injector;
     use wcm_mpeg::demand::{Pe1Model, Pe2Model};
     use wcm_mpeg::mb::{Macroblock, MacroblockClass};
     use wcm_mpeg::params::{FrameKind, GopStructure, VideoParams};
@@ -296,16 +513,25 @@ mod tests {
 
     /// A hand-sized workload: `n` identical intra macroblocks of 100 bits.
     fn tiny_clip(n: usize) -> ClipWorkload {
+        tiny_clip_kinds(&vec![FrameKind::I; n])
+    }
+
+    /// Like `tiny_clip`, but one single-macroblock frame per entry of
+    /// `kinds` — for exercising the priority-drop policy.
+    fn tiny_clip_kinds(kinds: &[FrameKind]) -> ClipWorkload {
         let params =
             VideoParams::new(16, 16, 25.0, 1.0e4, GopStructure::new(1, 1).unwrap()).unwrap();
-        let mbs: Vec<Macroblock> = (0..n)
-            .map(|_| Macroblock {
-                frame: FrameKind::I,
-                class: MacroblockClass::Intra { coded_blocks: 2 },
-                bits: 100,
+        let frames: Vec<FrameWorkload> = kinds
+            .iter()
+            .map(|&kind| {
+                let mb = Macroblock {
+                    frame: kind,
+                    class: MacroblockClass::Intra { coded_blocks: 2 },
+                    bits: 100,
+                };
+                FrameWorkload::new(kind, vec![mb])
             })
             .collect();
-        let frames = vec![FrameWorkload::new(FrameKind::I, mbs)];
         ClipWorkload::new(
             "tiny".into(),
             params,
@@ -356,6 +582,7 @@ mod tests {
         assert!((r.makespan - 5.0).abs() < 1e-9);
         assert!((r.pe1_busy - 3.0).abs() < 1e-9);
         assert!((r.pe2_busy - 3.0).abs() < 1e-9);
+        assert!(r.dropped.is_empty());
     }
 
     #[test]
@@ -565,6 +792,15 @@ mod tests {
             pe2_hz: 1.0,
         };
         assert!(simulate_pipeline_bounded(&clip, &cfg, 0).is_err());
+        assert!(simulate_pipeline_robust(
+            &clip,
+            &cfg,
+            &FifoConfig::bounded(0, OverflowPolicy::Reject),
+            SourceModel::Cbr,
+            None,
+            None,
+        )
+        .is_err());
     }
 
     #[test]
@@ -578,5 +814,261 @@ mod tests {
         assert!(simulate_pipeline(&clip, &PipelineConfig { bitrate_bps: 0.0, ..ok }).is_err());
         assert!(simulate_pipeline(&clip, &PipelineConfig { pe1_hz: -1.0, ..ok }).is_err());
         assert!(simulate_pipeline(&clip, &PipelineConfig { pe2_hz: f64::NAN, ..ok }).is_err());
+    }
+
+    #[test]
+    fn robust_clean_run_matches_legacy_bitwise() {
+        // The tentpole regression: no faults, unbounded backpressure FIFO,
+        // no monitor ⇒ the robust path must reproduce the legacy result
+        // bit-for-bit, on both source models.
+        let params = VideoParams::new(160, 128, 25.0, 1.0e6, GopStructure::broadcast())
+            .unwrap();
+        let clip = wcm_mpeg::Synthesizer::new(params)
+            .generate(&wcm_mpeg::profile::standard_clips()[3], 1)
+            .unwrap();
+        let cfg = PipelineConfig {
+            bitrate_bps: 1.0e6,
+            pe1_hz: 20.0e6,
+            pe2_hz: 30.0e6,
+        };
+        for source in [SourceModel::Cbr, SourceModel::FrameBurst { peak_bps: 4.0e6 }] {
+            let legacy = simulate_pipeline_with_source(&clip, &cfg, source).unwrap();
+            for plan in [None, Some(FaultPlan::new(9))] {
+                let robust = simulate_pipeline_robust(
+                    &clip,
+                    &cfg,
+                    &FifoConfig::unbounded(),
+                    source,
+                    plan.as_ref(),
+                    None,
+                )
+                .unwrap();
+                assert_eq!(robust.pipeline, legacy);
+                assert!(robust.faults.is_clean());
+            }
+        }
+    }
+
+    #[test]
+    fn reject_policy_never_stalls_and_caps_backlog() {
+        let clip = tiny_clip(12);
+        let cfg = PipelineConfig {
+            bitrate_bps: 100.0,
+            pe1_hz: 100.0,
+            pe2_hz: 250.0,
+        };
+        let r = simulate_pipeline_robust(
+            &clip,
+            &cfg,
+            &FifoConfig::bounded(2, OverflowPolicy::Reject),
+            SourceModel::Cbr,
+            None,
+            None,
+        )
+        .unwrap()
+        .pipeline;
+        assert!(r.max_backlog <= 2);
+        assert_eq!(r.pe1_stalled, 0.0);
+        assert!(!r.dropped.is_empty(), "overload must reject something");
+        // Rejected macroblocks never occupy the FIFO.
+        for &d in &r.dropped {
+            assert_eq!(r.fifo_in_times[d], r.fifo_out_times[d]);
+        }
+    }
+
+    #[test]
+    fn drop_by_priority_prefers_b_over_p_over_i() {
+        // Frames: I P B B P B I B B P B B — overload with capacity 2.
+        // Hand trace (bits at 1..12 s, PE1 1 s/MB, PE2 4 s/MB): B(2), B(3)
+        // and B(5) arrive at a full FIFO and are sacrificed; at t=8 the
+        // incoming I(6) outranks the queued P(4), which is evicted; B(8) is
+        // later evicted for the incoming P(9); B(7), B(10), B(11) arrive
+        // full and die. No I-frame macroblock is ever lost.
+        let kinds = [
+            FrameKind::I,
+            FrameKind::P,
+            FrameKind::B,
+            FrameKind::B,
+            FrameKind::P,
+            FrameKind::B,
+            FrameKind::I,
+            FrameKind::B,
+            FrameKind::B,
+            FrameKind::P,
+            FrameKind::B,
+            FrameKind::B,
+        ];
+        let clip = tiny_clip_kinds(&kinds);
+        let cfg = PipelineConfig {
+            bitrate_bps: 100.0,
+            pe1_hz: 100.0,
+            pe2_hz: 250.0,
+        };
+        let r = simulate_pipeline_robust(
+            &clip,
+            &cfg,
+            &FifoConfig::bounded(2, OverflowPolicy::DropByPriority),
+            SourceModel::Cbr,
+            None,
+            None,
+        )
+        .unwrap()
+        .pipeline;
+        assert!(r.max_backlog <= 2);
+        assert_eq!(r.dropped, vec![2, 3, 5, 4, 7, 8, 10, 11]);
+        let count = |kind| {
+            r.dropped
+                .iter()
+                .filter(|&&d| kinds[d] == kind)
+                .count()
+        };
+        // B is sacrificed first and most (7 of 8); one P falls to protect
+        // an I; no I is ever dropped.
+        assert_eq!(count(FrameKind::B), 7);
+        assert_eq!(count(FrameKind::P), 1);
+        assert_eq!(count(FrameKind::I), 0);
+        // Every I macroblock was fully processed (out > in).
+        for (i, &k) in kinds.iter().enumerate() {
+            if k == FrameKind::I {
+                assert!(r.fifo_out_times[i] > r.fifo_in_times[i], "lost {k:?} at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn drop_by_priority_sacrifices_incoming_b_over_queued_p() {
+        // Queue holds a P, incoming B: the incoming one is the victim (its
+        // slot never materializes) and both references are processed.
+        let kinds = [FrameKind::I, FrameKind::P, FrameKind::B, FrameKind::B];
+        let clip = tiny_clip_kinds(&kinds);
+        let cfg = PipelineConfig {
+            bitrate_bps: 100.0,
+            pe1_hz: 100.0,
+            pe2_hz: 250.0,
+        };
+        let r = simulate_pipeline_robust(
+            &clip,
+            &cfg,
+            &FifoConfig::bounded(2, OverflowPolicy::DropByPriority),
+            SourceModel::Cbr,
+            None,
+            None,
+        )
+        .unwrap()
+        .pipeline;
+        assert_eq!(r.dropped, vec![2, 3]);
+        for i in [0usize, 1] {
+            assert!(r.fifo_out_times[i] > r.fifo_in_times[i]);
+        }
+    }
+
+    #[test]
+    fn drop_by_priority_evicts_queued_b_for_incoming_i() {
+        // Queue holds a B when an I arrives at a full FIFO: the queued B
+        // is evicted and the I takes its slot.
+        let kinds = [FrameKind::I, FrameKind::B, FrameKind::I];
+        let clip = tiny_clip_kinds(&kinds);
+        let cfg = PipelineConfig {
+            bitrate_bps: 100.0,
+            pe1_hz: 100.0,
+            pe2_hz: 250.0,
+        };
+        let r = simulate_pipeline_robust(
+            &clip,
+            &cfg,
+            &FifoConfig::bounded(2, OverflowPolicy::DropByPriority),
+            SourceModel::Cbr,
+            None,
+            None,
+        )
+        .unwrap()
+        .pipeline;
+        assert_eq!(r.dropped, vec![1]);
+        assert!(r.fifo_out_times[2] > r.fifo_in_times[2], "the I must survive");
+    }
+
+    #[test]
+    fn capacity_respected_under_faults_any_policy() {
+        let clip = tiny_clip(40);
+        let cfg = PipelineConfig {
+            bitrate_bps: 100.0,
+            pe1_hz: 100.0,
+            pe2_hz: 250.0,
+        };
+        let plan = FaultPlan::new(21)
+            .with(Injector::DuplicateEvents { per_mille: 150 })
+            .with(Injector::DemandSpike {
+                start: 5,
+                len: 10,
+                factor_pct: 300,
+            })
+            .with(Injector::JitterBurst {
+                start: 0,
+                len: 40,
+                max_delay_s: 0.05,
+            });
+        for policy in [
+            OverflowPolicy::Backpressure,
+            OverflowPolicy::Reject,
+            OverflowPolicy::DropByPriority,
+        ] {
+            let r = simulate_pipeline_robust(
+                &clip,
+                &cfg,
+                &FifoConfig::bounded(3, policy),
+                SourceModel::Cbr,
+                Some(&plan),
+                None,
+            )
+            .unwrap();
+            assert!(
+                r.pipeline.max_backlog <= 3,
+                "{policy:?}: backlog {} exceeds capacity",
+                r.pipeline.max_backlog
+            );
+        }
+    }
+
+    #[test]
+    fn monitor_sees_consumed_demands() {
+        use wcm_core::UpperWorkloadCurve;
+        let clip = tiny_clip(8);
+        let cfg = PipelineConfig {
+            bitrate_bps: 100.0,
+            pe1_hz: 100.0,
+            pe2_hz: 1000.0,
+        };
+        // Every MB costs 1000 PE2 cycles; a γᵘ of exactly k·1000 is tight.
+        let gamma = UpperWorkloadCurve::new((1..=4).map(|k| 1000 * k).collect()).unwrap();
+        let mut mon = wcm_core::EnvelopeMonitor::upper_only(&gamma, 4).unwrap();
+        let r = simulate_pipeline_robust(
+            &clip,
+            &cfg,
+            &FifoConfig::unbounded(),
+            SourceModel::Cbr,
+            None,
+            Some(&mut mon),
+        )
+        .unwrap();
+        assert_eq!(mon.events(), 8);
+        assert!(mon.is_clean());
+        assert_eq!(r.stream_len, 8);
+        // A demand spike above the profile must trip the monitor.
+        let plan = FaultPlan::new(4).with(Injector::DemandSpike {
+            start: 3,
+            len: 2,
+            factor_pct: 200,
+        });
+        let mut mon2 = wcm_core::EnvelopeMonitor::upper_only(&gamma, 4).unwrap();
+        simulate_pipeline_robust(
+            &clip,
+            &cfg,
+            &FifoConfig::unbounded(),
+            SourceModel::Cbr,
+            Some(&plan),
+            Some(&mut mon2),
+        )
+        .unwrap();
+        assert!(mon2.total_violations() >= 1);
     }
 }

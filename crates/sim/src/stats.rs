@@ -31,11 +31,7 @@ pub fn max_occupancy(enq: &[f64], deq: &[f64]) -> u64 {
         events.push((e, 1));
         events.push((d, -1));
     }
-    events.sort_by(|a, b| {
-        a.0.partial_cmp(&b.0)
-            .expect("finite timestamps")
-            .then(a.1.cmp(&b.1)) // -1 before +1 at equal times
-    });
+    events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1))); // -1 before +1 at equal times
     let mut occ: i64 = 0;
     let mut max: i64 = 0;
     for (_, delta) in events {
@@ -59,11 +55,7 @@ pub fn occupancy_timeline(enq: &[f64], deq: &[f64]) -> Vec<(f64, u64)> {
         events.push((e, 1));
         events.push((d, -1));
     }
-    events.sort_by(|a, b| {
-        a.0.partial_cmp(&b.0)
-            .expect("finite timestamps")
-            .then(a.1.cmp(&b.1))
-    });
+    events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     let mut occ: i64 = 0;
     let mut out = Vec::with_capacity(events.len());
     for (t, delta) in events {

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Fast robustness smoke: a clean clippy run, then a seeded fault matrix
+# across the three FIFO overflow policies on one GOP of `newscast`.
+# Checks the stable exit codes end-to-end: 0 when the consumed stream
+# stays inside the measured envelope (jitter only perturbs arrival
+# times, never demands), 4 when an injected demand spike trips the
+# monitor. Drop/duplicate faults reorder demand adjacencies and so may
+# legitimately fire the monitor; they run with `--monitor off` to
+# exercise the overflow policies under loss. Seconds, not minutes —
+# meant for every PR touching the fault layer, the bounded FIFO or the
+# monitor.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo clippy --workspace --all-targets -- -D warnings
+
+cargo build --release -q -p wcm-cli
+cli=target/release/wcm-cli
+
+base=(faults --clip newscast --gops 1 --pe1-mhz 60 --pe2-mhz 340 --k 16 --seed 7)
+jitter="jitter:start=0,len=200,delay=0.001"
+spike="spike:start=100,len=50,factor=300"
+churn="drop:pm=30;dup:pm=30;$jitter"
+
+echo "== clean run (expect exit 0, zero violations) =="
+"$cli" "${base[@]}"
+
+for policy in backpressure reject drop-priority; do
+    echo "== $policy + jitter (expect exit 0: demands untouched) =="
+    "$cli" "${base[@]}" --capacity 64 --policy "$policy" --inject "$jitter"
+
+    echo "== $policy + drop/dup churn, monitor off (expect exit 0) =="
+    "$cli" "${base[@]}" --capacity 64 --policy "$policy" \
+        --inject "$churn" --monitor off
+
+    echo "== $policy + spike (expect exit 4: monitor violations) =="
+    rc=0
+    "$cli" "${base[@]}" --capacity 64 --policy "$policy" \
+        --inject "$jitter;$spike" || rc=$?
+    if [ "$rc" -ne 4 ]; then
+        echo "FAIL: expected exit 4 under a demand spike, got $rc" >&2
+        exit 1
+    fi
+done
+
+echo "fault smoke OK"
