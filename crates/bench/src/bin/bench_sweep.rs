@@ -1,0 +1,192 @@
+//! Bench summary for the design-space sweep engine and the simulator
+//! hot-path rewrite, written to `BENCH_sweep.json`.
+//!
+//! Three measurements, interleaved best-of-`REPS`:
+//!
+//! * **sweep points/s** — the full 14-clip grid, sequential without
+//!   pruning vs threaded with the analytic pre-pass (the shipping
+//!   configuration). The pruned fraction is reported alongside, because
+//!   on a single-core host it — not thread count — is what buys the
+//!   speedup.
+//! * **simulator ns/event** — the legacy heap-driven event loop
+//!   (`wcm_bench::legacy`) vs the heap-free hot path with a reusable
+//!   scratch, on one identical clip (3 events per macroblock).
+//! * **verdict equality** — asserts prune=on and prune=off agree on
+//!   every overflow verdict before any number is written.
+//!
+//! Usage: `cargo run --release -p wcm-bench --bin bench_sweep [OUT.json]`
+
+use std::time::Instant;
+use wcm_bench::legacy::simulate_pipeline_legacy;
+use wcm_events::window::WindowMode;
+use wcm_par::Parallelism;
+use wcm_sim::pipeline::{simulate_faulted, FifoConfig, PipelineConfig, SimScratch, SourceModel};
+use wcm_sim::{run_sweep, FaultedWorkload, OverflowPolicy, SweepSpec};
+
+const REPS: usize = 5;
+
+fn time_once<T>(f: impl FnOnce() -> T) -> f64 {
+    let start = Instant::now();
+    std::hint::black_box(f());
+    start.elapsed().as_secs_f64()
+}
+
+fn best_secs<const M: usize>(mut candidates: [&mut dyn FnMut() -> f64; M]) -> [f64; M] {
+    let mut best = [f64::INFINITY; M];
+    for _ in 0..REPS {
+        for (b, run) in best.iter_mut().zip(candidates.iter_mut()) {
+            *b = b.min(run());
+        }
+    }
+    best
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sweep.json".into());
+    let threads = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+
+    // The full 14-clip grid at the paper's operating range: frequencies
+    // bracketing the ≈340 MHz (eq. 9) … ≈710 MHz (eq. 10) band, so the
+    // analytic pre-pass can decide the points outside the band and only
+    // the uncertain middle is simulated.
+    let clips = wcm_bench::synthesize_clips(2)?;
+    let params = clips[0].params();
+    let spec = SweepSpec {
+        pe1_hz: wcm_bench::PE1_HZ,
+        frequencies_hz: vec![
+            20.0e6, 40.0e6, 60.0e6, 120.0e6, 200.0e6, 280.0e6, 340.0e6, 420.0e6, 500.0e6,
+            600.0e6, 710.0e6, 800.0e6, 900.0e6, 1000.0e6, 1200.0e6, 1600.0e6, 2000.0e6,
+        ],
+        capacities: vec![400, wcm_bench::BUFFER_MB, 4 * wcm_bench::BUFFER_MB],
+        policies: vec![OverflowPolicy::Backpressure],
+        seeds: vec![None],
+        injectors: vec![],
+        k_max: 2 * params.mb_per_frame(),
+        mode: WindowMode::Strided {
+            exact_upto: params.mb_per_frame() / 2,
+            stride: params.mb_per_frame() / 10,
+        },
+        // Deep enough to certify overflow even at the largest capacity
+        // (the strided certificate grid keeps this cheap).
+        cert_depth: 2 * 4 * wcm_bench::BUFFER_MB as usize,
+        prune: true,
+    };
+    let unpruned = SweepSpec {
+        prune: false,
+        ..spec.clone()
+    };
+
+    eprintln!(
+        "bench_sweep: {} clips x {} freqs x {} caps, threads={threads}, reps={REPS}",
+        clips.len(),
+        spec.frequencies_hz.len(),
+        spec.capacities.len()
+    );
+
+    // Correctness gate first: identical verdicts with and without pruning.
+    let report_pruned = run_sweep(&clips, &spec, Parallelism::Threads(threads))?;
+    let report_full = run_sweep(&clips, &unpruned, Parallelism::Seq)?;
+    assert_eq!(report_pruned.points.len(), report_full.points.len());
+    for (a, b) in report_pruned.points.iter().zip(&report_full.points) {
+        assert_eq!(
+            a.verdict.overflowed(),
+            b.verdict.overflowed(),
+            "pruned/unpruned verdict mismatch at {} {} {}",
+            a.clip,
+            a.frequency_hz,
+            a.capacity
+        );
+    }
+    let points = report_pruned.stats.total as f64;
+    let pruned_fraction = report_pruned.stats.pruned_fraction();
+
+    let [seq_unpruned_s, par_pruned_s, seq_pruned_s] = best_secs([
+        &mut || time_once(|| run_sweep(&clips, &unpruned, Parallelism::Seq).unwrap()),
+        &mut || {
+            time_once(|| run_sweep(&clips, &spec, Parallelism::Threads(threads)).unwrap())
+        },
+        &mut || time_once(|| run_sweep(&clips, &spec, Parallelism::Seq).unwrap()),
+    ]);
+
+    // Simulator hot path: ns per event (3 events per macroblock) on one
+    // clip, legacy heap loop vs heap-free loop with a reused scratch.
+    let clip = &clips[6];
+    let cfg = PipelineConfig {
+        bitrate_bps: clip.params().bitrate_bps(),
+        pe1_hz: wcm_bench::PE1_HZ,
+        pe2_hz: 90.0e6,
+    };
+    let stream = FaultedWorkload::clean(clip)?;
+    let fifo = FifoConfig::unbounded();
+    let frame_period = clip.params().frame_period();
+    let mut scratch = SimScratch::new();
+    // Equality gate (the bench lib's unit test covers it too, on a
+    // smaller clip): both paths must agree on the backlog.
+    let legacy_result = simulate_pipeline_legacy(clip, &cfg)?;
+    let hot = simulate_faulted(
+        &stream,
+        &cfg,
+        &fifo,
+        SourceModel::Cbr,
+        frame_period,
+        None,
+        &mut scratch,
+    )?;
+    assert_eq!(legacy_result.max_backlog, hot.max_backlog);
+
+    let [legacy_s, hot_s] = best_secs([
+        &mut || time_once(|| simulate_pipeline_legacy(clip, &cfg).unwrap()),
+        &mut || {
+            time_once(|| {
+                simulate_faulted(
+                    &stream,
+                    &cfg,
+                    &fifo,
+                    SourceModel::Cbr,
+                    frame_period,
+                    None,
+                    &mut scratch,
+                )
+                .unwrap()
+            })
+        },
+    ]);
+    let events = 3.0 * clip.macroblock_count() as f64;
+    let legacy_ns = legacy_s / events * 1e9;
+    let hot_ns = hot_s / events * 1e9;
+
+    let n_clips = clips.len();
+    let json = format!(
+        "{{\n  \"config\": {{ \"clips\": {n_clips}, \"gops\": 2, \"grid_points\": {points}, \"threads\": {threads}, \"reps\": {REPS} }},\n\
+         \x20 \"sweep\": {{\n\
+         \x20   \"pruned_fraction\": {pruned_fraction:.4},\n\
+         \x20   \"seq_unpruned_s\": {seq_unpruned_s:.6},\n\
+         \x20   \"seq_pruned_s\": {seq_pruned_s:.6},\n\
+         \x20   \"par_pruned_s\": {par_pruned_s:.6},\n\
+         \x20   \"points_per_s_seq_unpruned\": {:.2},\n\
+         \x20   \"points_per_s_par_pruned\": {:.2},\n\
+         \x20   \"speedup_par_pruned_vs_seq_unpruned\": {:.2}\n\
+         \x20 }},\n\
+         \x20 \"simulator\": {{\n\
+         \x20   \"events\": {events},\n\
+         \x20   \"legacy_heap_ns_per_event\": {legacy_ns:.2},\n\
+         \x20   \"hot_path_ns_per_event\": {hot_ns:.2},\n\
+         \x20   \"speedup\": {:.2}\n\
+         \x20 }}\n}}\n",
+        points / seq_unpruned_s,
+        points / par_pruned_s,
+        seq_unpruned_s / par_pruned_s,
+        legacy_ns / hot_ns,
+    );
+    std::fs::write(&out_path, &json)?;
+    print!("{json}");
+    eprintln!(
+        "bench_sweep: {:.2}x points/s (pruned fraction {:.0}%), simulator {:.2}x ns/event, wrote {out_path}",
+        seq_unpruned_s / par_pruned_s,
+        pruned_fraction * 100.0,
+        legacy_ns / hot_ns
+    );
+    Ok(())
+}

@@ -1,0 +1,153 @@
+//! The pre-optimization pipeline simulator, kept verbatim as a baseline.
+//!
+//! Before the hot-path rewrite, `wcm_sim::pipeline` drove every run
+//! through the binary-heap [`wcm_sim::engine::EventQueue`], allocating a
+//! fresh calendar, availability map and timestamp vectors per call. The
+//! rewrite replaced the heap with a sorted arrival arena plus two
+//! completion slots and moved all per-run vectors into a reusable
+//! scratch. This module preserves the old loop (unbounded FIFO, CBR
+//! source — the hot path of the sweep engine) so `bench_sweep` and the
+//! criterion group can measure ns/event *before vs after* on identical
+//! inputs, and assert both produce bit-identical results.
+
+use wcm_mpeg::ClipWorkload;
+use wcm_sim::engine::EventQueue;
+use wcm_sim::pipeline::PipelineConfig;
+use wcm_sim::SimError;
+
+/// Simulation events of the legacy calendar.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    BitsReady(usize),
+    Pe1Done(usize),
+    Pe2Done(usize),
+}
+
+/// Timing digest of one legacy run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LegacyResult {
+    /// FIFO entry instants per macroblock.
+    pub fifo_in_times: Vec<f64>,
+    /// FIFO exit instants per macroblock.
+    pub fifo_out_times: Vec<f64>,
+    /// Peak FIFO occupancy (in-service macroblock included).
+    pub max_backlog: u64,
+}
+
+/// The original heap-driven pipeline loop: CBR source, unbounded FIFO.
+///
+/// # Errors
+///
+/// Same contract as `wcm_sim::pipeline::simulate_pipeline`: invalid
+/// clock/bitrate parameters, empty workloads and non-finite event times
+/// are rejected.
+pub fn simulate_pipeline_legacy(
+    clip: &ClipWorkload,
+    cfg: &PipelineConfig,
+) -> Result<LegacyResult, SimError> {
+    if !(cfg.bitrate_bps.is_finite() && cfg.bitrate_bps > 0.0) {
+        return Err(SimError::InvalidParameter {
+            name: "bitrate_bps",
+        });
+    }
+    if !(cfg.pe1_hz.is_finite() && cfg.pe1_hz > 0.0) {
+        return Err(SimError::InvalidParameter { name: "pe1_hz" });
+    }
+    if !(cfg.pe2_hz.is_finite() && cfg.pe2_hz > 0.0) {
+        return Err(SimError::InvalidParameter { name: "pe2_hz" });
+    }
+    let bits = clip.mb_bits();
+    let pe1_cycles = clip.pe1_demands();
+    let pe2_cycles = clip.pe2_demands();
+    let n = bits.len();
+    if n == 0 {
+        return Err(SimError::EmptyWorkload);
+    }
+
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    let mut cum = 0.0f64;
+    for (i, &b) in bits.iter().enumerate() {
+        cum += b as f64;
+        queue.push(cum / cfg.bitrate_bps, Event::BitsReady(i))?;
+    }
+
+    let pe1_time = |i: usize| pe1_cycles[i] as f64 / cfg.pe1_hz;
+    let pe2_time = |i: usize| pe2_cycles[i] as f64 / cfg.pe2_hz;
+
+    let mut available = vec![false; n];
+    let mut next_pe1 = 0usize;
+    let mut pe1_idle = true;
+    let mut fifo: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    let mut pe2_busy_now = false;
+    let mut fifo_in = vec![0.0f64; n];
+    let mut fifo_out = vec![0.0f64; n];
+
+    while let Some((now, ev)) = queue.pop() {
+        match ev {
+            Event::BitsReady(i) => {
+                available[i] = true;
+                if pe1_idle && i == next_pe1 {
+                    pe1_idle = false;
+                    queue.push(now + pe1_time(i), Event::Pe1Done(i))?;
+                }
+            }
+            Event::Pe1Done(i) => {
+                next_pe1 = i + 1;
+                fifo_in[i] = now;
+                fifo.push_back(i);
+                if next_pe1 < n && available[next_pe1] {
+                    queue.push(now + pe1_time(next_pe1), Event::Pe1Done(next_pe1))?;
+                } else {
+                    pe1_idle = true;
+                }
+                if !pe2_busy_now {
+                    if let Some(j) = fifo.pop_front() {
+                        pe2_busy_now = true;
+                        queue.push(now + pe2_time(j), Event::Pe2Done(j))?;
+                    }
+                }
+            }
+            Event::Pe2Done(i) => {
+                fifo_out[i] = now;
+                pe2_busy_now = false;
+                if let Some(j) = fifo.pop_front() {
+                    pe2_busy_now = true;
+                    queue.push(now + pe2_time(j), Event::Pe2Done(j))?;
+                }
+            }
+        }
+    }
+
+    let max_backlog = wcm_sim::stats::max_occupancy(&fifo_in, &fifo_out);
+    Ok(LegacyResult {
+        fifo_in_times: fifo_in,
+        fifo_out_times: fifo_out,
+        max_backlog,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcm_mpeg::{profile::standard_clips, GopStructure, Synthesizer, VideoParams};
+    use wcm_sim::pipeline::simulate_pipeline;
+
+    #[test]
+    fn legacy_and_hot_path_agree_bitwise() {
+        let params =
+            VideoParams::new(160, 128, 25.0, 1.0e6, GopStructure::broadcast()).unwrap();
+        let clip = Synthesizer::new(params)
+            .generate(&standard_clips()[4], 1)
+            .unwrap();
+        let cfg = PipelineConfig {
+            bitrate_bps: 1.0e6,
+            pe1_hz: 20.0e6,
+            pe2_hz: 30.0e6,
+        };
+        let old = simulate_pipeline_legacy(&clip, &cfg).unwrap();
+        let new = simulate_pipeline(&clip, &cfg).unwrap();
+        assert_eq!(old.fifo_in_times, new.fifo_in_times);
+        assert_eq!(old.fifo_out_times, new.fifo_out_times);
+        assert_eq!(old.max_backlog, new.max_backlog);
+    }
+}

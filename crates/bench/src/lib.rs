@@ -9,6 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod legacy;
+
 use wcm_core::build::arrival_upper;
 use wcm_core::curve::WorkloadBounds;
 use wcm_core::{LowerWorkloadCurve, UpperWorkloadCurve, WorkloadError};

@@ -33,6 +33,16 @@ subcommands:
            [--inject SPEC[;SPEC...]] [--monitor on|off] [--k K]
            pipeline simulation under seeded fault injection with an
            online gamma_u envelope monitor (exit 4 on violations)
+  sweep    --pe2-mhz F1,F2,... --capacities C1,C2,...
+           [--clips all|NAME,NAME] [--gops N] [--pe1-mhz X]
+           [--policies backpressure,reject,drop-priority]
+           [--seeds clean,S1,S2] [--inject SPEC[;SPEC...]]
+           [--k K --exact-upto N --stride S] [--cert-depth D]
+           [--prune on|off] [--threads T] [--json FILE] [--csv FILE]
+           parallel design-space sweep over the
+           (clip x frequency x capacity x policy x seed) grid; an
+           analytic pre-pass (eq. 8-10) skips provably safe/unsafe
+           points, only the uncertain band is simulated
   help     this text
 
 inject specs (name:key=val,key=val):
@@ -381,6 +391,135 @@ pub fn faults(opts: &Options) -> Result<(), CliError> {
 }
 
 /// Parses one `name:key=val,key=val` injector spec.
+/// `sweep` subcommand — the design-space exploration engine.
+pub fn sweep(opts: &Options) -> Result<(), CliError> {
+    let params = wcm_mpeg::VideoParams::main_profile_main_level()?;
+    let all = wcm_mpeg::profile::standard_clips();
+    let profiles: Vec<_> = match opts.optional("clips").unwrap_or("all") {
+        "all" => all,
+        list => list
+            .split(',')
+            .map(|name| {
+                all.iter()
+                    .find(|c| c.name == name)
+                    .cloned()
+                    .ok_or_else(|| format!("unknown clip `{name}` (try `mpeg --clip list`)"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let gops = opts.usize_or("gops", 1)?;
+    let synth = wcm_mpeg::Synthesizer::new(params);
+    let clips: Vec<_> = profiles
+        .iter()
+        .map(|p| synth.generate(p, gops))
+        .collect::<Result<_, _>>()?;
+
+    let frequencies_hz: Vec<f64> = parse_list(opts.required("pe2-mhz")?, "pe2-mhz")?
+        .into_iter()
+        .map(|f: f64| f * 1e6)
+        .collect();
+    let capacities: Vec<u64> = parse_list(opts.required("capacities")?, "capacities")?;
+    let policies = opts
+        .optional("policies")
+        .unwrap_or("backpressure")
+        .split(',')
+        .map(|p| match p {
+            "backpressure" => Ok(OverflowPolicy::Backpressure),
+            "reject" => Ok(OverflowPolicy::Reject),
+            "drop-priority" => Ok(OverflowPolicy::DropByPriority),
+            other => Err(CliError::Usage(format!(
+                "--policies: `{other}` is not backpressure|reject|drop-priority"
+            ))),
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let seeds = opts
+        .optional("seeds")
+        .unwrap_or("clean")
+        .split(',')
+        .map(|s| match s {
+            "clean" => Ok(None),
+            n => n
+                .parse::<u64>()
+                .map(Some)
+                .map_err(|e| CliError::Usage(format!("--seeds: `{n}`: {e}"))),
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut injectors = Vec::new();
+    if let Some(specs) = opts.optional("inject") {
+        for spec in specs.split(';').filter(|s| !s.is_empty()) {
+            injectors.push(parse_injector(spec)?);
+        }
+    }
+    let prune = match opts.optional("prune").unwrap_or("on") {
+        "on" => true,
+        "off" => false,
+        other => {
+            return Err(CliError::Usage(format!(
+                "--prune: `{other}` is not on|off"
+            )))
+        }
+    };
+
+    let spec = wcm_sim::SweepSpec {
+        pe1_hz: match opts.optional("pe1-mhz") {
+            Some(v) => v.parse::<f64>().map_err(|e| format!("--pe1-mhz: {e}"))? * 1e6,
+            None => 60.0e6,
+        },
+        frequencies_hz,
+        capacities,
+        policies,
+        seeds,
+        injectors,
+        k_max: opts.usize_or("k", 600)?,
+        mode: mode(opts)?,
+        cert_depth: opts.usize_or("cert-depth", 400)?,
+        prune,
+    };
+    let report = wcm_sim::run_sweep(&clips, &spec, opts.parallelism()?).map_err(|e| match e {
+        wcm_sim::SweepError::Invalid(what) => CliError::Usage(what.to_string()),
+        other => CliError::Analysis(other.to_string()),
+    })?;
+
+    if let Some(path) = opts.optional("json") {
+        write_report(Path::new(path), &report.to_json())?;
+    }
+    if let Some(path) = opts.optional("csv") {
+        write_report(Path::new(path), &report.to_csv())?;
+    }
+
+    let s = &report.stats;
+    println!("points {}", s.total);
+    println!(
+        "pruned_safe {} pruned_unsafe {} simulated {}",
+        s.pruned_safe, s.pruned_unsafe, s.simulated
+    );
+    println!("pruned_fraction {:.4}", s.pruned_fraction());
+    println!("overflowed {}", s.overflowed);
+    for &(f, c) in &report.pareto {
+        println!("pareto {:.2} MHz capacity {c}", f / 1e6);
+    }
+    Ok(())
+}
+
+fn parse_list<T: std::str::FromStr>(list: &str, name: &str) -> Result<Vec<T>, CliError>
+where
+    T::Err: std::fmt::Display,
+{
+    list.split(',')
+        .map(|v| {
+            v.parse::<T>()
+                .map_err(|e| CliError::Usage(format!("--{name}: `{v}`: {e}")))
+        })
+        .collect()
+}
+
+fn write_report(path: &Path, contents: &str) -> Result<(), CliError> {
+    std::fs::write(path, contents).map_err(|source| CliError::Io {
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
 fn parse_injector(spec: &str) -> Result<Injector, CliError> {
     let (name, rest) = match spec.split_once(':') {
         Some((n, r)) => (n, r),

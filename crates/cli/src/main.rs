@@ -14,7 +14,11 @@
 //!   of the paper's MPEG-2 workload and print (or save) its PE₂ demands;
 //! * `faults --clip NAME --gops N --pe1-mhz X --pe2-mhz Y ...` — the
 //!   two-PE pipeline under seeded fault injection, bounded-FIFO overflow
-//!   policies and an online γᵘ envelope monitor.
+//!   policies and an online γᵘ envelope monitor;
+//! * `sweep --pe2-mhz F,F,... --capacities C,C,... ...` — parallel
+//!   design-space exploration over the `(clip × frequency × capacity ×
+//!   policy × seed)` grid with analytic pruning (eqs. 8–10) and JSON/CSV
+//!   reports including the frequency/capacity Pareto frontier.
 //!
 //! All output is plain text, one row per `k`/`Δ`, suitable for plotting.
 //!
@@ -58,6 +62,7 @@ fn run(argv: &[String]) -> Result<(), CliError> {
         "mpeg" => commands::mpeg(&opts),
         "pipeline" => commands::pipeline(&opts),
         "faults" => commands::faults(&opts),
+        "sweep" => commands::sweep(&opts),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

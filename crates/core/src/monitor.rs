@@ -14,6 +14,26 @@
 //! each event costs `O(k_max)` comparisons and memory stays constant
 //! regardless of trace length.
 //!
+//! For hot loops (e.g. a design-space sweep simulating thousands of
+//! points) [`EnvelopeMonitor::with_fast_scan`] drops the per-`k` slack
+//! statistics and adds an **O(1) early-exit on the dominant window**: at
+//! construction the monitor fits a linear minorant `B + r·k ≤ γᵘ(k)` (with
+//! exact rational arithmetic — `r` is the chord slope of the bound table)
+//! and maintains a sliding-window minimum of `cum_j − r·j` over the
+//! retained ring slots. A violation at any depth `k` needs
+//! `total > cum_{e−k} + γᵘ(k)`, so whenever
+//! `total ≤ B + r·e + min_j (cum_j − r·j)` **no** window ending at the
+//! current event can break the upper bound and the whole scan is skipped;
+//! dually a linear majorant of `γˡ` and a sliding maximum certify the lower
+//! side. The certificate is exact integer arithmetic, so it never misses a
+//! violation: when it cannot vouch for an event the monitor falls back to
+//! the full scan for that event. On traces with real slack against the
+//! envelope — the common case when curves carry engineering margin — the
+//! per-event cost collapses from `O(k_max)` to amortized `O(1)`; on
+//! adversarially tight traces it degrades to the exact scan. Violation
+//! counts and the stored [`Violation`]s are bit-identical to the exact
+//! scan in every case.
+//!
 //! # Example
 //!
 //! ```
@@ -114,12 +134,57 @@ impl MonitorReport {
     }
 }
 
+/// One side of the fast-scan certificate: a linear bound on the curve
+/// (minorant of `γᵘ`, majorant of `γˡ`) with slope `r_num / r_den` and a
+/// monotone deque tracking the sliding extremum of
+/// `cum_j · r_den − r_num · j` over the retained ring slots. All quantities
+/// are scaled by `r_den` so the arithmetic stays exact.
+#[derive(Debug, Clone)]
+struct LinCert {
+    /// Slope numerator (denominator is the monitor-wide `r_den`).
+    r_num: i128,
+    /// Scaled intercept: extremum over `a ∈ [1, k_max]` of
+    /// `γ(a) · r_den − r_num · a`.
+    b_scaled: i128,
+    /// `(j, key)` pairs, keys monotone from the front (front = extremum).
+    deque: VecDeque<(u64, i128)>,
+}
+
+impl LinCert {
+    /// Slides the deque: admits slot `j` with key `key`, evicts slots older
+    /// than `min_j`. `min_front` selects the discipline (true = sliding
+    /// minimum, false = sliding maximum).
+    fn slide(&mut self, j: u64, key: i128, min_j: u64, min_front: bool) {
+        while self
+            .deque
+            .back()
+            .is_some_and(|&(_, k)| if min_front { k >= key } else { k <= key })
+        {
+            self.deque.pop_back();
+        }
+        self.deque.push_back((j, key));
+        while self.deque.front().is_some_and(|&(jf, _)| jf < min_j) {
+            self.deque.pop_front();
+        }
+    }
+}
+
 /// Streaming checker of demand windows against `γᵘ(k)` / `γˡ(k)`.
 #[derive(Debug, Clone)]
 pub struct EnvelopeMonitor {
     upper: Option<UpperWorkloadCurve>,
     lower: Option<LowerWorkloadCurve>,
     k_max: usize,
+    /// `γᵘ(k)` for `k = 1..=k_max`, materialized once so the per-event loop
+    /// reads a flat table instead of re-running curve extrapolation.
+    upper_bounds: Vec<u64>,
+    /// `γˡ(k)` for `k = 1..=k_max`.
+    lower_bounds: Vec<u64>,
+    fast: bool,
+    /// Shared slope denominator of both certificates: `k_max − 1`.
+    r_den: i128,
+    cert_upper: Option<LinCert>,
+    cert_lower: Option<LinCert>,
     /// Ring of cumulative demand sums; front is the sum before the oldest
     /// retained event, back the sum after the newest. Holds at most
     /// `k_max + 1` entries, so `sum(window of k ending now) = back − ...`.
@@ -175,10 +240,24 @@ impl EnvelopeMonitor {
         }
         let mut cum = VecDeque::with_capacity(k_max + 1);
         cum.push_back(0u128);
+        let upper_bounds = upper
+            .as_ref()
+            .map(|u| (1..=k_max).map(|k| u.value(k).get()).collect())
+            .unwrap_or_default();
+        let lower_bounds = lower
+            .as_ref()
+            .map(|l| (1..=k_max).map(|k| l.value(k).get()).collect())
+            .unwrap_or_default();
         Ok(Self {
             upper,
             lower,
             k_max,
+            upper_bounds,
+            lower_bounds,
+            fast: false,
+            r_den: k_max as i128 - 1,
+            cert_upper: None,
+            cert_lower: None,
             cum,
             events: 0,
             windows_checked: 0,
@@ -195,6 +274,85 @@ impl EnvelopeMonitor {
         self.k_max
     }
 
+    /// Switches the per-event scan between the exact mode (default: every
+    /// window checked, per-`k` slack statistics maintained) and the fast
+    /// mode (O(1) dominant-window certificate with a full-scan fallback,
+    /// no slack statistics).
+    ///
+    /// Violation counts and stored [`Violation`]s are identical in both
+    /// modes; [`MonitorReport::windows_checked`] counts the comparisons
+    /// actually performed, so it is smaller in fast mode, and the slack
+    /// fields stay `None` for events observed while fast.
+    #[must_use]
+    pub fn with_fast_scan(mut self, fast: bool) -> Self {
+        self.fast = fast;
+        self.cert_upper = None;
+        self.cert_lower = None;
+        if fast && self.k_max >= 2 {
+            self.cert_upper = Self::make_cert(&self.upper_bounds, self.r_den, true);
+            self.cert_lower = Self::make_cert(&self.lower_bounds, self.r_den, false);
+            // Seed the deques from the retained ring so a mid-stream toggle
+            // stays sound: cum[i] is the cumulative sum after event
+            // `events − (len − 1) + i`.
+            let len = self.cum.len();
+            let deepest = self.k_max.min(len - 1) as u64;
+            for i in 0..len.saturating_sub(1) {
+                let j = self.events - (len as u64 - 1) + i as u64;
+                let cum_j = self.cum[i];
+                let min_j = self.events.saturating_sub(deepest);
+                if let Some(c) = &mut self.cert_upper {
+                    if let Some(key) = scaled_key(cum_j, self.r_den, c.r_num, j) {
+                        c.slide(j, key, min_j, true);
+                    } else {
+                        self.cert_upper = None;
+                    }
+                }
+                if let Some(c) = &mut self.cert_lower {
+                    if let Some(key) = scaled_key(cum_j, self.r_den, c.r_num, j) {
+                        c.slide(j, key, min_j, false);
+                    } else {
+                        self.cert_lower = None;
+                    }
+                }
+            }
+        }
+        self
+    }
+
+    /// Fits the scaled linear bound to a bound table: the chord slope
+    /// `(γ(k_max) − γ(1)) / (k_max − 1)` and the tightest intercept that
+    /// keeps the line on the sound side of every `γ(a)`
+    /// (below for the upper bound's minorant, above for the lower's
+    /// majorant). Returns `None` when the table is absent or the exact
+    /// arithmetic would overflow.
+    fn make_cert(bounds: &[u64], r_den: i128, minorant: bool) -> Option<LinCert> {
+        let (&first, &last) = (bounds.first()?, bounds.last()?);
+        let r_num = i128::from(last).checked_sub(i128::from(first))?;
+        let mut b_scaled: Option<i128> = None;
+        for (idx, &g) in bounds.iter().enumerate() {
+            let a = idx as i128 + 1;
+            let v = i128::from(g)
+                .checked_mul(r_den)?
+                .checked_sub(r_num.checked_mul(a)?)?;
+            b_scaled = Some(match b_scaled {
+                None => v,
+                Some(b) if minorant => b.min(v),
+                Some(b) => b.max(v),
+            });
+        }
+        Some(LinCert {
+            r_num,
+            b_scaled: b_scaled?,
+            deque: VecDeque::new(),
+        })
+    }
+
+    /// Whether the early-exit scan is active.
+    #[must_use]
+    pub fn fast_scan(&self) -> bool {
+        self.fast
+    }
+
     /// Feeds one event's demand; checks every window that this event
     /// closes. Returns how many new violations the event caused.
     pub fn observe(&mut self, demand: u64) -> usize {
@@ -204,15 +362,23 @@ impl EnvelopeMonitor {
             self.cum.pop_front();
         }
         self.events += 1;
+        if self.fast {
+            self.scan_fast(total)
+        } else {
+            self.scan_exact(total)
+        }
+    }
+
+    fn scan_exact(&mut self, total: u128) -> usize {
         let mut fresh = 0usize;
         let deepest = self.k_max.min(self.cum.len() - 1);
         for k in 1..=deepest {
             let sum = total - self.cum[self.cum.len() - 1 - k];
             // 1-indexed first event of the window ending at `events`.
             let offset = self.events - k as u64 + 1;
-            if let Some(upper) = &self.upper {
+            if self.upper.is_some() {
                 self.windows_checked += 1;
-                let bound = upper.value(k).get();
+                let bound = self.upper_bounds[k - 1];
                 let slack = i128::from(bound) - sum as i128;
                 let entry = &mut self.upper_slack[k - 1];
                 *entry = Some(entry.map_or(slack, |s| s.min(slack)));
@@ -227,12 +393,119 @@ impl EnvelopeMonitor {
                     });
                 }
             }
-            if let Some(lower) = &self.lower {
+            if self.lower.is_some() {
                 self.windows_checked += 1;
-                let bound = lower.value(k).get();
+                let bound = self.lower_bounds[k - 1];
                 let slack = sum as i128 - i128::from(bound);
                 let entry = &mut self.lower_slack[k - 1];
                 *entry = Some(entry.map_or(slack, |s| s.min(slack)));
+                if sum < u128::from(bound) {
+                    fresh += 1;
+                    self.record(Violation {
+                        offset,
+                        k,
+                        observed: sum,
+                        bound,
+                        kind: BoundKind::Lower,
+                    });
+                }
+            }
+        }
+        fresh
+    }
+
+    /// Fast scan: slide the certificate deques, then try to discharge each
+    /// side in O(1). A side whose certificate holds is provably
+    /// violation-free for every window ending at this event (see the module
+    /// docs for the inequality chain); a side that cannot be discharged is
+    /// scanned in full.
+    fn scan_fast(&mut self, total: u128) -> usize {
+        let len = self.cum.len();
+        let deepest = self.k_max.min(len - 1);
+        if deepest == 0 {
+            return 0;
+        }
+        let e = self.events;
+        let min_j = e.saturating_sub(deepest as u64);
+        // Admit slot j = e − 1 (its cumulative sum sits just before the
+        // entry pushed for the current event).
+        if len >= 2 {
+            let j = e - 1;
+            let cum_j = self.cum[len - 2];
+            if let Some(c) = &mut self.cert_upper {
+                match scaled_key(cum_j, self.r_den, c.r_num, j) {
+                    Some(key) => c.slide(j, key, min_j, true),
+                    None => self.cert_upper = None,
+                }
+            }
+            if let Some(c) = &mut self.cert_lower {
+                match scaled_key(cum_j, self.r_den, c.r_num, j) {
+                    Some(key) => c.slide(j, key, min_j, false),
+                    None => self.cert_lower = None,
+                }
+            }
+        }
+        let mut need_upper = self.upper.is_some();
+        let mut need_lower = self.lower.is_some();
+        // No upper violation at depth k needs total ≤ cum_{e−k} + γᵘ(k);
+        // with γᵘ(k)·r_den ≥ b + r·k this is implied by
+        // total·r_den ≤ b + r·e + min_j (cum_j·r_den − r·j).
+        if need_upper {
+            if let (Some(c), Some(tk)) = (&self.cert_upper, scale_total(total, self.r_den)) {
+                if let (Some(&(_, min_key)), Some(rhs)) = (
+                    c.deque.front(),
+                    c.r_num
+                        .checked_mul(e as i128)
+                        .and_then(|re| re.checked_add(c.b_scaled)),
+                ) {
+                    if let Some(rhs) = rhs.checked_add(min_key) {
+                        if tk <= rhs {
+                            need_upper = false;
+                        }
+                    }
+                }
+            }
+        }
+        if need_lower {
+            if let (Some(c), Some(tk)) = (&self.cert_lower, scale_total(total, self.r_den)) {
+                if let (Some(&(_, max_key)), Some(rhs)) = (
+                    c.deque.front(),
+                    c.r_num
+                        .checked_mul(e as i128)
+                        .and_then(|re| re.checked_add(c.b_scaled)),
+                ) {
+                    if let Some(rhs) = rhs.checked_add(max_key) {
+                        if tk >= rhs {
+                            need_lower = false;
+                        }
+                    }
+                }
+            }
+        }
+        if !need_upper && !need_lower {
+            return 0;
+        }
+        let mut fresh = 0usize;
+        for k in 1..=deepest {
+            let sum = total - self.cum[len - 1 - k];
+            let offset = e - k as u64 + 1;
+            if need_upper {
+                self.windows_checked += 1;
+                let bound = self.upper_bounds[k - 1];
+                if sum > u128::from(bound) {
+                    fresh += 1;
+                    self.record(Violation {
+                        offset,
+                        k,
+                        observed: sum,
+                        bound,
+                        kind: BoundKind::Upper,
+                    });
+                }
+            }
+            if need_lower {
+                self.windows_checked += 1;
+                let bound = self.lower_bounds[k - 1];
                 if sum < u128::from(bound) {
                     fresh += 1;
                     self.record(Violation {
@@ -297,6 +570,20 @@ impl EnvelopeMonitor {
             lower_slack: self.lower_slack.clone(),
         }
     }
+}
+
+/// `cum_j · r_den − r_num · j`, exactly; `None` on overflow (the caller
+/// then drops the certificate and keeps the always-sound full scan).
+fn scaled_key(cum_j: u128, r_den: i128, r_num: i128, j: u64) -> Option<i128> {
+    i128::try_from(cum_j)
+        .ok()?
+        .checked_mul(r_den)?
+        .checked_sub(r_num.checked_mul(j as i128)?)
+}
+
+/// `total · r_den`, exactly; `None` on overflow (certificate fails closed).
+fn scale_total(total: u128, r_den: i128) -> Option<i128> {
+    i128::try_from(total).ok()?.checked_mul(r_den)
 }
 
 #[cfg(test)]
@@ -436,6 +723,98 @@ mod tests {
             EnvelopeMonitor::upper_only(&gamma, 0),
             Err(WorkloadError::InvalidParameter { name: "k_max" })
         ));
+    }
+
+    #[test]
+    fn fast_scan_matches_exact_violations_bitwise() {
+        // Clean, violating-high and violating-low streams: the fast scan
+        // must record the same violations (count, order, fields) as exact.
+        let base = alternating(60);
+        let streams: Vec<Vec<u64>> = vec![
+            base.clone(),
+            // burst of expensive events breaks γᵘ at several k
+            base.iter().copied().chain([10, 10, 10, 10]).collect(),
+            // run of cheap events breaks γˡ
+            base.iter().copied().chain([2, 2, 2, 2, 2]).collect(),
+            // mixed hostile tail
+            base.iter().copied().chain([10, 10, 2, 2, 10, 10]).collect(),
+        ];
+        for demands in streams {
+            let bounds = bounds_of(&alternating(60), 16);
+            let mut exact = EnvelopeMonitor::new(&bounds, 16).unwrap();
+            let mut fast = EnvelopeMonitor::new(&bounds, 16)
+                .unwrap()
+                .with_fast_scan(true);
+            assert!(fast.fast_scan());
+            let e = exact.observe_all(demands.iter().copied());
+            let f = fast.observe_all(demands.iter().copied());
+            assert_eq!(e, f, "fresh-violation totals differ");
+            assert_eq!(exact.total_violations(), fast.total_violations());
+            assert_eq!(exact.violations(), fast.violations());
+            assert_eq!(exact.events(), fast.events());
+        }
+    }
+
+    #[test]
+    fn fast_scan_skips_windows_when_trace_has_slack() {
+        // Curves from the alternating 10/2 trace; observed demands sit
+        // strictly below γᵘ's linear minorant (all 4s) / above γˡ's linear
+        // majorant (all 8s), so the O(1) certificate should discharge
+        // almost every event.
+        let bounds = bounds_of(&alternating(400), 64);
+        let light = vec![4u64; 400];
+        let mut exact = EnvelopeMonitor::upper_only(&bounds.upper, 64).unwrap();
+        let mut fast = EnvelopeMonitor::upper_only(&bounds.upper, 64)
+            .unwrap()
+            .with_fast_scan(true);
+        exact.observe_all(light.iter().copied());
+        fast.observe_all(light.iter().copied());
+        assert!(fast.is_clean());
+        let (we, wf) = (
+            exact.report().windows_checked,
+            fast.report().windows_checked,
+        );
+        assert!(
+            wf * 10 < we,
+            "upper certificate should discharge most events: exact {we}, fast {wf}"
+        );
+        // Fast mode trades the slack statistics away.
+        assert!(fast.report().upper_slack.iter().all(Option::is_none));
+
+        let heavy = vec![8u64; 400];
+        let mut exact = EnvelopeMonitor::lower_only(&bounds.lower, 64).unwrap();
+        let mut fast = EnvelopeMonitor::lower_only(&bounds.lower, 64)
+            .unwrap()
+            .with_fast_scan(true);
+        exact.observe_all(heavy.iter().copied());
+        fast.observe_all(heavy.iter().copied());
+        assert!(fast.is_clean());
+        let (we, wf) = (
+            exact.report().windows_checked,
+            fast.report().windows_checked,
+        );
+        assert!(
+            wf * 10 < we,
+            "lower certificate should discharge most events: exact {we}, fast {wf}"
+        );
+    }
+
+    #[test]
+    fn fast_scan_mid_stream_toggle_stays_sound() {
+        // Toggling fast mode after some events must seed the certificate
+        // deques from the ring; a violation right after the toggle must
+        // still be caught.
+        let bounds = bounds_of(&alternating(40), 8);
+        let mut mon = EnvelopeMonitor::new(&bounds, 8).unwrap();
+        mon.observe_all([10, 2, 10, 2, 10]);
+        assert!(mon.is_clean());
+        let mut mon = mon.with_fast_scan(true);
+        mon.observe_all([2, 10, 10]); // …,10,10 breaks γᵘ(2) = 12
+        assert!(!mon.is_clean());
+        assert!(mon
+            .violations()
+            .iter()
+            .any(|v| v.kind == BoundKind::Upper && v.k == 2 && v.observed == 20));
     }
 
     #[test]

@@ -32,9 +32,13 @@
 //! for the upper envelope of deconvolution). Flat/staircase regions — the
 //! common case for arrival curves derived from [`crate::StepCurve`]s —
 //! collapse to a single branch each. The surviving branches are evaluated
-//! and folded through [`wcm_par::par_map_reduce`]; the pointwise min/max is
-//! associative, so the chunked fold computes the same envelope. The `_with`
-//! variants expose the [`Parallelism`] knob; the plain functions default to
+//! through [`wcm_par::par_map`] and folded with a **pairwise tree**
+//! ([`wcm_par::tree_reduce`]): each branch takes part in O(log n) min/max
+//! merges of comparably-sized envelopes instead of n merges against an
+//! ever-growing accumulator, and the tree shape depends only on the branch
+//! count — never on the worker count — so every [`Parallelism`] mode
+//! computes a bit-identical envelope. The `_with` variants expose the
+//! [`Parallelism`] knob; the plain functions default to
 //! [`Parallelism::Auto`].
 
 use crate::num::{approx_eq, EPSILON};
@@ -94,7 +98,7 @@ pub fn convolve_with(f: &Pwl, g: &Pwl, par: Parallelism) -> Pwl {
             .map(|(a, c)| ShiftOf::G(a, c)),
     );
     let cost = branch_cost(branches.len(), f, g);
-    let env = wcm_par::par_map_reduce(
+    let shifted = wcm_par::par_map(
         par,
         &branches,
         cost,
@@ -104,9 +108,8 @@ pub fn convolve_with(f: &Pwl, g: &Pwl, par: Parallelism) -> Pwl {
             ShiftOf::F(dx, dy) => f.shift(dx, dy).expect("shift by non-negative offsets"),
             ShiftOf::G(dx, dy) => g.shift(dx, dy).expect("shift by non-negative offsets"),
         },
-        |a, b| a.min(&b),
     );
-    match env {
+    match wcm_par::tree_reduce(shifted, |a, b| a.min(&b)) {
         Some(e) => base.min(&e),
         None => base,
     }
@@ -229,19 +232,14 @@ pub fn deconvolve_with(f: &Pwl, g: &Pwl, par: Parallelism) -> Result<Pwl, CurveE
         }
     }
     let cost = branch_cost(branches.len(), f, g);
-    let env = wcm_par::par_map_reduce(
-        par,
-        &branches,
-        cost,
-        |_, br| match *br {
-            DeconvBranch::Shift(b, gv) => shift_left_minus(f, b, gv),
-            DeconvBranch::Reflected(a, fa) => reflected_branch(fa, g, a),
-        },
-        |a, b| a.max(&b),
-    );
+    let evaluated = wcm_par::par_map(par, &branches, cost, |_, br| match *br {
+        DeconvBranch::Shift(b, gv) => shift_left_minus(f, b, gv),
+        DeconvBranch::Reflected(a, fa) => reflected_branch(fa, g, a),
+    });
     // Infallible: a valid Pwl has ≥ 1 segment, so `branches` is non-empty
     // and the reduction always yields a value.
-    let env = env.expect("g has at least one breakpoint");
+    let env = wcm_par::tree_reduce(evaluated, |a, b| a.max(&b))
+        .expect("g has at least one breakpoint");
     // Clamp at zero (arrival/service curves are non-negative).
     Ok(env.max(&Pwl::zero()))
 }
@@ -576,6 +574,34 @@ mod tests {
                     "deconvolve differs under {par:?} at t={t}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn envelopes_are_bit_identical_across_worker_counts() {
+        // The tree fold's shape depends only on the branch count, so every
+        // Parallelism mode must produce the *same floats*, not merely
+        // approximately equal curves.
+        let mut bps = Vec::new();
+        let mut y = 0.0;
+        for i in 0..96 {
+            let x = i as f64 * 0.31;
+            let slope = 0.25 + (i % 5) as f64 * 0.4;
+            y += (i % 2) as f64 * 0.7;
+            bps.push((x, y, slope));
+            y += slope * 0.31;
+        }
+        let f = Pwl::from_breakpoints(bps).unwrap();
+        let g = rate_latency(7.0, 0.9);
+        let seq_conv = convolve_with(&f, &g, Parallelism::Seq);
+        let seq_dec = deconvolve_with(&f, &g, Parallelism::Seq).unwrap();
+        for par in [Parallelism::Threads(3), Parallelism::Threads(8), Parallelism::Auto] {
+            assert_eq!(convolve_with(&f, &g, par), seq_conv, "convolve under {par:?}");
+            assert_eq!(
+                deconvolve_with(&f, &g, par).unwrap(),
+                seq_dec,
+                "deconvolve under {par:?}"
+            );
         }
     }
 

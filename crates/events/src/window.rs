@@ -51,8 +51,13 @@ pub enum WindowMode {
 
 impl WindowMode {
     /// The grid of window sizes that will be computed exactly, up to
-    /// `k_max` inclusive (always contains `k_max` itself).
-    fn grid(self, k_max: usize) -> Vec<usize> {
+    /// `k_max` inclusive (always contains `k_max` itself). Values at
+    /// these `k` are exact in every `*_with` result; entries between
+    /// them are conservative fills. Public so callers that must not use
+    /// filled values (e.g. the overflow certificate) can select the
+    /// exact entries.
+    #[must_use]
+    pub fn grid(self, k_max: usize) -> Vec<usize> {
         match self {
             WindowMode::Exact => (1..=k_max).collect(),
             WindowMode::Strided { exact_upto, stride } => {

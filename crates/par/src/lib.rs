@@ -32,10 +32,17 @@
 #![warn(missing_docs)]
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Work below this many "unit operations" (caller-estimated) runs
 /// sequentially under [`Parallelism::Auto`]: thread start-up would dominate.
-pub const AUTO_SEQ_THRESHOLD_OPS: u64 = 1 << 20;
+pub const AUTO_SEQ_THRESHOLD_OPS: u64 = 1 << 18;
+
+/// Under [`Parallelism::Auto`] each extra worker must be backed by at least
+/// this many unit operations, so medium-sized inputs get 2–3 workers instead
+/// of the all-or-nothing split that left paper-scale min-plus convolutions
+/// sequential (`speedup_par_vs_seq: 1.00` in early BENCH_curves.json runs).
+pub const AUTO_OPS_PER_WORKER: u64 = 1 << 18;
 
 /// How to split data-parallel work across threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -80,9 +87,16 @@ impl Parallelism {
                 if cost_hint_ops < AUTO_SEQ_THRESHOLD_OPS {
                     1
                 } else {
-                    std::thread::available_parallelism()
+                    let avail = std::thread::available_parallelism()
                         .map(NonZeroUsize::get)
-                        .unwrap_or(1)
+                        .unwrap_or(1);
+                    // Scale the worker count to the work: each worker must
+                    // amortize its ~50–100 µs start-up with at least
+                    // AUTO_OPS_PER_WORKER unit operations.
+                    let affordable = usize::try_from(cost_hint_ops / AUTO_OPS_PER_WORKER)
+                        .unwrap_or(usize::MAX)
+                        .max(1);
+                    avail.min(affordable)
                 }
             }
         };
@@ -178,6 +192,113 @@ where
         .reduce(&reduce)
 }
 
+/// Like [`par_map`], but with **dynamic load balancing** and a per-worker
+/// state value (scratch buffers, RNGs, …) created once per worker by `init`.
+///
+/// Workers claim fixed-size blocks of indices from a shared atomic cursor,
+/// so items with wildly different costs (e.g. design-sweep points that are
+/// either analytically pruned in nanoseconds or simulated in milliseconds)
+/// still spread evenly across threads. Each result is placed by its input
+/// index, so the output equals the sequential `out[i] = f(&mut s, i, &items[i])`
+/// for any worker count and any scheduling — workers share no locks on the
+/// hot path, only the block cursor.
+pub fn par_map_init<T, U, S, I, F>(
+    par: Parallelism,
+    items: &[T],
+    cost_hint_ops: u64,
+    init: I,
+    f: F,
+) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> U + Sync,
+{
+    let workers = par.workers(items.len(), cost_hint_ops);
+    if workers <= 1 || items.len() <= 1 {
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut state, i, t))
+            .collect();
+    }
+    // Small blocks balance uneven costs; 8 blocks per worker keeps cursor
+    // contention negligible while bounding the worst-case idle tail.
+    let block = items.len().div_ceil(workers * 8).max(1);
+    let cursor = AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, Vec<U>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let (init, f, cursor) = (&init, &f, &cursor);
+                scope.spawn(move || {
+                    let mut state = init();
+                    let mut mine: Vec<(usize, Vec<U>)> = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(block, Ordering::Relaxed);
+                        if start >= items.len() {
+                            break;
+                        }
+                        let end = (start + block).min(items.len());
+                        let vals: Vec<U> = items[start..end]
+                            .iter()
+                            .enumerate()
+                            .map(|(j, t)| f(&mut state, start + j, t))
+                            .collect();
+                        mine.push((start, vals));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par_map_init worker panicked"))
+            .collect()
+    });
+    let mut out: Vec<Option<U>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    for (start, vals) in per_worker.into_iter().flatten() {
+        for (j, v) in vals.into_iter().enumerate() {
+            out[start + j] = Some(v);
+        }
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("every block fills its own slots"))
+        .collect()
+}
+
+/// Folds `items` with a **fixed pairwise tree**: adjacent pairs are combined
+/// round after round until one value remains. Returns `None` for empty input.
+///
+/// Two properties make this preferable to a linear left fold for envelope
+/// merges (`Pwl::min`/`max`), whose cost grows with the accumulated segment
+/// count:
+///
+/// * the tree shape depends only on `items.len()`, never on a worker count,
+///   so results are **bit-identical** across [`Parallelism`] modes even for
+///   merely approximately-associative float operations;
+/// * each value participates in O(log n) merges of comparably-sized
+///   operands instead of n merges against an ever-growing accumulator.
+pub fn tree_reduce<U, R>(mut items: Vec<U>, reduce: R) -> Option<U>
+where
+    R: Fn(U, U) -> U,
+{
+    while items.len() > 1 {
+        let mut next = Vec::with_capacity(items.len().div_ceil(2));
+        let mut it = items.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(reduce(a, b)),
+                None => next.push(a),
+            }
+        }
+        items = next;
+    }
+    items.pop()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,6 +369,74 @@ mod tests {
             par_map_reduce(Parallelism::Threads(2), &empty, 0, |_, v| *v, |a, b| a + b),
             None
         );
+    }
+
+    #[test]
+    fn par_map_init_matches_sequential_for_all_worker_counts() {
+        let items: Vec<u64> = (0..2_011).collect();
+        let expect: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v * 7 + i as u64)
+            .collect();
+        for par in [
+            Parallelism::Seq,
+            Parallelism::Threads(2),
+            Parallelism::Threads(3),
+            Parallelism::Threads(16),
+            Parallelism::Auto,
+        ] {
+            // The per-worker state counts calls: it must be reused within a
+            // worker, and results must land at the right indices anyway.
+            let got = par_map_init(
+                par,
+                &items,
+                u64::MAX,
+                || 0u64,
+                |calls, i, v| {
+                    *calls += 1;
+                    v * 7 + i as u64
+                },
+            );
+            assert_eq!(got, expect, "mismatch under {par:?}");
+        }
+    }
+
+    #[test]
+    fn par_map_init_handles_tiny_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert!(
+            par_map_init(Parallelism::Threads(4), &empty, u64::MAX, || (), |(), _, v| *v)
+                .is_empty()
+        );
+        assert_eq!(
+            par_map_init(Parallelism::Threads(4), &[5u32], u64::MAX, || (), |(), _, v| v + 1),
+            vec![6]
+        );
+    }
+
+    #[test]
+    fn tree_reduce_is_deterministic_and_complete() {
+        // Sum: order-insensitive check that nothing is dropped.
+        let items: Vec<u64> = (1..=1000).collect();
+        assert_eq!(tree_reduce(items, |a, b| a + b), Some(500_500));
+        // Concatenation: pair order must stay left-to-right.
+        let words: Vec<String> = (0..9).map(|i| i.to_string()).collect();
+        assert_eq!(
+            tree_reduce(words, |a, b| a + &b),
+            Some("012345678".to_string())
+        );
+        assert_eq!(tree_reduce(Vec::<u8>::new(), |a, _| a), None);
+        assert_eq!(tree_reduce(vec![42u8], |a, _| a), Some(42));
+    }
+
+    #[test]
+    fn auto_workers_scale_with_cost() {
+        // Below the threshold Auto stays sequential; above it the worker
+        // count is bounded by cost / AUTO_OPS_PER_WORKER.
+        assert_eq!(Parallelism::Auto.workers(1000, AUTO_SEQ_THRESHOLD_OPS - 1), 1);
+        let w = Parallelism::Auto.workers(1000, 3 * AUTO_OPS_PER_WORKER);
+        assert!((1..=3).contains(&w), "expected at most 3 affordable workers, got {w}");
     }
 
     #[test]

@@ -15,7 +15,11 @@
 //! * [`faults`] — seeded, composable fault injection (jitter bursts,
 //!   drops/duplicates, demand spikes, clock drift, stalls, bit errors)
 //!   consumed by [`pipeline::simulate_pipeline_robust`];
-//! * [`stats`] — occupancy sweeps over enqueue/dequeue timestamp pairs.
+//! * [`stats`] — occupancy sweeps over enqueue/dequeue timestamp pairs;
+//! * [`sweep`] — parallel design-space exploration over a
+//!   `(clip × frequency × capacity × policy × seed)` grid, with an
+//!   analytic pre-pass (eqs. 8–10) that proves most points safe or unsafe
+//!   without simulating them.
 //!
 //! # Example
 //!
@@ -46,6 +50,7 @@ mod error;
 pub mod faults;
 pub mod pipeline;
 pub mod stats;
+pub mod sweep;
 
 pub use error::SimError;
 pub use faults::{FaultPlan, FaultReport, FaultedWorkload, Injector, ProcessingElement};
@@ -53,3 +58,4 @@ pub use pipeline::{
     simulate_pipeline, simulate_pipeline_robust, FifoConfig, OverflowPolicy, PipelineConfig,
     PipelineResult, RobustPipelineResult, SourceModel,
 };
+pub use sweep::{run_sweep, SweepError, SweepReport, SweepSpec, Verdict};

@@ -21,11 +21,25 @@
 //! [`FaultPlan`] through the stream and can feed every macroblock PE₂
 //! consumes into an online [`EnvelopeMonitor`], turning the a-posteriori
 //! backlog check into a live verdict against `γᵘ/γˡ`.
+//!
+//! # Hot path
+//!
+//! The event loop does not use a binary heap. At any instant at most one
+//! `Pe1Done` and one `Pe2Done` event are outstanding, and every `BitsReady`
+//! time is known up front, so the next event is the minimum of a sorted
+//! arrival arena cursor and two slots — O(1) per event, no per-event
+//! allocation. Tie-breaking replicates the former heap's `(time, seq)`
+//! order exactly: arrivals were pushed first (seq `0..n`, so a stable sort
+//! by time preserves their index order and ranks them before same-time PE
+//! completions), and PE completions take increasing sequence numbers at
+//! schedule time. [`SimScratch`] makes all per-run buffers reusable so a
+//! design-space sweep can evaluate thousands of points without touching
+//! the allocator; [`simulate_faulted`] is the scratch-aware entry point
+//! over a shared, read-only [`FaultedWorkload`].
 
-use crate::engine::EventQueue;
 use crate::faults::{FaultPlan, FaultReport, FaultedWorkload};
-use crate::stats::max_occupancy;
 use crate::SimError;
+use std::collections::VecDeque;
 use wcm_core::monitor::EnvelopeMonitor;
 use wcm_mpeg::params::FrameKind;
 use wcm_mpeg::ClipWorkload;
@@ -131,14 +145,59 @@ pub struct RobustPipelineResult {
     pub stream_len: usize,
 }
 
-#[derive(Debug, Clone, Copy)]
-enum Event {
-    /// All bits of macroblock `i` have arrived from the channel.
-    BitsReady(usize),
-    /// PE₁ finished macroblock `i`.
-    Pe1Done(usize),
-    /// PE₂ finished macroblock `i`.
-    Pe2Done(usize),
+/// Reusable per-run buffers for the pipeline simulator. A sweep worker
+/// creates one and passes it to [`simulate_faulted`] for every point it
+/// evaluates: after the first run no allocation happens (buffers are
+/// cleared, not freed), and workers share no state.
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    /// `(bits-ready time, stream index)`, sorted by `(time, index)`.
+    ready: Vec<(f64, usize)>,
+    available: Vec<bool>,
+    fifo: VecDeque<usize>,
+    fifo_in: Vec<f64>,
+    fifo_out: Vec<f64>,
+    dropped: Vec<usize>,
+}
+
+impl SimScratch {
+    /// Empty scratch; buffers grow on first use and are reused afterwards.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self, n: usize) {
+        self.ready.clear();
+        self.ready.reserve(n);
+        self.available.clear();
+        self.available.resize(n, false);
+        self.fifo.clear();
+        self.fifo_in.clear();
+        self.fifo_in.resize(n, 0.0);
+        self.fifo_out.clear();
+        self.fifo_out.resize(n, 0.0);
+        self.dropped.clear();
+    }
+}
+
+/// Allocation-free digest of one pipeline run — what a design-space sweep
+/// needs from a point without materializing per-macroblock time vectors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineSummary {
+    /// Maximum FIFO occupancy in macroblocks (including the one in service).
+    pub max_backlog: u64,
+    /// Whether any push found the FIFO full (a backpressure stall or a
+    /// drop, depending on the policy). Always `false` for an unbounded run.
+    pub overflowed: bool,
+    /// Number of macroblocks discarded by `Reject`/`DropByPriority`.
+    pub dropped: usize,
+    /// Time PE₁ spent blocked on a full FIFO (0 without backpressure).
+    pub pe1_stalled: f64,
+    /// Total PE₂ busy time, seconds.
+    pub pe2_busy: f64,
+    /// Completion time of the last macroblock PE₂ processed.
+    pub makespan: f64,
 }
 
 /// Simulates the clip through the pipeline with an unbounded FIFO
@@ -153,7 +212,7 @@ pub fn simulate_pipeline(
     cfg: &PipelineConfig,
 ) -> Result<PipelineResult, SimError> {
     let w = FaultedWorkload::clean(clip)?;
-    simulate_core(
+    run_full(
         &w,
         cfg,
         &FifoConfig::unbounded(),
@@ -179,7 +238,7 @@ pub fn simulate_pipeline_bounded(
     let fifo = FifoConfig::bounded(capacity, OverflowPolicy::Backpressure);
     validate_fifo(&fifo)?;
     let w = FaultedWorkload::clean(clip)?;
-    simulate_core(
+    run_full(
         &w,
         cfg,
         &fifo,
@@ -218,7 +277,7 @@ pub fn simulate_pipeline_with_source(
 ) -> Result<PipelineResult, SimError> {
     validate_source(&source)?;
     let w = FaultedWorkload::clean(clip)?;
-    simulate_core(
+    run_full(
         &w,
         cfg,
         &FifoConfig::unbounded(),
@@ -259,7 +318,7 @@ pub fn simulate_pipeline_robust(
     };
     let faults = w.report;
     let stream_len = w.len();
-    let pipeline = simulate_core(
+    let pipeline = run_full(
         &w,
         cfg,
         fifo,
@@ -271,6 +330,63 @@ pub fn simulate_pipeline_robust(
         pipeline,
         faults,
         stream_len,
+    })
+}
+
+/// The sweep-facing entry point: simulates a pre-built (possibly faulted)
+/// stream with reusable scratch buffers and returns only the
+/// [`PipelineSummary`] — no per-macroblock vectors, no allocation after the
+/// scratch has warmed up. The `FaultedWorkload` is read-only and can be
+/// shared across workers; `frame_period` is the clip's picture period
+/// (`ClipWorkload::params().frame_period()`), used by the
+/// [`SourceModel::FrameBurst`] release schedule.
+///
+/// # Errors
+///
+/// Same conditions as [`simulate_pipeline_robust`].
+pub fn simulate_faulted(
+    w: &FaultedWorkload,
+    cfg: &PipelineConfig,
+    fifo: &FifoConfig,
+    source: SourceModel,
+    frame_period: f64,
+    monitor: Option<&mut EnvelopeMonitor>,
+    scratch: &mut SimScratch,
+) -> Result<PipelineSummary, SimError> {
+    validate_fifo(fifo)?;
+    validate_source(&source)?;
+    let out = simulate_core(w, cfg, fifo, source, frame_period, monitor, scratch)?;
+    Ok(PipelineSummary {
+        max_backlog: out.max_backlog,
+        overflowed: out.overflowed,
+        dropped: scratch.dropped.len(),
+        pe1_stalled: out.pe1_stalled,
+        pe2_busy: out.pe2_busy,
+        makespan: out.makespan,
+    })
+}
+
+/// Runs the core with a one-shot scratch and materializes the full
+/// [`PipelineResult`].
+fn run_full(
+    w: &FaultedWorkload,
+    cfg: &PipelineConfig,
+    fifo_cfg: &FifoConfig,
+    source: SourceModel,
+    frame_period: f64,
+    monitor: Option<&mut EnvelopeMonitor>,
+) -> Result<PipelineResult, SimError> {
+    let mut scratch = SimScratch::new();
+    let out = simulate_core(w, cfg, fifo_cfg, source, frame_period, monitor, &mut scratch)?;
+    Ok(PipelineResult {
+        fifo_in_times: std::mem::take(&mut scratch.fifo_in),
+        fifo_out_times: std::mem::take(&mut scratch.fifo_out),
+        max_backlog: out.max_backlog,
+        pe1_busy: out.pe1_busy,
+        pe2_busy: out.pe2_busy,
+        pe1_stalled: out.pe1_stalled,
+        makespan: out.makespan,
+        dropped: std::mem::take(&mut scratch.dropped),
     })
 }
 
@@ -290,6 +406,47 @@ fn validate_source(source: &SourceModel) -> Result<(), SimError> {
     Ok(())
 }
 
+/// Small Copy digest the core hands back; vectors live in the scratch.
+#[derive(Debug, Clone, Copy)]
+struct CoreOut {
+    max_backlog: u64,
+    overflowed: bool,
+    pe1_busy: f64,
+    pe2_busy: f64,
+    pe1_stalled: f64,
+    makespan: f64,
+}
+
+/// Which of the three event sources fires next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Next {
+    Bits,
+    Pe1,
+    Pe2,
+}
+
+/// `(time, seq)` strictly before the current best? Uses `total_cmp` like
+/// the former heap, so ordering is total even at the representation level.
+#[inline]
+fn beats(t: f64, s: u64, best_t: f64, best_s: u64) -> bool {
+    match t.total_cmp(&best_t) {
+        std::cmp::Ordering::Less => true,
+        std::cmp::Ordering::Equal => s < best_s,
+        std::cmp::Ordering::Greater => false,
+    }
+}
+
+/// Rejects the non-finite event times that injected faults or degenerate
+/// configs could produce — same contract the old `EventQueue::push` had.
+#[inline]
+fn finite(time: f64) -> Result<f64, SimError> {
+    if time.is_finite() {
+        Ok(time)
+    } else {
+        Err(SimError::NonFiniteTime { time })
+    }
+}
+
 fn simulate_core(
     w: &FaultedWorkload,
     cfg: &PipelineConfig,
@@ -297,7 +454,8 @@ fn simulate_core(
     source: SourceModel,
     frame_period: f64,
     mut monitor: Option<&mut EnvelopeMonitor>,
-) -> Result<PipelineResult, SimError> {
+    scratch: &mut SimScratch,
+) -> Result<CoreOut, SimError> {
     if !(cfg.bitrate_bps.is_finite() && cfg.bitrate_bps > 0.0) {
         return Err(SimError::InvalidParameter {
             name: "bitrate_bps",
@@ -315,8 +473,8 @@ fn simulate_core(
     }
     let capacity = fifo_cfg.capacity;
     let policy = fifo_cfg.policy;
+    scratch.reset(n);
 
-    let mut queue: EventQueue<Event> = EventQueue::new();
     match source {
         SourceModel::Cbr => {
             // Bits arrive continuously; MB i is complete at cum_bits/rate,
@@ -326,7 +484,8 @@ fn simulate_core(
             let mut cum = 0.0f64;
             for i in 0..n {
                 cum += w.bits[i] as f64;
-                queue.push(cum / cfg.bitrate_bps + w.arrival_delay_s[i], Event::BitsReady(i))?;
+                let t = finite(cum / cfg.bitrate_bps + w.arrival_delay_s[i])?;
+                scratch.ready.push((t, i));
             }
         }
         SourceModel::FrameBurst { peak_bps } => {
@@ -343,10 +502,20 @@ fn simulate_core(
                     t = channel_free.max(current_frame as f64 * frame_period);
                 }
                 t += w.bits[i].max(1) as f64 / peak_bps;
-                queue.push(t + w.arrival_delay_s[i], Event::BitsReady(i))?;
+                scratch.ready.push((finite(t + w.arrival_delay_s[i])?, i));
                 channel_free = t;
             }
         }
+    }
+    // Clean streams are already time-sorted; injected jitter may reorder.
+    // A *stable* sort by time preserves the index order of ties, which is
+    // exactly the former heap's ordering of the seq-`0..n` arrival events.
+    if scratch
+        .ready
+        .windows(2)
+        .any(|p| p[1].0.total_cmp(&p[0].0).is_lt())
+    {
+        scratch.ready.sort_by(|a, b| a.0.total_cmp(&b.0));
     }
 
     // PE service times including injected clock drift (multiplicative) and
@@ -355,56 +524,85 @@ fn simulate_core(
     let pe1_time = |i: usize| (w.pe1_cycles[i] as f64 / cfg.pe1_hz) * w.pe1_scale[i] + w.pe1_extra_s[i];
     let pe2_time = |i: usize| (w.pe2_cycles[i] as f64 / cfg.pe2_hz) * w.pe2_scale[i] + w.pe2_extra_s[i];
 
-    let mut available = vec![false; n];
     let mut next_pe1 = 0usize; // next MB index PE1 will start
     let mut pe1_idle = true;
     // A finished macroblock PE1 could not push (full FIFO) and its finish
     // time: PE1 is stalled while this is occupied (Backpressure only).
     let mut pe1_held: Option<(usize, f64)> = None;
-    let mut fifo: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
     let mut pe2_busy_now = false;
-    let mut fifo_in = vec![0.0f64; n];
-    let mut fifo_out = vec![0.0f64; n];
-    let mut dropped: Vec<usize> = Vec::new();
+    let mut cursor = 0usize;
+    // Pending PE completions: `(time, seq, mb)`. The former heap assigned
+    // seq `0..n` to the arrival events and then incremented per push, so PE
+    // completions start at `n` and same-time arrivals always fire first.
+    let mut pe1_slot: Option<(f64, u64, usize)> = None;
+    let mut pe2_slot: Option<(f64, u64, usize)> = None;
+    let mut next_seq = n as u64;
+    let mut max_backlog = 0u64;
+    let mut overflowed = false;
     let mut pe1_busy = 0.0f64;
     let mut pe2_busy = 0.0f64;
     let mut pe1_stalled = 0.0f64;
     let mut makespan = 0.0f64;
 
-    while let Some((now, ev)) = queue.pop() {
-        // Resident macroblocks: queued plus the one in service at PE2.
-        let resident = |fifo: &std::collections::VecDeque<usize>, pe2_busy_now: bool| {
-            fifo.len() as u64 + u64::from(pe2_busy_now)
-        };
-        match ev {
-            Event::BitsReady(i) => {
-                available[i] = true;
+    loop {
+        // The next event: minimum (time, seq) among the arrival cursor and
+        // the two completion slots.
+        let mut best: Option<(f64, u64, Next)> = None;
+        if cursor < n {
+            let (t, i) = scratch.ready[cursor];
+            best = Some((t, i as u64, Next::Bits));
+        }
+        for (slot, which) in [(&pe1_slot, Next::Pe1), (&pe2_slot, Next::Pe2)] {
+            if let Some(&(t, s, _)) = slot.as_ref() {
+                if best.is_none_or(|(bt, bs, _)| beats(t, s, bt, bs)) {
+                    best = Some((t, s, which));
+                }
+            }
+        }
+        let Some((now, _, which)) = best else { break };
+        match which {
+            Next::Bits => {
+                let i = scratch.ready[cursor].1;
+                cursor += 1;
+                scratch.available[i] = true;
                 if pe1_idle && pe1_held.is_none() && i == next_pe1 {
                     pe1_idle = false;
                     let dt = pe1_time(i);
                     pe1_busy += dt;
-                    queue.push(now + dt, Event::Pe1Done(i))?;
+                    pe1_slot = Some((finite(now + dt)?, next_seq, i));
+                    next_seq += 1;
                 }
             }
-            Event::Pe1Done(i) => {
+            Next::Pe1 => {
+                let i = pe1_slot.take().map(|(_, _, i)| i).unwrap_or(0);
                 next_pe1 = i + 1;
-                let full = capacity.is_some_and(|c| resident(&fifo, pe2_busy_now) >= c);
+                let resident = scratch.fifo.len() as u64 + u64::from(pe2_busy_now);
+                let full = capacity.is_some_and(|c| resident >= c);
+                overflowed |= full;
+                // Occupancy bookkeeping resolves equal-time ties dequeue-
+                // first (as the interval sweep in `stats::max_occupancy`
+                // does): an in-service MB whose completion is also at `now`
+                // has already left for accounting purposes.
+                let pe2_live = pe2_busy_now
+                    && pe2_slot.is_none_or(|(t, _, _)| t.total_cmp(&now).is_gt());
                 if full && policy == OverflowPolicy::Backpressure {
                     // Backpressure: hold the macroblock; PE1 stalls.
                     pe1_held = Some((i, now));
                     pe1_idle = true;
                 } else {
                     if !full {
-                        fifo_in[i] = now;
-                        fifo.push_back(i);
+                        scratch.fifo_in[i] = now;
+                        scratch.fifo.push_back(i);
+                        max_backlog = max_backlog
+                            .max(scratch.fifo.len() as u64 + u64::from(pe2_live));
                     } else {
                         match policy {
                             OverflowPolicy::Backpressure => unreachable!("handled above"),
                             OverflowPolicy::Reject => {
                                 // Discard the incoming macroblock.
-                                fifo_in[i] = now;
-                                fifo_out[i] = now;
-                                dropped.push(i);
+                                scratch.fifo_in[i] = now;
+                                scratch.fifo_out[i] = now;
+                                scratch.dropped.push(i);
                             }
                             OverflowPolicy::DropByPriority => {
                                 // Victim: lowest frame priority among the
@@ -414,8 +612,8 @@ fn simulate_core(
                                 // with a strict `<` picks exactly that.
                                 let mut victim: Option<usize> = None;
                                 let mut best = frame_priority(w.kinds[i]);
-                                for pos in (0..fifo.len()).rev() {
-                                    let pq = frame_priority(w.kinds[fifo[pos]]);
+                                for pos in (0..scratch.fifo.len()).rev() {
+                                    let pq = frame_priority(w.kinds[scratch.fifo[pos]]);
                                     if pq < best {
                                         best = pq;
                                         victim = Some(pos);
@@ -424,81 +622,89 @@ fn simulate_core(
                                 match victim {
                                     None => {
                                         // The incoming macroblock is the victim.
-                                        fifo_in[i] = now;
-                                        fifo_out[i] = now;
-                                        dropped.push(i);
+                                        scratch.fifo_in[i] = now;
+                                        scratch.fifo_out[i] = now;
+                                        scratch.dropped.push(i);
                                     }
                                     Some(pos) => {
-                                        let v = fifo.remove(pos).unwrap_or(i);
-                                        fifo_out[v] = now;
-                                        dropped.push(v);
-                                        fifo_in[i] = now;
-                                        fifo.push_back(i);
+                                        let v = scratch.fifo.remove(pos).unwrap_or(i);
+                                        scratch.fifo_out[v] = now;
+                                        scratch.dropped.push(v);
+                                        scratch.fifo_in[i] = now;
+                                        scratch.fifo.push_back(i);
+                                        max_backlog = max_backlog.max(
+                                            scratch.fifo.len() as u64
+                                                + u64::from(pe2_live),
+                                        );
                                     }
                                 }
                             }
                         }
                     }
-                    if next_pe1 < n && available[next_pe1] {
+                    if next_pe1 < n && scratch.available[next_pe1] {
                         let dt = pe1_time(next_pe1);
                         pe1_busy += dt;
-                        queue.push(now + dt, Event::Pe1Done(next_pe1))?;
+                        pe1_slot = Some((finite(now + dt)?, next_seq, next_pe1));
+                        next_seq += 1;
                     } else {
                         pe1_idle = true;
                     }
                     if !pe2_busy_now {
-                        if let Some(j) = fifo.pop_front() {
+                        if let Some(j) = scratch.fifo.pop_front() {
                             pe2_busy_now = true;
                             if let Some(m) = monitor.as_deref_mut() {
                                 m.observe(w.pe2_cycles[j]);
                             }
                             let dt = pe2_time(j);
                             pe2_busy += dt;
-                            queue.push(now + dt, Event::Pe2Done(j))?;
+                            pe2_slot = Some((finite(now + dt)?, next_seq, j));
+                            next_seq += 1;
                         }
                     }
                 }
             }
-            Event::Pe2Done(i) => {
-                fifo_out[i] = now;
+            Next::Pe2 => {
+                let i = pe2_slot.take().map(|(_, _, i)| i).unwrap_or(0);
+                scratch.fifo_out[i] = now;
                 makespan = makespan.max(now);
                 pe2_busy_now = false;
                 // A freed slot first admits the held macroblock, if any.
                 if let Some((h, since)) = pe1_held.take() {
                     pe1_stalled += now - since;
-                    fifo_in[h] = now;
-                    fifo.push_back(h);
+                    scratch.fifo_in[h] = now;
+                    scratch.fifo.push_back(h);
+                    max_backlog =
+                        max_backlog.max(scratch.fifo.len() as u64 + u64::from(pe2_busy_now));
                     // PE1 resumes with the next macroblock.
-                    if next_pe1 < n && available[next_pe1] {
+                    if next_pe1 < n && scratch.available[next_pe1] {
                         pe1_idle = false;
                         let dt = pe1_time(next_pe1);
                         pe1_busy += dt;
-                        queue.push(now + dt, Event::Pe1Done(next_pe1))?;
+                        pe1_slot = Some((finite(now + dt)?, next_seq, next_pe1));
+                        next_seq += 1;
                     }
                 }
-                if let Some(j) = fifo.pop_front() {
+                if let Some(j) = scratch.fifo.pop_front() {
                     pe2_busy_now = true;
                     if let Some(m) = monitor.as_deref_mut() {
                         m.observe(w.pe2_cycles[j]);
                     }
                     let dt = pe2_time(j);
                     pe2_busy += dt;
-                    queue.push(now + dt, Event::Pe2Done(j))?;
+                    pe2_slot = Some((finite(now + dt)?, next_seq, j));
+                    next_seq += 1;
                 }
             }
         }
     }
 
-    let max_backlog = max_occupancy(&fifo_in, &fifo_out);
-    Ok(PipelineResult {
-        fifo_in_times: fifo_in,
-        fifo_out_times: fifo_out,
+    Ok(CoreOut {
         max_backlog,
+        overflowed,
         pe1_busy,
         pe2_busy,
         pe1_stalled,
         makespan,
-        dropped,
     })
 }
 
@@ -845,6 +1051,62 @@ mod tests {
                 .unwrap();
                 assert_eq!(robust.pipeline, legacy);
                 assert!(robust.faults.is_clean());
+            }
+        }
+    }
+
+    #[test]
+    fn online_backlog_matches_interval_sweep() {
+        // The heap-free core tracks max backlog online; the legacy path
+        // derived it from the FIFO entry/exit times with an interval sweep.
+        // Both must agree on every policy, capacity, and fault seed.
+        let params = VideoParams::new(160, 128, 25.0, 1.0e6, GopStructure::broadcast())
+            .unwrap();
+        let clip = wcm_mpeg::Synthesizer::new(params)
+            .generate(&wcm_mpeg::profile::standard_clips()[5], 1)
+            .unwrap();
+        let cfg = PipelineConfig {
+            bitrate_bps: 1.0e6,
+            pe1_hz: 20.0e6,
+            pe2_hz: 8.0e6, // slow PE2 so bounded FIFOs actually overflow
+        };
+        let fifos = [
+            FifoConfig::unbounded(),
+            FifoConfig::bounded(3, OverflowPolicy::Backpressure),
+            FifoConfig::bounded(3, OverflowPolicy::Reject),
+            FifoConfig::bounded(3, OverflowPolicy::DropByPriority),
+        ];
+        for fifo in &fifos {
+            for seed in [None, Some(7u64), Some(41)] {
+                let plan = seed.map(|s| {
+                    FaultPlan::new(s)
+                        .with(Injector::JitterBurst {
+                            start: 10,
+                            len: 200,
+                            max_delay_s: 0.01,
+                        })
+                        .with(Injector::DemandSpike {
+                            start: 50,
+                            len: 120,
+                            factor_pct: 300,
+                        })
+                });
+                let r = simulate_pipeline_robust(
+                    &clip,
+                    &cfg,
+                    fifo,
+                    SourceModel::Cbr,
+                    plan.as_ref(),
+                    None,
+                )
+                .unwrap()
+                .pipeline;
+                let swept =
+                    crate::stats::max_occupancy(&r.fifo_in_times, &r.fifo_out_times);
+                assert_eq!(
+                    r.max_backlog, swept,
+                    "fifo {fifo:?} seed {seed:?}: online backlog diverged"
+                );
             }
         }
     }

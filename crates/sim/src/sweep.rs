@@ -1,0 +1,896 @@
+//! Parallel design-space exploration with analytic pruning.
+//!
+//! The paper's sizing question — *how slow may PE₂ be clocked, and how
+//! small may the FIFO be, before the decoder drops macroblocks?* — is a
+//! sweep over a `(clip × frequency × capacity × policy × fault-seed)`
+//! grid. Simulating every point is wasteful: eqs. 8–10 already decide
+//! most of them analytically.
+//!
+//! For each clip the engine builds, **once**, the measured arrival curve
+//! `ᾱᵘ` at the FIFO input, the PE₂ workload bounds `γᵘ/γˡ`, and the exact
+//! minimal spans of the arrival process. A pre-pass then classifies every
+//! clean grid point:
+//!
+//! * **provably safe** — `F ≥ F^γ_min(ᾱᵘ, γᵘ, b)` (eq. 9): the
+//!   no-overflow constraint of eq. 8 holds, no simulation needed;
+//! * **provably unsafe** — [`wcm_core::sizing::provably_overflows`]
+//!   certifies via `γˡ` that some `k`-event burst must exceed the
+//!   capacity at this frequency;
+//! * **uncertain** — only the band between the WCET bound and the
+//!   workload-curve bound (the paper's ≈710 MHz vs ≈340 MHz gap) is
+//!   actually simulated, on the heap-free hot path of [`crate::pipeline`]
+//!   with one reusable [`SimScratch`] per worker.
+//!
+//! Fault-seeded points are never pruned — the analytic curves describe
+//! the *clean* stream only.
+//!
+//! Evaluation runs on [`wcm_par::par_map_init`]: dynamic block dispatch
+//! over the grid, results placed by index, so the report is **bit
+//! identical for any `--threads` setting**. The report deliberately
+//! carries no wall-clock fields for the same reason.
+
+use crate::faults::{FaultPlan, FaultedWorkload, Injector};
+use crate::pipeline::{
+    simulate_faulted, FifoConfig, OverflowPolicy, PipelineConfig, SimScratch, SourceModel,
+};
+use crate::SimError;
+use wcm_core::build::arrival_upper_with;
+use wcm_core::curve::{LowerWorkloadCurve, UpperWorkloadCurve};
+use wcm_core::sizing;
+use wcm_core::WorkloadError;
+use wcm_events::window::{max_window_sums_with, min_spans_with, min_window_sums_with, WindowMode};
+use wcm_events::{Cycles, ExecutionInterval, TimedEvent, TimedTrace, TypeRegistry};
+use wcm_mpeg::ClipWorkload;
+use wcm_par::Parallelism;
+use wcm_sched::{rms, PeriodicTask, TaskSet};
+
+/// Relative safety margin applied to `F^γ_min` before a point is declared
+/// provably safe: absorbs the float rounding between the analytic bound
+/// and the simulator's arithmetic without giving up real pruning.
+pub const SAFE_MARGIN: f64 = 1e-6;
+
+/// The grid and analysis parameters of one sweep.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// PE₁ clock in Hz (fixed across the sweep; PE₁ paces the FIFO input).
+    pub pe1_hz: f64,
+    /// Candidate PE₂ clock frequencies in Hz.
+    pub frequencies_hz: Vec<f64>,
+    /// Candidate FIFO capacities in macroblocks (in-service one included).
+    pub capacities: Vec<u64>,
+    /// Overflow policies to evaluate.
+    pub policies: Vec<OverflowPolicy>,
+    /// Fault seeds; `None` is the clean stream. Seeded points always
+    /// simulate — the analytic curves only describe the clean stream.
+    pub seeds: Vec<Option<u64>>,
+    /// Injectors applied under each `Some` seed.
+    pub injectors: Vec<Injector>,
+    /// Analysis window (events) for `ᾱᵘ` and `γᵘ`.
+    pub k_max: usize,
+    /// Window mode for the `k_max`-deep curves.
+    pub mode: WindowMode,
+    /// Depth (events) of the span/`γˡ` analysis feeding the overflow
+    /// certificate. The certificate only uses exactly-computed grid
+    /// windows (gap-filled strided spans would be unsound there), so deep
+    /// certificates stay cheap: cost grows with `cert_depth / stride`,
+    /// not `cert_depth` itself. Must exceed the largest capacity for the
+    /// unsafe pre-pass to be able to fire at all.
+    pub cert_depth: usize,
+    /// Run the analytic pre-pass (`false` simulates every point).
+    pub prune: bool,
+}
+
+/// How a grid point was decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// eq. 8 holds at this frequency/capacity: cannot overflow.
+    ProvablySafe,
+    /// A `γˡ` burst certificate shows the capacity must be exceeded.
+    ProvablyUnsafe,
+    /// Simulated; no overflow event occurred.
+    SimOk,
+    /// Simulated; the FIFO hit capacity (stall or drop, per policy).
+    SimOverflow,
+}
+
+impl Verdict {
+    /// Whether the point overflows (analytically or in simulation).
+    #[must_use]
+    pub fn overflowed(self) -> bool {
+        matches!(self, Verdict::ProvablyUnsafe | Verdict::SimOverflow)
+    }
+
+    /// Whether the verdict came from an actual simulation run.
+    #[must_use]
+    pub fn simulated(self) -> bool {
+        matches!(self, Verdict::SimOk | Verdict::SimOverflow)
+    }
+
+    /// Stable lower-snake label used in the JSON/CSV reports.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verdict::ProvablySafe => "provably_safe",
+            Verdict::ProvablyUnsafe => "provably_unsafe",
+            Verdict::SimOk => "sim_ok",
+            Verdict::SimOverflow => "sim_overflow",
+        }
+    }
+}
+
+/// One evaluated grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointReport {
+    /// Clip name.
+    pub clip: String,
+    /// PE₂ clock in Hz.
+    pub frequency_hz: f64,
+    /// FIFO capacity in macroblocks.
+    pub capacity: u64,
+    /// Overflow policy.
+    pub policy: OverflowPolicy,
+    /// Fault seed (`None` = clean).
+    pub seed: Option<u64>,
+    /// The decision.
+    pub verdict: Verdict,
+    /// Peak FIFO occupancy (simulated points only).
+    pub max_backlog: Option<u64>,
+    /// Dropped macroblocks (simulated points only).
+    pub dropped: Option<usize>,
+    /// Seconds PE₁ spent blocked on a full FIFO (simulated points only).
+    pub pe1_stalled_s: Option<f64>,
+}
+
+/// Lehoczky RMS advisory for one `(clip, frequency)` column: whether a
+/// rate-monotonic PE₂ task with the clip's `γᵘ` attached passes the
+/// workload-curve test of eq. 4. Advisory only — the pipeline is not
+/// scheduled RMS — but a useful cross-check against the sweep verdicts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RmsAdvisory {
+    /// Clip name.
+    pub clip: String,
+    /// PE₂ clock in Hz.
+    pub frequency_hz: f64,
+    /// `L ≤ 1` under the workload-curve Lehoczky test.
+    pub schedulable: bool,
+    /// The load factor `L` itself.
+    pub l_factor: f64,
+}
+
+/// Aggregate counters of one sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepStats {
+    /// Grid points in total.
+    pub total: usize,
+    /// Points decided safe analytically (no simulation).
+    pub pruned_safe: usize,
+    /// Points decided unsafe analytically (no simulation).
+    pub pruned_unsafe: usize,
+    /// Points actually simulated.
+    pub simulated: usize,
+    /// Points that overflow (any verdict source).
+    pub overflowed: usize,
+}
+
+impl SweepStats {
+    /// Fraction of points skipped by the analytic pre-pass.
+    #[must_use]
+    pub fn pruned_fraction(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        (self.pruned_safe + self.pruned_unsafe) as f64 / self.total as f64
+    }
+}
+
+/// The full result of [`run_sweep`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Every grid point, in deterministic grid order
+    /// (clip-major, then frequency, capacity, policy, seed).
+    pub points: Vec<PointReport>,
+    /// Per-`(clip, frequency)` RMS advisories.
+    pub advisories: Vec<RmsAdvisory>,
+    /// Aggregate counters.
+    pub stats: SweepStats,
+    /// Frequency/capacity Pareto frontier: the non-dominated
+    /// `(frequency_hz, capacity)` pairs for which **no** clean point of
+    /// any clip/policy overflows.
+    pub pareto: Vec<(f64, u64)>,
+}
+
+/// Errors of the sweep engine.
+#[derive(Debug)]
+pub enum SweepError {
+    /// A simulation failed.
+    Sim(SimError),
+    /// Curve construction or sizing failed.
+    Analysis(WorkloadError),
+    /// The spec itself is unusable.
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Sim(e) => write!(f, "simulation: {e}"),
+            SweepError::Analysis(e) => write!(f, "analysis: {e}"),
+            SweepError::Invalid(what) => write!(f, "invalid sweep spec: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::Sim(e) => Some(e),
+            SweepError::Analysis(e) => Some(e),
+            SweepError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<SimError> for SweepError {
+    fn from(e: SimError) -> Self {
+        SweepError::Sim(e)
+    }
+}
+
+impl From<WorkloadError> for SweepError {
+    fn from(e: WorkloadError) -> Self {
+        SweepError::Analysis(e)
+    }
+}
+
+impl From<wcm_events::EventError> for SweepError {
+    fn from(e: wcm_events::EventError) -> Self {
+        SweepError::Analysis(WorkloadError::from(e))
+    }
+}
+
+/// Everything the evaluator needs about one clip, computed once and
+/// shared read-only across all workers and grid points.
+struct ClipContext {
+    name: String,
+    bitrate_bps: f64,
+    frame_period: f64,
+    /// `streams[seed_idx]` — the (possibly faulted) workload per seed.
+    streams: Vec<FaultedWorkload>,
+    /// `F^γ_min` per capacity index (`None` when eq. 9 is infeasible —
+    /// then the point cannot be proven safe and is simulated).
+    f_min: Vec<Option<f64>>,
+    /// Exact minimal spans `(k, d(k))` on the certificate grid.
+    cert_spans: Vec<(u64, f64)>,
+    /// `γˡ` to the same depth (strided under-approximation — sound for
+    /// the certificate, which it can only weaken).
+    cert_gamma_l: LowerWorkloadCurve,
+    /// `γᵘ(1)` — in-service credit of the overflow certificate.
+    gamma_u1: Cycles,
+    /// Lehoczky advisory per frequency index.
+    rms: Vec<Option<(bool, f64)>>,
+}
+
+impl ClipContext {
+    fn build(
+        clip: &ClipWorkload,
+        spec: &SweepSpec,
+        par: Parallelism,
+    ) -> Result<Self, SweepError> {
+        let clean = FaultedWorkload::clean(clip)?;
+        let n = clean.len();
+        let k_max = spec.k_max.min(n);
+        let cert_depth = spec.cert_depth.min(n).max(1);
+
+        // FIFO-input times in O(N): without backpressure the PE₁ output
+        // instants obey `done_i = max(done_{i-1}, ready_i) + c₁ᵢ/F₁`,
+        // which is exactly the recurrence the event loop executes — same
+        // operations in the same order, so the times are bit-identical to
+        // a simulated clean run.
+        let mut push_times = Vec::with_capacity(n);
+        let mut cum_bits = 0.0f64;
+        let mut done = 0.0f64;
+        for i in 0..n {
+            cum_bits += clean.bits[i] as f64;
+            let ready = cum_bits / clip.params().bitrate_bps();
+            done = done.max(ready) + clean.pe1_cycles[i] as f64 / spec.pe1_hz;
+            push_times.push(done);
+        }
+
+        let trace = times_to_trace(&push_times)?;
+        let alpha = arrival_upper_with(&trace, k_max, spec.mode, par)?;
+        let gamma_u = UpperWorkloadCurve::new(max_window_sums_with(
+            &clean.pe2_cycles,
+            k_max,
+            spec.mode,
+            par,
+        )?)?;
+        // The certificate needs *exact* spans — a strided gap-fill
+        // under-approximates the span and would claim overflow where none
+        // exists — but it does not need *every* window size: each grid
+        // `k` yields an independent, individually sound certificate, and
+        // the certificate is only useful for `k > capacity` anyway. So
+        // compute spans on a coarse grid (every `stride`-th window) and
+        // keep only the exactly-computed entries. The strided `γˡ`
+        // gap-fill under-approximates demand, which merely weakens the
+        // certificate — sound as-is.
+        let cert_stride = match spec.mode {
+            WindowMode::Exact => 1,
+            WindowMode::Strided { stride, .. } => stride.max(1),
+        };
+        let cert_mode = WindowMode::Strided {
+            exact_upto: 1,
+            stride: cert_stride,
+        };
+        let span_table = min_spans_with(&push_times, cert_depth, cert_mode, par)?;
+        let cert_spans: Vec<(u64, f64)> = cert_mode
+            .grid(cert_depth)
+            .into_iter()
+            .map(|k| (k as u64, span_table[k - 1]))
+            .collect();
+        let cert_gamma_l = LowerWorkloadCurve::new(min_window_sums_with(
+            &clean.pe2_cycles,
+            cert_depth,
+            cert_mode,
+            par,
+        )?)?;
+
+        let f_min = spec
+            .capacities
+            .iter()
+            .map(|&cap| sizing::min_frequency_workload(&alpha, &gamma_u, cap).ok())
+            .collect();
+
+        // Advisory column: one RMS task per clip, one macroblock per
+        // period, the clip's γᵘ as its demand curve.
+        let rms = {
+            let period = 1.0 / clip.params().mb_rate();
+            let task_set = PeriodicTask::new(clip.name(), period, gamma_u.wcet())
+                .and_then(|t| t.with_curve(gamma_u.clone()))
+                .and_then(|t| TaskSet::new(vec![t]));
+            spec.frequencies_hz
+                .iter()
+                .map(|&f| {
+                    task_set.as_ref().ok().and_then(|set| {
+                        rms::lehoczky_workload(set, f)
+                            .ok()
+                            .map(|a| (a.schedulable(), a.l))
+                    })
+                })
+                .collect()
+        };
+
+        let mut streams = Vec::with_capacity(spec.seeds.len());
+        for seed in &spec.seeds {
+            streams.push(match seed {
+                None => FaultedWorkload::clean(clip)?,
+                Some(s) => {
+                    let mut plan = FaultPlan::new(*s);
+                    for inj in &spec.injectors {
+                        plan = plan.with(inj.clone());
+                    }
+                    plan.apply(clip)?
+                }
+            });
+        }
+
+        Ok(ClipContext {
+            name: clip.name().to_string(),
+            bitrate_bps: clip.params().bitrate_bps(),
+            frame_period: clip.params().frame_period(),
+            streams,
+            f_min,
+            cert_spans,
+            cert_gamma_l,
+            gamma_u1: gamma_u.value(1),
+            rms,
+        })
+    }
+}
+
+/// One grid point by axis indices.
+#[derive(Debug, Clone, Copy)]
+struct GridPoint {
+    clip: usize,
+    freq: usize,
+    cap: usize,
+    policy: usize,
+    seed: usize,
+}
+
+/// Simulation extras of a point: `(max_backlog, dropped, pe1_stalled_s)`.
+type SimDigest = (u64, usize, f64);
+
+fn eval_point(
+    p: GridPoint,
+    ctxs: &[ClipContext],
+    spec: &SweepSpec,
+    scratch: &mut SimScratch,
+) -> Result<(Verdict, Option<SimDigest>), SimError> {
+    let ctx = &ctxs[p.clip];
+    let freq = spec.frequencies_hz[p.freq];
+    let cap = spec.capacities[p.cap];
+    let clean = spec.seeds[p.seed].is_none();
+
+    if spec.prune && clean {
+        if let Some(f_min) = ctx.f_min[p.cap] {
+            if freq >= f_min * (1.0 + SAFE_MARGIN) {
+                return Ok((Verdict::ProvablySafe, None));
+            }
+        }
+        if sizing::provably_overflows(
+            &ctx.cert_spans,
+            &ctx.cert_gamma_l,
+            ctx.gamma_u1,
+            freq,
+            cap,
+        ) {
+            return Ok((Verdict::ProvablyUnsafe, None));
+        }
+    }
+
+    let cfg = PipelineConfig {
+        bitrate_bps: ctx.bitrate_bps,
+        pe1_hz: spec.pe1_hz,
+        pe2_hz: freq,
+    };
+    let fifo = FifoConfig::bounded(cap, spec.policies[p.policy]);
+    let summary = simulate_faulted(
+        &ctx.streams[p.seed],
+        &cfg,
+        &fifo,
+        SourceModel::Cbr,
+        ctx.frame_period,
+        None,
+        scratch,
+    )?;
+    let verdict = if summary.overflowed {
+        Verdict::SimOverflow
+    } else {
+        Verdict::SimOk
+    };
+    Ok((
+        verdict,
+        Some((summary.max_backlog, summary.dropped, summary.pe1_stalled)),
+    ))
+}
+
+/// Runs the sweep over `clips × spec` with the given parallelism.
+///
+/// The returned report is deterministic: identical for every `par`
+/// setting, including the order of `points`.
+///
+/// # Errors
+///
+/// [`SweepError::Invalid`] for an empty grid axis or non-positive PE₁
+/// clock; otherwise propagates simulation/analysis errors.
+pub fn run_sweep(
+    clips: &[ClipWorkload],
+    spec: &SweepSpec,
+    par: Parallelism,
+) -> Result<SweepReport, SweepError> {
+    if clips.is_empty() {
+        return Err(SweepError::Invalid("no clips"));
+    }
+    if spec.frequencies_hz.is_empty()
+        || spec.capacities.is_empty()
+        || spec.policies.is_empty()
+        || spec.seeds.is_empty()
+    {
+        return Err(SweepError::Invalid("an axis of the grid is empty"));
+    }
+    if !(spec.pe1_hz.is_finite() && spec.pe1_hz > 0.0) {
+        return Err(SweepError::Invalid("pe1_hz must be positive and finite"));
+    }
+    if spec.k_max == 0 {
+        return Err(SweepError::Invalid("k_max must be at least 1"));
+    }
+    if spec
+        .frequencies_hz
+        .iter()
+        .any(|f| !(f.is_finite() && *f > 0.0))
+    {
+        return Err(SweepError::Invalid(
+            "frequencies must be positive and finite",
+        ));
+    }
+
+    // Phase 1: per-clip analysis, memoized once (the window scans inside
+    // already honour `par`).
+    let ctxs: Vec<ClipContext> = clips
+        .iter()
+        .map(|c| ClipContext::build(c, spec, par))
+        .collect::<Result<_, _>>()?;
+
+    // Phase 2: enumerate the grid in deterministic nested order.
+    let mut grid = Vec::new();
+    for clip in 0..clips.len() {
+        for freq in 0..spec.frequencies_hz.len() {
+            for cap in 0..spec.capacities.len() {
+                for policy in 0..spec.policies.len() {
+                    for seed in 0..spec.seeds.len() {
+                        grid.push(GridPoint {
+                            clip,
+                            freq,
+                            cap,
+                            policy,
+                            seed,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Phase 3: classify/simulate in parallel, one reusable scratch per
+    // worker. Results land by index: grid order in, grid order out.
+    let events_per_point = clips.iter().map(ClipWorkload::macroblock_count).sum::<usize>()
+        / clips.len();
+    let cost = (grid.len() as u64) * (events_per_point as u64).max(1) * 16;
+    let evaluated = wcm_par::par_map_init(par, &grid, cost, SimScratch::new, |scratch, _, p| {
+        eval_point(*p, &ctxs, spec, scratch)
+    });
+
+    let mut points = Vec::with_capacity(grid.len());
+    let mut stats = SweepStats {
+        total: grid.len(),
+        ..SweepStats::default()
+    };
+    for (p, out) in grid.iter().zip(evaluated) {
+        let (verdict, sim) = out?;
+        match verdict {
+            Verdict::ProvablySafe => stats.pruned_safe += 1,
+            Verdict::ProvablyUnsafe => stats.pruned_unsafe += 1,
+            Verdict::SimOk | Verdict::SimOverflow => stats.simulated += 1,
+        }
+        if verdict.overflowed() {
+            stats.overflowed += 1;
+        }
+        points.push(PointReport {
+            clip: ctxs[p.clip].name.clone(),
+            frequency_hz: spec.frequencies_hz[p.freq],
+            capacity: spec.capacities[p.cap],
+            policy: spec.policies[p.policy],
+            seed: spec.seeds[p.seed],
+            verdict,
+            max_backlog: sim.map(|(b, _, _)| b),
+            dropped: sim.map(|(_, d, _)| d),
+            pe1_stalled_s: sim.map(|(_, _, s)| s),
+        });
+    }
+
+    let advisories = ctxs
+        .iter()
+        .flat_map(|ctx| {
+            spec.frequencies_hz
+                .iter()
+                .zip(&ctx.rms)
+                .filter_map(|(&f, r)| {
+                    r.map(|(schedulable, l)| RmsAdvisory {
+                        clip: ctx.name.clone(),
+                        frequency_hz: f,
+                        schedulable,
+                        l_factor: l,
+                    })
+                })
+        })
+        .collect();
+
+    let pareto = pareto_frontier(&points, spec);
+    Ok(SweepReport {
+        points,
+        advisories,
+        stats,
+        pareto,
+    })
+}
+
+/// Non-dominated `(frequency, capacity)` pairs where no clean point of
+/// any clip/policy overflows.
+fn pareto_frontier(points: &[PointReport], spec: &SweepSpec) -> Vec<(f64, u64)> {
+    let mut safe: Vec<(f64, u64)> = Vec::new();
+    for &f in &spec.frequencies_hz {
+        for &c in &spec.capacities {
+            let ok = points.iter().all(|p| {
+                p.seed.is_some()
+                    || p.frequency_hz != f
+                    || p.capacity != c
+                    || !p.verdict.overflowed()
+            });
+            if ok {
+                safe.push((f, c));
+            }
+        }
+    }
+    let mut frontier: Vec<(f64, u64)> = safe
+        .iter()
+        .copied()
+        .filter(|&(f, c)| {
+            !safe
+                .iter()
+                .any(|&(f2, c2)| (f2 <= f && c2 <= c) && (f2 < f || c2 < c))
+        })
+        .collect();
+    frontier.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    frontier
+}
+
+impl SweepReport {
+    /// Serializes the report as deterministic JSON (stable key order,
+    /// shortest-round-trip float formatting, no timing fields).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256 + self.points.len() * 160);
+        s.push_str("{\n  \"stats\": {");
+        s.push_str(&format!(
+            "\"total\": {}, \"pruned_safe\": {}, \"pruned_unsafe\": {}, \
+             \"simulated\": {}, \"overflowed\": {}, \"pruned_fraction\": {}",
+            self.stats.total,
+            self.stats.pruned_safe,
+            self.stats.pruned_unsafe,
+            self.stats.simulated,
+            self.stats.overflowed,
+            self.stats.pruned_fraction(),
+        ));
+        s.push_str("},\n  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            s.push_str("    {");
+            s.push_str(&format!(
+                "\"clip\": \"{}\", \"frequency_hz\": {}, \"capacity\": {}, \
+                 \"policy\": \"{}\", \"seed\": {}, \"verdict\": \"{}\"",
+                p.clip,
+                p.frequency_hz,
+                p.capacity,
+                policy_str(p.policy),
+                p.seed.map_or("null".to_string(), |s| s.to_string()),
+                p.verdict.as_str(),
+            ));
+            if let (Some(b), Some(d), Some(st)) = (p.max_backlog, p.dropped, p.pe1_stalled_s) {
+                s.push_str(&format!(
+                    ", \"max_backlog\": {b}, \"dropped\": {d}, \"pe1_stalled_s\": {st}"
+                ));
+            }
+            s.push('}');
+            if i + 1 < self.points.len() {
+                s.push(',');
+            }
+            s.push('\n');
+        }
+        s.push_str("  ],\n  \"rms_advisories\": [\n");
+        for (i, a) in self.advisories.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"clip\": \"{}\", \"frequency_hz\": {}, \
+                 \"schedulable\": {}, \"l_factor\": {}}}",
+                a.clip, a.frequency_hz, a.schedulable, a.l_factor
+            ));
+            if i + 1 < self.advisories.len() {
+                s.push(',');
+            }
+            s.push('\n');
+        }
+        s.push_str("  ],\n  \"pareto\": [");
+        for (i, &(f, c)) in self.pareto.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("{{\"frequency_hz\": {f}, \"capacity\": {c}}}"));
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+
+    /// Serializes the per-point table as CSV (same order as `points`).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from(
+            "clip,frequency_hz,capacity,policy,seed,verdict,max_backlog,dropped,pe1_stalled_s\n",
+        );
+        for p in &self.points {
+            s.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{}\n",
+                p.clip,
+                p.frequency_hz,
+                p.capacity,
+                policy_str(p.policy),
+                p.seed.map_or(String::new(), |x| x.to_string()),
+                p.verdict.as_str(),
+                p.max_backlog.map_or(String::new(), |x| x.to_string()),
+                p.dropped.map_or(String::new(), |x| x.to_string()),
+                p.pe1_stalled_s.map_or(String::new(), |x| x.to_string()),
+            ));
+        }
+        s
+    }
+}
+
+/// Stable lower-case policy label for reports.
+#[must_use]
+pub fn policy_str(p: OverflowPolicy) -> &'static str {
+    match p {
+        OverflowPolicy::Backpressure => "backpressure",
+        OverflowPolicy::Reject => "reject",
+        OverflowPolicy::DropByPriority => "drop-priority",
+    }
+}
+
+fn times_to_trace(times: &[f64]) -> Result<TimedTrace, SimError> {
+    let mut reg = TypeRegistry::new();
+    let mb = reg
+        .register("mb", ExecutionInterval::fixed(Cycles(1)))
+        .map_err(|_| SimError::EmptyWorkload)?;
+    TimedTrace::new(
+        reg,
+        times
+            .iter()
+            .map(|&time| TimedEvent { time, ty: mb })
+            .collect(),
+    )
+    .map_err(|_| SimError::NonFiniteTime { time: f64::NAN })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcm_mpeg::{profile::standard_clips, Synthesizer, VideoParams};
+
+    fn small_clips(count: usize) -> Vec<ClipWorkload> {
+        let params =
+            VideoParams::new(160, 128, 25.0, 1.0e6, wcm_mpeg::GopStructure::broadcast()).unwrap();
+        let synth = Synthesizer::new(params);
+        standard_clips()[..count]
+            .iter()
+            .map(|c| synth.generate(c, 1).unwrap())
+            .collect()
+    }
+
+    fn small_spec() -> SweepSpec {
+        SweepSpec {
+            pe1_hz: 60.0e6,
+            frequencies_hz: vec![2.0e6, 6.0e6, 20.0e6, 60.0e6],
+            capacities: vec![4, 80, 4000],
+            policies: vec![OverflowPolicy::Backpressure, OverflowPolicy::Reject],
+            seeds: vec![None, Some(11)],
+            injectors: vec![
+                Injector::JitterBurst {
+                    start: 5,
+                    len: 60,
+                    max_delay_s: 0.004,
+                },
+                Injector::DemandSpike {
+                    start: 30,
+                    len: 40,
+                    factor_pct: 250,
+                },
+            ],
+            k_max: 600,
+            mode: WindowMode::Strided {
+                exact_upto: 128,
+                stride: 40,
+            },
+            cert_depth: 400,
+            prune: true,
+        }
+    }
+
+    #[test]
+    fn pruned_and_unpruned_sweeps_agree_on_every_verdict() {
+        let clips = small_clips(3);
+        let spec = small_spec();
+        let pruned = run_sweep(&clips, &spec, Parallelism::Seq).unwrap();
+        let full = run_sweep(
+            &clips,
+            &SweepSpec {
+                prune: false,
+                ..spec.clone()
+            },
+            Parallelism::Seq,
+        )
+        .unwrap();
+        assert_eq!(pruned.points.len(), full.points.len());
+        assert!(
+            pruned.stats.pruned_safe + pruned.stats.pruned_unsafe > 0,
+            "the analytic pre-pass should decide at least some points"
+        );
+        assert_eq!(full.stats.simulated, full.stats.total);
+        for (a, b) in pruned.points.iter().zip(&full.points) {
+            assert_eq!(
+                a.verdict.overflowed(),
+                b.verdict.overflowed(),
+                "clip {} f {} cap {} seed {:?}: pruned verdict {:?} vs simulated {:?}",
+                a.clip,
+                a.frequency_hz,
+                a.capacity,
+                a.seed,
+                a.verdict,
+                b.verdict
+            );
+        }
+        assert_eq!(pruned.pareto, full.pareto);
+    }
+
+    #[test]
+    fn report_is_bit_identical_across_worker_counts() {
+        let clips = small_clips(2);
+        let spec = small_spec();
+        let seq = run_sweep(&clips, &spec, Parallelism::Seq).unwrap();
+        for par in [
+            Parallelism::Threads(2),
+            Parallelism::Threads(8),
+            Parallelism::Auto,
+        ] {
+            let other = run_sweep(&clips, &spec, par).unwrap();
+            assert_eq!(seq, other, "{par:?} diverged from sequential");
+            assert_eq!(seq.to_json(), other.to_json());
+            assert_eq!(seq.to_csv(), other.to_csv());
+        }
+    }
+
+    #[test]
+    fn fault_seeded_points_are_never_pruned() {
+        let clips = small_clips(1);
+        let report = run_sweep(&clips, &small_spec(), Parallelism::Seq).unwrap();
+        for p in &report.points {
+            if p.seed.is_some() {
+                assert!(
+                    p.verdict.simulated(),
+                    "seeded point pruned: {:?}",
+                    p.verdict
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pareto_frontier_is_nondominated_and_sorted() {
+        let clips = small_clips(2);
+        let report = run_sweep(&clips, &small_spec(), Parallelism::Seq).unwrap();
+        let pf = &report.pareto;
+        for w in pf.windows(2) {
+            assert!(w[0].0 < w[1].0, "frontier frequencies must increase");
+            assert!(w[0].1 > w[1].1, "capacity must strictly drop along it");
+        }
+        for &(f, c) in pf {
+            for p in &report.points {
+                if p.seed.is_none() && p.frequency_hz == f && p.capacity == c {
+                    assert!(!p.verdict.overflowed());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_specs() {
+        let clips = small_clips(1);
+        let spec = small_spec();
+        assert!(matches!(
+            run_sweep(&[], &spec, Parallelism::Seq),
+            Err(SweepError::Invalid(_))
+        ));
+        for bad in [
+            SweepSpec {
+                frequencies_hz: vec![],
+                ..spec.clone()
+            },
+            SweepSpec {
+                capacities: vec![],
+                ..spec.clone()
+            },
+            SweepSpec {
+                pe1_hz: f64::NAN,
+                ..spec.clone()
+            },
+            SweepSpec {
+                frequencies_hz: vec![-3.0],
+                ..spec.clone()
+            },
+            SweepSpec {
+                k_max: 0,
+                ..spec.clone()
+            },
+        ] {
+            assert!(matches!(
+                run_sweep(&clips, &bad, Parallelism::Seq),
+                Err(SweepError::Invalid(_))
+            ));
+        }
+    }
+}

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Fast benchmark + lint smoke: a clean clippy run, both curve-related
-# criterion benches in quick mode, and the bench_curves summary that writes
-# BENCH_curves.json. Minutes, not hours — meant for every PR, while
-# `cargo bench --workspace` remains the full run.
+# Fast benchmark + lint smoke: a clean clippy run, the curve- and sweep-
+# related criterion benches in quick mode, the bench_curves/bench_sweep
+# summaries that write BENCH_curves.json / BENCH_sweep.json, and the
+# sweep-engine contract smoke. Minutes, not hours — meant for every PR,
+# while `cargo bench --workspace` remains the full run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,5 +12,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 quick=(--quick --warm-up-time 0.5 --measurement-time 1)
 cargo bench -p wcm-bench --bench curve_construction -- "${quick[@]}"
 cargo bench -p wcm-bench --bench minplus_ops -- "${quick[@]}"
+cargo bench -p wcm-bench --bench sweep -- "${quick[@]}"
 
 cargo run --release -q -p wcm-bench --bin bench_curves
+cargo run --release -q -p wcm-bench --bin bench_sweep
+
+scripts/sweep_smoke.sh
