@@ -5,6 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use wcm_core::UpperWorkloadCurve;
+use wcm_events::summary::{CurveSummary, Sides, SummarySpine};
 use wcm_events::window::{
     max_window_sums, max_window_sums_with, min_spans, min_spans_with, Parallelism, WindowMode,
 };
@@ -153,6 +154,37 @@ fn bench_pseudo_inverse(c: &mut Criterion) {
     });
 }
 
+fn bench_summaries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("curve_summary");
+    let v = demand_vector(50_000);
+    let grid: Vec<usize> = (1..=2_000).collect();
+    group.bench_function("from_values_N50000_K2000", |b| {
+        b.iter(|| CurveSummary::from_values(&v, &grid, Sides::Max))
+    });
+    group.bench_function("chunked8_merge_N50000_K2000", |b| {
+        b.iter(|| {
+            let mut acc = CurveSummary::empty(&grid, Sides::Max);
+            for c in v.chunks(v.len().div_ceil(8)) {
+                acc = acc.merge(&CurveSummary::from_values(c, &grid, Sides::Max));
+            }
+            acc
+        })
+    });
+    // Incremental path: extend a live spine by one 3 000-event GOP and
+    // refold, against the full-rebuild `from_values` above.
+    let mut spine = SummarySpine::new(&grid, Sides::Max, 0);
+    spine.extend_from_slice(&v[..47_000]);
+    let gop = &v[47_000..];
+    group.bench_function("spine_append_gop3000_over_47k", |b| {
+        b.iter(|| {
+            let mut s = spine.clone();
+            s.extend_from_slice(gop);
+            s.curve()
+        })
+    });
+    group.finish();
+}
+
 fn bench_min_spans(c: &mut Criterion) {
     let mut group = c.benchmark_group("arrival_min_spans");
     for &(n, k) in &[(5_000usize, 1_000usize), (20_000, 4_000)] {
@@ -173,6 +205,7 @@ criterion_group!(
     bench_seq_vs_par,
     bench_curve_from_values,
     bench_pseudo_inverse,
+    bench_summaries,
     bench_min_spans
 );
 criterion_main!(benches);

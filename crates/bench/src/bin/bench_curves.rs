@@ -2,21 +2,29 @@
 //!
 //! Times the old per-`k` sliding-window rescan against the prefix-sum scan
 //! (sequential and threaded) on the headline `N = 50 000`, `K = 2 000`
-//! exact-mode workload, plus the threaded min-plus envelopes, and writes
-//! the interleaved best-of-`REPS` times and speedups to
-//! `BENCH_curves.json`. Unlike the criterion
-//! benches this runs in seconds and produces one machine-readable file, so
-//! `scripts/` can invoke it as part of a reproduction run.
+//! exact-mode workload, plus the threaded min-plus envelopes, the
+//! chunked-summary fold behind the trace-parallel path, and a one-GOP
+//! incremental append against a full rebuild. Writes the interleaved
+//! best-of-`REPS` times, a thread-scaling array (1, 2, 4, … up to the
+//! host's cores), and the speedups to `BENCH_curves.json`. Unlike the
+//! criterion benches this runs in seconds and produces one
+//! machine-readable file, so `scripts/` can invoke it as part of a
+//! reproduction run.
 //!
 //! Usage: `cargo run --release -p wcm-bench --bin bench_curves [OUT.json]`
 
 use std::time::Instant;
 use wcm_curves::{minplus, Pwl};
+use wcm_events::summary::{summarize_with, CurveSummary, Sides, SummarySpine};
 use wcm_events::window::{max_window_sums_with, min_spans_with, Parallelism, WindowMode};
 
 const N: usize = 50_000;
 const K: usize = 2_000;
-const REPS: usize = 9;
+const REPS: usize = 31;
+/// Events in "one GOP" for the append measurement: a 12-frame group of
+/// 250-macroblock frames, the granularity at which a monitor or sweep
+/// replay extends its trace.
+const GOP_EVENTS: usize = 3_000;
 
 /// Deterministic xorshift64* stream (the bench binaries do not link `rand`).
 struct XorShift(u64);
@@ -80,19 +88,79 @@ fn time_once<T>(f: impl FnOnce() -> T) -> f64 {
     start.elapsed().as_secs_f64()
 }
 
-/// Interleaved best-of-[`REPS`] measurement: each round times every
-/// candidate once, and each candidate keeps its minimum across rounds —
-/// the usual low-noise protocol on shared machines (disturbances only ever
-/// slow a run down, and interleaving stops one candidate from absorbing a
-/// whole noise burst).
-fn best_secs<const M: usize>(mut candidates: [&mut dyn FnMut() -> f64; M]) -> [f64; M] {
-    let mut best = [f64::INFINITY; M];
-    for _ in 0..REPS {
-        for (b, run) in best.iter_mut().zip(candidates.iter_mut()) {
-            *b = b.min(run());
+/// Interleaved measurement over [`REPS`] rounds: each round times every
+/// candidate once and keeps all per-round times. Odd rounds run the
+/// candidates in reverse so each pair executes in both orders equally —
+/// running second is measurably (~2%) different from running first on
+/// this class of host, and counterbalancing cancels that bias.
+///
+/// Absolute numbers are reported as the per-candidate minimum —
+/// disturbances only ever slow a run down. Speedups are reported as the
+/// *median of per-round ratios* instead of a ratio of minima: the two
+/// sides of a ratio run back to back inside one round, so a noise burst
+/// hits both and cancels, where a ratio of independent minima wobbles by
+/// the full noise amplitude on a busy host.
+struct Timings {
+    rounds: Vec<Vec<f64>>,
+}
+
+impl Timings {
+    fn best(&self, i: usize) -> f64 {
+        self.rounds[i].iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Median over rounds of `time[num] / time[den]` — how many times
+    /// faster `den` is than `num`.
+    fn speedup(&self, num: usize, den: usize) -> f64 {
+        let mut r: Vec<f64> = self.rounds[num]
+            .iter()
+            .zip(&self.rounds[den])
+            .map(|(a, b)| a / b)
+            .collect();
+        r.sort_by(f64::total_cmp);
+        r[r.len() / 2]
+    }
+}
+
+fn measure<const M: usize>(candidates: [&mut dyn FnMut() -> f64; M]) -> Timings {
+    let mut rounds = vec![Vec::with_capacity(REPS); M];
+    for round in 0..REPS {
+        for o in 0..M {
+            let i = if round % 2 == 0 { o } else { M - 1 - o };
+            let t = candidates[i]();
+            rounds[i].push(t);
         }
     }
-    best
+    Timings { rounds }
+}
+
+/// [`measure`] for a runtime-sized candidate list (the thread-scaling
+/// sweep, whose length depends on the host's core count).
+fn measure_dyn(candidates: &mut [Box<dyn FnMut() -> f64 + '_>]) -> Timings {
+    let m = candidates.len();
+    let mut rounds = vec![Vec::with_capacity(REPS); m];
+    for round in 0..REPS {
+        for o in 0..m {
+            let i = if round % 2 == 0 { o } else { m - 1 - o };
+            let t = candidates[i]();
+            rounds[i].push(t);
+        }
+    }
+    Timings { rounds }
+}
+
+/// `1, 2, 4, …` doubling up to `max`, always ending at `max` itself.
+fn thread_counts(max: usize) -> Vec<usize> {
+    let mut counts = vec![1];
+    let mut t = 2;
+    while t < max {
+        counts.push(t);
+        t *= 2;
+    }
+    if max > 1 {
+        counts.push(max);
+    }
+    counts
 }
 
 fn staircase(segments: usize, seed: u64) -> Pwl {
@@ -118,7 +186,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     eprintln!("bench_curves: N={N} K={K} threads={threads} reps={REPS}");
 
-    let [old_rescan, prefix_seq, prefix_par, spans_seq, spans_par] = best_secs([
+    let core = measure([
         &mut || time_once(|| window_sums_rescan(&v, K)),
         &mut || {
             time_once(|| max_window_sums_with(&v, K, WindowMode::Exact, Parallelism::Seq).unwrap())
@@ -136,6 +204,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             })
         },
     ]);
+    let (old_rescan, prefix_seq, prefix_par) = (core.best(0), core.best(1), core.best(2));
+    let (spans_seq, spans_par) = (core.best(3), core.best(4));
 
     // Outputs must agree exactly, whichever path produced them.
     assert_eq!(
@@ -144,33 +214,142 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "old and new window analyses disagree"
     );
 
+    // Thread-scaling curve: the same window-sum construction at 1, 2, 4, …
+    // workers up to the host's core count (a single entry on one core).
+    // The sequential baseline runs inside the same interleaved batch so
+    // the per-count speedups are not skewed by drift between batches.
+    let counts = thread_counts(threads);
+    let mut scaling_runs: Vec<Box<dyn FnMut() -> f64 + '_>> = Vec::new();
+    scaling_runs.push(Box::new(|| {
+        time_once(|| max_window_sums_with(&v, K, WindowMode::Exact, Parallelism::Seq).unwrap())
+    }));
+    for &n in &counts {
+        let v = &v;
+        scaling_runs.push(Box::new(move || {
+            time_once(|| {
+                max_window_sums_with(v, K, WindowMode::Exact, Parallelism::Threads(n)).unwrap()
+            })
+        }));
+    }
+    let scaling = measure_dyn(&mut scaling_runs);
+
+    // Chunked-summary fold behind the trace-parallel path. The 8-chunk
+    // sequential fold isolates the merge overhead from any threading;
+    // `summarize_with` is the shipping auto-chunked entry point.
+    let grid: Vec<usize> = (1..=K).collect();
+    let chunked_fold = |chunks: usize| {
+        let chunk = N.div_ceil(chunks);
+        let mut acc = CurveSummary::empty(&grid, Sides::Max);
+        for c in v.chunks(chunk) {
+            acc = acc.merge(&CurveSummary::from_values(c, &grid, Sides::Max));
+        }
+        acc
+    };
+    let summaries = measure([
+        &mut || time_once(|| CurveSummary::from_values(&v, &grid, Sides::Max)),
+        &mut || time_once(|| chunked_fold(8)),
+        &mut || time_once(|| summarize_with(&v, &grid, Sides::Max, Parallelism::Threads(threads))),
+    ]);
+    let (summary_single_s, summary_chunked8_s, summary_auto_s) =
+        (summaries.best(0), summaries.best(1), summaries.best(2));
+    assert_eq!(
+        chunked_fold(8).max_table(),
+        CurveSummary::from_values(&v, &grid, Sides::Max).max_table(),
+        "chunked fold and single-pass summary disagree"
+    );
+
+    // Incremental append, steady state: extend a live spine GOP by GOP —
+    // refolding the queryable curve after each — across `GOPS` arrivals,
+    // and report the per-GOP cost against rebuilding the whole N-event
+    // curve from scratch (what a monitor would otherwise do per GOP).
+    // Timing several GOPs amortizes the chunk seals honestly instead of
+    // always (or never) straddling one. The spine clone inside the timed
+    // region only makes the measured append pessimistic.
+    const GOPS: usize = 10;
+    let base_len = N - GOPS * GOP_EVENTS;
+    let mut spine_base = SummarySpine::new(&grid, Sides::Max, 0);
+    spine_base.extend_from_slice(&v[..base_len]);
+    let run_gops = |spine: &SummarySpine| {
+        let mut s = spine.clone();
+        let mut last = CurveSummary::empty(&grid, Sides::Max);
+        for g in 0..GOPS {
+            let lo = base_len + g * GOP_EVENTS;
+            s.extend_from_slice(&v[lo..lo + GOP_EVENTS]);
+            last = s.curve();
+        }
+        last
+    };
+    let appends = measure([
+        &mut || time_once(|| CurveSummary::from_values(&v, &grid, Sides::Max)),
+        &mut || time_once(|| run_gops(&spine_base)),
+    ]);
+    assert_eq!(
+        run_gops(&spine_base).max_table(),
+        CurveSummary::from_values(&v, &grid, Sides::Max).max_table(),
+        "incremental append and full rebuild disagree"
+    );
+    let rebuild_s = appends.best(0);
+    let append_s = appends.best(1) / GOPS as f64;
+    let append_ratio = appends.speedup(1, 0) / GOPS as f64;
+
     let f = staircase(96, 21);
     let g = staircase(96, 22);
-    let [conv_seq, conv_par] = best_secs([
+    let conv = measure([
         &mut || time_once(|| minplus::convolve_with(&f, &g, minplus::Parallelism::Seq)),
         &mut || time_once(|| minplus::convolve_with(&f, &g, minplus::Parallelism::Threads(threads))),
     ]);
+    let (conv_seq, conv_par) = (conv.best(0), conv.best(1));
 
-    let speedup_old_vs_par = old_rescan / prefix_par;
+    let scaling_json = counts
+        .iter()
+        .enumerate()
+        .map(|(idx, &n)| {
+            format!(
+                "{{ \"threads\": {n}, \"window_sums_s\": {:.6}, \"speedup_vs_seq\": {:.1} }}",
+                scaling.best(idx + 1),
+                scaling.speedup(0, idx + 1)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n      ");
+
+    let speedup_old_vs_par = core.speedup(0, 2);
     let json = format!(
-        "{{\n  \"config\": {{ \"n_events\": {N}, \"k_max\": {K}, \"threads\": {threads}, \"reps\": {REPS} }},\n\
+        "{{\n  \"config\": {{ \"n_events\": {N}, \"k_max\": {K}, \"threads\": {threads}, \"reps\": {REPS}, \"gop_events\": {GOP_EVENTS} }},\n\
          \x20 \"window_sums\": {{\n\
          \x20   \"old_rescan_s\": {old_rescan:.6},\n\
          \x20   \"prefix_seq_s\": {prefix_seq:.6},\n\
          \x20   \"prefix_par_s\": {prefix_par:.6},\n\
-         \x20   \"speedup_prefix_vs_old\": {:.2},\n\
-         \x20   \"speedup_par_vs_seq\": {:.2},\n\
-         \x20   \"speedup_total\": {speedup_old_vs_par:.2}\n\
+         \x20   \"speedup_prefix_vs_old\": {:.1},\n\
+         \x20   \"speedup_par_vs_seq\": {:.1},\n\
+         \x20   \"speedup_total\": {speedup_old_vs_par:.1}\n\
          \x20 }},\n\
-         \x20 \"min_spans\": {{ \"seq_s\": {spans_seq:.6}, \"par_s\": {spans_par:.6}, \"speedup\": {:.2} }},\n\
-         \x20 \"minplus_convolve_96seg\": {{ \"seq_s\": {conv_seq:.6}, \"par_s\": {conv_par:.6}, \"speedup\": {:.2} }}\n}}\n",
-        old_rescan / prefix_seq,
-        prefix_seq / prefix_par,
-        spans_seq / spans_par,
-        conv_seq / conv_par,
+         \x20 \"thread_scaling\": [\n      {scaling_json}\n    ],\n\
+         \x20 \"chunk_summaries\": {{\n\
+         \x20   \"single_pass_s\": {summary_single_s:.6},\n\
+         \x20   \"chunked8_fold_s\": {summary_chunked8_s:.6},\n\
+         \x20   \"auto_summarize_s\": {summary_auto_s:.6},\n\
+         \x20   \"merge_overhead_vs_single\": {:.2}\n\
+         \x20 }},\n\
+         \x20 \"append_one_gop\": {{\n\
+         \x20   \"gop_events\": {GOP_EVENTS},\n\
+         \x20   \"full_rebuild_s\": {rebuild_s:.6},\n\
+         \x20   \"incremental_append_s\": {append_s:.6},\n\
+         \x20   \"append_over_rebuild\": {append_ratio:.4}\n\
+         \x20 }},\n\
+         \x20 \"min_spans\": {{ \"seq_s\": {spans_seq:.6}, \"par_s\": {spans_par:.6}, \"speedup\": {:.1} }},\n\
+         \x20 \"minplus_convolve_96seg\": {{ \"seq_s\": {conv_seq:.6}, \"par_s\": {conv_par:.6}, \"speedup\": {:.1} }}\n}}\n",
+        core.speedup(0, 1),
+        core.speedup(1, 2),
+        summaries.speedup(1, 0),
+        core.speedup(3, 4),
+        conv.speedup(0, 1),
     );
     std::fs::write(&out_path, &json)?;
     print!("{json}");
-    eprintln!("bench_curves: total speedup {speedup_old_vs_par:.1}x, wrote {out_path}");
+    eprintln!(
+        "bench_curves: total speedup {speedup_old_vs_par:.1}x, one-GOP append at {:.0}% of a rebuild, wrote {out_path}",
+        append_ratio * 100.0
+    );
     Ok(())
 }

@@ -5,9 +5,10 @@
 //!
 //! * **sweep points/s** — the full 14-clip grid, sequential without
 //!   pruning vs threaded with the analytic pre-pass (the shipping
-//!   configuration). The pruned fraction is reported alongside, because
-//!   on a single-core host it — not thread count — is what buys the
-//!   speedup.
+//!   configuration), plus a thread-scaling array (1, 2, 4, … workers up
+//!   to the host's cores). The pruned fraction is reported alongside,
+//!   because on a single-core host it — not thread count — is what buys
+//!   the speedup.
 //! * **simulator ns/event** — the legacy heap-driven event loop
 //!   (`wcm_bench::legacy`) vs the heap-free hot path with a reusable
 //!   scratch, on one identical clip (3 events per macroblock).
@@ -31,14 +32,71 @@ fn time_once<T>(f: impl FnOnce() -> T) -> f64 {
     start.elapsed().as_secs_f64()
 }
 
-fn best_secs<const M: usize>(mut candidates: [&mut dyn FnMut() -> f64; M]) -> [f64; M] {
-    let mut best = [f64::INFINITY; M];
-    for _ in 0..REPS {
-        for (b, run) in best.iter_mut().zip(candidates.iter_mut()) {
-            *b = b.min(run());
+/// Interleaved measurement over [`REPS`] rounds, reversing the candidate
+/// order on odd rounds (counterbalancing). Absolute numbers are
+/// per-candidate minima; speedups are medians of per-round ratios, which
+/// cancel common-mode noise bursts on a busy host (see `bench_curves`
+/// for the rationale).
+struct Timings {
+    rounds: Vec<Vec<f64>>,
+}
+
+impl Timings {
+    fn best(&self, i: usize) -> f64 {
+        self.rounds[i].iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Median over rounds of `time[num] / time[den]`.
+    fn speedup(&self, num: usize, den: usize) -> f64 {
+        let mut r: Vec<f64> = self.rounds[num]
+            .iter()
+            .zip(&self.rounds[den])
+            .map(|(a, b)| a / b)
+            .collect();
+        r.sort_by(f64::total_cmp);
+        r[r.len() / 2]
+    }
+}
+
+fn measure<const M: usize>(candidates: [&mut dyn FnMut() -> f64; M]) -> Timings {
+    let mut rounds = vec![Vec::with_capacity(REPS); M];
+    for round in 0..REPS {
+        for o in 0..M {
+            let i = if round % 2 == 0 { o } else { M - 1 - o };
+            let t = candidates[i]();
+            rounds[i].push(t);
         }
     }
-    best
+    Timings { rounds }
+}
+
+/// [`measure`] for a runtime-sized candidate list (the thread-scaling
+/// sweep, whose length depends on the host's core count).
+fn measure_dyn(candidates: &mut [Box<dyn FnMut() -> f64 + '_>]) -> Timings {
+    let m = candidates.len();
+    let mut rounds = vec![Vec::with_capacity(REPS); m];
+    for round in 0..REPS {
+        for o in 0..m {
+            let i = if round % 2 == 0 { o } else { m - 1 - o };
+            let t = candidates[i]();
+            rounds[i].push(t);
+        }
+    }
+    Timings { rounds }
+}
+
+/// `1, 2, 4, …` doubling up to `max`, always ending at `max` itself.
+fn thread_counts(max: usize) -> Vec<usize> {
+    let mut counts = vec![1];
+    let mut t = 2;
+    while t < max {
+        counts.push(t);
+        t *= 2;
+    }
+    if max > 1 {
+        counts.push(max);
+    }
+    counts
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -102,13 +160,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let points = report_pruned.stats.total as f64;
     let pruned_fraction = report_pruned.stats.pruned_fraction();
 
-    let [seq_unpruned_s, par_pruned_s, seq_pruned_s] = best_secs([
+    let sweeps = measure([
         &mut || time_once(|| run_sweep(&clips, &unpruned, Parallelism::Seq).unwrap()),
         &mut || {
             time_once(|| run_sweep(&clips, &spec, Parallelism::Threads(threads)).unwrap())
         },
         &mut || time_once(|| run_sweep(&clips, &spec, Parallelism::Seq).unwrap()),
     ]);
+    let (seq_unpruned_s, par_pruned_s, seq_pruned_s) =
+        (sweeps.best(0), sweeps.best(1), sweeps.best(2));
+
+    // Thread-scaling curve for the pruned sweep (one entry on one core).
+    let counts = thread_counts(threads);
+    let mut scaling_runs: Vec<Box<dyn FnMut() -> f64 + '_>> = counts
+        .iter()
+        .map(|&n| {
+            let (clips, spec) = (&clips, &spec);
+            Box::new(move || {
+                time_once(|| run_sweep(clips, spec, Parallelism::Threads(n)).unwrap())
+            }) as Box<dyn FnMut() -> f64 + '_>
+        })
+        .collect();
+    let scaling = measure_dyn(&mut scaling_runs);
+    let scaling_json = counts
+        .iter()
+        .enumerate()
+        .map(|(idx, &n)| {
+            format!(
+                "{{ \"threads\": {n}, \"pruned_sweep_s\": {:.6}, \"points_per_s\": {:.2} }}",
+                scaling.best(idx),
+                points / scaling.best(idx)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n      ");
 
     // Simulator hot path: ns per event (3 events per macroblock) on one
     // clip, legacy heap loop vs heap-free loop with a reused scratch.
@@ -136,7 +221,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     assert_eq!(legacy_result.max_backlog, hot.max_backlog);
 
-    let [legacy_s, hot_s] = best_secs([
+    let sim = measure([
         &mut || time_once(|| simulate_pipeline_legacy(clip, &cfg).unwrap()),
         &mut || {
             time_once(|| {
@@ -154,8 +239,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     ]);
     let events = 3.0 * clip.macroblock_count() as f64;
-    let legacy_ns = legacy_s / events * 1e9;
-    let hot_ns = hot_s / events * 1e9;
+    let legacy_ns = sim.best(0) / events * 1e9;
+    let hot_ns = sim.best(1) / events * 1e9;
 
     let n_clips = clips.len();
     let json = format!(
@@ -167,26 +252,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          \x20   \"par_pruned_s\": {par_pruned_s:.6},\n\
          \x20   \"points_per_s_seq_unpruned\": {:.2},\n\
          \x20   \"points_per_s_par_pruned\": {:.2},\n\
-         \x20   \"speedup_par_pruned_vs_seq_unpruned\": {:.2}\n\
+         \x20   \"speedup_par_pruned_vs_seq_unpruned\": {:.1},\n\
+         \x20   \"thread_scaling\": [\n      {scaling_json}\n    ]\n\
          \x20 }},\n\
          \x20 \"simulator\": {{\n\
          \x20   \"events\": {events},\n\
          \x20   \"legacy_heap_ns_per_event\": {legacy_ns:.2},\n\
          \x20   \"hot_path_ns_per_event\": {hot_ns:.2},\n\
-         \x20   \"speedup\": {:.2}\n\
+         \x20   \"speedup\": {:.1}\n\
          \x20 }}\n}}\n",
         points / seq_unpruned_s,
         points / par_pruned_s,
-        seq_unpruned_s / par_pruned_s,
-        legacy_ns / hot_ns,
+        sweeps.speedup(0, 1),
+        sim.speedup(0, 1),
     );
     std::fs::write(&out_path, &json)?;
     print!("{json}");
     eprintln!(
         "bench_sweep: {:.2}x points/s (pruned fraction {:.0}%), simulator {:.2}x ns/event, wrote {out_path}",
-        seq_unpruned_s / par_pruned_s,
+        sweeps.speedup(0, 1),
         pruned_fraction * 100.0,
-        legacy_ns / hot_ns
+        sim.speedup(0, 1)
     );
     Ok(())
 }

@@ -286,14 +286,22 @@ impl EnvelopeMonitor {
     #[must_use]
     pub fn with_fast_scan(mut self, fast: bool) -> Self {
         self.fast = fast;
+        self.reseed_certs();
+        self
+    }
+
+    /// Rebuilds the fast-scan certificates against the current bound
+    /// tables and replays the retained ring into their deques, so both a
+    /// mid-stream fast-scan toggle and a mid-stream [`Self::rebind`] stay
+    /// sound.
+    fn reseed_certs(&mut self) {
         self.cert_upper = None;
         self.cert_lower = None;
-        if fast && self.k_max >= 2 {
+        if self.fast && self.k_max >= 2 {
             self.cert_upper = Self::make_cert(&self.upper_bounds, self.r_den, true);
             self.cert_lower = Self::make_cert(&self.lower_bounds, self.r_den, false);
-            // Seed the deques from the retained ring so a mid-stream toggle
-            // stays sound: cum[i] is the cumulative sum after event
-            // `events − (len − 1) + i`.
+            // Seed the deques from the retained ring: cum[i] is the
+            // cumulative sum after event `events − (len − 1) + i`.
             let len = self.cum.len();
             let deepest = self.k_max.min(len - 1) as u64;
             for i in 0..len.saturating_sub(1) {
@@ -316,7 +324,34 @@ impl EnvelopeMonitor {
                 }
             }
         }
-        self
+    }
+
+    /// Swaps in refreshed bound curves **without discarding the
+    /// observation window**: the ring of retained cumulative sums, event
+    /// and violation counters all survive, so the windows closing after
+    /// the rebind are still checked against `k_max` events of history.
+    ///
+    /// This is the online half of the incremental-bounds story: a
+    /// [`crate::build::IncrementalBounds`] refreshes its envelope in
+    /// `O(k_max)` per appended reference event, and a long-running monitor
+    /// adopts the tighter envelope mid-stream instead of being rebuilt
+    /// from scratch. Only the sides the monitor was constructed with are
+    /// replaced (an upper-only monitor stays upper-only). Fast-scan
+    /// certificates are re-derived against the new tables.
+    pub fn rebind(&mut self, bounds: &WorkloadBounds) {
+        if self.upper.is_some() {
+            self.upper_bounds = (1..=self.k_max)
+                .map(|k| bounds.upper.value(k).get())
+                .collect();
+            self.upper = Some(bounds.upper.clone());
+        }
+        if self.lower.is_some() {
+            self.lower_bounds = (1..=self.k_max)
+                .map(|k| bounds.lower.value(k).get())
+                .collect();
+            self.lower = Some(bounds.lower.clone());
+        }
+        self.reseed_certs();
     }
 
     /// Fits the scaled linear bound to a bound table: the chord slope
@@ -625,6 +660,37 @@ mod tests {
         // tightest window has exactly zero slack on each side.
         assert_eq!(report.min_upper_slack(), Some(0));
         assert_eq!(report.min_lower_slack(), Some(0));
+    }
+
+    #[test]
+    fn rebind_keeps_the_observation_window() {
+        let demands = alternating(40);
+        let loose = WorkloadBounds {
+            upper: UpperWorkloadCurve::wcet_line(Cycles(20), 8).unwrap(),
+            lower: LowerWorkloadCurve::bcet_line(Cycles(0), 8).unwrap(),
+        };
+        let tight = bounds_of(&demands, 8);
+        for fast in [false, true] {
+            // Stream half under the loose envelope, rebind to the tight
+            // one mid-stream, then finish. A fresh monitor bound tight
+            // from the start must agree on every post-rebind verdict —
+            // that only holds if the ring survives the rebind.
+            let mut rebound = EnvelopeMonitor::new(&loose, 8).unwrap().with_fast_scan(fast);
+            rebound.observe_all(demands[..20].iter().copied());
+            assert!(rebound.is_clean());
+            rebound.rebind(&tight);
+            let mut reference = EnvelopeMonitor::new(&tight, 8).unwrap().with_fast_scan(fast);
+            reference.observe_all(demands[..20].iter().copied());
+            for &d in &demands[20..] {
+                assert_eq!(rebound.observe(d), reference.observe(d), "fast={fast}");
+            }
+            assert!(rebound.is_clean());
+            // And a rebind to a violated envelope fires immediately on the
+            // next closing window.
+            let hostile = bounds_of(&[1, 1, 1, 1, 1, 1, 1, 1], 8);
+            rebound.rebind(&hostile);
+            assert!(rebound.observe(10) > 0, "fast={fast}");
+        }
     }
 
     #[test]

@@ -46,6 +46,7 @@ mod error;
 pub mod faults;
 pub mod gen;
 pub mod stats;
+pub mod summary;
 pub mod trace;
 pub mod types;
 pub mod window;

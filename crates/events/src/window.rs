@@ -225,6 +225,151 @@ impl PrefixSums {
             }
         }
     }
+
+    /// Cache-blocked scan of many window sizes in one pass over the table:
+    /// `ks` must be sorted ascending; entries with `k > len` yield the
+    /// identity (`0` when maximizing, `u64::MAX` when minimizing) so grid
+    /// points beyond a short chunk merge away naturally.
+    ///
+    /// The table is streamed in L1/L2-sized blocks with a small tile of
+    /// `k` values per pass, so every block is loaded once per tile instead
+    /// of once per `k` — the difference between `O(N·K)` arithmetic on a
+    /// cache-resident block and `O(N·K)` DRAM traffic. Results are
+    /// bit-identical to per-`k` [`PrefixSums::max_window_sum`] /
+    /// [`PrefixSums::min_window_sum`] scans (`u64` max/min is associative
+    /// and commutative, so block order cannot matter).
+    pub(crate) fn scan_grid(&self, ks: &[usize], maximize: bool) -> Vec<u64> {
+        match &self.table {
+            Table::Narrow(p) => scan_blocked(p, ks, maximize, None).0,
+            Table::Wide(p) => scan_blocked(p, ks, maximize, None).0,
+        }
+    }
+
+    /// Like [`PrefixSums::scan_grid`], but produces **both** extrema in the
+    /// same blocked pass — the chunk-summary constructor needs max and min
+    /// together, and sharing the pass halves the memory traffic.
+    pub(crate) fn scan_grid_both(&self, ks: &[usize]) -> (Vec<u64>, Vec<u64>) {
+        match &self.table {
+            Table::Narrow(p) => {
+                let (maxs, mins) = scan_blocked(p, ks, true, Some(()));
+                (maxs, mins.expect("both-sided scan fills mins"))
+            }
+            Table::Wide(p) => {
+                let (maxs, mins) = scan_blocked(p, ks, true, Some(()));
+                (maxs, mins.expect("both-sided scan fills mins"))
+            }
+        }
+    }
+}
+
+/// A prefix-table cell: the two storage widths of [`PrefixSums`].
+trait PrefixCell: Copy + Ord + std::ops::Sub<Output = Self> {
+    fn to_u64(self) -> u64;
+}
+
+impl PrefixCell for u64 {
+    fn to_u64(self) -> u64 {
+        self
+    }
+}
+
+impl PrefixCell for u128 {
+    fn to_u64(self) -> u64 {
+        u64::try_from(self).expect("window sum exceeds u64::MAX")
+    }
+}
+
+/// Table positions per cache block: 8 Ki entries = 64 KiB of `u64`, so a
+/// block plus the `k`-shifted stream it is compared against stays resident
+/// in L2 while a whole tile of window sizes scans it.
+const SCAN_BLOCK: usize = 8 * 1024;
+
+/// Window sizes per tile: enough reuse per block load to amortize the
+/// second stream, few enough accumulators to keep them in registers.
+const SCAN_TILE: usize = 16;
+
+/// The blocked kernel behind [`PrefixSums::scan_grid`]: for each tile of
+/// window sizes, stream the table block by block and fold the per-`k`
+/// extremum of `p[i+k] − p[i]` over the block's valid positions. With
+/// `both` set, the primary output holds maxima and the second minima
+/// (`maximize` is ignored); otherwise only the requested side is computed.
+fn scan_blocked<T: PrefixCell>(
+    p: &[T],
+    ks: &[usize],
+    maximize: bool,
+    both: Option<()>,
+) -> (Vec<u64>, Option<Vec<u64>>) {
+    let n = p.len() - 1;
+    let want_both = both.is_some();
+    let mut primary = vec![if maximize || want_both { 0 } else { u64::MAX }; ks.len()];
+    let mut secondary = if want_both {
+        Some(vec![u64::MAX; ks.len()])
+    } else {
+        None
+    };
+    let mut tile_best: Vec<(T, T)> = Vec::with_capacity(SCAN_TILE);
+    for (tile_idx, tile) in ks.chunks(SCAN_TILE).enumerate() {
+        tile_best.clear();
+        let mut seen = vec![false; tile.len()];
+        tile_best.resize(tile.len(), (p[0], p[0]));
+        let mut start = 0usize;
+        while start < n {
+            let block_end = (start + SCAN_BLOCK).min(n);
+            for (j, &k) in tile.iter().enumerate() {
+                if k == 0 || k > n {
+                    continue;
+                }
+                // Valid window starts in this block: i + k ≤ n.
+                let end = block_end.min(n - k + 1);
+                if start >= end {
+                    continue;
+                }
+                let lo = &p[start..end];
+                let hi = &p[start + k..end + k];
+                let (mut mx, mut mn) = if seen[j] {
+                    tile_best[j]
+                } else {
+                    let first = hi[0] - lo[0];
+                    (first, first)
+                };
+                seen[j] = true;
+                if want_both {
+                    for (h, l) in hi.iter().zip(lo) {
+                        let d = *h - *l;
+                        mx = mx.max(d);
+                        mn = mn.min(d);
+                    }
+                } else if maximize {
+                    for (h, l) in hi.iter().zip(lo) {
+                        mx = mx.max(*h - *l);
+                    }
+                } else {
+                    for (h, l) in hi.iter().zip(lo) {
+                        mn = mn.min(*h - *l);
+                    }
+                }
+                tile_best[j] = (mx, mn);
+            }
+            start = block_end;
+        }
+        let base = tile_idx * SCAN_TILE;
+        for (j, &(mx, mn)) in tile_best.iter().enumerate() {
+            if !seen[j] {
+                continue; // k > n: identity stays in place
+            }
+            if want_both {
+                primary[base + j] = mx.to_u64();
+                if let Some(sec) = &mut secondary {
+                    sec[base + j] = mn.to_u64();
+                }
+            } else if maximize {
+                primary[base + j] = mx.to_u64();
+            } else {
+                primary[base + j] = mn.to_u64();
+            }
+        }
+    }
+    (primary, secondary)
 }
 
 /// Maximum sum of any `k` consecutive values, for a single `k`.
@@ -334,17 +479,28 @@ fn window_sums(
         return Err(EventError::InvalidParameter { name: "stride" });
     }
     let grid = mode.grid(k_max);
-    let prefix = PrefixSums::new(values);
-    // Each grid point scans ≤ N differences; the hint lets Auto skip
-    // thread start-up for small analyses.
+    // Each grid point scans ≤ N differences; the hint lets the runtime
+    // skip thread start-up for small analyses.
     let cost = grid.len() as u64 * values.len() as u64;
-    let exact = wcm_par::par_map(par, &grid, cost, |_, &k| {
-        if maximize {
-            prefix.max_window_sum(k).expect("k ≤ len by validation")
+    let exact = if par.workers(values.len(), cost) <= 1 {
+        // Sequential: one cache-blocked pass over the prefix table,
+        // k-tiles per block instead of one full sweep per k.
+        PrefixSums::new(values).scan_grid(&grid, maximize)
+    } else {
+        // Parallel: trace-parallel chunk summaries tree-folded into the
+        // exact grid table — scales over N instead of fanning out per k.
+        let sides = if maximize {
+            crate::summary::Sides::Max
         } else {
-            prefix.min_window_sum(k).expect("k ≤ len by validation")
+            crate::summary::Sides::Min
+        };
+        let summary = crate::summary::summarize_with(values, &grid, sides, par);
+        if maximize {
+            summary.max_table().to_vec()
+        } else {
+            summary.min_table().to_vec()
         }
-    });
+    };
     Ok(fill_gaps(&grid, &exact, k_max, maximize, 0u64))
 }
 
@@ -352,7 +508,7 @@ fn window_sums(
 /// conservative filling direction: gaps take the *next* grid value when
 /// maximizing (sound over-approximation for non-decreasing maxima) and the
 /// *previous* one when minimizing.
-fn fill_gaps<T: Copy>(
+pub(crate) fn fill_gaps<T: Copy>(
     grid: &[usize],
     exact: &[T],
     k_max: usize,

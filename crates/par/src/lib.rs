@@ -23,33 +23,125 @@
 //! analysis crates:
 //!
 //! * [`Parallelism::Seq`] — run inline on the caller's thread;
-//! * [`Parallelism::Threads(n)`] — exactly `n` workers;
+//! * [`Parallelism::Threads(n)`] — at most `n` workers (reduced when the
+//!   cost hint says the work cannot amortize their start-up);
 //! * [`Parallelism::Auto`] — [`std::thread::available_parallelism`]
 //!   workers, but only when the caller's cost hint says the work dwarfs
 //!   thread start-up (≈ 50–100 µs per worker).
+//!
+//! # Grain threshold
+//!
+//! Every worker must be backed by at least [`grain_ops`] unit operations or
+//! it is not spawned: below the grain, thread start-up costs more than the
+//! work itself, which is how an explicit `Threads(n)` used to come out
+//! *slower* than sequential on small scans (`min_spans` at 0.93× in early
+//! `BENCH_curves.json` runs). The grain is auto-tuned once per process by
+//! timing an empty scoped spawn/join against a unit-operation loop, and can
+//! be pinned with the `WCM_PAR_GRAIN_OPS` environment variable (useful for
+//! reproducible benchmarks). Worker counts never affect results — every
+//! `par_*` entry point is deterministic — so the tuning only moves the
+//! speed, never the answer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Work below this many "unit operations" (caller-estimated) runs
 /// sequentially under [`Parallelism::Auto`]: thread start-up would dominate.
+/// Also the lower clamp of the auto-tuned [`grain_ops`].
 pub const AUTO_SEQ_THRESHOLD_OPS: u64 = 1 << 18;
 
 /// Under [`Parallelism::Auto`] each extra worker must be backed by at least
 /// this many unit operations, so medium-sized inputs get 2–3 workers instead
 /// of the all-or-nothing split that left paper-scale min-plus convolutions
 /// sequential (`speedup_par_vs_seq: 1.00` in early BENCH_curves.json runs).
+/// Used as the calibration fallback when timing is unavailable.
 pub const AUTO_OPS_PER_WORKER: u64 = 1 << 18;
+
+/// Upper clamp of the auto-tuned grain: even on machines where spawning
+/// looks expensive, work this large is always worth one extra worker.
+pub const GRAIN_OPS_MAX: u64 = 1 << 22;
+
+static GRAIN_OPS: OnceLock<u64> = OnceLock::new();
+
+/// The per-worker grain in unit operations: a worker is only spawned when
+/// it can be handed at least this much work.
+///
+/// Resolved once per process: the `WCM_PAR_GRAIN_OPS` environment variable
+/// wins when set to a positive integer; otherwise a one-shot calibration
+/// times an empty scoped spawn/join against a unit-operation loop and
+/// requires each worker to amortize ≈ 4 spawn costs. The result is clamped
+/// to `[`[`AUTO_SEQ_THRESHOLD_OPS`]`, `[`GRAIN_OPS_MAX`]`]`.
+#[must_use]
+pub fn grain_ops() -> u64 {
+    *GRAIN_OPS.get_or_init(|| {
+        if let Some(pinned) = std::env::var("WCM_PAR_GRAIN_OPS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&n| n > 0)
+        {
+            return pinned;
+        }
+        calibrate_grain().clamp(AUTO_SEQ_THRESHOLD_OPS, GRAIN_OPS_MAX)
+    })
+}
+
+/// Times one empty scoped spawn/join and one unit-op loop; returns the ops
+/// equivalent of ~4 spawns. Uses medians over a few repetitions so a single
+/// scheduler hiccup cannot skew the grain for the whole process.
+fn calibrate_grain() -> u64 {
+    use std::time::Instant;
+    let median = |mut xs: Vec<u128>| -> u128 {
+        xs.sort_unstable();
+        xs[xs.len() / 2]
+    };
+    let spawn_ns = median(
+        (0..5)
+            .map(|_| {
+                let t = Instant::now();
+                std::thread::scope(|s| {
+                    s.spawn(|| {});
+                });
+                t.elapsed().as_nanos().max(1)
+            })
+            .collect(),
+    );
+    // A unit operation is one load/subtract/compare step of a window scan.
+    const LOOP_OPS: u64 = 1 << 18;
+    let loop_ns = median(
+        (0..3)
+            .map(|_| {
+                let t = Instant::now();
+                let mut acc = 0u64;
+                for i in 0..LOOP_OPS {
+                    acc = acc.wrapping_add(i ^ (acc >> 3));
+                }
+                std::hint::black_box(acc);
+                t.elapsed().as_nanos().max(1)
+            })
+            .collect(),
+    );
+    let ops_per_ns = f64::from(u32::try_from(LOOP_OPS).unwrap_or(u32::MAX)) / loop_ns as f64;
+    let grain = (spawn_ns as f64 * 4.0 * ops_per_ns).ceil();
+    if grain.is_finite() {
+        grain as u64
+    } else {
+        AUTO_OPS_PER_WORKER
+    }
+}
 
 /// How to split data-parallel work across threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Parallelism {
     /// Run on the calling thread.
     Seq,
-    /// Use exactly this many workers (`0` is treated as `1`).
+    /// Use at most this many workers (`0` is treated as `1`); the count is
+    /// reduced when the cost hint cannot back each worker with
+    /// [`grain_ops`] unit operations, so an explicit thread count is never
+    /// slower than sequential on small inputs.
     Threads(usize),
     /// Use all available cores when the work is large enough to amortize
     /// thread start-up, otherwise run sequentially.
@@ -80,22 +172,22 @@ impl Parallelism {
     /// roughly `cost_hint_ops` unit operations.
     #[must_use]
     pub fn workers(self, items: usize, cost_hint_ops: u64) -> usize {
+        // Each worker must amortize its ~50–100 µs start-up with at least
+        // one grain of unit operations; below that, fall back towards
+        // sequential whatever the requested count.
+        let affordable = usize::try_from(cost_hint_ops / grain_ops())
+            .unwrap_or(usize::MAX)
+            .max(1);
         let hard = match self {
             Self::Seq => 1,
-            Self::Threads(n) => n.max(1),
+            Self::Threads(n) => n.max(1).min(affordable),
             Self::Auto => {
-                if cost_hint_ops < AUTO_SEQ_THRESHOLD_OPS {
+                if cost_hint_ops < grain_ops() {
                     1
                 } else {
                     let avail = std::thread::available_parallelism()
                         .map(NonZeroUsize::get)
                         .unwrap_or(1);
-                    // Scale the worker count to the work: each worker must
-                    // amortize its ~50–100 µs start-up with at least
-                    // AUTO_OPS_PER_WORKER unit operations.
-                    let affordable = usize::try_from(cost_hint_ops / AUTO_OPS_PER_WORKER)
-                        .unwrap_or(usize::MAX)
-                        .max(1);
                     avail.min(affordable)
                 }
             }
@@ -315,12 +407,31 @@ mod tests {
     #[test]
     fn workers_respect_mode_and_items() {
         assert_eq!(Parallelism::Seq.workers(100, u64::MAX), 1);
-        assert_eq!(Parallelism::Threads(8).workers(100, 0), 8);
+        assert_eq!(Parallelism::Threads(8).workers(100, u64::MAX), 8);
         assert_eq!(Parallelism::Threads(8).workers(3, u64::MAX), 3);
-        assert_eq!(Parallelism::Threads(0).workers(5, 0), 1);
+        assert_eq!(Parallelism::Threads(0).workers(5, u64::MAX), 1);
         // Auto stays sequential below the cost threshold.
         assert_eq!(Parallelism::Auto.workers(100, 10), 1);
         assert!(Parallelism::Auto.workers(100, u64::MAX) >= 1);
+    }
+
+    #[test]
+    fn explicit_threads_respect_the_grain() {
+        // Tiny work: even an explicit Threads(8) collapses to 1 worker —
+        // this is the fix for the min_spans parallel regression.
+        assert_eq!(Parallelism::Threads(8).workers(100, 0), 1);
+        assert_eq!(Parallelism::Threads(8).workers(100, grain_ops() - 1), 1);
+        // Work backing exactly two grains affords two workers.
+        assert_eq!(Parallelism::Threads(8).workers(100, 2 * grain_ops()), 2);
+        // Huge work: the requested count is honoured.
+        assert_eq!(Parallelism::Threads(8).workers(100, u64::MAX), 8);
+    }
+
+    #[test]
+    fn grain_is_positive_and_stable() {
+        let g = grain_ops();
+        assert!(g > 0);
+        assert_eq!(g, grain_ops(), "grain must be resolved once per process");
     }
 
     #[test]
@@ -432,10 +543,10 @@ mod tests {
 
     #[test]
     fn auto_workers_scale_with_cost() {
-        // Below the threshold Auto stays sequential; above it the worker
-        // count is bounded by cost / AUTO_OPS_PER_WORKER.
-        assert_eq!(Parallelism::Auto.workers(1000, AUTO_SEQ_THRESHOLD_OPS - 1), 1);
-        let w = Parallelism::Auto.workers(1000, 3 * AUTO_OPS_PER_WORKER);
+        // Below the grain Auto stays sequential; above it the worker count
+        // is bounded by cost / grain_ops().
+        assert_eq!(Parallelism::Auto.workers(1000, grain_ops() - 1), 1);
+        let w = Parallelism::Auto.workers(1000, 3 * grain_ops());
         assert!((1..=3).contains(&w), "expected at most 3 affordable workers, got {w}");
     }
 

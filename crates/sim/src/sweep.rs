@@ -21,8 +21,17 @@
 //!   actually simulated, on the heap-free hot path of [`crate::pipeline`]
 //!   with one reusable [`SimScratch`] per worker.
 //!
-//! Fault-seeded points are never pruned — the analytic curves describe
-//! the *clean* stream only.
+//! **Fault-seeded points prune too** when the seed's PE₂ fault shape
+//! keeps the analytic model exact: the FIFO-input recurrence replays the
+//! seed's jitter/drift/stall on PE₁ bit-for-bit, per-seed `ᾱᵘ`/`γᵘ` are
+//! derived from the *faulted* stream, and the demand curves reuse the
+//! clean stream's mergeable chunk summaries
+//! ([`wcm_events::summary::CurveSummary`]) over the unperturbed prefix —
+//! only the injector-touched suffix is re-summarized. The safe bound
+//! (eq. 9) requires PE₂ service to scale exactly as `c/F`
+//! (`pe2_scale ≡ 1`, `pe2_extra ≡ 0`); the overflow certificate only
+//! needs service to be *no faster* (`pe2_scale ≥ 1`, `pe2_extra ≥ 0`).
+//! Seeds outside those envelopes fall back to simulation.
 //!
 //! Evaluation runs on [`wcm_par::par_map_init`]: dynamic block dispatch
 //! over the grid, results placed by index, so the report is **bit
@@ -38,7 +47,8 @@ use wcm_core::build::arrival_upper_with;
 use wcm_core::curve::{LowerWorkloadCurve, UpperWorkloadCurve};
 use wcm_core::sizing;
 use wcm_core::WorkloadError;
-use wcm_events::window::{max_window_sums_with, min_spans_with, min_window_sums_with, WindowMode};
+use wcm_events::summary::{CurveSummary, Sides};
+use wcm_events::window::{min_spans_with, WindowMode};
 use wcm_events::{Cycles, ExecutionInterval, TimedEvent, TimedTrace, TypeRegistry};
 use wcm_mpeg::ClipWorkload;
 use wcm_par::Parallelism;
@@ -60,8 +70,9 @@ pub struct SweepSpec {
     pub capacities: Vec<u64>,
     /// Overflow policies to evaluate.
     pub policies: Vec<OverflowPolicy>,
-    /// Fault seeds; `None` is the clean stream. Seeded points always
-    /// simulate — the analytic curves only describe the clean stream.
+    /// Fault seeds; `None` is the clean stream. Seeded points also go
+    /// through the analytic pre-pass when the seed's PE₂ faults keep the
+    /// model sound (see the module docs); otherwise they simulate.
     pub seeds: Vec<Option<u64>>,
     /// Injectors applied under each `Some` seed.
     pub injectors: Vec<Injector>,
@@ -248,6 +259,25 @@ impl From<wcm_events::EventError> for SweepError {
     }
 }
 
+/// Per-seed analytic prune data. Absent (`None` in
+/// [`ClipContext::prune`]) when the seed's PE₂ fault shape invalidates
+/// both analytic bounds — then every point of that seed simulates.
+struct SeedPrune {
+    /// `F^γ_min` per capacity index, from the seed's own `ᾱᵘ`/`γᵘ`
+    /// (`None` when eq. 9 is infeasible or the safe gate failed — then
+    /// the point cannot be proven safe).
+    f_min: Vec<Option<f64>>,
+    /// Exact minimal spans `(k, d(k))` of the seed's FIFO-input times on
+    /// the certificate grid (empty when the unsafe gate failed).
+    cert_spans: Vec<(u64, f64)>,
+    /// `γˡ` of the seed's demand to the certificate depth (`None` when
+    /// the unsafe gate failed).
+    cert_gamma_l: Option<LowerWorkloadCurve>,
+    /// Largest single-event demand — in-service credit of the overflow
+    /// certificate.
+    gamma_u1: Cycles,
+}
+
 /// Everything the evaluator needs about one clip, computed once and
 /// shared read-only across all workers and grid points.
 struct ClipContext {
@@ -256,18 +286,105 @@ struct ClipContext {
     frame_period: f64,
     /// `streams[seed_idx]` — the (possibly faulted) workload per seed.
     streams: Vec<FaultedWorkload>,
-    /// `F^γ_min` per capacity index (`None` when eq. 9 is infeasible —
-    /// then the point cannot be proven safe and is simulated).
-    f_min: Vec<Option<f64>>,
-    /// Exact minimal spans `(k, d(k))` on the certificate grid.
-    cert_spans: Vec<(u64, f64)>,
-    /// `γˡ` to the same depth (strided under-approximation — sound for
-    /// the certificate, which it can only weaken).
-    cert_gamma_l: LowerWorkloadCurve,
-    /// `γᵘ(1)` — in-service credit of the overflow certificate.
-    gamma_u1: Cycles,
+    /// `prune[seed_idx]` — analytic prune data per seed.
+    prune: Vec<Option<SeedPrune>>,
     /// Lehoczky advisory per frequency index.
     rms: Vec<Option<(bool, f64)>>,
+}
+
+/// The FIFO-input instants of a (possibly faulted) stream in O(N):
+/// without backpressure the PE₁ output obeys
+/// `done_i = max(done_{i-1}, ready_i) + (c₁ᵢ/F₁)·scaleᵢ + extraᵢ` with
+/// `ready_i = cum_bits/rate + delayᵢ` — PE₁ serves macroblocks in stream
+/// order regardless of arrival reordering, so this is exactly the
+/// recurrence the event loop executes. Clean streams multiply by 1.0 and
+/// add 0.0, both exact in IEEE-754, so the times stay bit-identical to a
+/// simulated run.
+fn push_times_of(w: &FaultedWorkload, bitrate_bps: f64, pe1_hz: f64) -> Vec<f64> {
+    let n = w.len();
+    let mut push_times = Vec::with_capacity(n);
+    let mut cum_bits = 0.0f64;
+    let mut done = 0.0f64;
+    for i in 0..n {
+        cum_bits += w.bits[i] as f64;
+        let ready = cum_bits / bitrate_bps + w.arrival_delay_s[i];
+        done = done.max(ready) + (w.pe1_cycles[i] as f64 / pe1_hz) * w.pe1_scale[i]
+            + w.pe1_extra_s[i];
+        push_times.push(done);
+    }
+    push_times
+}
+
+/// Chunked [`CurveSummary`]s of the clean demand stream on one grid —
+/// the memo that lets every fault seed re-summarize only the
+/// injector-touched suffix of its demand vector.
+struct DemandMemo {
+    grid: Vec<usize>,
+    chunk: usize,
+    chunks: Vec<CurveSummary>,
+    sides: Sides,
+}
+
+impl DemandMemo {
+    fn build(clean: &[u64], grid: Vec<usize>, sides: Sides, par: Parallelism) -> Self {
+        // Chunk length is a pure function of the grid so every thread
+        // count sees identical chunks (merging is exact either way; this
+        // just keeps the memo itself deterministic). 4·k_max keeps the
+        // O(k_max) boundary arrays a small fraction of each chunk.
+        let k_max = *grid.last().expect("grid is non-empty");
+        let chunk = (4 * k_max).max(256);
+        let ranges: Vec<(usize, usize)> = (0..clean.len())
+            .step_by(chunk)
+            .map(|s| (s, (s + chunk).min(clean.len())))
+            .collect();
+        let cost = clean.len() as u64 * grid.len() as u64;
+        let chunks = wcm_par::par_map(par, &ranges, cost, |_, &(s, e)| {
+            CurveSummary::from_values(&clean[s..e], &grid, sides)
+        });
+        Self {
+            grid,
+            chunk,
+            chunks,
+            sides,
+        }
+    }
+
+    /// Dense window-sum table of `demand` on `grid`, reusing every memo
+    /// chunk that lies fully inside the common prefix of `demand` and the
+    /// clean stream. Exact-merge associativity makes the result
+    /// bit-identical to a from-scratch scan of `demand`.
+    fn dense_for(&self, demand: &[u64], clean: &[u64], grid: &[usize]) -> Vec<u64> {
+        let summary = if grid == self.grid {
+            let lcp = demand
+                .iter()
+                .zip(clean)
+                .take_while(|(a, b)| a == b)
+                .count();
+            let full = (lcp / self.chunk).min(self.chunks.len());
+            if full > 0 {
+                let shared = full * self.chunk;
+                let mut acc = self.chunks[0].clone();
+                for c in &self.chunks[1..full] {
+                    acc = acc.merge(c);
+                }
+                acc.merge(&CurveSummary::from_values(
+                    &demand[shared..],
+                    grid,
+                    self.sides,
+                ))
+            } else {
+                CurveSummary::from_values(demand, grid, self.sides)
+            }
+        } else {
+            // Drop/duplication faults changed the stream length enough to
+            // change the grid: no sharing possible.
+            CurveSummary::from_values(demand, grid, self.sides)
+        };
+        match self.sides {
+            Sides::Min => summary.dense_min().expect("len ≥ k_max by construction"),
+            _ => summary.dense_max().expect("len ≥ k_max by construction"),
+        }
+    }
 }
 
 impl ClipContext {
@@ -281,29 +398,6 @@ impl ClipContext {
         let k_max = spec.k_max.min(n);
         let cert_depth = spec.cert_depth.min(n).max(1);
 
-        // FIFO-input times in O(N): without backpressure the PE₁ output
-        // instants obey `done_i = max(done_{i-1}, ready_i) + c₁ᵢ/F₁`,
-        // which is exactly the recurrence the event loop executes — same
-        // operations in the same order, so the times are bit-identical to
-        // a simulated clean run.
-        let mut push_times = Vec::with_capacity(n);
-        let mut cum_bits = 0.0f64;
-        let mut done = 0.0f64;
-        for i in 0..n {
-            cum_bits += clean.bits[i] as f64;
-            let ready = cum_bits / clip.params().bitrate_bps();
-            done = done.max(ready) + clean.pe1_cycles[i] as f64 / spec.pe1_hz;
-            push_times.push(done);
-        }
-
-        let trace = times_to_trace(&push_times)?;
-        let alpha = arrival_upper_with(&trace, k_max, spec.mode, par)?;
-        let gamma_u = UpperWorkloadCurve::new(max_window_sums_with(
-            &clean.pe2_cycles,
-            k_max,
-            spec.mode,
-            par,
-        )?)?;
         // The certificate needs *exact* spans — a strided gap-fill
         // under-approximates the span and would claim overflow where none
         // exists — but it does not need *every* window size: each grid
@@ -321,27 +415,63 @@ impl ClipContext {
             exact_upto: 1,
             stride: cert_stride,
         };
-        let span_table = min_spans_with(&push_times, cert_depth, cert_mode, par)?;
-        let cert_spans: Vec<(u64, f64)> = cert_mode
-            .grid(cert_depth)
-            .into_iter()
-            .map(|k| (k as u64, span_table[k - 1]))
-            .collect();
-        let cert_gamma_l = LowerWorkloadCurve::new(min_window_sums_with(
-            &clean.pe2_cycles,
-            cert_depth,
-            cert_mode,
-            par,
-        )?)?;
 
-        let f_min = spec
-            .capacities
-            .iter()
-            .map(|&cap| sizing::min_frequency_workload(&alpha, &gamma_u, cap).ok())
-            .collect();
+        // Clean-demand chunk summaries, shared by every seed whose demand
+        // vector keeps a common prefix with the clean stream.
+        let upper_memo = DemandMemo::build(
+            &clean.pe2_cycles,
+            spec.mode.grid(k_max),
+            Sides::Max,
+            par,
+        );
+        let lower_memo = DemandMemo::build(
+            &clean.pe2_cycles,
+            cert_mode.grid(cert_depth),
+            Sides::Min,
+            par,
+        );
+
+        let mut streams = Vec::with_capacity(spec.seeds.len());
+        for seed in &spec.seeds {
+            streams.push(match seed {
+                None => FaultedWorkload::clean(clip)?,
+                Some(s) => {
+                    let mut plan = FaultPlan::new(*s);
+                    for inj in &spec.injectors {
+                        plan = plan.with(inj.clone());
+                    }
+                    plan.apply(clip)?
+                }
+            });
+        }
+
+        let mut prune = Vec::with_capacity(streams.len());
+        let mut clean_gamma_u: Option<UpperWorkloadCurve> = None;
+        for w in &streams {
+            let sp = Self::seed_prune(
+                w,
+                &clean,
+                spec,
+                par,
+                clip.params().bitrate_bps(),
+                cert_mode,
+                &upper_memo,
+                &lower_memo,
+                &mut clean_gamma_u,
+            )?;
+            prune.push(sp);
+        }
 
         // Advisory column: one RMS task per clip, one macroblock per
-        // period, the clip's γᵘ as its demand curve.
+        // period, the clip's (clean) γᵘ as its demand curve.
+        let gamma_u = match clean_gamma_u {
+            Some(g) => g,
+            None => UpperWorkloadCurve::new(upper_memo.dense_for(
+                &clean.pe2_cycles,
+                &clean.pe2_cycles,
+                &upper_memo.grid,
+            ))?,
+        };
         let rms = {
             let period = 1.0 / clip.params().mb_rate();
             let task_set = PeriodicTask::new(clip.name(), period, gamma_u.wcet())
@@ -359,31 +489,98 @@ impl ClipContext {
                 .collect()
         };
 
-        let mut streams = Vec::with_capacity(spec.seeds.len());
-        for seed in &spec.seeds {
-            streams.push(match seed {
-                None => FaultedWorkload::clean(clip)?,
-                Some(s) => {
-                    let mut plan = FaultPlan::new(*s);
-                    for inj in &spec.injectors {
-                        plan = plan.with(inj.clone());
-                    }
-                    plan.apply(clip)?
-                }
-            });
-        }
-
         Ok(ClipContext {
             name: clip.name().to_string(),
             bitrate_bps: clip.params().bitrate_bps(),
             frame_period: clip.params().frame_period(),
             streams,
+            prune,
+            rms,
+        })
+    }
+
+    /// Analytic prune data for one seed's stream, or `None` when its PE₂
+    /// fault shape escapes both analytic models.
+    #[allow(clippy::too_many_arguments)]
+    fn seed_prune(
+        w: &FaultedWorkload,
+        clean: &FaultedWorkload,
+        spec: &SweepSpec,
+        par: Parallelism,
+        bitrate_bps: f64,
+        cert_mode: WindowMode,
+        upper_memo: &DemandMemo,
+        lower_memo: &DemandMemo,
+        clean_gamma_u: &mut Option<UpperWorkloadCurve>,
+    ) -> Result<Option<SeedPrune>, SweepError> {
+        let n = w.len();
+        if n == 0 {
+            return Ok(None);
+        }
+        // Safe bound (eq. 9): PE₂ service must be exactly `c/F` so the
+        // frequency threshold transfers. Overflow certificate: service
+        // must be *no faster* than `c/F` so the cycle budget `F·d` stays
+        // an over-approximation of what PE₂ can retire.
+        let safe_ok = w.pe2_scale.iter().all(|&s| s == 1.0)
+            && w.pe2_extra_s.iter().all(|&e| e == 0.0);
+        let unsafe_ok = w.pe2_scale.iter().all(|&s| s >= 1.0)
+            && w.pe2_extra_s.iter().all(|&e| e >= 0.0);
+        if !safe_ok && !unsafe_ok {
+            return Ok(None);
+        }
+
+        let k_max = spec.k_max.min(n);
+        let cert_depth = spec.cert_depth.min(n).max(1);
+        let push_times = push_times_of(w, bitrate_bps, spec.pe1_hz);
+
+        let f_min = if safe_ok {
+            let gamma_u = UpperWorkloadCurve::new(upper_memo.dense_for(
+                &w.pe2_cycles,
+                &clean.pe2_cycles,
+                &spec.mode.grid(k_max),
+            ))?;
+            let trace = times_to_trace(&push_times)?;
+            let alpha = arrival_upper_with(&trace, k_max, spec.mode, par)?;
+            let out = spec
+                .capacities
+                .iter()
+                .map(|&cap| sizing::min_frequency_workload(&alpha, &gamma_u, cap).ok())
+                .collect();
+            if std::ptr::eq(w, clean) || w.pe2_cycles == clean.pe2_cycles {
+                *clean_gamma_u = clean_gamma_u.take().or(Some(gamma_u));
+            }
+            out
+        } else {
+            vec![None; spec.capacities.len()]
+        };
+
+        let (cert_spans, cert_gamma_l) = if unsafe_ok {
+            let span_table = min_spans_with(&push_times, cert_depth, cert_mode, par)?;
+            let spans: Vec<(u64, f64)> = cert_mode
+                .grid(cert_depth)
+                .into_iter()
+                .map(|k| (k as u64, span_table[k - 1]))
+                .collect();
+            let gamma_l = LowerWorkloadCurve::new(lower_memo.dense_for(
+                &w.pe2_cycles,
+                &clean.pe2_cycles,
+                &cert_mode.grid(cert_depth),
+            ))?;
+            (spans, Some(gamma_l))
+        } else {
+            (Vec::new(), None)
+        };
+
+        // In-service credit: the largest single-event demand of *this*
+        // stream (over-crediting only weakens the certificate).
+        let gamma_u1 = Cycles(w.pe2_cycles.iter().copied().max().unwrap_or(0));
+
+        Ok(Some(SeedPrune {
             f_min,
             cert_spans,
             cert_gamma_l,
-            gamma_u1: gamma_u.value(1),
-            rms,
-        })
+            gamma_u1,
+        }))
     }
 }
 
@@ -409,22 +606,19 @@ fn eval_point(
     let ctx = &ctxs[p.clip];
     let freq = spec.frequencies_hz[p.freq];
     let cap = spec.capacities[p.cap];
-    let clean = spec.seeds[p.seed].is_none();
 
-    if spec.prune && clean {
-        if let Some(f_min) = ctx.f_min[p.cap] {
-            if freq >= f_min * (1.0 + SAFE_MARGIN) {
-                return Ok((Verdict::ProvablySafe, None));
+    if spec.prune {
+        if let Some(pr) = &ctx.prune[p.seed] {
+            if let Some(f_min) = pr.f_min[p.cap] {
+                if freq >= f_min * (1.0 + SAFE_MARGIN) {
+                    return Ok((Verdict::ProvablySafe, None));
+                }
             }
-        }
-        if sizing::provably_overflows(
-            &ctx.cert_spans,
-            &ctx.cert_gamma_l,
-            ctx.gamma_u1,
-            freq,
-            cap,
-        ) {
-            return Ok((Verdict::ProvablyUnsafe, None));
+            if let Some(gamma_l) = &pr.cert_gamma_l {
+                if sizing::provably_overflows(&pr.cert_spans, gamma_l, pr.gamma_u1, freq, cap) {
+                    return Ok((Verdict::ProvablyUnsafe, None));
+                }
+            }
         }
     }
 
@@ -825,17 +1019,85 @@ mod tests {
     }
 
     #[test]
-    fn fault_seeded_points_are_never_pruned() {
+    fn seeded_points_prune_and_agree_with_their_simulation() {
+        // small_spec's injectors (jitter + integer demand spike) keep
+        // pe2_scale ≡ 1 and pe2_extra ≡ 0, so both analytic bounds apply
+        // to the seeded stream too.
         let clips = small_clips(1);
-        let report = run_sweep(&clips, &small_spec(), Parallelism::Seq).unwrap();
-        for p in &report.points {
-            if p.seed.is_some() {
-                assert!(
-                    p.verdict.simulated(),
-                    "seeded point pruned: {:?}",
-                    p.verdict
+        let spec = small_spec();
+        let pruned = run_sweep(&clips, &spec, Parallelism::Seq).unwrap();
+        let seeded_pruned = pruned
+            .points
+            .iter()
+            .filter(|p| p.seed.is_some() && !p.verdict.simulated())
+            .count();
+        assert!(
+            seeded_pruned > 0,
+            "seeded points with exact-model faults should prune analytically"
+        );
+        let full = run_sweep(
+            &clips,
+            &SweepSpec {
+                prune: false,
+                ..spec
+            },
+            Parallelism::Seq,
+        )
+        .unwrap();
+        for (a, b) in pruned.points.iter().zip(&full.points) {
+            if a.seed.is_some() {
+                assert_eq!(
+                    a.verdict.overflowed(),
+                    b.verdict.overflowed(),
+                    "seed {:?} f {} cap {}: {:?} vs simulated {:?}",
+                    a.seed,
+                    a.frequency_hz,
+                    a.capacity,
+                    a.verdict,
+                    b.verdict
                 );
             }
+        }
+    }
+
+    #[test]
+    fn scale_faulted_seeds_fall_back_to_simulation_for_safe_prunes() {
+        // A PE₂ clock drift (pe2_scale > 1) breaks the `c/F` model: the
+        // safe bound must not fire for that seed, while the overflow
+        // certificate (still sound for slower-than-modelled service) may.
+        let clips = small_clips(1);
+        let mut spec = small_spec();
+        spec.injectors = vec![Injector::ClockDrift {
+            start: 10,
+            len: 200,
+            factor_pct: 180,
+            pe: crate::faults::ProcessingElement::Pe2,
+        }];
+        let report = run_sweep(&clips, &spec, Parallelism::Seq).unwrap();
+        let mut seeded_seen = false;
+        for p in &report.points {
+            if p.seed.is_some() {
+                seeded_seen = true;
+                assert_ne!(
+                    p.verdict,
+                    Verdict::ProvablySafe,
+                    "safe prune is unsound under pe2 scale faults"
+                );
+            }
+        }
+        assert!(seeded_seen);
+        // And the verdicts still agree with the unpruned ground truth.
+        let full = run_sweep(
+            &clips,
+            &SweepSpec {
+                prune: false,
+                ..spec
+            },
+            Parallelism::Seq,
+        )
+        .unwrap();
+        for (a, b) in report.points.iter().zip(&full.points) {
+            assert_eq!(a.verdict.overflowed(), b.verdict.overflowed());
         }
     }
 

@@ -1,9 +1,18 @@
 #!/usr/bin/env bash
 # Fast benchmark + lint smoke: a clean clippy run, the curve- and sweep-
 # related criterion benches in quick mode, the bench_curves/bench_sweep
-# summaries that write BENCH_curves.json / BENCH_sweep.json, and the
-# sweep-engine contract smoke. Minutes, not hours — meant for every PR,
-# while `cargo bench --workspace` remains the full run.
+# summaries that write BENCH_curves.json / BENCH_sweep.json, the
+# sweep-engine contract smoke, and a perf-regression guard over the
+# freshly written JSONs. Minutes, not hours — meant for every PR, while
+# `cargo bench --workspace` remains the full run.
+#
+# The guard checks *ratios between paths measured in the same process*
+# (old rescan vs prefix scans, legacy heap loop vs hot path, exhaustive
+# vs pruned sweep, one-GOP append vs full rebuild), never absolute
+# wall-clock: ratios survive a migration to a slower or busier host,
+# absolute numbers don't. Thresholds sit well below the recorded wins
+# (6.2x, 7.9x, 4.0x, 0.09) so only a real regression — not measurement
+# noise — trips them.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,3 +27,34 @@ cargo run --release -q -p wcm-bench --bin bench_curves
 cargo run --release -q -p wcm-bench --bin bench_sweep
 
 scripts/sweep_smoke.sh
+
+echo "== perf-regression guard (BENCH_curves.json / BENCH_sweep.json) =="
+# check <label> <measured> <op> <threshold> — float compare via awk.
+check() {
+    local label=$1 value=$2 op=$3 bound=$4
+    if awk -v v="$value" -v b="$bound" "BEGIN { exit !(v $op b) }"; then
+        echo "ok   $label = $value (want $op $bound)"
+    else
+        echo "FAIL $label = $value (want $op $bound)" >&2
+        exit 1
+    fi
+}
+
+# Curve construction: the prefix-sum rewrite must stay clearly ahead of
+# the per-k sliding rescan, every parallel path must stay within noise
+# of sequential on 1 core (and ahead on multi-core), chunked summary
+# construction must not drown in merge overhead, and appending one GOP
+# to a summarized trace must stay far cheaper than a rebuild.
+check "curves.speedup_prefix_vs_old"  "$(jq .window_sums.speedup_prefix_vs_old BENCH_curves.json)" ">=" 3.0
+check "curves.speedup_par_vs_seq"     "$(jq .window_sums.speedup_par_vs_seq    BENCH_curves.json)" ">=" 0.85
+check "curves.min_spans_speedup"      "$(jq .min_spans.speedup                 BENCH_curves.json)" ">=" 0.85
+check "curves.merge_overhead"         "$(jq .chunk_summaries.merge_overhead_vs_single BENCH_curves.json)" "<=" 1.5
+check "curves.append_over_rebuild"    "$(jq .append_one_gop.append_over_rebuild BENCH_curves.json)" "<=" 0.25
+
+# Sweep engine: pruned+threaded points/s must stay clearly ahead of the
+# exhaustive sequential sweep, and the heap-free simulator hot path must
+# stay clearly ahead of the legacy heap loop (ns/event).
+check "sweep.points_per_s_speedup"    "$(jq .sweep.speedup_par_pruned_vs_seq_unpruned BENCH_sweep.json)" ">=" 2.0
+check "sweep.simulator_speedup"       "$(jq .simulator.speedup BENCH_sweep.json)" ">=" 3.0
+
+echo "perf guard: all checks passed"
