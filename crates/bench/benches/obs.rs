@@ -1,0 +1,99 @@
+//! Overhead of the `wcm-obs` instrumentation on the sweep hot path.
+//!
+//! Two claims are benchmarked (recorded in EXPERIMENTS.md §E12):
+//!
+//! * **disabled** — with the global gate closed every instrumentation site
+//!   is a single relaxed atomic load; `run_sweep` must be indistinguishable
+//!   from the uninstrumented baseline (and its outputs are bit-identical,
+//!   which the sweep/curve proptests pin separately);
+//! * **enabled** — with the shared `MemRecorder` live, median overhead on
+//!   the sweep hot path must stay below 3 %.
+//!
+//! The enabled case resets the recorder each iteration so buffered spans
+//! cannot grow without bound during the measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wcm_events::window::WindowMode;
+use wcm_mpeg::{profile, ClipWorkload, GopStructure, Synthesizer, VideoParams};
+use wcm_par::Parallelism;
+use wcm_sim::{OverflowPolicy, SweepSpec};
+
+fn small_clips(count: usize) -> Vec<ClipWorkload> {
+    let params = VideoParams::new(160, 128, 25.0, 1.0e6, GopStructure::broadcast()).unwrap();
+    let synth = Synthesizer::new(params);
+    profile::standard_clips()[..count]
+        .iter()
+        .map(|c| synth.generate(c, 1).unwrap())
+        .collect()
+}
+
+fn sweep_spec(mb_frame: usize) -> SweepSpec {
+    SweepSpec {
+        pe1_hz: 20.0e6,
+        frequencies_hz: vec![2.0e6, 6.0e6, 20.0e6, 60.0e6, 200.0e6],
+        capacities: vec![4, 80, 4000],
+        policies: vec![OverflowPolicy::Backpressure],
+        seeds: vec![None],
+        injectors: vec![],
+        k_max: 4 * mb_frame,
+        mode: WindowMode::Strided {
+            exact_upto: mb_frame / 2,
+            stride: mb_frame / 10,
+        },
+        cert_depth: 2 * 4000,
+        prune: true,
+    }
+}
+
+/// `run_sweep` with the recorder gate closed vs the live `MemRecorder`.
+fn bench_recorder_overhead(c: &mut Criterion) {
+    let clips = small_clips(3);
+    let spec = sweep_spec(clips[0].params().mb_per_frame());
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(20);
+
+    wcm_obs::set_enabled(false);
+    group.bench_function("sweep_recorder_off", |b| {
+        b.iter(|| wcm_sim::run_sweep(&clips, &spec, Parallelism::Seq).unwrap())
+    });
+
+    let rec = wcm_obs::mem();
+    rec.reset();
+    wcm_obs::set_enabled(true);
+    group.bench_function("sweep_recorder_on", |b| {
+        b.iter(|| {
+            let report = wcm_sim::run_sweep(&clips, &spec, Parallelism::Seq).unwrap();
+            rec.reset();
+            report
+        })
+    });
+    wcm_obs::set_enabled(false);
+    rec.reset();
+    group.finish();
+}
+
+/// Cost of one facade call with the gate closed: the branch every
+/// instrumented hot path pays when observability is off.
+fn bench_disabled_primitives(c: &mut Criterion) {
+    wcm_obs::set_enabled(false);
+    let mut group = c.benchmark_group("obs_disabled_primitives");
+    group.bench_function("span_x1000", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                let _g = wcm_obs::span("bench.noop");
+            }
+        })
+    });
+    group.bench_function("counter_x1000", |b| {
+        b.iter(|| {
+            for i in 0..1000u64 {
+                wcm_obs::counter("bench.noop", i & 1);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_recorder_overhead, bench_disabled_primitives);
+criterion_main!(benches);

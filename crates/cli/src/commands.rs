@@ -39,10 +39,16 @@ subcommands:
            [--seeds clean,S1,S2] [--inject SPEC[;SPEC...]]
            [--k K --exact-upto N --stride S] [--cert-depth D]
            [--prune on|off] [--threads T] [--json FILE] [--csv FILE]
+           [--trace-out FILE] [--metrics-out FILE]
            parallel design-space sweep over the
            (clip x frequency x capacity x policy x seed) grid; an
            analytic pre-pass (eq. 8-10) skips provably safe/unsafe
-           points, only the uncertain band is simulated
+           points, only the uncertain band is simulated.
+           --trace-out writes a chrome://tracing JSON trace of the run,
+           --metrics-out a counters/gauges/histograms summary
+  validate [--json FILE] [--csv FILE] [--trace FILE] [--metrics FILE]
+           strictly parse emitted report/trace/metrics artifacts
+           (exit 0 if every given file is well-formed, 3 otherwise)
   help     this text
 
 inject specs (name:key=val,key=val):
@@ -475,10 +481,31 @@ pub fn sweep(opts: &Options) -> Result<(), CliError> {
         cert_depth: opts.usize_or("cert-depth", 400)?,
         prune,
     };
+    // Observability: with --trace-out/--metrics-out the shared in-memory
+    // recorder captures the run. Instrumentation never touches report
+    // contents, so JSON/CSV artifacts are byte-identical either way
+    // (checked by scripts/obs_smoke.sh).
+    let trace_out = opts.optional("trace-out");
+    let metrics_out = opts.optional("metrics-out");
+    let observe = trace_out.is_some() || metrics_out.is_some();
+    if observe {
+        wcm_obs::mem().reset();
+        wcm_obs::set_enabled(true);
+    }
     let report = wcm_sim::run_sweep(&clips, &spec, opts.parallelism()?).map_err(|e| match e {
         wcm_sim::SweepError::Invalid(what) => CliError::Usage(what.to_string()),
         other => CliError::Analysis(other.to_string()),
     })?;
+    if observe {
+        wcm_obs::set_enabled(false);
+        let snap = wcm_obs::mem().snapshot();
+        if let Some(path) = trace_out {
+            write_report(Path::new(path), &snap.to_chrome_trace())?;
+        }
+        if let Some(path) = metrics_out {
+            write_report(Path::new(path), &snap.to_metrics_json())?;
+        }
+    }
 
     if let Some(path) = opts.optional("json") {
         write_report(Path::new(path), &report.to_json())?;
@@ -499,6 +526,79 @@ pub fn sweep(opts: &Options) -> Result<(), CliError> {
         println!("pareto {:.2} MHz capacity {c}", f / 1e6);
     }
     Ok(())
+}
+
+/// `validate` subcommand: strict well-formedness checks on the machine-
+/// readable artifacts the other subcommands emit, using the in-repo
+/// zero-dependency readers (`wcm_obs::json` / `wcm_obs::csv`). CI runs this
+/// against freshly emitted reports so an emission regression (e.g. a bare
+/// `NaN` float) fails the pipeline instead of the downstream consumer.
+pub fn validate(opts: &Options) -> Result<(), CliError> {
+    let mut checked = 0usize;
+
+    // (flag, required top-level members) — all three are JSON documents.
+    for (key, members) in [
+        ("json", &["stats", "points", "pareto"][..]),
+        ("trace", &["traceEvents"][..]),
+        ("metrics", &["counters", "gauges", "histograms", "spans"][..]),
+    ] {
+        if let Some(path) = opts.optional(key) {
+            let text = read_artifact(path)?;
+            let v = wcm_obs::json::parse(&text).map_err(|e| json_parse_error(path, &text, &e))?;
+            for member in members {
+                if v.get(member).is_none() {
+                    return Err(CliError::Parse {
+                        path: path.into(),
+                        line: 1,
+                        token: (*member).to_string(),
+                        reason: format!("missing top-level member \"{member}\""),
+                    });
+                }
+            }
+            println!("{key} {path} ok");
+            checked += 1;
+        }
+    }
+
+    if let Some(path) = opts.optional("csv") {
+        let text = read_artifact(path)?;
+        let rows = wcm_obs::csv::parse_table(&text).map_err(|e| CliError::Parse {
+            path: path.into(),
+            line: e.line,
+            token: String::new(),
+            reason: e.msg,
+        })?;
+        println!("csv {path} ok ({} records)", rows.len());
+        checked += 1;
+    }
+
+    if checked == 0 {
+        return Err(CliError::Usage(
+            "validate needs at least one of --json/--csv/--trace/--metrics".to_string(),
+        ));
+    }
+    Ok(())
+}
+
+fn read_artifact(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|source| CliError::Io {
+        path: path.into(),
+        source,
+    })
+}
+
+/// Maps a byte-offset JSON error onto the file:line:token shape of
+/// [`CliError::Parse`].
+fn json_parse_error(path: &str, text: &str, e: &wcm_obs::json::JsonError) -> CliError {
+    let offset = e.offset.min(text.len());
+    let line = 1 + text[..offset].bytes().filter(|&b| b == b'\n').count();
+    let token: String = text[offset..].chars().take(12).collect();
+    CliError::Parse {
+        path: path.into(),
+        line,
+        token,
+        reason: e.msg.clone(),
+    }
 }
 
 fn parse_list<T: std::str::FromStr>(list: &str, name: &str) -> Result<Vec<T>, CliError>

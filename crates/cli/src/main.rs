@@ -18,7 +18,12 @@
 //! * `sweep --pe2-mhz F,F,... --capacities C,C,... ...` — parallel
 //!   design-space exploration over the `(clip × frequency × capacity ×
 //!   policy × seed)` grid with analytic pruning (eqs. 8–10) and JSON/CSV
-//!   reports including the frequency/capacity Pareto frontier.
+//!   reports including the frequency/capacity Pareto frontier; with
+//!   `--trace-out`/`--metrics-out` the run is captured by the `wcm-obs`
+//!   recorder and exported as a `chrome://tracing` trace and a metrics
+//!   summary;
+//! * `validate --json/--csv/--trace/--metrics FILE ...` — strictly parse
+//!   emitted artifacts with the in-repo zero-dependency readers.
 //!
 //! All output is plain text, one row per `k`/`Δ`, suitable for plotting.
 //!
@@ -63,6 +68,7 @@ fn run(argv: &[String]) -> Result<(), CliError> {
         "pipeline" => commands::pipeline(&opts),
         "faults" => commands::faults(&opts),
         "sweep" => commands::sweep(&opts),
+        "validate" => commands::validate(&opts),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

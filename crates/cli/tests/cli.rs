@@ -172,6 +172,153 @@ fn faults_spike_trips_the_monitor_with_exit_4() {
     assert_eq!(text.as_bytes(), again.stdout.as_slice());
 }
 
+/// Paths for one test's artifacts, removed on drop.
+struct Artifacts {
+    paths: Vec<std::path::PathBuf>,
+}
+
+impl Artifacts {
+    fn new(test: &str, names: &[&str]) -> Self {
+        let paths = names
+            .iter()
+            .map(|n| {
+                let mut p = std::env::temp_dir();
+                p.push(format!("wcm-cli-it-{}-{test}-{n}", std::process::id()));
+                p
+            })
+            .collect();
+        Artifacts { paths }
+    }
+
+    fn path(&self, i: usize) -> &str {
+        self.paths[i].to_str().unwrap()
+    }
+}
+
+impl Drop for Artifacts {
+    fn drop(&mut self) {
+        for p in &self.paths {
+            std::fs::remove_file(p).ok();
+        }
+    }
+}
+
+/// Golden round-trip: every artifact `sweep` emits must parse with the
+/// strict in-repo readers, both in-process and via `validate`.
+#[test]
+fn sweep_artifacts_round_trip_through_strict_readers_and_validate() {
+    let art = Artifacts::new("roundtrip", &["json", "csv", "trace", "metrics"]);
+    let out = cli()
+        .args([
+            "sweep", "--clips", "newscast", "--gops", "1", "--pe2-mhz", "2,20,340",
+            "--capacities", "4,400", "--threads", "2",
+            "--json", art.path(0), "--csv", art.path(1),
+            "--trace-out", art.path(2), "--metrics-out", art.path(3),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // In-process strict parses.
+    let json = std::fs::read_to_string(art.path(0)).unwrap();
+    let report = wcm_obs::json::parse(&json).expect("sweep JSON parses strictly");
+    let points = report.get("points").and_then(|p| p.as_array()).unwrap();
+    assert_eq!(points.len(), 6, "3 frequencies x 2 capacities");
+    let csv = std::fs::read_to_string(art.path(1)).unwrap();
+    let rows = wcm_obs::csv::parse_table(&csv).expect("sweep CSV parses strictly");
+    assert_eq!(rows.len(), points.len() + 1);
+    assert_eq!(rows[0][0], "clip");
+
+    // The trace is a chrome://tracing document with the sweep's spans.
+    let trace = std::fs::read_to_string(art.path(2)).unwrap();
+    let t = wcm_obs::json::parse(&trace).expect("trace parses strictly");
+    let events = t.get("traceEvents").and_then(|e| e.as_array()).unwrap();
+    assert!(!events.is_empty());
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+        .collect();
+    assert!(names.contains(&"sweep.run"), "{names:?}");
+    assert!(names.contains(&"sweep.clip_analysis"), "{names:?}");
+
+    // The metrics summary accounts for every grid point.
+    let metrics = std::fs::read_to_string(art.path(3)).unwrap();
+    let m = wcm_obs::json::parse(&metrics).expect("metrics parse strictly");
+    let counters = m.get("counters").and_then(|c| c.as_object()).unwrap();
+    assert_eq!(
+        counters.get("sweep.points").and_then(|v| v.as_f64()),
+        Some(points.len() as f64)
+    );
+
+    // And `validate` agrees on all four.
+    let out = cli()
+        .args([
+            "validate", "--json", art.path(0), "--csv", art.path(1),
+            "--trace", art.path(2), "--metrics", art.path(3),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(text.lines().filter(|l| l.ends_with("ok") || l.contains(" ok (")).count(), 4);
+}
+
+/// Observability must not perturb results: reports with and without the
+/// recorder are byte-identical.
+#[test]
+fn sweep_reports_are_byte_identical_with_and_without_recorder() {
+    let art = Artifacts::new("bitident", &["json-off", "json-on", "trace"]);
+    let base = [
+        "sweep", "--clips", "newscast", "--gops", "1", "--pe2-mhz", "2,340",
+        "--capacities", "4", "--threads", "2",
+    ];
+    let off = cli().args(base).args(["--json", art.path(0)]).output().unwrap();
+    assert_eq!(off.status.code(), Some(0));
+    let on = cli()
+        .args(base)
+        .args(["--json", art.path(1), "--trace-out", art.path(2)])
+        .output()
+        .unwrap();
+    assert_eq!(on.status.code(), Some(0));
+    assert_eq!(
+        std::fs::read(art.path(0)).unwrap(),
+        std::fs::read(art.path(1)).unwrap(),
+        "recorder must not change report bytes"
+    );
+    assert_eq!(off.stdout, on.stdout);
+}
+
+#[test]
+fn validate_rejects_malformed_artifacts() {
+    // Bare NaN is exactly the old emission bug; the validator must name
+    // the file, line and offending token with exit code 3.
+    let p = tmp_file("bad.json", "{\"stats\": {},\n \"points\": [NaN],\n \"pareto\": []}\n");
+    let out = cli().args(["validate", "--json", p.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(3));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains(":2:"), "{err}");
+    assert!(err.contains("NaN"), "{err}");
+    std::fs::remove_file(p).ok();
+
+    // A ragged CSV row is an error too.
+    let p = tmp_file("bad.csv", "a,b\n1,2,3\n");
+    let out = cli().args(["validate", "--csv", p.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(3));
+    std::fs::remove_file(p).ok();
+
+    // A structurally valid JSON document that is not a trace.
+    let p = tmp_file("not-trace.json", "{\"foo\": 1}\n");
+    let out = cli().args(["validate", "--trace", p.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(3));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("traceEvents"), "{err}");
+    std::fs::remove_file(p).ok();
+
+    // No artifacts at all is a usage error.
+    let out = cli().arg("validate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
 #[test]
 fn faults_injector_spec_errors_are_usage_errors() {
     let out = cli()

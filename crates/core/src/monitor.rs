@@ -564,6 +564,7 @@ impl EnvelopeMonitor {
 
     fn record(&mut self, v: Violation) {
         self.total_violations += 1;
+        wcm_obs::counter("monitor.violations", 1);
         if self.violations.len() < Self::VIOLATION_CAP {
             self.violations.push(v);
         }

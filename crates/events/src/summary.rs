@@ -433,11 +433,14 @@ pub fn summarize_with(
         .step_by(chunk)
         .map(|s| (s, (s + chunk).min(values.len())))
         .collect();
+    wcm_obs::counter("summary.chunks", ranges.len() as u64);
     let mut summaries = wcm_par::par_map(par, &ranges, cost, |_, &(s, e)| {
+        let _span = wcm_obs::span("summary.chunk");
         CurveSummary::from_values(&values[s..e], grid, sides)
     });
     // Pairwise tree fold: same result as any other order (the merge is
     // exact), chosen for its log depth.
+    let _fold_span = wcm_obs::span("summary.fold");
     while summaries.len() > 1 {
         summaries = summaries
             .chunks(2)

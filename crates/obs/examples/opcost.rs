@@ -1,0 +1,35 @@
+//! Micro-cost of live recorder operations, mirroring the per-point volume
+//! one 45-point sweep pushes through the facade (two timestamps, one
+//! verdict counter and one latency-histogram sample per grid point, plus
+//! a couple of spans). Prints ns per sweep-equivalent — the *floor* of
+//! the live overhead that `bench_obs` measures end-to-end, useful for
+//! separating real recording cost from host noise in its paired ratios.
+//!
+//! Run with `cargo run --release -p wcm-obs --example opcost`.
+
+fn main() {
+    let rec = wcm_obs::mem();
+    wcm_obs::set_enabled(true);
+    let reps = 2000u32;
+    let points = 45u32;
+    let t = std::time::Instant::now();
+    for _ in 0..reps {
+        for _ in 0..points {
+            let t0 = wcm_obs::now_ns();
+            std::hint::black_box(t0);
+            let dt = wcm_obs::now_ns().saturating_sub(t0);
+            wcm_obs::counter("sweep.verdict.provably_safe", 1);
+            wcm_obs::histogram("sweep.prune_ns", dt);
+        }
+        let _run = wcm_obs::span("sweep.run");
+        let _analysis = wcm_obs::span("sweep.clip_analysis");
+        rec.reset();
+    }
+    let per_sweep = t.elapsed().as_nanos() as f64 / f64::from(reps);
+    println!(
+        "live recording ops, {points}-point sweep volume: {per_sweep:.0} ns per sweep \
+         ({:.0} ns per grid point)",
+        per_sweep / f64::from(points)
+    );
+    wcm_obs::set_enabled(false);
+}

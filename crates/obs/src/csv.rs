@@ -1,0 +1,261 @@
+//! RFC 4180 CSV: a quoting writer helper and a strict table reader.
+//!
+//! [`field`] quotes a value only when it must be quoted (contains `,`, `"`,
+//! CR, or LF), so existing reports whose fields are plain stay byte-identical.
+//! [`parse_table`] is the strict counterpart: it accepts quoted and unquoted
+//! fields per RFC 4180, requires every record to have the same number of
+//! fields as the header, and rejects stray quotes — the validator the
+//! workspace's golden round-trip tests run against emitted reports.
+
+use std::fmt;
+
+/// Renders `s` as a single CSV field, quoting per RFC 4180 when needed.
+pub fn field(s: &str) -> String {
+    if s.contains(['"', ',', '\n', '\r']) {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+        out
+    } else {
+        s.to_string()
+    }
+}
+
+/// A CSV parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvError {
+    /// 1-based line where the record that failed starts.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CSV error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Strictly parses `text` as an RFC 4180 table.
+///
+/// Rules enforced: fields are separated by `,`; records end at LF or CRLF;
+/// a field containing `,`, `"` or line breaks must be quoted; inside quotes
+/// `""` is a literal quote; a quote may not appear inside an unquoted field
+/// nor may data follow a closing quote; every record must have the same
+/// field count as the first record; the table must be non-empty.
+pub fn parse_table(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    let bytes = text.as_bytes();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut pos = 0usize;
+    let mut line = 1usize;
+
+    while pos < bytes.len() {
+        let record_line = line;
+        let mut row: Vec<String> = Vec::new();
+        loop {
+            let (fld, consumed, lines_crossed) = parse_field(&bytes[pos..], record_line)?;
+            pos += consumed;
+            line += lines_crossed;
+            row.push(fld);
+            match bytes.get(pos) {
+                Some(b',') => {
+                    pos += 1;
+                }
+                Some(b'\r') => {
+                    if bytes.get(pos + 1) != Some(&b'\n') {
+                        return Err(CsvError {
+                            line,
+                            msg: "bare CR (expected CRLF)".into(),
+                        });
+                    }
+                    pos += 2;
+                    line += 1;
+                    break;
+                }
+                Some(b'\n') => {
+                    pos += 1;
+                    line += 1;
+                    break;
+                }
+                None => break,
+                Some(&c) => {
+                    return Err(CsvError {
+                        line,
+                        msg: format!("unexpected byte 0x{c:02x} after field"),
+                    })
+                }
+            }
+        }
+        if let Some(first) = rows.first() {
+            if row.len() != first.len() {
+                return Err(CsvError {
+                    line: record_line,
+                    msg: format!(
+                        "record has {} fields, expected {}",
+                        row.len(),
+                        first.len()
+                    ),
+                });
+            }
+        }
+        rows.push(row);
+    }
+
+    if rows.is_empty() {
+        return Err(CsvError {
+            line: 1,
+            msg: "empty input".into(),
+        });
+    }
+    Ok(rows)
+}
+
+/// Parses one field at the start of `bytes`; returns (content, bytes
+/// consumed, newlines crossed inside quotes).
+fn parse_field(bytes: &[u8], line: usize) -> Result<(String, usize, usize), CsvError> {
+    if bytes.first() == Some(&b'"') {
+        let mut out = String::new();
+        let mut i = 1usize;
+        let mut crossed = 0usize;
+        loop {
+            match bytes.get(i) {
+                Some(b'"') => {
+                    if bytes.get(i + 1) == Some(&b'"') {
+                        out.push('"');
+                        i += 2;
+                    } else {
+                        i += 1;
+                        // Closing quote must be followed by , CR LF or EOF —
+                        // checked by the caller; data would be rejected there.
+                        match bytes.get(i) {
+                            None | Some(b',' | b'\r' | b'\n') => {
+                                return Ok((out, i, crossed))
+                            }
+                            Some(_) => {
+                                return Err(CsvError {
+                                    line,
+                                    msg: "data after closing quote".into(),
+                                })
+                            }
+                        }
+                    }
+                }
+                Some(&c) => {
+                    if c == b'\n' {
+                        crossed += 1;
+                    }
+                    // Copy raw bytes; re-validate UTF-8 at the end of the run.
+                    let start = i;
+                    let mut j = i;
+                    while let Some(&b) = bytes.get(j) {
+                        if b == b'"' {
+                            break;
+                        }
+                        if b == b'\n' && j != i {
+                            crossed += 1;
+                        }
+                        j += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&bytes[start..j]).map_err(|_| CsvError {
+                            line,
+                            msg: "invalid UTF-8 in quoted field".into(),
+                        })?,
+                    );
+                    i = j;
+                    if bytes.get(i).is_none() {
+                        return Err(CsvError {
+                            line,
+                            msg: "unterminated quoted field".into(),
+                        });
+                    }
+                }
+                None => {
+                    return Err(CsvError {
+                        line,
+                        msg: "unterminated quoted field".into(),
+                    })
+                }
+            }
+        }
+    } else {
+        let mut i = 0usize;
+        while let Some(&c) = bytes.get(i) {
+            match c {
+                b',' | b'\r' | b'\n' => break,
+                b'"' => {
+                    return Err(CsvError {
+                        line,
+                        msg: "quote inside unquoted field".into(),
+                    })
+                }
+                _ => i += 1,
+            }
+        }
+        let s = std::str::from_utf8(&bytes[..i]).map_err(|_| CsvError {
+            line,
+            msg: "invalid UTF-8 in field".into(),
+        })?;
+        Ok((s.to_string(), i, 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_quotes_only_when_needed() {
+        assert_eq!(field("plain"), "plain");
+        assert_eq!(field("1.25"), "1.25");
+        assert_eq!(field("a,b"), "\"a,b\"");
+        assert_eq!(field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(field("line\nbreak"), "\"line\nbreak\"");
+        assert_eq!(field(""), "");
+    }
+
+    #[test]
+    fn round_trips_awkward_fields() {
+        let fields = ["plain", "with,comma", "with \"quotes\"", "multi\nline", ""];
+        let line1: Vec<String> = fields.iter().map(|f| field(f)).collect();
+        let text = format!("{}\n{}\n", line1.join(","), line1.join(","));
+        let rows = parse_table(&text).unwrap();
+        assert_eq!(rows.len(), 2);
+        for row in rows {
+            assert_eq!(row, fields);
+        }
+    }
+
+    #[test]
+    fn accepts_crlf_and_missing_final_newline() {
+        let rows = parse_table("a,b\r\n1,2\r\n").unwrap();
+        assert_eq!(rows, vec![vec!["a", "b"], vec!["1", "2"]]);
+        let rows = parse_table("a,b\n1,2").unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        // Ragged record.
+        let e = parse_table("a,b\n1,2,3\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        // Stray quote in unquoted field.
+        assert!(parse_table("a\"b\n").is_err());
+        // Data after closing quote.
+        assert!(parse_table("\"a\"b\n").is_err());
+        // Unterminated quote.
+        assert!(parse_table("\"abc\n").is_err());
+        // Bare CR.
+        assert!(parse_table("a\rb\n").is_err());
+        // Empty input.
+        assert!(parse_table("").is_err());
+    }
+}

@@ -1,0 +1,725 @@
+//! # wcm-obs — zero-dependency observability
+//!
+//! Structured spans, counters, gauges, and log2-bucketed histograms for the
+//! `wcm` workspace, behind a [`Recorder`] trait with a disabled-by-default
+//! global facade so instrumented hot paths cost **one relaxed atomic load**
+//! when observability is off.
+//!
+//! Mirroring `wcm-par`'s philosophy, this crate depends on `std` only.
+//!
+//! ## Design
+//!
+//! * A process-global `AtomicBool` gate ([`enabled`]) guards every facade
+//!   call. With the gate off, [`span`], [`counter`], [`gauge_max`] and
+//!   [`histogram`] are a single branch — cheap enough to leave in the
+//!   `wcm-par` worker loop, the sweep evaluator, and the pipeline simulator.
+//! * Spans carry monotonic nanosecond timestamps (a lazily initialised
+//!   process epoch), a per-thread small id, and a parent link maintained by a
+//!   thread-local current-span cell, so traces reconstruct the call tree.
+//! * The bundled [`MemRecorder`] shards its buffers by thread id across 32
+//!   mutexes; with one instrumented thread per shard the lock is always
+//!   uncontended (a single CAS), so the hot path never blocks on another
+//!   worker. A per-shard span cap bounds memory on long runs.
+//! * [`Snapshot`] renders the collected data as a Chrome
+//!   `chrome://tracing` JSON trace ([`Snapshot::to_chrome_trace`]) or a
+//!   metrics summary ([`Snapshot::to_metrics_json`]).
+//!
+//! The [`json`] and [`csv`] modules provide the strict, zero-dependency
+//! readers and non-finite-safe writers used to harden report emission across
+//! the workspace (NaN/∞ must never produce unparseable artifacts).
+//!
+//! ## Example
+//!
+//! ```
+//! let rec = wcm_obs::mem();           // install the shared in-memory recorder
+//! rec.reset();
+//! wcm_obs::set_enabled(true);
+//! {
+//!     let _outer = wcm_obs::span("outer");
+//!     let _inner = wcm_obs::span("inner");
+//!     wcm_obs::counter("work.items", 3);
+//! }
+//! wcm_obs::set_enabled(false);
+//! let snap = rec.snapshot();
+//! assert_eq!(snap.counter("work.items"), 3);
+//! assert_eq!(snap.spans.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod json;
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Number of log2 buckets in a [`Histogram`].
+///
+/// Bucket 0 counts the value `0`; bucket `b ≥ 1` counts values in
+/// `[2^(b-1), 2^b)`, with every value ≥ `2^62` folded into the last bucket.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Per-shard cap on buffered spans in [`MemRecorder`].
+///
+/// Spans beyond the cap are counted (surfaced as the `obs.spans_dropped`
+/// counter in snapshots) but not stored, bounding memory on long runs.
+pub const SPAN_CAP_PER_SHARD: usize = 1 << 20;
+
+const SHARDS: usize = 32;
+
+// ---------------------------------------------------------------------------
+// Records
+// ---------------------------------------------------------------------------
+
+/// A completed span: a named interval on one thread with a parent link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Static name of the span (e.g. `"sweep.run"`).
+    pub name: &'static str,
+    /// Process-unique span id (never 0).
+    pub id: u64,
+    /// Id of the span that was current on this thread at enter time, or 0
+    /// for a root span.
+    pub parent: u64,
+    /// Small per-thread id (see [`thread_id`]).
+    pub tid: u64,
+    /// Start time in nanoseconds since the process epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Sink for instrumentation events. Implementations must be cheap and
+/// non-blocking: facade calls happen on hot paths.
+pub trait Recorder: Send + Sync {
+    /// Record a completed span.
+    fn span(&self, span: SpanRecord);
+    /// Add `delta` to the named monotonic counter.
+    fn counter_add(&self, name: &'static str, delta: u64);
+    /// Raise the named high-water gauge to at least `value`.
+    fn gauge_max(&self, name: &'static str, value: u64);
+    /// Record one sample into the named log2 histogram.
+    fn histogram_record(&self, name: &'static str, value: u64);
+}
+
+/// A [`Recorder`] that discards everything.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn span(&self, _span: SpanRecord) {}
+    fn counter_add(&self, _name: &'static str, _delta: u64) {}
+    fn gauge_max(&self, _name: &'static str, _value: u64) {}
+    fn histogram_record(&self, _name: &'static str, _value: u64) {}
+}
+
+// ---------------------------------------------------------------------------
+// Global facade
+// ---------------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static RECORDER: OnceLock<&'static dyn Recorder> = OnceLock::new();
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_ID: Cell<u64> = const { Cell::new(0) };
+    static CURRENT_SPAN: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Returns whether the global recorder gate is open.
+///
+/// This is the one-branch fast path every instrumentation site pays when
+/// observability is disabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Opens or closes the global gate. Recording only happens while the gate is
+/// open *and* a recorder is installed. Toggling the gate is how benchmarks
+/// compare instrumented-on vs instrumented-off in one process.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Installs `rec` as the process-wide recorder.
+///
+/// The recorder can be installed once per process (it is handed out by
+/// reference to arbitrary threads, so it must live forever — use a leaked box
+/// or a `static`). Returns `false` if a recorder was already installed.
+pub fn install(rec: &'static dyn Recorder) -> bool {
+    RECORDER.set(rec).is_ok()
+}
+
+/// The installed recorder, if any.
+#[inline]
+pub fn recorder() -> Option<&'static dyn Recorder> {
+    RECORDER.get().copied()
+}
+
+/// Returns the shared in-memory recorder, installing it on first use.
+///
+/// This is the convenience entry point for the CLI, benches and tests. If a
+/// different recorder was installed first the returned [`MemRecorder`] exists
+/// but receives no events.
+pub fn mem() -> &'static MemRecorder {
+    static MEM: OnceLock<MemRecorder> = OnceLock::new();
+    let m = MEM.get_or_init(MemRecorder::new);
+    let _ = RECORDER.set(m);
+    m
+}
+
+/// Monotonic nanoseconds since the (lazily initialised) process epoch.
+pub fn now_ns() -> u64 {
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    // u64 nanoseconds cover ~584 years of process uptime.
+    epoch.elapsed().as_nanos() as u64
+}
+
+/// Small dense id for the calling thread (1, 2, 3, … in first-use order).
+pub fn thread_id() -> u64 {
+    THREAD_ID.with(|c| {
+        let id = c.get();
+        if id != 0 {
+            id
+        } else {
+            let id = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+            c.set(id);
+            id
+        }
+    })
+}
+
+/// Adds `delta` to the named counter (one branch when disabled).
+#[inline]
+pub fn counter(name: &'static str, delta: u64) {
+    if enabled() {
+        if let Some(rec) = recorder() {
+            rec.counter_add(name, delta);
+        }
+    }
+}
+
+/// Raises the named high-water gauge to at least `value` (one branch when
+/// disabled).
+#[inline]
+pub fn gauge_max(name: &'static str, value: u64) {
+    if enabled() {
+        if let Some(rec) = recorder() {
+            rec.gauge_max(name, value);
+        }
+    }
+}
+
+/// Records one sample into the named log2 histogram (one branch when
+/// disabled).
+#[inline]
+pub fn histogram(name: &'static str, value: u64) {
+    if enabled() {
+        if let Some(rec) = recorder() {
+            rec.histogram_record(name, value);
+        }
+    }
+}
+
+/// Opens a span; the returned guard records it on drop (one branch when
+/// disabled).
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() || recorder().is_none() {
+        return SpanGuard { open: None };
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = CURRENT_SPAN.with(|c| c.replace(id));
+    SpanGuard {
+        open: Some(OpenSpan {
+            name,
+            id,
+            parent,
+            start_ns: now_ns(),
+        }),
+    }
+}
+
+#[derive(Debug)]
+struct OpenSpan {
+    name: &'static str,
+    id: u64,
+    parent: u64,
+    start_ns: u64,
+}
+
+/// RAII guard returned by [`span`]; records the completed span on drop and
+/// restores the thread's previous current-span (parent link bookkeeping).
+#[derive(Debug)]
+#[must_use = "a span measures the scope it is bound to; binding to _ drops it immediately"]
+pub struct SpanGuard {
+    open: Option<OpenSpan>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(open) = self.open.take() {
+            CURRENT_SPAN.with(|c| c.set(open.parent));
+            let end = now_ns();
+            if let Some(rec) = recorder() {
+                rec.span(SpanRecord {
+                    name: open.name,
+                    id: open.id,
+                    parent: open.parent,
+                    tid: thread_id(),
+                    start_ns: open.start_ns,
+                    dur_ns: end.saturating_sub(open.start_ns),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+/// A log2-bucketed histogram of `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Box<[u64; HISTOGRAM_BUCKETS]>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: Box::new([0; HISTOGRAM_BUCKETS]),
+        }
+    }
+
+    /// Index of the bucket covering `value` (see [`HISTOGRAM_BUCKETS`]).
+    pub fn bucket_of(value: u64) -> usize {
+        ((64 - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Inclusive upper bound of bucket `b` (`u64::MAX` for the last bucket).
+    pub fn bucket_hi(b: usize) -> u64 {
+        if b + 1 >= HISTOGRAM_BUCKETS {
+            u64::MAX
+        } else {
+            (1u64 << b) - 1
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Merges `other` into `self` (bucket-wise sum).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// Raw bucket counts.
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Upper bound of the bucket where the cumulative count first reaches
+    /// `q · count` (`0.0 ≤ q ≤ 1.0`). Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let target = target.max(1);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Self::bucket_hi(b);
+            }
+        }
+        u64::MAX
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MemRecorder
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Shard {
+    spans: Vec<SpanRecord>,
+    spans_dropped: u64,
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+/// In-memory [`Recorder`] with thread-sharded buffers.
+///
+/// Buffers are sharded by [`thread_id`] across 32 mutexes; a worker thread
+/// always hits the same shard and (for up to 32 instrumented threads) never
+/// shares it, so the per-event lock is an uncontended CAS. [`snapshot`]
+/// merges all shards into one [`Snapshot`].
+///
+/// [`snapshot`]: MemRecorder::snapshot
+pub struct MemRecorder {
+    shards: Vec<Mutex<Shard>>,
+}
+
+impl std::fmt::Debug for MemRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemRecorder")
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+impl Default for MemRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemRecorder {
+    /// A fresh, empty recorder.
+    pub fn new() -> Self {
+        MemRecorder {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+        }
+    }
+
+    fn shard(&self) -> &Mutex<Shard> {
+        &self.shards[(thread_id() as usize) % SHARDS]
+    }
+
+    fn lock(mutex: &Mutex<Shard>) -> std::sync::MutexGuard<'_, Shard> {
+        // Instrumentation closures never panic while holding the lock
+        // (pushes and BTreeMap inserts only), so poisoning cannot leave the
+        // data half-written; recover the guard rather than propagate.
+        mutex.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Clears all buffered data.
+    pub fn reset(&self) {
+        for shard in &self.shards {
+            let mut s = Self::lock(shard);
+            s.spans.clear();
+            s.spans_dropped = 0;
+            s.counters.clear();
+            s.gauges.clear();
+            s.histograms.clear();
+        }
+    }
+
+    /// Merges every shard into a [`Snapshot`]. Spans are ordered by
+    /// `(start_ns, id)` so output is deterministic for a given recording.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::default();
+        let mut dropped = 0u64;
+        for shard in &self.shards {
+            let s = Self::lock(shard);
+            snap.spans.extend_from_slice(&s.spans);
+            dropped += s.spans_dropped;
+            for (&name, &v) in &s.counters {
+                *snap.counters.entry(name).or_insert(0) += v;
+            }
+            for (&name, &v) in &s.gauges {
+                let g = snap.gauges.entry(name).or_insert(0);
+                *g = (*g).max(v);
+            }
+            for (&name, h) in &s.histograms {
+                snap.histograms.entry(name).or_default().merge(h);
+            }
+        }
+        if dropped > 0 {
+            *snap.counters.entry("obs.spans_dropped").or_insert(0) += dropped;
+        }
+        snap.spans.sort_by_key(|s| (s.start_ns, s.id));
+        snap
+    }
+}
+
+impl Recorder for MemRecorder {
+    fn span(&self, span: SpanRecord) {
+        let mut s = Self::lock(self.shard());
+        if s.spans.len() < SPAN_CAP_PER_SHARD {
+            s.spans.push(span);
+        } else {
+            s.spans_dropped += 1;
+        }
+    }
+
+    fn counter_add(&self, name: &'static str, delta: u64) {
+        let mut s = Self::lock(self.shard());
+        *s.counters.entry(name).or_insert(0) += delta;
+    }
+
+    fn gauge_max(&self, name: &'static str, value: u64) {
+        let mut s = Self::lock(self.shard());
+        let g = s.gauges.entry(name).or_insert(0);
+        *g = (*g).max(value);
+    }
+
+    fn histogram_record(&self, name: &'static str, value: u64) {
+        let mut s = Self::lock(self.shard());
+        s.histograms.entry(name).or_default().record(value);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot + export
+// ---------------------------------------------------------------------------
+
+/// Aggregates over one span name inside a [`Snapshot`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Number of spans with this name.
+    pub count: u64,
+    /// Sum of their durations in nanoseconds.
+    pub total_ns: u128,
+}
+
+/// A merged, immutable view of everything a [`MemRecorder`] collected.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// All spans, ordered by `(start_ns, id)`.
+    pub spans: Vec<SpanRecord>,
+    /// Monotonic counters.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// High-water gauges.
+    pub gauges: BTreeMap<&'static str, u64>,
+    /// Log2 histograms.
+    pub histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl Snapshot {
+    /// Value of the named counter (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Value of the named gauge (0 if absent).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Per-name span aggregates.
+    pub fn span_stats(&self) -> BTreeMap<&'static str, SpanStats> {
+        let mut out: BTreeMap<&'static str, SpanStats> = BTreeMap::new();
+        for s in &self.spans {
+            let e = out.entry(s.name).or_default();
+            e.count += 1;
+            e.total_ns += s.dur_ns as u128;
+        }
+        out
+    }
+
+    /// Renders the spans as a Chrome trace (the JSON object format consumed
+    /// by `chrome://tracing` and Perfetto): one `"X"` (complete) event per
+    /// span, timestamps in microseconds.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::with_capacity(64 + self.spans.len() * 96);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":{},\"cat\":\"wcm\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"id\":{},\"parent\":{}}}}}",
+                json::quote(s.name),
+                s.tid,
+                json::fmt_f64(s.start_ns as f64 / 1000.0),
+                json::fmt_f64(s.dur_ns as f64 / 1000.0),
+                s.id,
+                s.parent,
+            ));
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Renders counters, gauges, histogram summaries (count + p50/p90/p99 +
+    /// non-empty buckets) and per-name span aggregates as a JSON document.
+    pub fn to_metrics_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {}", json::quote(name), v));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {}", json::quote(name), v));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {}: {{\"count\": {}, \"p50_hi\": {}, \"p90_hi\": {}, \"p99_hi\": {}, \"buckets\": [",
+                json::quote(name),
+                h.count(),
+                h.quantile(0.50),
+                h.quantile(0.90),
+                h.quantile(0.99),
+            ));
+            let mut first = true;
+            for (b, &n) in h.buckets().iter().enumerate() {
+                if n > 0 {
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    out.push_str(&format!("{{\"hi\": {}, \"count\": {}}}", Histogram::bucket_hi(b), n));
+                }
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  },\n  \"spans\": {");
+        for (i, (name, st)) in self.span_stats().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {}: {{\"count\": {}, \"total_ns\": {}}}",
+                json::quote(name),
+                st.count,
+                st.total_ns,
+            ));
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(Histogram::bucket_hi(0), 0);
+        assert_eq!(Histogram::bucket_hi(1), 1);
+        assert_eq!(Histogram::bucket_hi(2), 3);
+        assert_eq!(Histogram::bucket_hi(HISTOGRAM_BUCKETS - 1), u64::MAX);
+
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        // p50 of {1,2,3,100,1000}: third sample sits in bucket_of(3)=2, hi=3.
+        assert_eq!(h.quantile(0.5), 3);
+        assert_eq!(h.quantile(1.0), Histogram::bucket_hi(Histogram::bucket_of(1000)));
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+
+        let mut other = Histogram::new();
+        other.record(1);
+        h.merge(&other);
+        assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn disabled_facade_records_nothing() {
+        // Not using the global recorder: drive a local MemRecorder directly
+        // to stay independent of other tests' global state.
+        let rec = MemRecorder::new();
+        rec.counter_add("a", 1);
+        rec.gauge_max("g", 7);
+        rec.gauge_max("g", 3);
+        rec.histogram_record("h", 5);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("a"), 1);
+        assert_eq!(snap.gauge("g"), 7);
+        assert_eq!(snap.histograms["h"].count(), 1);
+        rec.reset();
+        assert_eq!(rec.snapshot().counter("a"), 0);
+    }
+
+    #[test]
+    fn span_parent_links_and_ordering() {
+        // The global facade is process-wide; this is the only test in this
+        // crate that enables it, and it disables it again before asserting.
+        let rec = mem();
+        rec.reset();
+        set_enabled(true);
+        {
+            let _outer = span("outer");
+            {
+                let _inner = span("inner");
+            }
+            let _sibling = span("sibling");
+        }
+        set_enabled(false);
+        let snap = rec.snapshot();
+        let spans: BTreeMap<&str, SpanRecord> =
+            snap.spans.iter().map(|s| (s.name, *s)).collect();
+        assert_eq!(spans.len(), 3);
+        let outer = spans["outer"];
+        assert_eq!(spans["inner"].parent, outer.id);
+        assert_eq!(spans["sibling"].parent, outer.id);
+        assert!(snap.spans.windows(2).all(|w| {
+            (w[0].start_ns, w[0].id) <= (w[1].start_ns, w[1].id)
+        }));
+        // Exports parse with the strict reader.
+        let trace = snap.to_chrome_trace();
+        let v = json::parse(&trace).expect("trace parses");
+        let events = v.get("traceEvents").and_then(|e| e.as_array()).unwrap();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].get("ph").and_then(|p| p.as_str()), Some("X"));
+        let metrics = snap.to_metrics_json();
+        let m = json::parse(&metrics).expect("metrics parse");
+        assert!(m.get("spans").is_some());
+        rec.reset();
+    }
+
+    #[test]
+    fn snapshot_merges_across_threads() {
+        let rec: &'static MemRecorder = Box::leak(Box::new(MemRecorder::new()));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        rec.counter_add("n", 1);
+                    }
+                    rec.gauge_max("g", thread_id());
+                });
+            }
+        });
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("n"), 400);
+        assert!(snap.gauge("g") >= 1);
+    }
+}

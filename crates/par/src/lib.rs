@@ -41,6 +41,14 @@
 //! reproducible benchmarks). Worker counts never affect results — every
 //! `par_*` entry point is deterministic — so the tuning only moves the
 //! speed, never the answer.
+//!
+//! # Observability
+//!
+//! The runtime is instrumented with `wcm-obs`: each spawned worker is a
+//! `par.worker` span, each dynamically claimed block in [`par_map_init`] a
+//! `par.block` child span, and the `par.seq_runs` / `par.par_runs` /
+//! `par.workers_spawned` counters record dispatch decisions. With the
+//! recorder disabled (the default) every site costs one relaxed load.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -210,8 +218,11 @@ where
 {
     let workers = par.workers(items.len(), cost_hint_ops);
     if workers <= 1 || items.len() <= 1 {
+        wcm_obs::counter("par.seq_runs", 1);
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
+    wcm_obs::counter("par.par_runs", 1);
+    wcm_obs::counter("par.workers_spawned", workers as u64);
     let chunk = items.len().div_ceil(workers);
     let mut out: Vec<Option<U>> = Vec::with_capacity(items.len());
     out.resize_with(items.len(), || None);
@@ -220,6 +231,7 @@ where
         {
             let f = &f;
             scope.spawn(move || {
+                let _span = wcm_obs::span("par.worker");
                 let base = w * chunk;
                 for (j, (item, slot)) in in_chunk.iter().zip(out_chunk.iter_mut()).enumerate() {
                     *slot = Some(f(base + j, item));
@@ -255,12 +267,15 @@ where
 {
     let workers = par.workers(items.len(), cost_hint_ops);
     if workers <= 1 || items.len() <= 1 {
+        wcm_obs::counter("par.seq_runs", 1);
         return items
             .iter()
             .enumerate()
             .map(|(i, t)| f(i, t))
             .reduce(&reduce);
     }
+    wcm_obs::counter("par.par_runs", 1);
+    wcm_obs::counter("par.workers_spawned", workers as u64);
     let chunk = items.len().div_ceil(workers);
     let mut partials: Vec<Option<U>> = Vec::with_capacity(workers);
     partials.resize_with(items.chunks(chunk).len(), || None);
@@ -269,6 +284,7 @@ where
             let f = &f;
             let reduce = &reduce;
             scope.spawn(move || {
+                let _span = wcm_obs::span("par.worker");
                 let base = w * chunk;
                 *slot = in_chunk
                     .iter()
@@ -309,6 +325,7 @@ where
 {
     let workers = par.workers(items.len(), cost_hint_ops);
     if workers <= 1 || items.len() <= 1 {
+        wcm_obs::counter("par.seq_runs", 1);
         let mut state = init();
         return items
             .iter()
@@ -316,6 +333,8 @@ where
             .map(|(i, t)| f(&mut state, i, t))
             .collect();
     }
+    wcm_obs::counter("par.par_runs", 1);
+    wcm_obs::counter("par.workers_spawned", workers as u64);
     // Small blocks balance uneven costs; 8 blocks per worker keeps cursor
     // contention negligible while bounding the worst-case idle tail.
     let block = items.len().div_ceil(workers * 8).max(1);
@@ -325,6 +344,7 @@ where
             .map(|_| {
                 let (init, f, cursor) = (&init, &f, &cursor);
                 scope.spawn(move || {
+                    let _span = wcm_obs::span("par.worker");
                     let mut state = init();
                     let mut mine: Vec<(usize, Vec<U>)> = Vec::new();
                     loop {
@@ -332,6 +352,7 @@ where
                         if start >= items.len() {
                             break;
                         }
+                        let _block_span = wcm_obs::span("par.block");
                         let end = (start + block).min(items.len());
                         let vals: Vec<U> = items[start..end]
                             .iter()

@@ -456,6 +456,7 @@ fn simulate_core(
     mut monitor: Option<&mut EnvelopeMonitor>,
     scratch: &mut SimScratch,
 ) -> Result<CoreOut, SimError> {
+    let _span = wcm_obs::span("sim.run");
     if !(cfg.bitrate_bps.is_finite() && cfg.bitrate_bps > 0.0) {
         return Err(SimError::InvalidParameter {
             name: "bitrate_bps",
@@ -695,6 +696,21 @@ fn simulate_core(
                     next_seq += 1;
                 }
             }
+        }
+    }
+
+    // Post-run digests only: nothing is recorded inside the event loop, so
+    // the instrumented hot path costs one branch per simulation when the
+    // recorder is disabled.
+    if wcm_obs::enabled() {
+        wcm_obs::counter("sim.runs", 1);
+        wcm_obs::counter("sim.events", n as u64);
+        wcm_obs::gauge_max("sim.backlog_high_water", max_backlog);
+        if overflowed {
+            wcm_obs::counter("sim.overflow_runs", 1);
+        }
+        if !scratch.dropped.is_empty() {
+            wcm_obs::counter("sim.dropped_mbs", scratch.dropped.len() as u64);
         }
     }
 

@@ -597,7 +597,47 @@ struct GridPoint {
 /// Simulation extras of a point: `(max_backlog, dropped, pe1_stalled_s)`.
 type SimDigest = (u64, usize, f64);
 
+/// Counter name for a verdict (`sweep.verdict.<label>`).
+fn verdict_counter(v: Verdict) -> &'static str {
+    match v {
+        Verdict::ProvablySafe => "sweep.verdict.provably_safe",
+        Verdict::ProvablyUnsafe => "sweep.verdict.provably_unsafe",
+        Verdict::SimOk => "sweep.verdict.sim_ok",
+        Verdict::SimOverflow => "sweep.verdict.sim_overflow",
+    }
+}
+
+/// [`eval_point_inner`] plus observability: per-verdict counters and
+/// time-in-prune vs time-in-sim histograms. Timing happens only with the
+/// recorder enabled and never influences the returned value, so reports stay
+/// bit-identical whether or not a recorder is live.
 fn eval_point(
+    p: GridPoint,
+    ctxs: &[ClipContext],
+    spec: &SweepSpec,
+    scratch: &mut SimScratch,
+) -> Result<(Verdict, Option<SimDigest>), SimError> {
+    if !wcm_obs::enabled() {
+        return eval_point_inner(p, ctxs, spec, scratch);
+    }
+    let t0 = wcm_obs::now_ns();
+    let out = eval_point_inner(p, ctxs, spec, scratch);
+    let dt = wcm_obs::now_ns().saturating_sub(t0);
+    match &out {
+        Ok((verdict, sim)) => {
+            wcm_obs::counter(verdict_counter(*verdict), 1);
+            if sim.is_some() {
+                wcm_obs::histogram("sweep.sim_ns", dt);
+            } else {
+                wcm_obs::histogram("sweep.prune_ns", dt);
+            }
+        }
+        Err(_) => wcm_obs::counter("sweep.verdict.error", 1),
+    }
+    out
+}
+
+fn eval_point_inner(
     p: GridPoint,
     ctxs: &[ClipContext],
     spec: &SweepSpec,
@@ -688,12 +728,17 @@ pub fn run_sweep(
         ));
     }
 
+    let _span = wcm_obs::span("sweep.run");
+
     // Phase 1: per-clip analysis, memoized once (the window scans inside
     // already honour `par`).
-    let ctxs: Vec<ClipContext> = clips
-        .iter()
-        .map(|c| ClipContext::build(c, spec, par))
-        .collect::<Result<_, _>>()?;
+    let ctxs: Vec<ClipContext> = {
+        let _span = wcm_obs::span("sweep.clip_analysis");
+        clips
+            .iter()
+            .map(|c| ClipContext::build(c, spec, par))
+            .collect::<Result<_, _>>()?
+    };
 
     // Phase 2: enumerate the grid in deterministic nested order.
     let mut grid = Vec::new();
@@ -720,9 +765,13 @@ pub fn run_sweep(
     let events_per_point = clips.iter().map(ClipWorkload::macroblock_count).sum::<usize>()
         / clips.len();
     let cost = (grid.len() as u64) * (events_per_point as u64).max(1) * 16;
-    let evaluated = wcm_par::par_map_init(par, &grid, cost, SimScratch::new, |scratch, _, p| {
-        eval_point(*p, &ctxs, spec, scratch)
-    });
+    wcm_obs::counter("sweep.points", grid.len() as u64);
+    let evaluated = {
+        let _span = wcm_obs::span("sweep.eval");
+        wcm_par::par_map_init(par, &grid, cost, SimScratch::new, |scratch, _, p| {
+            eval_point(*p, &ctxs, spec, scratch)
+        })
+    };
 
     let mut points = Vec::with_capacity(grid.len());
     let mut stats = SweepStats {
@@ -738,6 +787,9 @@ pub fn run_sweep(
         }
         if verdict.overflowed() {
             stats.overflowed += 1;
+        }
+        if let Some((b, _, _)) = sim {
+            wcm_obs::gauge_max("sweep.max_backlog", b);
         }
         points.push(PointReport {
             clip: ctxs[p.clip].name.clone(),
@@ -811,8 +863,15 @@ fn pareto_frontier(points: &[PointReport], spec: &SweepSpec) -> Vec<(f64, u64)> 
 impl SweepReport {
     /// Serializes the report as deterministic JSON (stable key order,
     /// shortest-round-trip float formatting, no timing fields).
+    ///
+    /// Floats go through [`wcm_obs::json::fmt_f64`], which maps NaN/±∞ to
+    /// `null` — a fault-seeded point with a non-finite stat used to render
+    /// as the bare token `NaN`, producing an unparseable document. Clip
+    /// names are escaped with [`wcm_obs::json::quote`]. For finite floats
+    /// and quote-free names the output is byte-identical to before.
     #[must_use]
     pub fn to_json(&self) -> String {
+        use wcm_obs::json::{fmt_f64, quote};
         let mut s = String::with_capacity(256 + self.points.len() * 160);
         s.push_str("{\n  \"stats\": {");
         s.push_str(&format!(
@@ -823,16 +882,16 @@ impl SweepReport {
             self.stats.pruned_unsafe,
             self.stats.simulated,
             self.stats.overflowed,
-            self.stats.pruned_fraction(),
+            fmt_f64(self.stats.pruned_fraction()),
         ));
         s.push_str("},\n  \"points\": [\n");
         for (i, p) in self.points.iter().enumerate() {
             s.push_str("    {");
             s.push_str(&format!(
-                "\"clip\": \"{}\", \"frequency_hz\": {}, \"capacity\": {}, \
+                "\"clip\": {}, \"frequency_hz\": {}, \"capacity\": {}, \
                  \"policy\": \"{}\", \"seed\": {}, \"verdict\": \"{}\"",
-                p.clip,
-                p.frequency_hz,
+                quote(&p.clip),
+                fmt_f64(p.frequency_hz),
                 p.capacity,
                 policy_str(p.policy),
                 p.seed.map_or("null".to_string(), |s| s.to_string()),
@@ -840,7 +899,8 @@ impl SweepReport {
             ));
             if let (Some(b), Some(d), Some(st)) = (p.max_backlog, p.dropped, p.pe1_stalled_s) {
                 s.push_str(&format!(
-                    ", \"max_backlog\": {b}, \"dropped\": {d}, \"pe1_stalled_s\": {st}"
+                    ", \"max_backlog\": {b}, \"dropped\": {d}, \"pe1_stalled_s\": {}",
+                    fmt_f64(st)
                 ));
             }
             s.push('}');
@@ -852,9 +912,12 @@ impl SweepReport {
         s.push_str("  ],\n  \"rms_advisories\": [\n");
         for (i, a) in self.advisories.iter().enumerate() {
             s.push_str(&format!(
-                "    {{\"clip\": \"{}\", \"frequency_hz\": {}, \
+                "    {{\"clip\": {}, \"frequency_hz\": {}, \
                  \"schedulable\": {}, \"l_factor\": {}}}",
-                a.clip, a.frequency_hz, a.schedulable, a.l_factor
+                quote(&a.clip),
+                fmt_f64(a.frequency_hz),
+                a.schedulable,
+                fmt_f64(a.l_factor)
             ));
             if i + 1 < self.advisories.len() {
                 s.push(',');
@@ -866,13 +929,21 @@ impl SweepReport {
             if i > 0 {
                 s.push_str(", ");
             }
-            s.push_str(&format!("{{\"frequency_hz\": {f}, \"capacity\": {c}}}"));
+            s.push_str(&format!(
+                "{{\"frequency_hz\": {}, \"capacity\": {c}}}",
+                fmt_f64(f)
+            ));
         }
         s.push_str("]\n}\n");
         s
     }
 
     /// Serializes the per-point table as CSV (same order as `points`).
+    ///
+    /// Fields are quoted per RFC 4180 via [`wcm_obs::csv::field`] when they
+    /// contain commas, quotes or line breaks — a clip name with a `,` used
+    /// to shift every later column of its row. Plain fields stay unquoted,
+    /// so reports for ordinary names are byte-identical to before.
     #[must_use]
     pub fn to_csv(&self) -> String {
         let mut s = String::from(
@@ -881,7 +952,7 @@ impl SweepReport {
         for p in &self.points {
             s.push_str(&format!(
                 "{},{},{},{},{},{},{},{},{}\n",
-                p.clip,
+                wcm_obs::csv::field(&p.clip),
                 p.frequency_hz,
                 p.capacity,
                 policy_str(p.policy),
@@ -1154,5 +1225,88 @@ mod tests {
                 Err(SweepError::Invalid(_))
             ));
         }
+    }
+
+    /// A report with every float axis poisoned and a hostile clip name.
+    fn poisoned_report() -> SweepReport {
+        let point = |clip: &str, f: f64, stalled: Option<f64>| PointReport {
+            clip: clip.to_string(),
+            frequency_hz: f,
+            capacity: 4,
+            policy: OverflowPolicy::Backpressure,
+            seed: Some(7),
+            verdict: Verdict::SimOverflow,
+            max_backlog: Some(9),
+            dropped: Some(2),
+            pe1_stalled_s: stalled,
+        };
+        SweepReport {
+            points: vec![
+                point("clip, with \"quotes\"", f64::NAN, Some(f64::INFINITY)),
+                point("plain", f64::NEG_INFINITY, Some(f64::NAN)),
+            ],
+            advisories: vec![RmsAdvisory {
+                clip: "adv, clip".to_string(),
+                frequency_hz: f64::INFINITY,
+                schedulable: false,
+                l_factor: f64::NAN,
+            }],
+            stats: SweepStats {
+                total: 2,
+                simulated: 2,
+                overflowed: 2,
+                ..SweepStats::default()
+            },
+            pareto: vec![(f64::NAN, 4)],
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_and_hostile_names_emit_parseable_json() {
+        // Regression: bare `format!("{}")` rendered NaN/inf as the invalid
+        // tokens `NaN`/`inf`, and clip names were interpolated unescaped.
+        let json = poisoned_report().to_json();
+        assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+        let v = wcm_obs::json::parse(&json).expect("poisoned report must stay valid JSON");
+        let points = v.get("points").and_then(|p| p.as_array()).unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(
+            points[0].get("clip").and_then(|c| c.as_str()),
+            Some("clip, with \"quotes\"")
+        );
+        assert!(points[0].get("frequency_hz").unwrap().is_null());
+        assert!(points[0].get("pe1_stalled_s").unwrap().is_null());
+        assert!(v.get("rms_advisories").unwrap().as_array().unwrap()[0]
+            .get("l_factor")
+            .unwrap()
+            .is_null());
+        assert!(v.get("pareto").unwrap().as_array().unwrap()[0]
+            .get("frequency_hz")
+            .unwrap()
+            .is_null());
+    }
+
+    #[test]
+    fn csv_quotes_clip_names_with_commas_and_quotes() {
+        // Regression: an unescaped `,` in a clip name shifted every later
+        // column of its row.
+        let csv = poisoned_report().to_csv();
+        let rows = wcm_obs::csv::parse_table(&csv).expect("report must stay valid CSV");
+        assert_eq!(rows.len(), 3, "header + 2 points");
+        assert_eq!(rows[0].len(), 9);
+        assert_eq!(rows[1][0], "clip, with \"quotes\"");
+        assert_eq!(rows[1][5], "sim_overflow");
+        assert_eq!(rows[2][0], "plain");
+    }
+
+    #[test]
+    fn real_reports_round_trip_through_the_strict_readers() {
+        let clips = small_clips(2);
+        let report = run_sweep(&clips, &small_spec(), Parallelism::Seq).unwrap();
+        let v = wcm_obs::json::parse(&report.to_json()).expect("sweep JSON parses");
+        let points = v.get("points").and_then(|p| p.as_array()).unwrap();
+        assert_eq!(points.len(), report.points.len());
+        let rows = wcm_obs::csv::parse_table(&report.to_csv()).expect("sweep CSV parses");
+        assert_eq!(rows.len(), report.points.len() + 1);
     }
 }

@@ -13,6 +13,7 @@
 //! | [`sched`] | `wcm-sched` | Lehoczky RMS test (classic & γ-refined, Sec. 3.1), response times, EDF demand bounds, a preemptive scheduler simulator |
 //! | [`mpeg`] | `wcm-mpeg` | the synthetic MPEG-2 decoder workload model (14 clip profiles, per-macroblock demand) |
 //! | [`sim`] | `wcm-sim` | the transaction-level CBR → PE₁ → FIFO → PE₂ pipeline simulator (Fig. 5) |
+//! | [`obs`] | `wcm-obs` | zero-dependency observability: spans, counters, log2 histograms, Chrome-trace export, strict JSON/CSV readers |
 //!
 //! # Quickstart
 //!
@@ -67,6 +68,7 @@ pub use wcm_core as core;
 pub use wcm_curves as curves;
 pub use wcm_events as events;
 pub use wcm_mpeg as mpeg;
+pub use wcm_obs as obs;
 pub use wcm_sched as sched;
 pub use wcm_sim as sim;
 
