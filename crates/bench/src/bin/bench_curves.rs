@@ -5,8 +5,10 @@
 //! exact-mode workload, plus the threaded min-plus envelopes, the
 //! chunked-summary fold behind the trace-parallel path, and a one-GOP
 //! incremental append against a full rebuild. Writes the interleaved
-//! best-of-`REPS` times, a thread-scaling array (1, 2, 4, … up to the
-//! host's cores), and the speedups to `BENCH_curves.json`. Unlike the
+//! best-of-`REPS` times, a thread-scaling array (1/2/4/8 workers capped
+//! at the host's cores, plus a `speedup_at_4` headline field — `null`
+//! on hosts with fewer than 4 cores), and the speedups to
+//! `BENCH_curves.json`. Unlike the
 //! criterion benches this runs in seconds and produces one
 //! machine-readable file, so `scripts/` can invoke it as part of a
 //! reproduction run.
@@ -149,18 +151,11 @@ fn measure_dyn(candidates: &mut [Box<dyn FnMut() -> f64 + '_>]) -> Timings {
     Timings { rounds }
 }
 
-/// `1, 2, 4, …` doubling up to `max`, always ending at `max` itself.
+/// The fixed `1/2/4/8` thread ladder, capped at `max` (the host's core
+/// count) — every artifact carries the same rungs, so `speedup_at_4` is
+/// comparable across hosts that have at least 4 cores.
 fn thread_counts(max: usize) -> Vec<usize> {
-    let mut counts = vec![1];
-    let mut t = 2;
-    while t < max {
-        counts.push(t);
-        t *= 2;
-    }
-    if max > 1 {
-        counts.push(max);
-    }
-    counts
+    [1, 2, 4, 8].into_iter().filter(|&t| t <= max).collect()
 }
 
 fn staircase(segments: usize, seed: u64) -> Pwl {
@@ -214,10 +209,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "old and new window analyses disagree"
     );
 
-    // Thread-scaling curve: the same window-sum construction at 1, 2, 4, …
-    // workers up to the host's core count (a single entry on one core).
-    // The sequential baseline runs inside the same interleaved batch so
-    // the per-count speedups are not skewed by drift between batches.
+    // Thread-scaling curve: the same window-sum construction on the
+    // 1/2/4/8 ladder capped at the host's core count (a single entry on
+    // one core). The sequential baseline runs inside the same interleaved
+    // batch so the per-count speedups are not skewed by drift between
+    // batches.
     let counts = thread_counts(threads);
     let mut scaling_runs: Vec<Box<dyn FnMut() -> f64 + '_>> = Vec::new();
     scaling_runs.push(Box::new(|| {
@@ -312,6 +308,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect::<Vec<_>>()
         .join(",\n      ");
+    // Headline multi-core number: median per-round seq/4-thread ratio,
+    // `null` on hosts without 4 cores (the smoke guard skips it there).
+    let speedup_at_4 = counts
+        .iter()
+        .position(|&n| n == 4)
+        .map_or("null".to_string(), |idx| {
+            format!("{:.2}", scaling.speedup(0, idx + 1))
+        });
 
     let speedup_old_vs_par = core.speedup(0, 2);
     let json = format!(
@@ -325,6 +329,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          \x20   \"speedup_total\": {speedup_old_vs_par:.1}\n\
          \x20 }},\n\
          \x20 \"thread_scaling\": [\n      {scaling_json}\n    ],\n\
+         \x20 \"speedup_at_4\": {speedup_at_4},\n\
          \x20 \"chunk_summaries\": {{\n\
          \x20   \"single_pass_s\": {summary_single_s:.6},\n\
          \x20   \"chunked8_fold_s\": {summary_chunked8_s:.6},\n\

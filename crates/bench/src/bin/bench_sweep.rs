@@ -1,14 +1,18 @@
 //! Bench summary for the design-space sweep engine and the simulator
 //! hot-path rewrite, written to `BENCH_sweep.json`.
 //!
-//! Three measurements, interleaved best-of-`REPS`:
+//! Four measurements, interleaved best-of-`REPS`:
 //!
 //! * **sweep points/s** — the full 14-clip grid, sequential without
 //!   pruning vs threaded with the analytic pre-pass (the shipping
-//!   configuration), plus a thread-scaling array (1, 2, 4, … workers up
-//!   to the host's cores). The pruned fraction is reported alongside,
-//!   because on a single-core host it — not thread count — is what buys
-//!   the speedup.
+//!   configuration), plus a thread-scaling array (1/2/4/8 workers capped
+//!   at the host's cores) and a `speedup_at_4` headline (`null` below
+//!   4 cores). The pruned fraction is reported alongside, because on a
+//!   single-core host it — not thread count — is what buys the speedup.
+//! * **frontier bisection** — the Pareto frontier of a 64-frequency
+//!   axis located by monotone staircase bisection vs the dense cell
+//!   scan: identical frontier asserted, cell counts and the evaluated
+//!   fraction recorded.
 //! * **simulator ns/event** — the legacy heap-driven event loop
 //!   (`wcm_bench::legacy`) vs the heap-free hot path with a reusable
 //!   scratch, on one identical clip (3 events per macroblock).
@@ -22,7 +26,7 @@ use wcm_bench::legacy::simulate_pipeline_legacy;
 use wcm_events::window::WindowMode;
 use wcm_par::Parallelism;
 use wcm_sim::pipeline::{simulate_faulted, FifoConfig, PipelineConfig, SimScratch, SourceModel};
-use wcm_sim::{run_sweep, FaultedWorkload, OverflowPolicy, SweepSpec};
+use wcm_sim::{run_frontier, run_sweep, FaultedWorkload, FrontierMethod, OverflowPolicy, SweepSpec};
 
 const REPS: usize = 5;
 
@@ -85,18 +89,11 @@ fn measure_dyn(candidates: &mut [Box<dyn FnMut() -> f64 + '_>]) -> Timings {
     Timings { rounds }
 }
 
-/// `1, 2, 4, …` doubling up to `max`, always ending at `max` itself.
+/// The fixed `1/2/4/8` thread ladder, capped at `max` (the host's core
+/// count) — every artifact carries the same rungs, so `speedup_at_4` is
+/// comparable across hosts that have at least 4 cores.
 fn thread_counts(max: usize) -> Vec<usize> {
-    let mut counts = vec![1];
-    let mut t = 2;
-    while t < max {
-        counts.push(t);
-        t *= 2;
-    }
-    if max > 1 {
-        counts.push(max);
-    }
-    counts
+    [1, 2, 4, 8].into_iter().filter(|&t| t <= max).collect()
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -194,6 +191,72 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect::<Vec<_>>()
         .join(",\n      ");
+    // Headline multi-core number: median per-round 1-thread/4-thread
+    // ratio, `null` on hosts without 4 cores (the smoke guard skips it).
+    let speedup_at_4 = counts
+        .iter()
+        .position(|&n| n == 4)
+        .map_or("null".to_string(), |i4| {
+            format!("{:.2}", scaling.speedup(0, i4))
+        });
+
+    // Frontier bisection vs dense cell scan, on a frequency axis fine
+    // enough (64 points) that O(log) bisection has room to win. Clean
+    // seed only — the frontier predicate ignores fault seeds anyway.
+    let frontier_spec = {
+        let n = 64usize;
+        let (lo, hi) = (20.0e6f64, 2000.0e6f64);
+        SweepSpec {
+            frequencies_hz: (0..n)
+                .map(|i| lo * (hi / lo).powf(i as f64 / (n - 1) as f64))
+                .collect(),
+            ..spec.clone()
+        }
+    };
+    let dense_frontier = run_frontier(
+        &clips,
+        &frontier_spec,
+        Parallelism::Threads(threads),
+        FrontierMethod::Dense,
+    )?;
+    let bisect_frontier = run_frontier(
+        &clips,
+        &frontier_spec,
+        Parallelism::Threads(threads),
+        FrontierMethod::Bisect,
+    )?;
+    let frontier_identical = bisect_frontier.frontier == dense_frontier.frontier;
+    assert!(
+        frontier_identical,
+        "bisected frontier diverged from the dense grid"
+    );
+    let bisect_fraction =
+        bisect_frontier.evaluated_cells as f64 / bisect_frontier.grid_cells as f64;
+    let frontier_times = measure([
+        &mut || {
+            time_once(|| {
+                run_frontier(
+                    &clips,
+                    &frontier_spec,
+                    Parallelism::Threads(threads),
+                    FrontierMethod::Dense,
+                )
+                .unwrap()
+            })
+        },
+        &mut || {
+            time_once(|| {
+                run_frontier(
+                    &clips,
+                    &frontier_spec,
+                    Parallelism::Threads(threads),
+                    FrontierMethod::Bisect,
+                )
+                .unwrap()
+            })
+        },
+    ]);
+    let (frontier_dense_s, frontier_bisect_s) = (frontier_times.best(0), frontier_times.best(1));
 
     // Simulator hot path: ns per event (3 events per macroblock) on one
     // clip, legacy heap loop vs heap-free loop with a reused scratch.
@@ -253,7 +316,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          \x20   \"points_per_s_seq_unpruned\": {:.2},\n\
          \x20   \"points_per_s_par_pruned\": {:.2},\n\
          \x20   \"speedup_par_pruned_vs_seq_unpruned\": {:.1},\n\
-         \x20   \"thread_scaling\": [\n      {scaling_json}\n    ]\n\
+         \x20   \"thread_scaling\": [\n      {scaling_json}\n    ],\n\
+         \x20   \"speedup_at_4\": {speedup_at_4}\n\
+         \x20 }},\n\
+         \x20 \"frontier\": {{\n\
+         \x20   \"grid_cells\": {},\n\
+         \x20   \"dense_cells_evaluated\": {},\n\
+         \x20   \"bisect_cells_evaluated\": {},\n\
+         \x20   \"bisect_fraction\": {bisect_fraction:.4},\n\
+         \x20   \"identical\": {frontier_identical},\n\
+         \x20   \"dense_s\": {frontier_dense_s:.6},\n\
+         \x20   \"bisect_s\": {frontier_bisect_s:.6},\n\
+         \x20   \"speedup\": {:.1}\n\
          \x20 }},\n\
          \x20 \"simulator\": {{\n\
          \x20   \"events\": {events},\n\
@@ -264,14 +338,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         points / seq_unpruned_s,
         points / par_pruned_s,
         sweeps.speedup(0, 1),
+        bisect_frontier.grid_cells,
+        dense_frontier.evaluated_cells,
+        bisect_frontier.evaluated_cells,
+        frontier_times.speedup(0, 1),
         sim.speedup(0, 1),
     );
     std::fs::write(&out_path, &json)?;
     print!("{json}");
     eprintln!(
-        "bench_sweep: {:.2}x points/s (pruned fraction {:.0}%), simulator {:.2}x ns/event, wrote {out_path}",
+        "bench_sweep: {:.2}x points/s (pruned fraction {:.0}%), frontier bisection {}/{} cells, simulator {:.2}x ns/event, wrote {out_path}",
         sweeps.speedup(0, 1),
         pruned_fraction * 100.0,
+        bisect_frontier.evaluated_cells,
+        bisect_frontier.grid_cells,
         sim.speedup(0, 1)
     );
     Ok(())

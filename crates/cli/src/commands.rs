@@ -38,12 +38,18 @@ subcommands:
            [--policies backpressure,reject,drop-priority]
            [--seeds clean,S1,S2] [--inject SPEC[;SPEC...]]
            [--k K --exact-upto N --stride S] [--cert-depth D]
-           [--prune on|off] [--threads T] [--json FILE] [--csv FILE]
+           [--prune on|off] [--frontier bisect|dense] [--threads T]
+           [--json FILE] [--csv FILE]
            [--trace-out FILE] [--metrics-out FILE]
            parallel design-space sweep over the
            (clip x frequency x capacity x policy x seed) grid; an
            analytic pre-pass (eq. 8-10) skips provably safe/unsafe
            points, only the uncertain band is simulated.
+           --frontier computes only the Pareto frontier: `bisect'
+           binary-searches the monotone safe/unsafe staircase
+           (O(log grid) cell evaluations per capacity), `dense'
+           evaluates every cell; both print the identical frontier
+           plus how many cells deciding it took (no --json/--csv)
            --trace-out writes a chrome://tracing JSON trace of the run,
            --metrics-out a counters/gauges/histograms summary
   validate [--json FILE] [--csv FILE] [--trace FILE] [--metrics FILE]
@@ -465,6 +471,16 @@ pub fn sweep(opts: &Options) -> Result<(), CliError> {
             )))
         }
     };
+    let frontier = match opts.optional("frontier") {
+        None => None,
+        Some("bisect") => Some(wcm_sim::FrontierMethod::Bisect),
+        Some("dense") => Some(wcm_sim::FrontierMethod::Dense),
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "--frontier: `{other}` is not bisect|dense"
+            )))
+        }
+    };
 
     let spec = wcm_sim::SweepSpec {
         pe1_hz: match opts.optional("pe1-mhz") {
@@ -492,10 +508,37 @@ pub fn sweep(opts: &Options) -> Result<(), CliError> {
         wcm_obs::mem().reset();
         wcm_obs::set_enabled(true);
     }
-    let report = wcm_sim::run_sweep(&clips, &spec, opts.parallelism()?).map_err(|e| match e {
+    let map_err = |e: wcm_sim::SweepError| match e {
         wcm_sim::SweepError::Invalid(what) => CliError::Usage(what.to_string()),
         other => CliError::Analysis(other.to_string()),
-    })?;
+    };
+
+    // Frontier-only mode: locate the Pareto frontier without reporting
+    // (or, with `bisect`, even visiting) the full grid.
+    if let Some(method) = frontier {
+        let out = wcm_sim::run_frontier(&clips, &spec, opts.parallelism()?, method);
+        if observe {
+            wcm_obs::set_enabled(false);
+        }
+        let fr = out.map_err(map_err)?;
+        if observe {
+            let snap = wcm_obs::mem().snapshot();
+            if let Some(path) = trace_out {
+                write_report(Path::new(path), &snap.to_chrome_trace())?;
+            }
+            if let Some(path) = metrics_out {
+                write_report(Path::new(path), &snap.to_metrics_json())?;
+            }
+        }
+        println!("grid_cells {}", fr.grid_cells);
+        println!("evaluated_cells {}", fr.evaluated_cells);
+        for &(f, c) in &fr.frontier {
+            println!("pareto {:.2} MHz capacity {c}", f / 1e6);
+        }
+        return Ok(());
+    }
+
+    let report = wcm_sim::run_sweep(&clips, &spec, opts.parallelism()?).map_err(map_err)?;
     if observe {
         wcm_obs::set_enabled(false);
         let snap = wcm_obs::mem().snapshot();

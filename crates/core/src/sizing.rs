@@ -189,6 +189,66 @@ pub fn provably_overflows(
     false
 }
 
+/// Batched [`provably_overflows`]: evaluates a contiguous run of
+/// `frequencies` against one shared certificate (`min_spans`, `gamma_l`)
+/// in a single pass, writing one verdict per frequency into `out`.
+///
+/// Produces **bit-identical** verdicts to calling [`provably_overflows`]
+/// per frequency — the cycle-budget expression is kept in the exact same
+/// association (`frequency * d * (1.0 + 1e-9) + credit`), and the
+/// per-frequency binary search is replaced by the equivalent comparison
+/// against the one demand value that decides the span: for a span `(k, d)`
+/// with `q = k − buffer`, the scalar path triggers iff fewer than
+/// `min(q, len)` entries of `γˡ` fit the budget, i.e. iff
+/// `budget < γˡ(min(q, len))`. Hoisting `k`/`d`/that threshold out of the
+/// frequency loop leaves a branch-free multiply–add–compare inner loop
+/// over the frequency run, amenable to autovectorization — this is the
+/// kernel the sweep's analytic pre-pass spends its time in.
+///
+/// # Panics
+///
+/// Panics if `out.len() != frequencies.len()`.
+pub fn provably_overflows_batch(
+    min_spans: &[(u64, f64)],
+    gamma_l: &LowerWorkloadCurve,
+    gamma_u_1: Cycles,
+    frequencies: &[f64],
+    buffer: u64,
+    out: &mut [bool],
+) {
+    assert_eq!(
+        out.len(),
+        frequencies.len(),
+        "one output slot per frequency"
+    );
+    out.fill(false);
+    let lows = gamma_l.values();
+    if lows.is_empty() {
+        return; // every binary search would end at len: no certificate
+    }
+    let credit = gamma_u_1.get() as f64;
+    for &(k, d) in min_spans {
+        if k <= buffer || !d.is_finite() || d < 0.0 {
+            continue;
+        }
+        // k > buffer ⇒ q ≥ 1; the threshold γˡ(min(q, len)) decides the
+        // span for every frequency at once.
+        let q = usize::try_from(k - buffer).unwrap_or(usize::MAX);
+        let v_star = lows[q.min(lows.len()) - 1] as f64;
+        for (o, &frequency) in out.iter_mut().zip(frequencies) {
+            // Same expression, same association as the scalar path (a
+            // pre-scaled `d` would round differently). NaN/∞ budgets
+            // compare false, matching the scalar fail-closed behaviour.
+            *o |= frequency * d * (1.0 + 1e-9) + credit < v_star;
+        }
+    }
+    // The scalar path fails closed on negative frequencies before any
+    // span is consulted; mask them out here (NaN/∞ never set a slot).
+    for (o, &frequency) in out.iter_mut().zip(frequencies) {
+        *o = *o && frequency.is_finite() && frequency >= 0.0;
+    }
+}
+
 /// Minimum FIFO capacity (in events) for a PE clocked at `frequency`:
 /// the event-based backlog bound of eq. 7 with `β(Δ) = F·Δ`.
 ///
@@ -348,6 +408,56 @@ mod tests {
                 !provably_overflows(&spans, &gl, g.value(1), f * (1.0 + 1e-6), b),
                 "certificate contradicts eq. 9 at b={b}"
             );
+        }
+    }
+
+    #[test]
+    fn batch_certificate_matches_scalar_bit_for_bit() {
+        // Deterministic pseudo-random fixtures (splitmix-style) spanning
+        // triggering, non-triggering, degenerate and fail-closed inputs.
+        let mut s = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        for case in 0..50 {
+            let n_low = 1 + (next() % 12) as usize;
+            let mut lows = Vec::with_capacity(n_low);
+            let mut acc = 0u64;
+            for _ in 0..n_low {
+                acc += 1 + next() % 40;
+                lows.push(acc);
+            }
+            let gl = LowerWorkloadCurve::new(lows).unwrap();
+            let spans: Vec<(u64, f64)> = (0..(1 + next() % 10))
+                .map(|_| {
+                    let k = next() % 16;
+                    let d = match next() % 8 {
+                        0 => f64::NAN,
+                        1 => -1.0,
+                        _ => (next() % 1000) as f64 / 250.0,
+                    };
+                    (k, d)
+                })
+                .collect();
+            let mut freqs: Vec<f64> = (0..17)
+                .map(|_| (next() % 4_000) as f64 / 10.0)
+                .collect();
+            freqs.extend([0.0, -5.0, f64::NAN, f64::INFINITY]);
+            let buffer = next() % 8;
+            let g1 = Cycles(next() % 60);
+            let mut batch = vec![false; freqs.len()];
+            provably_overflows_batch(&spans, &gl, g1, &freqs, buffer, &mut batch);
+            for (i, &f) in freqs.iter().enumerate() {
+                assert_eq!(
+                    batch[i],
+                    provably_overflows(&spans, &gl, g1, f, buffer),
+                    "case {case}: divergence at freq index {i} ({f})"
+                );
+            }
         }
     }
 

@@ -1,88 +1,104 @@
-//! Zero-dependency data-parallel runtime.
+//! Zero-dependency data-parallel runtime on a persistent work-stealing
+//! worker pool.
 //!
 //! The analysis hot paths of this workspace (window scans over traces,
-//! min-plus branch envelopes) are embarrassingly parallel maps over
-//! independent items. This crate provides exactly that — nothing more — on
-//! top of [`std::thread::scope`], so the workspace stays free of external
-//! runtime dependencies (the build environment is offline; see
-//! `vendor/README.md`).
+//! min-plus branch envelopes, design-sweep grids) are embarrassingly
+//! parallel maps over independent items. This crate provides exactly
+//! that — nothing more — without external runtime dependencies (the
+//! build environment is offline; see `vendor/README.md`).
+//!
+//! # Runtime
+//!
+//! Workers are spawned **once per process** and parked on a condvar
+//! between jobs ([`pool`]); a `par_*` call wakes them instead of paying a
+//! `std::thread::scope` spawn/join (≈ 50–100 µs per worker) per call —
+//! the overhead that used to leave paper-scale sweeps at
+//! `speedup_par_vs_seq: 1.0`. Work is distributed through per-worker
+//! chunked block deques with stealing ([`steal`]): each worker owns a
+//! contiguous span of the input split into blocks, drains it
+//! front-to-back, then steals blocks from the back of other deques, so
+//! items with wildly different costs (a design-sweep point that is
+//! analytically pruned in nanoseconds next to one simulated in
+//! milliseconds) still spread evenly across cores.
 //!
 //! # Determinism
 //!
-//! [`par_map`] and [`par_map_reduce`] partition the input into contiguous
-//! chunks, one per worker, and each worker writes results only into its own
-//! pre-assigned output slots (or folds its own chunk in input order). The
-//! combined result is therefore **identical to the sequential result** —
-//! same values, same order — for any worker count, as long as the map
-//! function is a pure function of `(index, item)` and the reduction is
-//! associative.
+//! Every entry point places results by **input index**, so the combined
+//! result is identical to the sequential result — same values, same
+//! order — for any worker count and any steal interleaving, as long as
+//! the map function is a pure function of `(index, item)` and the
+//! reduction is associative ([`par_map_reduce`] folds block partials in
+//! index order).
 //!
 //! # Choosing a worker count
 //!
-//! [`Parallelism`] is a small knob threaded through the public APIs of the
-//! analysis crates:
+//! [`Parallelism`] is a small knob threaded through the public APIs of
+//! the analysis crates:
 //!
 //! * [`Parallelism::Seq`] — run inline on the caller's thread;
 //! * [`Parallelism::Threads(n)`] — at most `n` workers (reduced when the
-//!   cost hint says the work cannot amortize their start-up);
+//!   cost hint says the work cannot amortize even a pool wake-up);
 //! * [`Parallelism::Auto`] — [`std::thread::available_parallelism`]
 //!   workers, but only when the caller's cost hint says the work dwarfs
-//!   thread start-up (≈ 50–100 µs per worker).
+//!   a dispatch.
 //!
 //! # Grain threshold
 //!
-//! Every worker must be backed by at least [`grain_ops`] unit operations or
-//! it is not spawned: below the grain, thread start-up costs more than the
-//! work itself, which is how an explicit `Threads(n)` used to come out
-//! *slower* than sequential on small scans (`min_spans` at 0.93× in early
-//! `BENCH_curves.json` runs). The grain is auto-tuned once per process by
-//! timing an empty scoped spawn/join against a unit-operation loop, and can
-//! be pinned with the `WCM_PAR_GRAIN_OPS` environment variable (useful for
-//! reproducible benchmarks). Worker counts never affect results — every
-//! `par_*` entry point is deterministic — so the tuning only moves the
-//! speed, never the answer.
+//! Every worker must be backed by at least [`grain_ops`] unit operations
+//! or it is not engaged: below the grain, waking a worker costs more
+//! than the work itself. The grain is auto-tuned once per process by
+//! timing an empty **pool dispatch** (not a thread spawn — the pool made
+//! the old spawn-based grain an order of magnitude too conservative)
+//! against a unit-operation loop, and can be pinned with the
+//! `WCM_PAR_GRAIN_OPS` environment variable (useful for reproducible
+//! benchmarks). Worker counts never affect results — every `par_*`
+//! entry point is deterministic — so the tuning only moves the speed,
+//! never the answer.
 //!
 //! # Observability
 //!
-//! The runtime is instrumented with `wcm-obs`: each spawned worker is a
-//! `par.worker` span, each dynamically claimed block in [`par_map_init`] a
-//! `par.block` child span, and the `par.seq_runs` / `par.par_runs` /
-//! `par.workers_spawned` counters record dispatch decisions. With the
+//! The runtime is instrumented with `wcm-obs`: each engaged worker is a
+//! `par.worker` span, each claimed block a `par.block` child span, and
+//! the `par.seq_runs` / `par.par_runs` / `par.workers_spawned` /
+//! `par.blocks` / `par.steals` / `par.pool_*` counters record dispatch
+//! decisions and steal traffic; `par.job_ns` / `par.worker_busy_ns`
+//! histograms expose idle time (job span minus busy span). With the
 //! recorder disabled (the default) every site costs one relaxed load.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+#[allow(unsafe_code)]
+mod pool;
+mod steal;
+
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 /// Work below this many "unit operations" (caller-estimated) runs
-/// sequentially under [`Parallelism::Auto`]: thread start-up would dominate.
-/// Also the lower clamp of the auto-tuned [`grain_ops`].
+/// sequentially under [`Parallelism::Auto`]: dispatch would dominate.
+/// Kept as the calibration fallback when timing is unavailable.
 pub const AUTO_SEQ_THRESHOLD_OPS: u64 = 1 << 18;
 
-/// Under [`Parallelism::Auto`] each extra worker must be backed by at least
-/// this many unit operations, so medium-sized inputs get 2–3 workers instead
-/// of the all-or-nothing split that left paper-scale min-plus convolutions
-/// sequential (`speedup_par_vs_seq: 1.00` in early BENCH_curves.json runs).
-/// Used as the calibration fallback when timing is unavailable.
-pub const AUTO_OPS_PER_WORKER: u64 = 1 << 18;
+/// Lower clamp of the auto-tuned [`grain_ops`]: a pool wake-up costs
+/// single-digit µs, so a worker backed by ~16k unit operations already
+/// amortizes it. (The old spawn-based lower clamp was 16× higher.)
+pub const GRAIN_OPS_MIN: u64 = 1 << 14;
 
-/// Upper clamp of the auto-tuned grain: even on machines where spawning
+/// Upper clamp of the auto-tuned grain: even on machines where dispatch
 /// looks expensive, work this large is always worth one extra worker.
 pub const GRAIN_OPS_MAX: u64 = 1 << 22;
 
 static GRAIN_OPS: OnceLock<u64> = OnceLock::new();
 
-/// The per-worker grain in unit operations: a worker is only spawned when
-/// it can be handed at least this much work.
+/// The per-worker grain in unit operations: a worker is only engaged
+/// when it can be handed at least this much work.
 ///
-/// Resolved once per process: the `WCM_PAR_GRAIN_OPS` environment variable
-/// wins when set to a positive integer; otherwise a one-shot calibration
-/// times an empty scoped spawn/join against a unit-operation loop and
-/// requires each worker to amortize ≈ 4 spawn costs. The result is clamped
-/// to `[`[`AUTO_SEQ_THRESHOLD_OPS`]`, `[`GRAIN_OPS_MAX`]`]`.
+/// Resolved once per process: the `WCM_PAR_GRAIN_OPS` environment
+/// variable wins when set to a positive integer; otherwise a one-shot
+/// calibration times an empty pool dispatch against a unit-operation
+/// loop and requires each worker to amortize ≈ 4 dispatch costs. The
+/// result is clamped to `[`[`GRAIN_OPS_MIN`]`, `[`GRAIN_OPS_MAX`]`]`.
 #[must_use]
 pub fn grain_ops() -> u64 {
     *GRAIN_OPS.get_or_init(|| {
@@ -93,26 +109,27 @@ pub fn grain_ops() -> u64 {
         {
             return pinned;
         }
-        calibrate_grain().clamp(AUTO_SEQ_THRESHOLD_OPS, GRAIN_OPS_MAX)
+        calibrate_grain().clamp(GRAIN_OPS_MIN, GRAIN_OPS_MAX)
     })
 }
 
-/// Times one empty scoped spawn/join and one unit-op loop; returns the ops
-/// equivalent of ~4 spawns. Uses medians over a few repetitions so a single
-/// scheduler hiccup cannot skew the grain for the whole process.
+/// Times empty pool dispatches and a unit-op loop; returns the ops
+/// equivalent of ~4 dispatches. Uses medians over a few repetitions so a
+/// single scheduler hiccup cannot skew the grain for the whole process.
 fn calibrate_grain() -> u64 {
     use std::time::Instant;
     let median = |mut xs: Vec<u128>| -> u128 {
         xs.sort_unstable();
         xs[xs.len() / 2]
     };
-    let spawn_ns = median(
-        (0..5)
+    // Warm the pool first: the one-time worker spawn must not be billed
+    // to the steady-state dispatch cost.
+    pool::run(2, &|_| {});
+    let dispatch_ns = median(
+        (0..7)
             .map(|_| {
                 let t = Instant::now();
-                std::thread::scope(|s| {
-                    s.spawn(|| {});
-                });
+                pool::run(2, &|_| {});
                 t.elapsed().as_nanos().max(1)
             })
             .collect(),
@@ -133,11 +150,11 @@ fn calibrate_grain() -> u64 {
             .collect(),
     );
     let ops_per_ns = f64::from(u32::try_from(LOOP_OPS).unwrap_or(u32::MAX)) / loop_ns as f64;
-    let grain = (spawn_ns as f64 * 4.0 * ops_per_ns).ceil();
+    let grain = (dispatch_ns as f64 * 4.0 * ops_per_ns).ceil();
     if grain.is_finite() {
         grain as u64
     } else {
-        AUTO_OPS_PER_WORKER
+        AUTO_SEQ_THRESHOLD_OPS
     }
 }
 
@@ -146,13 +163,13 @@ fn calibrate_grain() -> u64 {
 pub enum Parallelism {
     /// Run on the calling thread.
     Seq,
-    /// Use at most this many workers (`0` is treated as `1`); the count is
-    /// reduced when the cost hint cannot back each worker with
-    /// [`grain_ops`] unit operations, so an explicit thread count is never
-    /// slower than sequential on small inputs.
+    /// Use at most this many workers (`0` is treated as `1`); the count
+    /// is reduced when the cost hint cannot back each worker with
+    /// [`grain_ops`] unit operations, so an explicit thread count is
+    /// never slower than sequential on small inputs.
     Threads(usize),
     /// Use all available cores when the work is large enough to amortize
-    /// thread start-up, otherwise run sequentially.
+    /// a pool dispatch, otherwise run sequentially.
     #[default]
     Auto,
 }
@@ -180,9 +197,11 @@ impl Parallelism {
     /// roughly `cost_hint_ops` unit operations.
     #[must_use]
     pub fn workers(self, items: usize, cost_hint_ops: u64) -> usize {
-        // Each worker must amortize its ~50–100 µs start-up with at least
-        // one grain of unit operations; below that, fall back towards
-        // sequential whatever the requested count.
+        // Each worker must amortize its wake-up with at least one grain
+        // of unit operations; below that, fall back towards sequential
+        // whatever the requested count — this is the work-threshold
+        // fallback that keeps `par_map` from ever losing to the
+        // sequential path on small grids.
         let affordable = usize::try_from(cost_hint_ops / grain_ops())
             .unwrap_or(usize::MAX)
             .max(1);
@@ -204,54 +223,94 @@ impl Parallelism {
     }
 }
 
+/// Runs the block-claim loop of one job on `workers` pool workers and
+/// gathers each worker's `(start, payload)` pairs. The workhorse behind
+/// every parallel entry point: each engaged worker lazily creates one
+/// state with `init` (on its first claimed block, so workers that never
+/// claim anything pay nothing) and `process` maps one claimed block to a
+/// payload placed later by its start index.
+fn run_blocks<U, S, I, P>(workers: usize, n_items: usize, init: I, process: P) -> Vec<(usize, U)>
+where
+    U: Send,
+    I: Fn() -> S + Sync,
+    P: Fn(&mut S, &mut Vec<(usize, U)>, steal::Block) + Sync,
+{
+    let queues = steal::BlockQueues::new(n_items, workers, steal::block_size(n_items, workers));
+    let buckets: Vec<Mutex<Vec<(usize, U)>>> =
+        (0..workers).map(|_| Mutex::new(Vec::new())).collect();
+    let observe = wcm_obs::enabled();
+    let job_t0 = if observe { wcm_obs::now_ns() } else { 0 };
+    pool::run(workers, &|w| {
+        let _span = wcm_obs::span("par.worker");
+        let t0 = if observe { wcm_obs::now_ns() } else { 0 };
+        let mut state: Option<S> = None;
+        let mut mine: Vec<(usize, U)> = Vec::new();
+        let (mut blocks, mut steals) = (0u64, 0u64);
+        while let Some(block) = queues.claim(w) {
+            let _block_span = wcm_obs::span("par.block");
+            blocks += 1;
+            steals += u64::from(block.stolen);
+            process(state.get_or_insert_with(&init), &mut mine, block);
+        }
+        if observe {
+            wcm_obs::counter("par.blocks", blocks);
+            if steals > 0 {
+                wcm_obs::counter("par.steals", steals);
+            }
+            wcm_obs::histogram("par.worker_busy_ns", wcm_obs::now_ns().saturating_sub(t0));
+        }
+        let mut bucket = buckets[w % buckets.len()].lock().expect("bucket poisoned");
+        bucket.append(&mut mine);
+    });
+    if observe {
+        wcm_obs::histogram("par.job_ns", wcm_obs::now_ns().saturating_sub(job_t0));
+    }
+    let mut out = Vec::new();
+    for bucket in buckets {
+        out.append(&mut bucket.into_inner().expect("bucket poisoned"));
+    }
+    out
+}
+
+/// Places `(start, values)` block results into a dense output vector.
+fn assemble<U>(n: usize, parts: Vec<(usize, Vec<U>)>) -> Vec<U> {
+    let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    for (start, vals) in parts {
+        for (j, v) in vals.into_iter().enumerate() {
+            out[start + j] = Some(v);
+        }
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("every block fills its own slots"))
+        .collect()
+}
+
 /// Maps `f` over `items` with deterministic output ordering:
 /// `out[i] = f(i, &items[i])` exactly as in the sequential loop.
 ///
 /// `cost_hint_ops` estimates the total work in unit operations (e.g.
-/// `items × inner-loop length`); [`Parallelism::Auto`] uses it to decide
-/// whether threads are worth starting.
+/// `items × inner-loop length`); the runtime uses it to decide whether
+/// waking pool workers is worth it — below the [`grain_ops`] threshold
+/// every mode degrades to the sequential path.
 pub fn par_map<T, U, F>(par: Parallelism, items: &[T], cost_hint_ops: u64, f: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
-    let workers = par.workers(items.len(), cost_hint_ops);
-    if workers <= 1 || items.len() <= 1 {
-        wcm_obs::counter("par.seq_runs", 1);
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
-    }
-    wcm_obs::counter("par.par_runs", 1);
-    wcm_obs::counter("par.workers_spawned", workers as u64);
-    let chunk = items.len().div_ceil(workers);
-    let mut out: Vec<Option<U>> = Vec::with_capacity(items.len());
-    out.resize_with(items.len(), || None);
-    std::thread::scope(|scope| {
-        for (w, (in_chunk, out_chunk)) in items.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate()
-        {
-            let f = &f;
-            scope.spawn(move || {
-                let _span = wcm_obs::span("par.worker");
-                let base = w * chunk;
-                for (j, (item, slot)) in in_chunk.iter().zip(out_chunk.iter_mut()).enumerate() {
-                    *slot = Some(f(base + j, item));
-                }
-            });
-        }
-    });
-    out.into_iter()
-        .map(|slot| slot.expect("every chunk fills its own slots"))
-        .collect()
+    par_map_init(par, items, cost_hint_ops, || (), move |(), i, t| f(i, t))
 }
 
 /// Maps `f` over `items` and folds the results with the associative
-/// operation `reduce`, preserving input order inside and across chunks
+/// operation `reduce`, preserving input order inside and across blocks
 /// (`((r0 ⊕ r1) ⊕ r2) ⊕ …` in index order). Returns `None` for empty input.
 ///
 /// For an associative `reduce` the result equals the sequential
-/// left-to-right fold; if `reduce` is only *approximately* associative
-/// (e.g. floating-point envelopes), results may differ across worker counts
-/// by the usual re-association error.
+/// left-to-right fold **of the block partials in index order**; if
+/// `reduce` is only *approximately* associative (e.g. floating-point
+/// envelopes), results may differ across worker counts by the usual
+/// re-association error.
 pub fn par_map_reduce<T, U, F, R>(
     par: Parallelism,
     items: &[T],
@@ -276,40 +335,34 @@ where
     }
     wcm_obs::counter("par.par_runs", 1);
     wcm_obs::counter("par.workers_spawned", workers as u64);
-    let chunk = items.len().div_ceil(workers);
-    let mut partials: Vec<Option<U>> = Vec::with_capacity(workers);
-    partials.resize_with(items.chunks(chunk).len(), || None);
-    std::thread::scope(|scope| {
-        for (w, (in_chunk, slot)) in items.chunks(chunk).zip(partials.iter_mut()).enumerate() {
-            let f = &f;
-            let reduce = &reduce;
-            scope.spawn(move || {
-                let _span = wcm_obs::span("par.worker");
-                let base = w * chunk;
-                *slot = in_chunk
-                    .iter()
-                    .enumerate()
-                    .map(|(j, item)| f(base + j, item))
-                    .reduce(reduce);
-            });
-        }
-    });
-    partials
-        .into_iter()
-        .map(|slot| slot.expect("non-empty chunks produce a partial"))
-        .reduce(&reduce)
+    let mut partials = run_blocks(
+        workers,
+        items.len(),
+        || (),
+        |(), mine, block| {
+            let partial = items[block.start..block.end]
+                .iter()
+                .enumerate()
+                .map(|(j, t)| f(block.start + j, t))
+                .reduce(&reduce)
+                .expect("blocks are non-empty");
+            mine.push((block.start, partial));
+        },
+    );
+    partials.sort_unstable_by_key(|&(start, _)| start);
+    partials.into_iter().map(|(_, p)| p).reduce(&reduce)
 }
 
-/// Like [`par_map`], but with **dynamic load balancing** and a per-worker
-/// state value (scratch buffers, RNGs, …) created once per worker by `init`.
+/// Like [`par_map`], but with a per-worker state value (scratch buffers,
+/// RNGs, …) created once per engaged worker by `init`.
 ///
-/// Workers claim fixed-size blocks of indices from a shared atomic cursor,
-/// so items with wildly different costs (e.g. design-sweep points that are
-/// either analytically pruned in nanoseconds or simulated in milliseconds)
-/// still spread evenly across threads. Each result is placed by its input
-/// index, so the output equals the sequential `out[i] = f(&mut s, i, &items[i])`
-/// for any worker count and any scheduling — workers share no locks on the
-/// hot path, only the block cursor.
+/// Workers claim fixed-size blocks from per-worker deques and steal from
+/// each other once their own span is drained, so items with wildly
+/// different costs (e.g. design-sweep points that are either analytically
+/// pruned in nanoseconds or simulated in milliseconds) still spread
+/// evenly across threads. Each result is placed by its input index, so
+/// the output equals the sequential `out[i] = f(&mut s, i, &items[i])`
+/// for any worker count and any scheduling.
 pub fn par_map_init<T, U, S, I, F>(
     par: Parallelism,
     items: &[T],
@@ -335,51 +388,15 @@ where
     }
     wcm_obs::counter("par.par_runs", 1);
     wcm_obs::counter("par.workers_spawned", workers as u64);
-    // Small blocks balance uneven costs; 8 blocks per worker keeps cursor
-    // contention negligible while bounding the worst-case idle tail.
-    let block = items.len().div_ceil(workers * 8).max(1);
-    let cursor = AtomicUsize::new(0);
-    let per_worker: Vec<Vec<(usize, Vec<U>)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                let (init, f, cursor) = (&init, &f, &cursor);
-                scope.spawn(move || {
-                    let _span = wcm_obs::span("par.worker");
-                    let mut state = init();
-                    let mut mine: Vec<(usize, Vec<U>)> = Vec::new();
-                    loop {
-                        let start = cursor.fetch_add(block, Ordering::Relaxed);
-                        if start >= items.len() {
-                            break;
-                        }
-                        let _block_span = wcm_obs::span("par.block");
-                        let end = (start + block).min(items.len());
-                        let vals: Vec<U> = items[start..end]
-                            .iter()
-                            .enumerate()
-                            .map(|(j, t)| f(&mut state, start + j, t))
-                            .collect();
-                        mine.push((start, vals));
-                    }
-                    mine
-                })
-            })
+    let parts = run_blocks(workers, items.len(), init, |state, mine, block| {
+        let vals: Vec<U> = items[block.start..block.end]
+            .iter()
+            .enumerate()
+            .map(|(j, t)| f(state, block.start + j, t))
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("par_map_init worker panicked"))
-            .collect()
+        mine.push((block.start, vals));
     });
-    let mut out: Vec<Option<U>> = Vec::with_capacity(items.len());
-    out.resize_with(items.len(), || None);
-    for (start, vals) in per_worker.into_iter().flatten() {
-        for (j, v) in vals.into_iter().enumerate() {
-            out[start + j] = Some(v);
-        }
-    }
-    out.into_iter()
-        .map(|slot| slot.expect("every block fills its own slots"))
-        .collect()
+    assemble(items.len(), parts)
 }
 
 /// Folds `items` with a **fixed pairwise tree**: adjacent pairs are combined
@@ -411,7 +428,6 @@ where
     }
     items.pop()
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -58,4 +58,7 @@ pub use pipeline::{
     simulate_pipeline, simulate_pipeline_robust, FifoConfig, OverflowPolicy, PipelineConfig,
     PipelineResult, RobustPipelineResult, SourceModel,
 };
-pub use sweep::{run_sweep, SweepError, SweepReport, SweepSpec, Verdict};
+pub use sweep::{
+    run_frontier, run_sweep, staircase_thresholds, FrontierMethod, FrontierReport, SweepError,
+    SweepReport, SweepSpec, Verdict,
+};

@@ -607,6 +607,91 @@ fn verdict_counter(v: Verdict) -> &'static str {
     }
 }
 
+/// Analytic verdicts for the whole grid, computed **before** point
+/// evaluation starts: for each `(clip, seed, capacity)` the contiguous
+/// run of frequencies goes through
+/// [`sizing::provably_overflows_batch`] in one autovectorizable pass
+/// over the seed's shared prefix summaries, then the eq. 9 safe bound is
+/// overlaid (safe wins on overlap, matching the order the scalar path
+/// checked them in). Point evaluation degrades to a table lookup.
+///
+/// The table is a pure function of `(ctxs, spec)` — policies don't enter
+/// the analytic bounds, thread counts don't enter the table — so reports
+/// stay bit-identical to the per-point pruning it replaces.
+struct AnalyticTable {
+    n_freq: usize,
+    n_cap: usize,
+    n_seed: usize,
+    /// `((clip·S + seed)·C + cap)·F + freq`; empty when pruning is off.
+    verdicts: Vec<Option<Verdict>>,
+}
+
+impl AnalyticTable {
+    fn build(ctxs: &[ClipContext], spec: &SweepSpec) -> Self {
+        let n_freq = spec.frequencies_hz.len();
+        let n_cap = spec.capacities.len();
+        let n_seed = spec.seeds.len();
+        if !spec.prune {
+            return Self {
+                n_freq,
+                n_cap,
+                n_seed,
+                verdicts: Vec::new(),
+            };
+        }
+        let _span = wcm_obs::span("sweep.analytic_table");
+        let mut verdicts = vec![None; ctxs.len() * n_seed * n_cap * n_freq];
+        let mut unsafe_run = vec![false; n_freq];
+        for (ci, ctx) in ctxs.iter().enumerate() {
+            for (si, pr) in ctx.prune.iter().enumerate() {
+                let Some(pr) = pr else { continue };
+                for (bi, &cap) in spec.capacities.iter().enumerate() {
+                    let base = ((ci * n_seed + si) * n_cap + bi) * n_freq;
+                    let run = &mut verdicts[base..base + n_freq];
+                    if let Some(gamma_l) = &pr.cert_gamma_l {
+                        sizing::provably_overflows_batch(
+                            &pr.cert_spans,
+                            gamma_l,
+                            pr.gamma_u1,
+                            &spec.frequencies_hz,
+                            cap,
+                            &mut unsafe_run,
+                        );
+                        for (v, &u) in run.iter_mut().zip(&unsafe_run) {
+                            if u {
+                                *v = Some(Verdict::ProvablyUnsafe);
+                            }
+                        }
+                    }
+                    // Overlaid last: the scalar path tested the safe
+                    // bound first, so on overlap safe must win here too.
+                    if let Some(f_min) = pr.f_min[bi] {
+                        for (v, &freq) in run.iter_mut().zip(&spec.frequencies_hz) {
+                            if freq >= f_min * (1.0 + SAFE_MARGIN) {
+                                *v = Some(Verdict::ProvablySafe);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Self {
+            n_freq,
+            n_cap,
+            n_seed,
+            verdicts,
+        }
+    }
+
+    fn verdict(&self, p: GridPoint) -> Option<Verdict> {
+        if self.verdicts.is_empty() {
+            return None;
+        }
+        self.verdicts
+            [((p.clip * self.n_seed + p.seed) * self.n_cap + p.cap) * self.n_freq + p.freq]
+    }
+}
+
 /// [`eval_point_inner`] plus observability: per-verdict counters and
 /// time-in-prune vs time-in-sim histograms. Timing happens only with the
 /// recorder enabled and never influences the returned value, so reports stay
@@ -615,13 +700,14 @@ fn eval_point(
     p: GridPoint,
     ctxs: &[ClipContext],
     spec: &SweepSpec,
+    table: &AnalyticTable,
     scratch: &mut SimScratch,
 ) -> Result<(Verdict, Option<SimDigest>), SimError> {
     if !wcm_obs::enabled() {
-        return eval_point_inner(p, ctxs, spec, scratch);
+        return eval_point_inner(p, ctxs, spec, table, scratch);
     }
     let t0 = wcm_obs::now_ns();
-    let out = eval_point_inner(p, ctxs, spec, scratch);
+    let out = eval_point_inner(p, ctxs, spec, table, scratch);
     let dt = wcm_obs::now_ns().saturating_sub(t0);
     match &out {
         Ok((verdict, sim)) => {
@@ -641,25 +727,15 @@ fn eval_point_inner(
     p: GridPoint,
     ctxs: &[ClipContext],
     spec: &SweepSpec,
+    table: &AnalyticTable,
     scratch: &mut SimScratch,
 ) -> Result<(Verdict, Option<SimDigest>), SimError> {
     let ctx = &ctxs[p.clip];
     let freq = spec.frequencies_hz[p.freq];
     let cap = spec.capacities[p.cap];
 
-    if spec.prune {
-        if let Some(pr) = &ctx.prune[p.seed] {
-            if let Some(f_min) = pr.f_min[p.cap] {
-                if freq >= f_min * (1.0 + SAFE_MARGIN) {
-                    return Ok((Verdict::ProvablySafe, None));
-                }
-            }
-            if let Some(gamma_l) = &pr.cert_gamma_l {
-                if sizing::provably_overflows(&pr.cert_spans, gamma_l, pr.gamma_u1, freq, cap) {
-                    return Ok((Verdict::ProvablyUnsafe, None));
-                }
-            }
-        }
+    if let Some(verdict) = table.verdict(p) {
+        return Ok((verdict, None));
     }
 
     let cfg = PipelineConfig {
@@ -702,31 +778,7 @@ pub fn run_sweep(
     spec: &SweepSpec,
     par: Parallelism,
 ) -> Result<SweepReport, SweepError> {
-    if clips.is_empty() {
-        return Err(SweepError::Invalid("no clips"));
-    }
-    if spec.frequencies_hz.is_empty()
-        || spec.capacities.is_empty()
-        || spec.policies.is_empty()
-        || spec.seeds.is_empty()
-    {
-        return Err(SweepError::Invalid("an axis of the grid is empty"));
-    }
-    if !(spec.pe1_hz.is_finite() && spec.pe1_hz > 0.0) {
-        return Err(SweepError::Invalid("pe1_hz must be positive and finite"));
-    }
-    if spec.k_max == 0 {
-        return Err(SweepError::Invalid("k_max must be at least 1"));
-    }
-    if spec
-        .frequencies_hz
-        .iter()
-        .any(|f| !(f.is_finite() && *f > 0.0))
-    {
-        return Err(SweepError::Invalid(
-            "frequencies must be positive and finite",
-        ));
-    }
+    validate(clips, spec)?;
 
     let _span = wcm_obs::span("sweep.run");
 
@@ -760,8 +812,11 @@ pub fn run_sweep(
         }
     }
 
-    // Phase 3: classify/simulate in parallel, one reusable scratch per
+    // Phase 3: batch-classify the grid analytically (one vectorized pass
+    // per (clip, seed, capacity) over the frequency run), then
+    // classify/simulate the rest in parallel, one reusable scratch per
     // worker. Results land by index: grid order in, grid order out.
+    let table = AnalyticTable::build(&ctxs, spec);
     let events_per_point = clips.iter().map(ClipWorkload::macroblock_count).sum::<usize>()
         / clips.len();
     let cost = (grid.len() as u64) * (events_per_point as u64).max(1) * 16;
@@ -769,7 +824,7 @@ pub fn run_sweep(
     let evaluated = {
         let _span = wcm_obs::span("sweep.eval");
         wcm_par::par_map_init(par, &grid, cost, SimScratch::new, |scratch, _, p| {
-            eval_point(*p, &ctxs, spec, scratch)
+            eval_point(*p, &ctxs, spec, &table, scratch)
         })
     };
 
@@ -830,6 +885,36 @@ pub fn run_sweep(
     })
 }
 
+/// Axis-validity checks shared by [`run_sweep`] and [`run_frontier`].
+fn validate(clips: &[ClipWorkload], spec: &SweepSpec) -> Result<(), SweepError> {
+    if clips.is_empty() {
+        return Err(SweepError::Invalid("no clips"));
+    }
+    if spec.frequencies_hz.is_empty()
+        || spec.capacities.is_empty()
+        || spec.policies.is_empty()
+        || spec.seeds.is_empty()
+    {
+        return Err(SweepError::Invalid("an axis of the grid is empty"));
+    }
+    if !(spec.pe1_hz.is_finite() && spec.pe1_hz > 0.0) {
+        return Err(SweepError::Invalid("pe1_hz must be positive and finite"));
+    }
+    if spec.k_max == 0 {
+        return Err(SweepError::Invalid("k_max must be at least 1"));
+    }
+    if spec
+        .frequencies_hz
+        .iter()
+        .any(|f| !(f.is_finite() && *f > 0.0))
+    {
+        return Err(SweepError::Invalid(
+            "frequencies must be positive and finite",
+        ));
+    }
+    Ok(())
+}
+
 /// Non-dominated `(frequency, capacity)` pairs where no clean point of
 /// any clip/policy overflows.
 fn pareto_frontier(points: &[PointReport], spec: &SweepSpec) -> Vec<(f64, u64)> {
@@ -847,6 +932,13 @@ fn pareto_frontier(points: &[PointReport], spec: &SweepSpec) -> Vec<(f64, u64)> 
             }
         }
     }
+    nondominated(&safe)
+}
+
+/// Strict-domination filter + canonical sort shared by the dense
+/// [`pareto_frontier`] and [`run_frontier`] — one implementation so the
+/// two paths cannot drift apart on ties or duplicate axis values.
+fn nondominated(safe: &[(f64, u64)]) -> Vec<(f64, u64)> {
     let mut frontier: Vec<(f64, u64)> = safe
         .iter()
         .copied()
@@ -858,6 +950,241 @@ fn pareto_frontier(points: &[PointReport], spec: &SweepSpec) -> Vec<(f64, u64)> 
         .collect();
     frontier.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     frontier
+}
+
+/// How [`run_frontier`] locates the Pareto frontier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrontierMethod {
+    /// Evaluate every `(frequency, capacity)` cell of the grid.
+    Dense,
+    /// Adaptive bisection of the monotone safe/unsafe staircase:
+    /// O(log |frequencies|) cell evaluations per capacity instead of the
+    /// full product, with a frontier identical to [`FrontierMethod::Dense`].
+    Bisect,
+}
+
+/// The Pareto frontier of a spec plus how much of the grid finding it
+/// took — the artifact [`FrontierMethod::Bisect`] exists to shrink.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierReport {
+    /// Non-dominated safe `(frequency_hz, capacity)` pairs, sorted by
+    /// frequency then capacity — same contract as
+    /// [`SweepReport::pareto`].
+    pub frontier: Vec<(f64, u64)>,
+    /// Cells of the `frequency × capacity` grid.
+    pub grid_cells: usize,
+    /// Cells whose safety was actually established by evaluating points
+    /// (analytic table lookups and simulations both count — the point is
+    /// the *cell* count bisection saves, not what deciding a cell costs).
+    pub evaluated_cells: usize,
+}
+
+/// Memoizing safety oracle over `(frequency, capacity)` cells: a cell is
+/// safe iff no clean-seed point of any clip/policy at that cell
+/// overflows — exactly the predicate of the dense [`pareto_frontier`].
+struct CellOracle<'a> {
+    ctxs: &'a [ClipContext],
+    spec: &'a SweepSpec,
+    table: &'a AnalyticTable,
+    clean_seeds: &'a [usize],
+    scratch: SimScratch,
+    cache: Vec<Option<bool>>,
+    evaluated: usize,
+    error: Option<SimError>,
+}
+
+impl CellOracle<'_> {
+    fn safe(&mut self, fi: usize, ci: usize) -> bool {
+        let idx = fi * self.spec.capacities.len() + ci;
+        if let Some(v) = self.cache[idx] {
+            return v;
+        }
+        if self.error.is_some() {
+            return false; // unwinding: the answer no longer matters
+        }
+        self.evaluated += 1;
+        let mut ok = true;
+        'all: for clip in 0..self.ctxs.len() {
+            for policy in 0..self.spec.policies.len() {
+                for &seed in self.clean_seeds {
+                    let p = GridPoint {
+                        clip,
+                        freq: fi,
+                        cap: ci,
+                        policy,
+                        seed,
+                    };
+                    match eval_point(p, self.ctxs, self.spec, self.table, &mut self.scratch) {
+                        Ok((v, _)) if v.overflowed() => {
+                            ok = false;
+                            break 'all;
+                        }
+                        Ok(_) => {}
+                        Err(e) => {
+                            self.error = Some(e);
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        self.cache[idx] = Some(ok);
+        ok
+    }
+}
+
+/// First-safe frequency thresholds of a monotone safety staircase, by
+/// divide-and-conquer bisection.
+///
+/// `safe(f, c)` is queried at *sorted* axis positions (frequency and
+/// capacity both ascending) and must be monotone: safe at `(f, c)`
+/// implies safe at `(f+1, c)` and `(f, c+1)`. Returns, per capacity
+/// position, the smallest frequency position that is safe (`n_freq` when
+/// none is). The middle capacity is solved by binary search, then each
+/// half recurses with the frequency window its neighbour's threshold
+/// pins — O((n_cap + log n_cap) · log n_freq) queries overall instead of
+/// `n_freq · n_cap`.
+///
+/// Public for property tests against brute-forced randomized monotone
+/// grids; sweep users want [`run_frontier`].
+pub fn staircase_thresholds(
+    n_freq: usize,
+    n_cap: usize,
+    safe: &mut dyn FnMut(usize, usize) -> bool,
+) -> Vec<usize> {
+    let mut t = vec![n_freq; n_cap];
+    solve_staircase(&mut t, 0, n_cap, 0, n_freq, safe);
+    t
+}
+
+/// Solves capacity positions `[clo, chi)` whose thresholds are known to
+/// lie in `[flo, fhi]` (monotonicity pins the window; a collapsed window
+/// answers without queries).
+fn solve_staircase(
+    t: &mut [usize],
+    clo: usize,
+    chi: usize,
+    flo: usize,
+    fhi: usize,
+    safe: &mut dyn FnMut(usize, usize) -> bool,
+) {
+    if clo >= chi {
+        return;
+    }
+    let cmid = clo + (chi - clo) / 2;
+    let (mut lo, mut hi) = (flo, fhi);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if safe(mid, cmid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    t[cmid] = lo;
+    // Smaller capacities need at least this frequency; larger ones at most.
+    solve_staircase(t, clo, cmid, lo, fhi, safe);
+    solve_staircase(t, cmid + 1, chi, flo, lo, safe);
+}
+
+/// Computes the Pareto frontier of `spec` without materializing a full
+/// [`SweepReport`] — and, with [`FrontierMethod::Bisect`], without even
+/// *visiting* most of the `frequency × capacity` grid.
+///
+/// The safe/unsafe boundary is monotone in both axes (a faster PE or a
+/// bigger FIFO never turns a safe cell unsafe — eq. 8's two sides move
+/// the right way), so the frontier is a staircase that
+/// [`staircase_thresholds`] locates with O(log grid) cell evaluations
+/// per capacity. The safe set is then rebuilt from the thresholds and
+/// pushed through the **same** non-domination filter in the **same**
+/// enumeration order as the dense path, so the result is bit-identical
+/// to [`SweepReport::pareto`] — duplicates and ties included.
+///
+/// # Errors
+///
+/// Same contract as [`run_sweep`].
+pub fn run_frontier(
+    clips: &[ClipWorkload],
+    spec: &SweepSpec,
+    par: Parallelism,
+    method: FrontierMethod,
+) -> Result<FrontierReport, SweepError> {
+    validate(clips, spec)?;
+    let _span = wcm_obs::span("sweep.frontier");
+
+    let ctxs: Vec<ClipContext> = {
+        let _span = wcm_obs::span("sweep.clip_analysis");
+        clips
+            .iter()
+            .map(|c| ClipContext::build(c, spec, par))
+            .collect::<Result<_, _>>()?
+    };
+    let table = AnalyticTable::build(&ctxs, spec);
+
+    let n_freq = spec.frequencies_hz.len();
+    let n_cap = spec.capacities.len();
+    let clean_seeds: Vec<usize> = spec
+        .seeds
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| s.is_none().then_some(i))
+        .collect();
+
+    // Stable ascending permutations of both axes: bisection runs in
+    // value order whatever order the spec lists them in, and stability
+    // keeps duplicate values deterministic.
+    let mut freq_order: Vec<usize> = (0..n_freq).collect();
+    freq_order.sort_by(|&a, &b| spec.frequencies_hz[a].total_cmp(&spec.frequencies_hz[b]));
+    let mut cap_order: Vec<usize> = (0..n_cap).collect();
+    cap_order.sort_by_key(|&i| spec.capacities[i]);
+    let mut fpos = vec![0usize; n_freq];
+    for (p, &i) in freq_order.iter().enumerate() {
+        fpos[i] = p;
+    }
+    let mut cpos = vec![0usize; n_cap];
+    for (p, &i) in cap_order.iter().enumerate() {
+        cpos[i] = p;
+    }
+
+    let mut oracle = CellOracle {
+        ctxs: &ctxs,
+        spec,
+        table: &table,
+        clean_seeds: &clean_seeds,
+        scratch: SimScratch::new(),
+        cache: vec![None; n_freq * n_cap],
+        evaluated: 0,
+        error: None,
+    };
+
+    let thresholds = match method {
+        FrontierMethod::Bisect => staircase_thresholds(n_freq, n_cap, &mut |fp, cp| {
+            oracle.safe(freq_order[fp], cap_order[cp])
+        }),
+        FrontierMethod::Dense => Vec::new(),
+    };
+
+    let mut safe: Vec<(f64, u64)> = Vec::new();
+    for (fi, &f) in spec.frequencies_hz.iter().enumerate() {
+        for (ci, &c) in spec.capacities.iter().enumerate() {
+            let is_safe = match method {
+                FrontierMethod::Bisect => fpos[fi] >= thresholds[cpos[ci]],
+                FrontierMethod::Dense => oracle.safe(fi, ci),
+            };
+            if is_safe {
+                safe.push((f, c));
+            }
+        }
+    }
+    if let Some(e) = oracle.error {
+        return Err(e.into());
+    }
+    wcm_obs::counter("sweep.frontier_cells_evaluated", oracle.evaluated as u64);
+    Ok(FrontierReport {
+        frontier: nondominated(&safe),
+        grid_cells: n_freq * n_cap,
+        evaluated_cells: oracle.evaluated,
+    })
 }
 
 impl SweepReport {

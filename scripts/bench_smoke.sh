@@ -55,9 +55,13 @@ check "curves.speedup_prefix_vs_old"  "$(jq .window_sums.speedup_prefix_vs_old B
 if [ "$(nproc)" -ge 4 ]; then
     check "curves.speedup_par_vs_seq" "$(jq .window_sums.speedup_par_vs_seq BENCH_curves.json)" ">=" 0.85
     check "curves.min_spans_speedup"  "$(jq .min_spans.speedup              BENCH_curves.json)" ">=" 0.85
+    # Multi-core guard: the work-stealing pool must turn 4 cores into at
+    # least a 2x pruned-sweep speedup over 1 thread.
+    check "sweep.speedup_at_4"        "$(jq .sweep.speedup_at_4 BENCH_sweep.json)" ">=" 2.0
 else
     echo "SKIPPED curves.speedup_par_vs_seq (nproc $(nproc) < 4: thread-scaling ratio is noise-bound)"
     echo "SKIPPED curves.min_spans_speedup (nproc $(nproc) < 4: thread-scaling ratio is noise-bound)"
+    echo "SKIPPED sweep.speedup_at_4 (nproc $(nproc) < 4: no 4-thread rung on this host)"
 fi
 check "curves.merge_overhead"         "$(jq .chunk_summaries.merge_overhead_vs_single BENCH_curves.json)" "<=" 1.5
 check "curves.append_over_rebuild"    "$(jq .append_one_gop.append_over_rebuild BENCH_curves.json)" "<=" 0.25
@@ -67,6 +71,12 @@ check "curves.append_over_rebuild"    "$(jq .append_one_gop.append_over_rebuild 
 # stay clearly ahead of the legacy heap loop (ns/event).
 check "sweep.points_per_s_speedup"    "$(jq .sweep.speedup_par_pruned_vs_seq_unpruned BENCH_sweep.json)" ">=" 2.0
 check "sweep.simulator_speedup"       "$(jq .simulator.speedup BENCH_sweep.json)" ">=" 3.0
+
+# Frontier bisection: must locate the identical Pareto frontier while
+# deciding at most a quarter of the dense grid's cells. Both properties
+# are thread- and load-independent, so they hold on any host.
+check "frontier.identical"            "$(jq '.frontier.identical | if . then 1 else 0 end' BENCH_sweep.json)" "==" 1
+check "frontier.bisect_fraction"      "$(jq .frontier.bisect_fraction BENCH_sweep.json)" "<=" 0.25
 
 # Observability: the live MemRecorder must cost < 3% on the sweep hot
 # path (median paired ratio, interleaved at single-sweep granularity so
