@@ -296,6 +296,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ]);
     let (conv_seq, conv_par) = (conv.best(0), conv.best(1));
 
+    // Binary wire format: encode and decode throughput on the same
+    // N-event demand+timestamp trace, plus the cost of the lenient
+    // (resync-capable) reader on a clean stream relative to strict —
+    // graceful degradation must not tax the happy path.
+    let encode_wire = || {
+        let mut enc = wcm_wire::StreamEncoder::new();
+        enc.meta("bench");
+        enc.demands(&v);
+        enc.times(&t).expect("finite timestamps");
+        enc.finish()
+    };
+    let wire_bytes = encode_wire();
+    let wire_mb = wire_bytes.len() as f64 / 1e6;
+    let wire = measure([
+        &mut || time_once(encode_wire),
+        &mut || {
+            time_once(|| wcm_wire::decode(&wire_bytes, wcm_wire::DecodePolicy::Strict).unwrap())
+        },
+        &mut || {
+            time_once(|| {
+                wcm_wire::decode(&wire_bytes, wcm_wire::DecodePolicy::SkipCorrupt).unwrap()
+            })
+        },
+    ]);
+    let (wire_enc_s, wire_dec_s, wire_lenient_s) = (wire.best(0), wire.best(1), wire.best(2));
+    let wire_lenient_ratio = wire.speedup(2, 1);
+    {
+        let back = wcm_wire::decode(&wire_bytes, wcm_wire::DecodePolicy::Strict).unwrap();
+        assert_eq!(back.demands, v, "wire round trip lost demands");
+        assert!(back.report.is_clean(), "clean stream decoded unclean");
+    }
+
     let scaling_json = counts
         .iter()
         .enumerate()
@@ -318,6 +350,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         });
 
     let speedup_old_vs_par = core.speedup(0, 2);
+    let wire_enc_mb_s = wire_mb / wire_enc_s;
+    let wire_enc_ev_s = N as f64 * 2.0 / wire_enc_s; // demand + timestamp per event
+    let wire_dec_mb_s = wire_mb / wire_dec_s;
+    let wire_dec_ev_s = N as f64 * 2.0 / wire_dec_s;
     let json = format!(
         "{{\n  \"config\": {{ \"n_events\": {N}, \"k_max\": {K}, \"threads\": {threads}, \"reps\": {REPS}, \"gop_events\": {GOP_EVENTS} }},\n\
          \x20 \"window_sums\": {{\n\
@@ -343,7 +379,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          \x20   \"append_over_rebuild\": {append_ratio:.4}\n\
          \x20 }},\n\
          \x20 \"min_spans\": {{ \"seq_s\": {spans_seq:.6}, \"par_s\": {spans_par:.6}, \"speedup\": {:.1} }},\n\
-         \x20 \"minplus_convolve_96seg\": {{ \"seq_s\": {conv_seq:.6}, \"par_s\": {conv_par:.6}, \"speedup\": {:.1} }}\n}}\n",
+         \x20 \"minplus_convolve_96seg\": {{ \"seq_s\": {conv_seq:.6}, \"par_s\": {conv_par:.6}, \"speedup\": {:.1} }},\n\
+         \x20 \"wire\": {{\n\
+         \x20   \"stream_mb\": {wire_mb:.3},\n\
+         \x20   \"events\": {N},\n\
+         \x20   \"encode_s\": {wire_enc_s:.6},\n\
+         \x20   \"encode_mb_s\": {wire_enc_mb_s:.1},\n\
+         \x20   \"encode_events_s\": {wire_enc_ev_s:.0},\n\
+         \x20   \"decode_strict_s\": {wire_dec_s:.6},\n\
+         \x20   \"decode_mb_s\": {wire_dec_mb_s:.1},\n\
+         \x20   \"decode_events_s\": {wire_dec_ev_s:.0},\n\
+         \x20   \"decode_lenient_clean_s\": {wire_lenient_s:.6},\n\
+         \x20   \"lenient_overhead_vs_strict\": {wire_lenient_ratio:.2}\n\
+         \x20 }}\n}}\n",
         core.speedup(0, 1),
         core.speedup(1, 2),
         summaries.speedup(1, 0),

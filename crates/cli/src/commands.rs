@@ -52,9 +52,21 @@ subcommands:
            plus how many cells deciding it took (no --json/--csv)
            --trace-out writes a chrome://tracing JSON trace of the run,
            --metrics-out a counters/gauges/histograms summary
+           --clips entries ending in `.wcmt' are read as binary clip
+           streams (made with `wcm_mpeg::wire') instead of profile names
   validate [--json FILE] [--csv FILE] [--trace FILE] [--metrics FILE]
-           strictly parse emitted report/trace/metrics artifacts
-           (exit 0 if every given file is well-formed, 3 otherwise)
+           [--wcmt FILE]
+           strictly parse emitted report/trace/metrics/wire artifacts
+           (exit 0 if every given file is well-formed, 3 otherwise;
+           a file cut off mid-record is reported as file:line:byte)
+  trace    encode --out FILE [--demands FILE] [--times FILE] [--name N]
+           decode --in FILE [--policy strict|skip-corrupt]
+                  [--out-demands FILE] [--out-times FILE]
+           verify --in FILE
+           convert between text traces and the versioned binary `.wcmt'
+           wire format; decode prints a frame-level report. Exit codes:
+           0 clean, 2 stream carries no events, 3 malformed/truncated,
+           4 partial decode (skip-corrupt survived by dropping frames)
   help     this text
 
 inject specs (name:key=val,key=val):
@@ -407,24 +419,30 @@ pub fn faults(opts: &Options) -> Result<(), CliError> {
 pub fn sweep(opts: &Options) -> Result<(), CliError> {
     let params = wcm_mpeg::VideoParams::main_profile_main_level()?;
     let all = wcm_mpeg::profile::standard_clips();
-    let profiles: Vec<_> = match opts.optional("clips").unwrap_or("all") {
-        "all" => all,
-        list => list
-            .split(',')
-            .map(|name| {
-                all.iter()
-                    .find(|c| c.name == name)
-                    .cloned()
-                    .ok_or_else(|| format!("unknown clip `{name}` (try `mpeg --clip list`)"))
-            })
-            .collect::<Result<_, _>>()?,
-    };
     let gops = opts.usize_or("gops", 1)?;
     let synth = wcm_mpeg::Synthesizer::new(params);
-    let clips: Vec<_> = profiles
-        .iter()
-        .map(|p| synth.generate(p, gops))
-        .collect::<Result<_, _>>()?;
+    // `--clips` entries are synthesizer profile names or paths to `.wcmt`
+    // streams of pre-encoded clip workloads (see `wcm_mpeg::wire`).
+    let mut clips: Vec<wcm_mpeg::ClipWorkload> = Vec::new();
+    match opts.optional("clips").unwrap_or("all") {
+        "all" => {
+            for p in &all {
+                clips.push(synth.generate(p, gops)?);
+            }
+        }
+        list => {
+            for entry in list.split(',') {
+                if entry.ends_with(".wcmt") {
+                    clips.extend(load_wire_clips(Path::new(entry))?);
+                } else {
+                    let p = all.iter().find(|c| c.name == entry).ok_or_else(|| {
+                        format!("unknown clip `{entry}` (try `mpeg --clip list`)")
+                    })?;
+                    clips.push(synth.generate(p, gops)?);
+                }
+            }
+        }
+    }
 
     let frequencies_hz: Vec<f64> = parse_list(opts.required("pe2-mhz")?, "pe2-mhz")?
         .into_iter()
@@ -605,22 +623,208 @@ pub fn validate(opts: &Options) -> Result<(), CliError> {
 
     if let Some(path) = opts.optional("csv") {
         let text = read_artifact(path)?;
-        let rows = wcm_obs::csv::parse_table(&text).map_err(|e| CliError::Parse {
-            path: path.into(),
-            line: e.line,
-            token: String::new(),
-            reason: e.msg,
+        let rows = wcm_obs::csv::parse_table(&text).map_err(|e| {
+            if e.eof {
+                // The file ended mid-record: a truncated transfer, not
+                // malformed bytes. Report the cut as file:line:byte.
+                CliError::Truncated {
+                    path: path.into(),
+                    line: e.line,
+                    byte: e.byte,
+                }
+            } else {
+                CliError::Parse {
+                    path: path.into(),
+                    line: e.line,
+                    token: String::new(),
+                    reason: e.msg,
+                }
+            }
         })?;
         println!("csv {path} ok ({} records)", rows.len());
         checked += 1;
     }
 
+    if let Some(path) = opts.optional("wcmt") {
+        let bytes = std::fs::read(path).map_err(|source| CliError::Io {
+            path: path.into(),
+            source,
+        })?;
+        let decoded = wcm_wire::decode(&bytes, wcm_wire::DecodePolicy::Strict)
+            .map_err(|e| io::wire_error(Path::new(path), &e))?;
+        println!(
+            "wcmt {path} ok ({} frame(s), {} demand(s), {} time(s))",
+            decoded.report.frames_read,
+            decoded.demands.len(),
+            decoded.times.len()
+        );
+        checked += 1;
+    }
+
     if checked == 0 {
         return Err(CliError::Usage(
-            "validate needs at least one of --json/--csv/--trace/--metrics".to_string(),
+            "validate needs at least one of --json/--csv/--trace/--metrics/--wcmt".to_string(),
         ));
     }
     Ok(())
+}
+
+/// `trace` subcommand: convert between text traces and the versioned
+/// binary `.wcmt` wire format.
+///
+/// The exit-code contract (the one documented exception to the global
+/// table, see [`CliError::exit_code`]): 0 = decoded clean, 2 = stream
+/// carries no events, 3 = malformed or truncated under `--policy strict`,
+/// 4 = `--policy skip-corrupt` produced output but skipped corrupt frames
+/// or hit truncation.
+pub fn trace(action: &str, opts: &Options) -> Result<(), CliError> {
+    match action {
+        "encode" => trace_encode(opts),
+        "decode" => trace_decode(opts),
+        "verify" => trace_verify(opts),
+        other => Err(CliError::Usage(format!(
+            "trace: unknown action `{other}` (expected encode|decode|verify)"
+        ))),
+    }
+}
+
+fn trace_encode(opts: &Options) -> Result<(), CliError> {
+    let out = opts.required("out")?;
+    let mut enc = wcm_wire::StreamEncoder::new();
+    enc.meta(opts.optional("name").unwrap_or("trace"));
+    let mut wrote = false;
+    if let Some(path) = opts.optional("demands") {
+        enc.demands(&io::read_demands(Path::new(path))?);
+        wrote = true;
+    }
+    if let Some(path) = opts.optional("times") {
+        enc.times(&io::read_times(Path::new(path))?)
+            .map_err(|e| CliError::Analysis(e.to_string()))?;
+        wrote = true;
+    }
+    if !wrote {
+        return Err(CliError::Usage(
+            "trace encode needs --demands and/or --times".to_string(),
+        ));
+    }
+    let bytes = enc.finish();
+    write_report_bytes(Path::new(out), &bytes)?;
+    println!("encoded {} byte(s) to {out}", bytes.len());
+    Ok(())
+}
+
+fn trace_decode(opts: &Options) -> Result<(), CliError> {
+    let path = Path::new(opts.required("in")?);
+    let policy = match opts.optional("policy").unwrap_or("strict") {
+        "strict" => wcm_wire::DecodePolicy::Strict,
+        "skip-corrupt" => wcm_wire::DecodePolicy::SkipCorrupt,
+        other => {
+            return Err(CliError::Usage(format!(
+                "--policy: `{other}` is not strict|skip-corrupt"
+            )))
+        }
+    };
+    let bytes = read_wire_bytes(path)?;
+    let decoded =
+        wcm_wire::decode(&bytes, policy).map_err(|e| io::wire_error(path, &e))?;
+
+    if let Some(out) = opts.optional("out-demands") {
+        let mut text = String::new();
+        for d in &decoded.demands {
+            text.push_str(&format!("{d}\n"));
+        }
+        write_report(Path::new(out), &text)?;
+    }
+    if let Some(out) = opts.optional("out-times") {
+        let mut text = String::new();
+        for t in &decoded.times {
+            text.push_str(&format!("{t}\n"));
+        }
+        write_report(Path::new(out), &text)?;
+    }
+
+    let r = &decoded.report;
+    if let Some(name) = &decoded.name {
+        println!("name {name}");
+    }
+    println!(
+        "demands {} times {} typed_events {} summaries {} app_frames {}",
+        decoded.demands.len(),
+        decoded.times.len(),
+        r.events_decoded,
+        decoded.summaries.len(),
+        decoded.app_frames.len()
+    );
+    println!(
+        "frames_read {} frames_skipped {} frames_unknown {} bytes_lost {}",
+        r.frames_read, r.frames_skipped, r.frames_unknown, r.bytes_lost
+    );
+    println!("truncated {} clean_end {}", r.truncated, r.clean_end);
+
+    // Degraded-but-usable beats empty in the exit contract: a stream
+    // whose every data frame was skipped still exits 4, not 2.
+    if !r.is_clean() {
+        return Err(CliError::WirePartial {
+            path: path.to_path_buf(),
+            frames_skipped: r.frames_skipped,
+            bytes_lost: r.bytes_lost,
+        });
+    }
+    if decoded.is_empty() {
+        return Err(CliError::WireEmpty {
+            path: path.to_path_buf(),
+        });
+    }
+    Ok(())
+}
+
+fn trace_verify(opts: &Options) -> Result<(), CliError> {
+    let path = Path::new(opts.required("in")?);
+    let bytes = read_wire_bytes(path)?;
+    let decoded = wcm_wire::decode(&bytes, wcm_wire::DecodePolicy::Strict)
+        .map_err(|e| io::wire_error(path, &e))?;
+    if decoded.is_empty() {
+        return Err(CliError::WireEmpty {
+            path: path.to_path_buf(),
+        });
+    }
+    println!(
+        "{} ok: {} frame(s), {} demand(s), {} time(s), {} typed event(s)",
+        path.display(),
+        decoded.report.frames_read,
+        decoded.demands.len(),
+        decoded.times.len(),
+        decoded.report.events_decoded
+    );
+    Ok(())
+}
+
+/// Loads every clip workload from a `.wcmt` stream (strict decode).
+fn load_wire_clips(path: &Path) -> Result<Vec<wcm_mpeg::ClipWorkload>, CliError> {
+    let bytes = read_wire_bytes(path)?;
+    let (clips, _report) =
+        wcm_mpeg::wire::decode_clips(&bytes, wcm_wire::DecodePolicy::Strict)
+            .map_err(|e| io::wire_error(path, &e))?;
+    if clips.is_empty() {
+        return Err(CliError::WireEmpty {
+            path: path.to_path_buf(),
+        });
+    }
+    Ok(clips)
+}
+
+fn read_wire_bytes(path: &Path) -> Result<Vec<u8>, CliError> {
+    std::fs::read(path).map_err(|source| CliError::Io {
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
+fn write_report_bytes(path: &Path, contents: &[u8]) -> Result<(), CliError> {
+    std::fs::write(path, contents).map_err(|source| CliError::Io {
+        path: path.to_path_buf(),
+        source,
+    })
 }
 
 fn read_artifact(path: &str) -> Result<String, CliError> {
@@ -631,10 +835,18 @@ fn read_artifact(path: &str) -> Result<String, CliError> {
 }
 
 /// Maps a byte-offset JSON error onto the file:line:token shape of
-/// [`CliError::Parse`].
+/// [`CliError::Parse`] — or [`CliError::Truncated`] when the parser says
+/// the input simply ended too early.
 fn json_parse_error(path: &str, text: &str, e: &wcm_obs::json::JsonError) -> CliError {
     let offset = e.offset.min(text.len());
     let line = 1 + text[..offset].bytes().filter(|&b| b == b'\n').count();
+    if e.eof {
+        return CliError::Truncated {
+            path: path.into(),
+            line,
+            byte: offset,
+        };
+    }
     let token: String = text[offset..].chars().take(12).collect();
     CliError::Parse {
         path: path.into(),

@@ -11,6 +11,15 @@
 //! | 2    | usage error (unknown subcommand, bad options)       |
 //! | 3    | input error (unreadable or malformed trace file)    |
 //! | 4    | envelope-monitor violations (`faults --monitor on`) |
+//!
+//! The `trace` subcommand reuses these numbers with a stream-oriented
+//! reading — the one documented exception to the table above: 0 = decoded
+//! clean, 2 = stream decodes to no events ([`CliError::WireEmpty`]), 3 =
+//! malformed or truncated ([`CliError::WireMalformed`], [`CliError::Truncated`]),
+//! 4 = partial decode, corrupt frames skipped ([`CliError::WirePartial`]).
+//! The numbers stay in their classes (2 "nothing to do", 3 "bad input",
+//! 4 "ran fine, degraded outcome"), so scripts branching on the global
+//! table still do the right thing.
 
 use std::error::Error;
 use std::fmt;
@@ -65,6 +74,42 @@ pub enum CliError {
         /// Total violations across all window sizes.
         count: u64,
     },
+    /// An input file ended mid-record (truncated transfer). Exit code 3,
+    /// reported as `file:line:byte` so the cut point is findable.
+    Truncated {
+        /// The truncated file.
+        path: PathBuf,
+        /// 1-indexed line of the cut (1 for binary streams).
+        line: usize,
+        /// Absolute byte offset of the cut.
+        byte: usize,
+    },
+    /// A binary wire stream was malformed (bad magic, CRC failure,
+    /// structural violation). Exit code 3.
+    WireMalformed {
+        /// The offending file.
+        path: PathBuf,
+        /// Byte offset where decoding failed.
+        offset: usize,
+        /// The decoder's reason.
+        reason: String,
+    },
+    /// A wire stream decoded cleanly but contained no events. Exit code 2
+    /// (the `trace` contract's "nothing to do").
+    WireEmpty {
+        /// The empty stream.
+        path: PathBuf,
+    },
+    /// A lenient decode survived by skipping corrupt frames. Exit code 4:
+    /// usable output was produced, but it is not the whole stream.
+    WirePartial {
+        /// The damaged file.
+        path: PathBuf,
+        /// Frames (damage regions) skipped.
+        frames_skipped: u64,
+        /// Bytes lost while resynchronising.
+        bytes_lost: u64,
+    },
 }
 
 impl CliError {
@@ -73,12 +118,14 @@ impl CliError {
     pub fn exit_code(&self) -> u8 {
         match self {
             CliError::Analysis(_) => 1,
-            CliError::Usage(_) => 2,
+            CliError::Usage(_) | CliError::WireEmpty { .. } => 2,
             CliError::Io { .. }
             | CliError::Parse { .. }
             | CliError::Empty { .. }
-            | CliError::Unsorted { .. } => 3,
-            CliError::Violations { .. } => 4,
+            | CliError::Unsorted { .. }
+            | CliError::Truncated { .. }
+            | CliError::WireMalformed { .. } => 3,
+            CliError::Violations { .. } | CliError::WirePartial { .. } => 4,
         }
     }
 
@@ -116,6 +163,32 @@ impl fmt::Display for CliError {
             CliError::Violations { count } => {
                 write!(f, "envelope monitor flagged {count} violation(s)")
             }
+            CliError::Truncated { path, line, byte } => write!(
+                f,
+                "{}:{line}:{byte}: unexpected end of file (truncated input)",
+                path.display()
+            ),
+            CliError::WireMalformed {
+                path,
+                offset,
+                reason,
+            } => write!(
+                f,
+                "{}: malformed wire stream at byte {offset}: {reason}",
+                path.display()
+            ),
+            CliError::WireEmpty { path } => {
+                write!(f, "{}: stream decodes to no events", path.display())
+            }
+            CliError::WirePartial {
+                path,
+                frames_skipped,
+                bytes_lost,
+            } => write!(
+                f,
+                "{}: partial decode: skipped {frames_skipped} corrupt frame(s), lost {bytes_lost} byte(s)",
+                path.display()
+            ),
         }
     }
 }
@@ -182,6 +255,47 @@ mod tests {
         );
         assert_eq!(CliError::Analysis("x".into()).exit_code(), 1);
         assert_eq!(CliError::Violations { count: 3 }.exit_code(), 4);
+        // The `trace` contract: 2 empty, 3 malformed/truncated, 4 partial.
+        assert_eq!(CliError::WireEmpty { path: "t.wcmt".into() }.exit_code(), 2);
+        assert_eq!(
+            CliError::Truncated {
+                path: "t.wcmt".into(),
+                line: 1,
+                byte: 96,
+            }
+            .exit_code(),
+            3
+        );
+        assert_eq!(
+            CliError::WireMalformed {
+                path: "t.wcmt".into(),
+                offset: 8,
+                reason: "frame CRC mismatch".into(),
+            }
+            .exit_code(),
+            3
+        );
+        assert_eq!(
+            CliError::WirePartial {
+                path: "t.wcmt".into(),
+                frames_skipped: 2,
+                bytes_lost: 40,
+            }
+            .exit_code(),
+            4
+        );
+    }
+
+    #[test]
+    fn truncation_names_file_line_and_byte() {
+        let e = CliError::Truncated {
+            path: "report.csv".into(),
+            line: 12,
+            byte: 431,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("report.csv:12:431"), "{msg}");
+        assert!(msg.contains("truncated"), "{msg}");
     }
 
     #[test]

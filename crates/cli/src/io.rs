@@ -1,41 +1,66 @@
-//! Trace-file reading: whitespace/newline-separated numbers, `#` comments.
+//! Trace-file reading: whitespace/newline-separated numbers, `#` comments,
+//! and transparent binary `.wcmt` wire streams.
 //!
 //! All readers return [`CliError`] values that carry the file, the
 //! 1-indexed line and the first offending token, so a malformed trace is
 //! reported as `trace.txt:17: bad token ...` rather than a bare message.
+//! Files starting with the `WCMT` magic are decoded with the strict wire
+//! reader instead of the text parser, so every subcommand that takes
+//! `--demands`/`--times` accepts either representation.
 
 use crate::error::CliError;
 use std::fs;
 use std::path::Path;
 
-/// Reads a demand trace: one non-negative integer (cycles) per token.
+/// Reads a demand trace: one non-negative integer (cycles) per token, or
+/// the demand frames of a binary `.wcmt` stream.
 ///
 /// # Errors
 ///
 /// [`CliError::Io`] if the file is unreadable, [`CliError::Parse`] with
 /// the first offending line/token, [`CliError::Empty`] for a file with no
-/// values.
+/// values; wire streams add [`CliError::Truncated`] and
+/// [`CliError::WireMalformed`].
 pub fn read_demands(path: &Path) -> Result<Vec<u64>, CliError> {
+    if let Some(decoded) = try_read_wire(path)? {
+        if decoded.demands.is_empty() {
+            return Err(CliError::Empty {
+                path: path.to_path_buf(),
+            });
+        }
+        return Ok(decoded.demands);
+    }
     parse_tokens(path, |tok| {
         tok.parse::<u64>().map_err(|e| e.to_string())
     })
 }
 
-/// Reads a timestamp trace: one finite float (seconds) per token; must be
-/// sorted non-decreasingly.
+/// Reads a timestamp trace: one finite float (seconds) per token, or the
+/// timestamp frames of a binary `.wcmt` stream; must be sorted
+/// non-decreasingly.
 ///
 /// # Errors
 ///
 /// As [`read_demands`], plus [`CliError::Unsorted`] naming the line on
 /// which time first went backwards.
 pub fn read_times(path: &Path) -> Result<Vec<f64>, CliError> {
-    let times = parse_tokens(path, |tok| {
-        let v: f64 = tok.parse().map_err(|e: std::num::ParseFloatError| e.to_string())?;
-        if !v.is_finite() {
-            return Err("not a finite number".to_string());
+    let times = match try_read_wire(path)? {
+        Some(decoded) => {
+            if decoded.times.is_empty() {
+                return Err(CliError::Empty {
+                    path: path.to_path_buf(),
+                });
+            }
+            decoded.times
         }
-        Ok(v)
-    })?;
+        None => parse_tokens(path, |tok| {
+            let v: f64 = tok.parse().map_err(|e: std::num::ParseFloatError| e.to_string())?;
+            if !v.is_finite() {
+                return Err("not a finite number".to_string());
+            }
+            Ok(v)
+        })?,
+    };
     if let Some(i) = (1..times.len()).find(|&i| times[i] < times[i - 1]) {
         // Map the value index back to its source line for the report.
         let line = nth_value_line(path, i).unwrap_or(0);
@@ -45,6 +70,45 @@ pub fn read_times(path: &Path) -> Result<Vec<f64>, CliError> {
         });
     }
     Ok(times)
+}
+
+/// Decodes `path` strictly as a WCMT wire stream if it starts with the
+/// magic. `Ok(None)` means "not a wire file — use the text parser".
+fn try_read_wire(path: &Path) -> Result<Option<wcm_wire::Decoded>, CliError> {
+    let bytes = fs::read(path).map_err(|source| CliError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    if !bytes.starts_with(&wcm_wire::MAGIC) {
+        return Ok(None);
+    }
+    wcm_wire::decode(&bytes, wcm_wire::DecodePolicy::Strict)
+        .map(Some)
+        .map_err(|e| wire_error(path, &e))
+}
+
+/// Maps a strict-decode [`wcm_wire::WireError`] onto the CLI taxonomy:
+/// truncation-class failures become [`CliError::Truncated`] (binary streams
+/// are "line 1"), everything else [`CliError::WireMalformed`].
+pub(crate) fn wire_error(path: &Path, e: &wcm_wire::WireError) -> CliError {
+    if e.is_truncation() {
+        return CliError::Truncated {
+            path: path.to_path_buf(),
+            line: 1,
+            byte: e.offset,
+        };
+    }
+    // WireError's Display already leads with "wire error at byte N: ";
+    // keep only the cause since WireMalformed prints its own offset.
+    let full = e.to_string();
+    let reason = full
+        .split_once(": ")
+        .map_or(full.clone(), |(_, r)| r.to_string());
+    CliError::WireMalformed {
+        path: path.to_path_buf(),
+        offset: e.offset,
+        reason,
+    }
 }
 
 /// Parses every non-comment token of `path` with `parse`, tracking line
@@ -169,5 +233,70 @@ mod tests {
     fn missing_file_is_io_error() {
         let p = Path::new("/nonexistent/wcm-x.txt");
         assert!(matches!(read_demands(p), Err(CliError::Io { .. })));
+    }
+
+    fn tmp_bytes(tag: &str, content: &[u8]) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("wcm-cli-test-{}-{tag}.wcmt", std::process::id()));
+        fs::write(&p, content).unwrap();
+        p
+    }
+
+    #[test]
+    fn reads_binary_wire_streams_transparently() {
+        let mut enc = wcm_wire::StreamEncoder::new();
+        enc.meta("io-test");
+        enc.demands(&[5, 10, 15]);
+        enc.times(&[0.0, 0.5, 1.0]).unwrap();
+        let p = tmp_bytes("roundtrip", &enc.finish());
+        assert_eq!(read_demands(&p).unwrap(), vec![5, 10, 15]);
+        assert_eq!(read_times(&p).unwrap(), vec![0.0, 0.5, 1.0]);
+        fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn truncated_wire_stream_reports_line_one_and_byte() {
+        let bytes = wcm_wire::encode_demands("cut", &[1, 2, 3]);
+        let cut = bytes.len() - 4;
+        let p = tmp_bytes("truncated", &bytes[..cut]);
+        match read_demands(&p) {
+            Err(CliError::Truncated { line, byte, .. }) => {
+                assert_eq!(line, 1);
+                assert!(byte <= cut, "cut point {byte} past file end {cut}");
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn corrupt_wire_stream_is_malformed() {
+        let mut bytes = wcm_wire::encode_demands("flip", &[1, 2, 3]);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        let p = tmp_bytes("corrupt", &bytes);
+        match read_demands(&p) {
+            Err(CliError::WireMalformed { reason, .. }) => {
+                assert!(!reason.is_empty());
+                assert!(
+                    !reason.contains("wire error at byte"),
+                    "offset prefix should be stripped: {reason}"
+                );
+            }
+            // A flip in the demand payload itself can also surface as a
+            // truncation if it hits the length field.
+            Err(CliError::Truncated { .. }) => {}
+            other => panic!("expected WireMalformed, got {other:?}"),
+        }
+        fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn empty_wire_stream_reports_empty() {
+        let enc = wcm_wire::StreamEncoder::new();
+        let p = tmp_bytes("empty", &enc.finish());
+        assert!(matches!(read_demands(&p), Err(CliError::Empty { .. })));
+        assert!(matches!(read_times(&p), Err(CliError::Empty { .. })));
+        fs::remove_file(p).ok();
     }
 }

@@ -22,13 +22,19 @@
 //!   `--trace-out`/`--metrics-out` the run is captured by the `wcm-obs`
 //!   recorder and exported as a `chrome://tracing` trace and a metrics
 //!   summary;
-//! * `validate --json/--csv/--trace/--metrics FILE ...` — strictly parse
-//!   emitted artifacts with the in-repo zero-dependency readers.
+//! * `validate --json/--csv/--trace/--metrics/--wcmt FILE ...` — strictly
+//!   parse emitted artifacts with the in-repo zero-dependency readers;
+//! * `trace encode|decode|verify ...` — convert between text traces and
+//!   the versioned binary `.wcmt` wire format, decode damaged streams
+//!   leniently (`--policy skip-corrupt`) and verify integrity.
 //!
 //! All output is plain text, one row per `k`/`Δ`, suitable for plotting.
 //!
 //! Exit codes are stable (see [`error::CliError::exit_code`]): 0 success,
 //! 1 analysis error, 2 usage, 3 bad input file, 4 monitor violations.
+//! `trace` keeps the numbers in their classes with a stream-oriented
+//! reading: 0 clean, 2 empty stream, 3 malformed/truncated, 4 partial
+//! decode with skipped frames.
 
 use std::process::ExitCode;
 
@@ -58,6 +64,17 @@ fn run(argv: &[String]) -> Result<(), CliError> {
     let Some((cmd, rest)) = argv.split_first() else {
         return Err(CliError::Usage("missing subcommand".to_string()));
     };
+    // `trace` takes a positional action (`encode|decode|verify`) before
+    // its options — the only subcommand that does.
+    if cmd == "trace" {
+        let Some((action, rest)) = rest.split_first() else {
+            return Err(CliError::Usage(
+                "trace: missing action (encode|decode|verify)".to_string(),
+            ));
+        };
+        let opts = args::Options::parse(rest)?;
+        return commands::trace(action, &opts);
+    }
     let opts = args::Options::parse(rest)?;
     match cmd.as_str() {
         "curves" => commands::curves(&opts),

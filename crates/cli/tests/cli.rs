@@ -319,6 +319,201 @@ fn validate_rejects_malformed_artifacts() {
     assert_eq!(out.status.code(), Some(2));
 }
 
+/// `trace encode` → `verify` → `decode` round-trip: the decoded text
+/// traces match the originals value-for-value, everything exits 0.
+#[test]
+fn trace_round_trips_text_and_binary() {
+    let art = Artifacts::new("trace-rt", &["d.txt", "t.txt", "s.wcmt", "d-out.txt", "t-out.txt"]);
+    std::fs::write(art.path(0), "5 1 1 5 1 1 5 1\n").unwrap();
+    std::fs::write(art.path(1), "0.0 0.5\n1.0 1.5 2.0 2.5 3.0 3.5\n").unwrap();
+
+    let out = cli()
+        .args([
+            "trace", "encode", "--demands", art.path(0), "--times", art.path(1),
+            "--name", "rt", "--out", art.path(2),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = cli().args(["trace", "verify", "--in", art.path(2)]).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("8 demand(s)"), "{text}");
+
+    let out = cli()
+        .args([
+            "trace", "decode", "--in", art.path(2),
+            "--out-demands", art.path(3), "--out-times", art.path(4),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("name rt"), "{text}");
+    assert!(text.contains("truncated false clean_end true"), "{text}");
+
+    let demands = std::fs::read_to_string(art.path(3)).unwrap();
+    let vals: Vec<u64> = demands.split_whitespace().map(|t| t.parse().unwrap()).collect();
+    assert_eq!(vals, vec![5, 1, 1, 5, 1, 1, 5, 1]);
+    let times = std::fs::read_to_string(art.path(4)).unwrap();
+    let vals: Vec<f64> = times.split_whitespace().map(|t| t.parse().unwrap()).collect();
+    assert_eq!(vals, vec![0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5]);
+
+    // The binary file feeds straight back into analysis subcommands.
+    let out = cli().args(["curves", "--demands", art.path(2), "--k", "4"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.lines().any(|l| l == "1 5 1 5 1"), "{text}");
+}
+
+/// The `trace` exit-code contract: 0 clean, 2 empty, 3 malformed or
+/// truncated, 4 partial decode under skip-corrupt.
+#[test]
+fn trace_exit_codes_follow_the_contract() {
+    let art = Artifacts::new("trace-exit", &["d.txt", "s.wcmt", "cut.wcmt", "bad.wcmt", "empty.wcmt"]);
+    std::fs::write(art.path(0), "7 3 9 2 8 4 6 1\n").unwrap();
+    let out = cli()
+        .args(["trace", "encode", "--demands", art.path(0), "--out", art.path(1)])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let clean = std::fs::read(art.path(1)).unwrap();
+
+    // 2: a stream that decodes fine but carries no payload data.
+    let enc = wcm_wire::StreamEncoder::new();
+    std::fs::write(art.path(4), enc.finish()).unwrap();
+    let out = cli().args(["trace", "decode", "--in", art.path(4)]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = cli().args(["trace", "verify", "--in", art.path(4)]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    // 3: truncated mid-frame, diagnosed as file:1:byte.
+    std::fs::write(art.path(2), &clean[..clean.len() - 4]).unwrap();
+    let out = cli().args(["trace", "verify", "--in", art.path(2)]).output().unwrap();
+    assert_eq!(out.status.code(), Some(3), "{}", String::from_utf8_lossy(&out.stderr));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains(":1:"), "{err}");
+    assert!(err.contains("truncated"), "{err}");
+
+    // 3 strict / 4 skip-corrupt: one flipped bit inside the demands frame.
+    let mut bad = clean.clone();
+    let at = demands_payload_byte(&bad);
+    bad[at] ^= 0x10;
+    std::fs::write(art.path(3), &bad).unwrap();
+    let out = cli().args(["trace", "decode", "--in", art.path(3)]).output().unwrap();
+    assert_eq!(out.status.code(), Some(3), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = cli()
+        .args(["trace", "decode", "--in", art.path(3), "--policy", "skip-corrupt"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4), "{}", String::from_utf8_lossy(&out.stderr));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("partial decode"), "{err}");
+
+    // Usage errors stay 2: bad action, bad policy.
+    let out = cli().args(["trace", "transmogrify", "--in", art.path(1)]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = cli()
+        .args(["trace", "decode", "--in", art.path(1), "--policy", "lax"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+/// Absolute offset of a byte inside the first demands frame's payload.
+fn demands_payload_byte(bytes: &[u8]) -> usize {
+    let mut r = wcm_wire::FrameReader::new(bytes).unwrap();
+    while let Some(f) = r.next_strict().unwrap() {
+        if f.kind == wcm_wire::frame::KIND_DEMANDS {
+            return f.payload_offset + f.payload.len() / 2;
+        }
+    }
+    panic!("no demands frame in stream");
+}
+
+/// Satellite regression: truncated JSON, CSV and `.wcmt` inputs all exit 3
+/// from `validate` with a `file:line:byte` diagnostic.
+#[test]
+fn validate_diagnoses_truncated_files_with_line_and_byte() {
+    // JSON cut off mid-document (inside the second line).
+    let p = tmp_file("cut.json", "{\"stats\": {},\n \"points\": [1, 2");
+    let out = cli().args(["validate", "--json", p.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(3));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains(":2:"), "{err}");
+    assert!(err.contains("truncated"), "{err}");
+    std::fs::remove_file(p).ok();
+
+    // CSV whose last record was cut short.
+    let content = "clip,mhz,cap\nnewscast,340,4\nnewscast,2";
+    let p = tmp_file("cut.csv", content);
+    let out = cli().args(["validate", "--csv", p.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(3));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains(&format!(":3:{}", content.len())), "{err}");
+    assert!(err.contains("truncated"), "{err}");
+    std::fs::remove_file(p).ok();
+
+    // Binary stream cut mid-frame: line is 1, byte points at the cut.
+    let bytes = wcm_wire::encode_demands("cut", &[9, 9, 9]);
+    let p = tmp_file("cut.wcmt", "");
+    std::fs::write(&p, &bytes[..bytes.len() - 3]).unwrap();
+    let out = cli().args(["validate", "--wcmt", p.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(3));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains(":1:"), "{err}");
+    assert!(err.contains("truncated"), "{err}");
+    std::fs::remove_file(p).ok();
+
+    // An intact stream validates with exit 0.
+    let p = tmp_file("ok.wcmt", "");
+    std::fs::write(&p, &bytes).unwrap();
+    let out = cli().args(["validate", "--wcmt", p.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    std::fs::remove_file(p).ok();
+}
+
+/// `sweep --clips` accepts `.wcmt` clip streams and produces the same
+/// report as synthesizing the same clip from its profile name.
+#[test]
+fn sweep_accepts_wcmt_clip_streams() {
+    let art = Artifacts::new("sweep-wcmt", &["clip.wcmt", "from-name.json", "from-wire.json"]);
+    let params = wcm_mpeg::VideoParams::main_profile_main_level().unwrap();
+    let profile = wcm_mpeg::profile::standard_clips()
+        .into_iter()
+        .find(|c| c.name == "newscast")
+        .unwrap();
+    let clip = wcm_mpeg::Synthesizer::new(params).generate(&profile, 1).unwrap();
+    std::fs::write(art.path(0), wcm_mpeg::wire::encode_clip(&clip)).unwrap();
+
+    let base = ["sweep", "--gops", "1", "--pe2-mhz", "2,340", "--capacities", "4", "--threads", "2"];
+    let by_name = cli()
+        .args(base).args(["--clips", "newscast", "--json", art.path(1)])
+        .output()
+        .unwrap();
+    assert_eq!(by_name.status.code(), Some(0), "{}", String::from_utf8_lossy(&by_name.stderr));
+    let by_wire = cli()
+        .args(base).args(["--clips", art.path(0), "--json", art.path(2)])
+        .output()
+        .unwrap();
+    assert_eq!(by_wire.status.code(), Some(0), "{}", String::from_utf8_lossy(&by_wire.stderr));
+    assert_eq!(
+        std::fs::read(art.path(1)).unwrap(),
+        std::fs::read(art.path(2)).unwrap(),
+        "a decoded clip stream must sweep bit-identically to the synthesized clip"
+    );
+
+    // A truncated clip stream is an input error, not a crash.
+    let bytes = std::fs::read(art.path(0)).unwrap();
+    std::fs::write(art.path(0), &bytes[..bytes.len() / 2]).unwrap();
+    let out = cli()
+        .args(base).args(["--clips", art.path(0)])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
 #[test]
 fn faults_injector_spec_errors_are_usage_errors() {
     let out = cli()

@@ -34,6 +34,13 @@ pub enum EventError {
         /// Name of the offending parameter.
         name: &'static str,
     },
+    /// Raw summary parts violated a [`crate::summary::CurveSummary`]
+    /// structural invariant (deserialized or hand-built parts only —
+    /// the in-crate constructors cannot produce this).
+    InvalidSummary {
+        /// The violated invariant.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for EventError {
@@ -53,6 +60,9 @@ impl fmt::Display for EventError {
             }
             EventError::InvalidParameter { name } => {
                 write!(f, "invalid value for parameter `{name}`")
+            }
+            EventError::InvalidSummary { what } => {
+                write!(f, "invalid summary parts: {what}")
             }
         }
     }

@@ -34,6 +34,7 @@
 //! pruning idea the `minplus` envelope fold uses.
 
 use crate::window::PrefixSums;
+use crate::EventError;
 use wcm_par::Parallelism;
 
 /// Which extrema a summary carries. One-sided summaries skip half the
@@ -74,7 +75,7 @@ const OVERFLOW: &str = "window sum exceeds u64::MAX";
 ///   `grid[j] > len`),
 /// * `head` / `tail` are the first / last `min(len, k_max − 1)` raw
 ///   values, where `k_max = grid.last()`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CurveSummary {
     grid: Vec<usize>,
     sides: Sides,
@@ -84,6 +85,32 @@ pub struct CurveSummary {
     min_win: Vec<u64>,
     head: Vec<u64>,
     tail: Vec<u64>,
+}
+
+/// The raw fields of a [`CurveSummary`], for serializers that need to
+/// take a summary apart and rebuild it elsewhere (the `wcm-wire` binary
+/// codec). Rebuilding goes through [`CurveSummary::from_parts`], which
+/// re-checks the structural invariants, so a decoded blob can never
+/// materialize a summary the constructors would have refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SummaryParts {
+    /// Window-size grid (non-empty, strictly ascending, starts ≥ 1).
+    pub grid: Vec<usize>,
+    /// Which extrema the tables carry.
+    pub sides: Sides,
+    /// Number of events summarized.
+    pub len: usize,
+    /// Total demand of the run.
+    pub total: u128,
+    /// Per-grid maximum window sums (identity `0` where unresolved).
+    pub max_win: Vec<u64>,
+    /// Per-grid minimum window sums (identity `u64::MAX` where
+    /// unresolved).
+    pub min_win: Vec<u64>,
+    /// First `min(len, k_max − 1)` raw values.
+    pub head: Vec<u64>,
+    /// Last `min(len, k_max − 1)` raw values.
+    pub tail: Vec<u64>,
 }
 
 impl CurveSummary {
@@ -142,6 +169,100 @@ impl CurveSummary {
             head: values[..boundary].to_vec(),
             tail: values[values.len() - boundary..].to_vec(),
         }
+    }
+
+    /// Rebuild a summary from its raw fields, re-checking every
+    /// structural invariant ([`SummaryParts`] documents them). This is
+    /// the only non-panicking constructor and exists for deserializers:
+    /// hostile or corrupt parts come back as an error, never a malformed
+    /// summary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EventError::InvalidSummary`] naming the violated
+    /// invariant.
+    pub fn from_parts(parts: SummaryParts) -> Result<Self, EventError> {
+        let SummaryParts {
+            grid,
+            sides,
+            len,
+            total,
+            max_win,
+            min_win,
+            head,
+            tail,
+        } = parts;
+        let invalid = |what: &'static str| EventError::InvalidSummary { what };
+        if grid.is_empty() {
+            return Err(invalid("empty grid"));
+        }
+        if grid[0] < 1 {
+            return Err(invalid("grid starts below 1"));
+        }
+        if !grid.windows(2).all(|w| w[0] < w[1]) {
+            return Err(invalid("grid not strictly ascending"));
+        }
+        if max_win.len() != grid.len() || min_win.len() != grid.len() {
+            return Err(invalid("table length differs from grid length"));
+        }
+        let k_max = *grid.last().expect("grid checked non-empty");
+        let boundary = len.min(k_max - 1);
+        if head.len() != boundary || tail.len() != boundary {
+            return Err(invalid("boundary array length differs from min(len, k_max - 1)"));
+        }
+        for (j, &k) in grid.iter().enumerate() {
+            if k > len {
+                // Unresolved sizes must keep their fold identities, or a
+                // later merge would mix garbage into real extrema.
+                if max_win[j] != MAX_IDENTITY || min_win[j] != MIN_IDENTITY {
+                    return Err(invalid("non-identity entry for unresolved window size"));
+                }
+            }
+        }
+        if !sides.wants_max() && max_win.iter().any(|&v| v != MAX_IDENTITY) {
+            return Err(invalid("max table populated on a min-only summary"));
+        }
+        if !sides.wants_min() && min_win.iter().any(|&v| v != MIN_IDENTITY) {
+            return Err(invalid("min table populated on a max-only summary"));
+        }
+        Ok(Self {
+            grid,
+            sides,
+            len,
+            total,
+            max_win,
+            min_win,
+            head,
+            tail,
+        })
+    }
+
+    /// Take the summary apart into its raw fields (inverse of
+    /// [`CurveSummary::from_parts`]).
+    #[must_use]
+    pub fn into_parts(self) -> SummaryParts {
+        SummaryParts {
+            grid: self.grid,
+            sides: self.sides,
+            len: self.len,
+            total: self.total,
+            max_win: self.max_win,
+            min_win: self.min_win,
+            head: self.head,
+            tail: self.tail,
+        }
+    }
+
+    /// The stored first `min(len, k_max − 1)` raw values.
+    #[must_use]
+    pub fn head(&self) -> &[u64] {
+        &self.head
+    }
+
+    /// The stored last `min(len, k_max − 1)` raw values.
+    #[must_use]
+    pub fn tail(&self) -> &[u64] {
+        &self.tail
     }
 
     /// Number of events summarized.

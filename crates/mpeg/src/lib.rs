@@ -51,6 +51,7 @@ pub mod mb;
 pub mod params;
 pub mod profile;
 pub mod synth;
+pub mod wire;
 pub mod workload;
 
 pub use error::MpegError;

@@ -91,6 +91,12 @@ impl ClipWorkload {
         &self.frames
     }
 
+    /// Appends one picture (decoder/builder path — the wire codec
+    /// reassembles clips picture by picture).
+    pub fn push_frame(&mut self, frame: FrameWorkload) {
+        self.frames.push(frame);
+    }
+
     /// Total number of macroblocks.
     #[must_use]
     pub fn macroblock_count(&self) -> usize {

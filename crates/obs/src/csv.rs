@@ -6,6 +6,12 @@
 //! fields per RFC 4180, requires every record to have the same number of
 //! fields as the header, and rejects stray quotes — the validator the
 //! workspace's golden round-trip tests run against emitted reports.
+//!
+//! The reader is hardened against hostile input: every failure carries the
+//! absolute byte offset and an `eof` flag (truncated file vs malformed
+//! bytes), a single field cannot exceed [`MAX_FIELD_BYTES`], and a record
+//! cannot claim more than [`MAX_FIELDS`] fields — allocation stays bounded
+//! no matter what the input claims.
 
 use std::fmt;
 
@@ -32,17 +38,32 @@ pub fn field(s: &str) -> String {
 pub struct CsvError {
     /// 1-based line where the record that failed starts.
     pub line: usize,
+    /// 0-based absolute byte offset where the failure was detected.
+    pub byte: usize,
     /// What went wrong.
     pub msg: String,
+    /// `true` when the failure is the input ending too early (truncated
+    /// file) rather than malformed bytes.
+    pub eof: bool,
 }
 
 impl fmt::Display for CsvError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "CSV error at line {}: {}", self.line, self.msg)
+        write!(
+            f,
+            "CSV error at line {}, byte {}: {}",
+            self.line, self.byte, self.msg
+        )
     }
 }
 
 impl std::error::Error for CsvError {}
+
+/// Maximum bytes of one decoded field accepted by [`parse_table`].
+pub const MAX_FIELD_BYTES: usize = 1 << 20;
+
+/// Maximum fields in one record accepted by [`parse_table`].
+pub const MAX_FIELDS: usize = 1 << 16;
 
 /// Strictly parses `text` as an RFC 4180 table.
 ///
@@ -50,7 +71,8 @@ impl std::error::Error for CsvError {}
 /// a field containing `,`, `"` or line breaks must be quoted; inside quotes
 /// `""` is a literal quote; a quote may not appear inside an unquoted field
 /// nor may data follow a closing quote; every record must have the same
-/// field count as the first record; the table must be non-empty.
+/// field count as the first record; the table must be non-empty; no field
+/// exceeds [`MAX_FIELD_BYTES`] and no record exceeds [`MAX_FIELDS`].
 pub fn parse_table(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
     let bytes = text.as_bytes();
     let mut rows: Vec<Vec<String>> = Vec::new();
@@ -61,10 +83,18 @@ pub fn parse_table(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
         let record_line = line;
         let mut row: Vec<String> = Vec::new();
         loop {
-            let (fld, consumed, lines_crossed) = parse_field(&bytes[pos..], record_line)?;
+            let (fld, consumed, lines_crossed) = parse_field(bytes, pos, record_line)?;
             pos += consumed;
             line += lines_crossed;
             row.push(fld);
+            if row.len() > MAX_FIELDS {
+                return Err(CsvError {
+                    line: record_line,
+                    byte: pos,
+                    msg: format!("record exceeds {MAX_FIELDS} fields"),
+                    eof: false,
+                });
+            }
             match bytes.get(pos) {
                 Some(b',') => {
                     pos += 1;
@@ -73,7 +103,9 @@ pub fn parse_table(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
                     if bytes.get(pos + 1) != Some(&b'\n') {
                         return Err(CsvError {
                             line,
+                            byte: pos,
                             msg: "bare CR (expected CRLF)".into(),
+                            eof: pos + 1 >= bytes.len(),
                         });
                     }
                     pos += 2;
@@ -89,7 +121,9 @@ pub fn parse_table(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
                 Some(&c) => {
                     return Err(CsvError {
                         line,
+                        byte: pos,
                         msg: format!("unexpected byte 0x{c:02x} after field"),
+                        eof: false,
                     })
                 }
             }
@@ -98,11 +132,15 @@ pub fn parse_table(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
             if row.len() != first.len() {
                 return Err(CsvError {
                     line: record_line,
+                    byte: pos,
                     msg: format!(
                         "record has {} fields, expected {}",
                         row.len(),
                         first.len()
                     ),
+                    // A short last record at the end of input is the usual
+                    // shape of a file cut off mid-record.
+                    eof: pos >= bytes.len() && row.len() < first.len(),
                 });
             }
         }
@@ -112,15 +150,26 @@ pub fn parse_table(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
     if rows.is_empty() {
         return Err(CsvError {
             line: 1,
+            byte: 0,
             msg: "empty input".into(),
+            eof: true,
         });
     }
     Ok(rows)
 }
 
-/// Parses one field at the start of `bytes`; returns (content, bytes
-/// consumed, newlines crossed inside quotes).
-fn parse_field(bytes: &[u8], line: usize) -> Result<(String, usize, usize), CsvError> {
+/// Parses one field starting at absolute offset `at`; returns (content,
+/// bytes consumed, newlines crossed inside quotes).
+fn parse_field(all: &[u8], at: usize, line: usize) -> Result<(String, usize, usize), CsvError> {
+    let bytes = &all[at..];
+    let cap = |out: &String| -> Option<CsvError> {
+        (out.len() > MAX_FIELD_BYTES).then(|| CsvError {
+            line,
+            byte: at,
+            msg: format!("field exceeds {MAX_FIELD_BYTES} bytes"),
+            eof: false,
+        })
+    };
     if bytes.first() == Some(&b'"') {
         let mut out = String::new();
         let mut i = 1usize;
@@ -142,7 +191,9 @@ fn parse_field(bytes: &[u8], line: usize) -> Result<(String, usize, usize), CsvE
                             Some(_) => {
                                 return Err(CsvError {
                                     line,
+                                    byte: at + i,
                                     msg: "data after closing quote".into(),
+                                    eof: false,
                                 })
                             }
                         }
@@ -167,21 +218,30 @@ fn parse_field(bytes: &[u8], line: usize) -> Result<(String, usize, usize), CsvE
                     out.push_str(
                         std::str::from_utf8(&bytes[start..j]).map_err(|_| CsvError {
                             line,
+                            byte: at + start,
                             msg: "invalid UTF-8 in quoted field".into(),
+                            eof: false,
                         })?,
                     );
+                    if let Some(e) = cap(&out) {
+                        return Err(e);
+                    }
                     i = j;
                     if bytes.get(i).is_none() {
                         return Err(CsvError {
                             line,
+                            byte: all.len(),
                             msg: "unterminated quoted field".into(),
+                            eof: true,
                         });
                     }
                 }
                 None => {
                     return Err(CsvError {
                         line,
+                        byte: all.len(),
                         msg: "unterminated quoted field".into(),
+                        eof: true,
                     })
                 }
             }
@@ -194,15 +254,27 @@ fn parse_field(bytes: &[u8], line: usize) -> Result<(String, usize, usize), CsvE
                 b'"' => {
                     return Err(CsvError {
                         line,
+                        byte: at + i,
                         msg: "quote inside unquoted field".into(),
+                        eof: false,
                     })
                 }
                 _ => i += 1,
             }
         }
+        if i > MAX_FIELD_BYTES {
+            return Err(CsvError {
+                line,
+                byte: at,
+                msg: format!("field exceeds {MAX_FIELD_BYTES} bytes"),
+                eof: false,
+            });
+        }
         let s = std::str::from_utf8(&bytes[..i]).map_err(|_| CsvError {
             line,
+            byte: at,
             msg: "invalid UTF-8 in field".into(),
+            eof: false,
         })?;
         Ok((s.to_string(), i, 0))
     }
@@ -247,6 +319,7 @@ mod tests {
         // Ragged record.
         let e = parse_table("a,b\n1,2,3\n").unwrap_err();
         assert_eq!(e.line, 2);
+        assert!(!e.eof, "an over-long record is malformed, not truncated");
         // Stray quote in unquoted field.
         assert!(parse_table("a\"b\n").is_err());
         // Data after closing quote.
@@ -257,5 +330,42 @@ mod tests {
         assert!(parse_table("a\rb\n").is_err());
         // Empty input.
         assert!(parse_table("").is_err());
+    }
+
+    #[test]
+    fn truncation_sets_eof_with_byte_offsets() {
+        // File cut off inside a quoted field.
+        let e = parse_table("a,b\n\"unfinished").unwrap_err();
+        assert!(e.eof, "{e}");
+        assert_eq!(e.byte, "a,b\n\"unfinished".len());
+        assert_eq!(e.line, 2);
+        // File cut off mid-record: the short last record is flagged eof.
+        let e = parse_table("a,b,c\n1,2,3\n4,5").unwrap_err();
+        assert!(e.eof, "{e}");
+        assert_eq!(e.line, 3);
+        // Empty input is an eof-class failure at byte 0.
+        let e = parse_table("").unwrap_err();
+        assert!(e.eof);
+        assert_eq!(e.byte, 0);
+        // Malformed mid-file stays eof=false with an exact offset.
+        let e = parse_table("a,b\nx\"y\n").unwrap_err();
+        assert!(!e.eof);
+        assert_eq!(e.byte, 5);
+    }
+
+    #[test]
+    fn allocation_caps_are_enforced() {
+        // Quoted field larger than the cap is rejected.
+        let big = format!("\"{}\"\n", "x".repeat(MAX_FIELD_BYTES + 1));
+        let e = parse_table(&big).unwrap_err();
+        assert!(e.msg.contains("field exceeds"), "{e}");
+        // Unquoted overlong field is rejected too.
+        let big = format!("{}\n", "x".repeat(MAX_FIELD_BYTES + 1));
+        let e = parse_table(&big).unwrap_err();
+        assert!(e.msg.contains("field exceeds"), "{e}");
+        // A record with too many fields is rejected without building it.
+        let wide = format!("{}\n", "a,".repeat(MAX_FIELDS + 1));
+        let e = parse_table(&wide).unwrap_err();
+        assert!(e.msg.contains("fields"), "{e}");
     }
 }

@@ -123,6 +123,10 @@ pub struct JsonError {
     pub offset: usize,
     /// What went wrong.
     pub msg: String,
+    /// `true` when the failure is the input simply ending too early
+    /// (truncated file) rather than malformed bytes — callers report the
+    /// two differently.
+    pub eof: bool,
 }
 
 impl fmt::Display for JsonError {
@@ -136,11 +140,21 @@ impl std::error::Error for JsonError {}
 /// Maximum nesting depth accepted by [`parse`].
 pub const MAX_DEPTH: usize = 128;
 
+/// Maximum decoded bytes of a single string accepted by [`parse`] — a
+/// hostile input cannot make one string allocation grow without bound.
+pub const MAX_STRING_BYTES: usize = 1 << 20;
+
+/// Maximum total values (nulls, bools, numbers, strings, arrays, objects)
+/// accepted by [`parse`] — caps the node-allocation a hostile input can
+/// force before being rejected.
+pub const MAX_NODES: usize = 1 << 20;
+
 /// Strictly parses `text` as exactly one JSON document.
 pub fn parse(text: &str) -> Result<Value, JsonError> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
+        nodes: 0,
     };
     p.skip_ws();
     let v = p.value(0)?;
@@ -154,6 +168,7 @@ pub fn parse(text: &str) -> Result<Value, JsonError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    nodes: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -161,6 +176,7 @@ impl<'a> Parser<'a> {
         JsonError {
             offset: self.pos,
             msg: msg.into(),
+            eof: self.pos >= self.bytes.len(),
         }
     }
 
@@ -184,9 +200,18 @@ impl<'a> Parser<'a> {
     }
 
     fn literal(&mut self, word: &str, v: Value) -> Result<Value, JsonError> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+        let rest = &self.bytes[self.pos..];
+        if rest.starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(v)
+        } else if word.as_bytes().starts_with(rest) {
+            // The input is a proper prefix of the literal: truncation, not
+            // malformed bytes.
+            Err(JsonError {
+                offset: self.bytes.len(),
+                msg: format!("input ends inside '{word}'"),
+                eof: true,
+            })
         } else {
             Err(self.err(format!("expected '{word}'")))
         }
@@ -195,6 +220,10 @@ impl<'a> Parser<'a> {
     fn value(&mut self, depth: usize) -> Result<Value, JsonError> {
         if depth > MAX_DEPTH {
             return Err(self.err("nesting too deep"));
+        }
+        self.nodes += 1;
+        if self.nodes > MAX_NODES {
+            return Err(self.err(format!("document exceeds {MAX_NODES} values")));
         }
         match self.peek() {
             Some(b'n') => self.literal("null", Value::Null),
@@ -292,6 +321,9 @@ impl<'a> Parser<'a> {
                 // The input is valid UTF-8 (it is a &str) and we only stopped
                 // on ASCII boundaries, so this slice is valid UTF-8.
                 out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).expect("utf8"));
+            }
+            if out.len() > MAX_STRING_BYTES {
+                return Err(self.err(format!("string exceeds {MAX_STRING_BYTES} bytes")));
             }
             match self.peek() {
                 Some(b'"') => {
@@ -461,5 +493,44 @@ mod tests {
         // Depth guard terminates instead of blowing the stack.
         let deep = "[".repeat(100_000);
         assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn truncation_sets_eof_and_malformed_does_not() {
+        for truncated in [
+            "",
+            "{",
+            "{\"a\"",
+            "{\"a\":",
+            "[1,",
+            "\"unterminated",
+            "\"esc\\",
+            "\"\\u00",
+            "tru",
+            "nul",
+            "fals",
+        ] {
+            let e = parse(truncated).unwrap_err();
+            assert!(e.eof, "expected eof=true for truncated input {truncated:?}: {e}");
+        }
+        for malformed in ["{a:1}", "NaN", "[1,]", "'x'", "\"bad\\q\"", "01", "1 2"] {
+            let e = parse(malformed).unwrap_err();
+            assert!(!e.eof, "expected eof=false for malformed input {malformed:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn allocation_caps_are_enforced() {
+        // One string larger than the cap is rejected, not allocated forever.
+        let big = format!("\"{}\"", "a".repeat(MAX_STRING_BYTES + 1));
+        let e = parse(&big).unwrap_err();
+        assert!(e.msg.contains("string exceeds"), "{e}");
+        // At the cap it still parses.
+        let ok = format!("\"{}\"", "a".repeat(MAX_STRING_BYTES));
+        assert!(parse(&ok).is_ok());
+        // More values than MAX_NODES is rejected (array + elements count).
+        let many = format!("[{}0]", "0,".repeat(MAX_NODES));
+        let e = parse(&many).unwrap_err();
+        assert!(e.msg.contains("values"), "{e}");
     }
 }

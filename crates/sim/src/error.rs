@@ -26,6 +26,13 @@ pub enum SimError {
     },
     /// The fault plan removed every macroblock from the stream.
     AllEventsDropped,
+    /// The bytes handed to a frame-corruption plan were not a valid WCMT
+    /// stream to begin with (corruption is injected into *clean* input so
+    /// its ground truth stays exact).
+    NotAStream {
+        /// Byte offset where the stream header failed to parse.
+        offset: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -43,6 +50,9 @@ impl fmt::Display for SimError {
             }
             SimError::AllEventsDropped => {
                 write!(f, "fault plan dropped every macroblock of the stream")
+            }
+            SimError::NotAStream { offset } => {
+                write!(f, "not a valid WCMT stream (header rejected at byte {offset})")
             }
         }
     }

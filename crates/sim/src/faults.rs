@@ -32,6 +32,9 @@ use rand_chacha::ChaCha8Rng;
 use wcm_mpeg::params::FrameKind;
 use wcm_mpeg::ClipWorkload;
 
+#[path = "faults_frames.rs"]
+pub mod frames;
+
 /// Which processing element a timing fault applies to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProcessingElement {

@@ -53,6 +53,7 @@ pub mod stats;
 pub mod sweep;
 
 pub use error::SimError;
+pub use faults::frames::{FrameCorruptionPlan, FrameFaultReport, FrameFaulted, FrameInjector};
 pub use faults::{FaultPlan, FaultReport, FaultedWorkload, Injector, ProcessingElement};
 pub use pipeline::{
     simulate_pipeline, simulate_pipeline_robust, FifoConfig, OverflowPolicy, PipelineConfig,

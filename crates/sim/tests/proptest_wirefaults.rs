@@ -1,0 +1,193 @@
+//! Property-based tests of the frame-level corruption layer against the
+//! wire decoder's graceful-degradation contract.
+//!
+//! The acceptance bar: seeded corruption at bit-error rates up to 1e-3
+//! must yield `SkipCorrupt` decodes whose surviving events are
+//! bit-identical to the clean trace's frames, with the decoder's
+//! [`wcm_wire::DecodeReport`] matching the injector's ground truth.
+
+use proptest::prelude::*;
+use wcm_sim::{FrameCorruptionPlan, FrameInjector};
+use wcm_wire::{decode, encode_timed_trace, encode_times, DecodePolicy, StreamEncoder};
+
+const CHUNK: usize = 4096;
+
+/// A small multi-frame stream: name + demands + timestamps.
+fn stream(n: usize, seed: u64) -> Vec<u8> {
+    let demands: Vec<u64> = (0..n as u64).map(|i| (i ^ seed).wrapping_mul(2_654_435_761) >> 16).collect();
+    let times: Vec<f64> = (0..n).map(|i| i as f64 * 0.04 + (seed % 97) as f64).collect();
+    let mut enc = StreamEncoder::new();
+    enc.meta("wirefault-proptest");
+    enc.demands(&demands);
+    enc.times(&times).unwrap();
+    enc.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Same plan, same bytes: corrupted output and decode report are
+    /// bit-identical across runs — corruption experiments replay exactly.
+    #[test]
+    fn corruption_is_deterministic(
+        seed in 0u64..u64::MAX,
+        n in 1usize..6000,
+        ber in 0u32..=1000,
+    ) {
+        let clean = stream(n, seed);
+        let plan = FrameCorruptionPlan::new(seed)
+            .with(FrameInjector::BitFlips { ber_per_million: ber })
+            .with(FrameInjector::LengthLies { count: 1 });
+        let a = plan.apply(&clean).unwrap();
+        let b = plan.apply(&clean).unwrap();
+        prop_assert_eq!(&a.bytes, &b.bytes);
+        prop_assert_eq!(a.report, b.report);
+        let ra = decode(&a.bytes, DecodePolicy::SkipCorrupt).unwrap().report;
+        let rb = decode(&b.bytes, DecodePolicy::SkipCorrupt).unwrap().report;
+        prop_assert_eq!(ra, rb);
+    }
+
+    /// At BER ≤ 1e-3 the lenient decode skips exactly the damaged frames
+    /// (one resync per adjacent run, their summed wire bytes lost) and
+    /// every surviving event is bit-identical to the clean decode.
+    #[test]
+    fn skipcorrupt_is_sound_up_to_ber_1e3(
+        seed in 0u64..u64::MAX,
+        n in 1usize..20_000,
+        ber in 1u32..=1000,
+    ) {
+        let clean = stream(n, seed);
+        let original = decode(&clean, DecodePolicy::Strict).unwrap();
+        let plan = FrameCorruptionPlan::new(seed)
+            .with(FrameInjector::BitFlips { ber_per_million: ber });
+        let faulted = plan.apply(&clean).unwrap();
+
+        let out = decode(&faulted.bytes, DecodePolicy::SkipCorrupt).unwrap();
+        prop_assert_eq!(out.report.frames_skipped, faulted.report.damage_runs);
+        prop_assert_eq!(out.report.bytes_lost, faulted.report.damage_wire_bytes);
+        prop_assert!(out.report.clean_end, "data-frame flips never touch the end marker");
+
+        // Surviving demands are whole chunks of the clean stream, each
+        // bit-identical: check every decoded chunk appears among the
+        // clean chunks, in order.
+        let clean_chunks: Vec<&[u64]> = original.demands.chunks(CHUNK).collect();
+        let mut cursor = 0usize;
+        for chunk in out.demands.chunks(CHUNK) {
+            // A surviving chunk that was mid-stream keeps its full CHUNK
+            // size; only the clean tail chunk may be short.
+            let found = clean_chunks[cursor..]
+                .iter()
+                .position(|c| c.len() >= chunk.len() && &c[..chunk.len()] == chunk);
+            prop_assert!(found.is_some(), "decoded chunk not bit-identical to any clean chunk");
+            cursor += found.unwrap() + 1;
+        }
+        // Same property for timestamps (bitwise, through the f64 key map).
+        let clean_bits: Vec<u64> = original.times.iter().map(|t| t.to_bits()).collect();
+        let out_bits: Vec<u64> = out.times.iter().map(|t| t.to_bits()).collect();
+        let clean_tchunks: Vec<&[u64]> = clean_bits.chunks(CHUNK).collect();
+        let mut cursor = 0usize;
+        for chunk in out_bits.chunks(CHUNK) {
+            let found = clean_tchunks[cursor..]
+                .iter()
+                .position(|c| c.len() >= chunk.len() && &c[..chunk.len()] == chunk);
+            prop_assert!(found.is_some(), "decoded time chunk not bit-identical");
+            cursor += found.unwrap() + 1;
+        }
+    }
+
+    /// Structural corruption (duplication + reordering) never breaks
+    /// framing: every frame still passes its CRC and nothing is skipped.
+    #[test]
+    fn structural_faults_keep_framing_valid(
+        seed in 0u64..u64::MAX,
+        n in 1usize..6000,
+        copies in 0usize..3,
+        swaps in 0usize..3,
+    ) {
+        let clean = stream(n, seed);
+        let plan = FrameCorruptionPlan::new(seed)
+            .with(FrameInjector::DuplicateFrames { copies })
+            .with(FrameInjector::ReorderFrames { swaps });
+        let faulted = plan.apply(&clean).unwrap();
+        let out = decode(&faulted.bytes, DecodePolicy::SkipCorrupt).unwrap();
+        prop_assert_eq!(out.report.frames_skipped, 0);
+        prop_assert_eq!(out.report.bytes_lost, 0);
+        prop_assert!(out.demands.len() >= n);
+    }
+
+    /// Truncation surfaces as `truncated` + missing end marker, never as
+    /// a panic, for any keep percentage.
+    #[test]
+    fn truncation_degrades_gracefully(
+        seed in 0u64..u64::MAX,
+        n in 1usize..6000,
+        keep in 0u8..100,
+    ) {
+        let clean = stream(n, seed);
+        let faulted = FrameCorruptionPlan::new(seed)
+            .with(FrameInjector::Truncate { keep_pct: keep })
+            .apply(&clean)
+            .unwrap();
+        prop_assert!(faulted.report.bytes_truncated > 0);
+        let out = decode(&faulted.bytes, DecodePolicy::SkipCorrupt).unwrap();
+        prop_assert!(out.report.truncated);
+        prop_assert!(!out.report.clean_end);
+        // Strict mode must reject the same bytes with a truncation error.
+        let err = decode(&faulted.bytes, DecodePolicy::Strict).unwrap_err();
+        prop_assert!(err.is_truncation() || err.offset > 0);
+    }
+
+    /// Timed-trace streams (registry + typed events + times) survive the
+    /// same contract: report totals match ground truth exactly.
+    #[test]
+    fn typed_streams_match_ground_truth(
+        seed in 0u64..u64::MAX,
+        n in 1usize..4000,
+        ber in 1u32..=1000,
+    ) {
+        use wcm_events::{Cycles, ExecutionInterval, TimedEvent, TimedTrace, TypeRegistry};
+        let mut reg = TypeRegistry::new();
+        let a = reg.register(
+            "mb/skip".to_string(),
+            ExecutionInterval::new(Cycles(40), Cycles(40)).unwrap(),
+        ).unwrap();
+        let b = reg.register(
+            "mb/intra".to_string(),
+            ExecutionInterval::new(Cycles(900), Cycles(1800)).unwrap(),
+        ).unwrap();
+        let events: Vec<TimedEvent> = (0..n)
+            .map(|i| TimedEvent {
+                time: i as f64 * 0.01,
+                ty: if i % 3 == 0 { b } else { a },
+            })
+            .collect();
+        let trace = TimedTrace::new(reg, events).unwrap();
+        let clean = encode_timed_trace("typed", &trace);
+        let faulted = FrameCorruptionPlan::new(seed)
+            .with(FrameInjector::BitFlips { ber_per_million: ber })
+            .apply(&clean)
+            .unwrap();
+        let out = decode(&faulted.bytes, DecodePolicy::SkipCorrupt).unwrap();
+        prop_assert_eq!(out.report.frames_skipped, faulted.report.damage_runs);
+        prop_assert_eq!(out.report.bytes_lost, faulted.report.damage_wire_bytes);
+    }
+}
+
+/// Non-proptest spot check: the whole BER sweep used by EXPERIMENTS §E14
+/// stays sound on a fixed mid-size stream.
+#[test]
+fn ber_sweep_fixed_stream() {
+    let times: Vec<f64> = (0..30_000).map(|i| f64::from(i) * 0.001).collect();
+    let clean = encode_times("sweep", &times).unwrap();
+    for ber in [1u32, 10, 100, 500, 1000] {
+        for seed in 0..4u64 {
+            let faulted = FrameCorruptionPlan::new(seed)
+                .with(FrameInjector::BitFlips { ber_per_million: ber })
+                .apply(&clean)
+                .unwrap();
+            let out = decode(&faulted.bytes, DecodePolicy::SkipCorrupt).unwrap();
+            assert_eq!(out.report.frames_skipped, faulted.report.damage_runs);
+            assert_eq!(out.report.bytes_lost, faulted.report.damage_wire_bytes);
+        }
+    }
+}

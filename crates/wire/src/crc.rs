@@ -1,0 +1,89 @@
+//! CRC32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the checksum
+//! every wire frame carries.
+//!
+//! The table is built at compile time; the byte-at-a-time loop is fast
+//! enough that framing overhead stays well under the varint codec cost
+//! (see the `wire` section of `BENCH_curves.json`).
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// 256-entry lookup table, one shift-xor round per bit, built in a const
+/// context so the crate stays allocation- and dependency-free.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 of `bytes` (init `0xFFFF_FFFF`, final xor `0xFFFF_FFFF` — the
+/// same convention as zlib/PNG, so values can be cross-checked with any
+/// standard tool).
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    update(0xFFFF_FFFF, bytes) ^ 0xFFFF_FFFF
+}
+
+/// Streaming form: feed chunks through `state` (start from
+/// `0xFFFF_FFFF`, xor with `0xFFFF_FFFF` when done). [`crc32`] is the
+/// one-shot wrapper.
+#[must_use]
+pub fn update(state: u32, bytes: &[u8]) -> u32 {
+    let mut crc = state;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The classic check value for this CRC variant.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data = b"frame payload with several chunks in it";
+        for split in 0..data.len() {
+            let mut state = 0xFFFF_FFFF;
+            state = update(state, &data[..split]);
+            state = update(state, &data[split..]);
+            assert_eq!(state ^ 0xFFFF_FFFF, crc32(data));
+        }
+    }
+
+    #[test]
+    fn single_bit_flip_changes_checksum() {
+        let data = b"sensitivity check";
+        let clean = crc32(data);
+        let mut buf = data.to_vec();
+        for byte in 0..buf.len() {
+            for bit in 0..8 {
+                buf[byte] ^= 1 << bit;
+                assert_ne!(crc32(&buf), clean, "flip at {byte}:{bit} went undetected");
+                buf[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

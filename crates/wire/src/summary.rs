@@ -1,0 +1,258 @@
+//! Wire codec for mergeable [`CurveSummary`] blobs.
+//!
+//! A summary frame carries the raw fields of one
+//! [`wcm_events::summary::CurveSummary`]; decoding goes through
+//! [`CurveSummary::from_parts`], so every structural invariant (grid
+//! shape, table lengths, identity entries, boundary sizes) is re-checked
+//! and hostile blobs are rejected rather than materialized. Because the
+//! in-memory merge is exact and associative, summaries decoded from
+//! separate chunks merge bit-identically to the fold of the original
+//! runs — which is what makes `.wcmt` summary shipping usable for
+//! multi-process sweep fan-out.
+//!
+//! ## Payload layout
+//!
+//! ```text
+//! sides:u8 (0 max | 1 min | 2 both)
+//! len:varint  total_lo:varint  total_hi:varint
+//! grid_len:varint  grid[grid_len]:varint
+//! max table [grid_len]:varint      (only when sides carries max)
+//! min table [grid_len]:varint      (only when sides carries min)
+//! head[min(len, k_max−1)]:varint   tail[…]:varint
+//! ```
+//!
+//! One-sided summaries omit the absent table entirely; the decoder
+//! refills it with fold identities. Everything is varints — no raw
+//! floats appear in summaries.
+
+use crate::varint::{put_varint, Cursor};
+use crate::{WireError, WireErrorKind};
+use wcm_events::summary::{CurveSummary, Sides, SummaryParts};
+
+fn sides_code(sides: Sides) -> u8 {
+    match sides {
+        Sides::Max => 0,
+        Sides::Min => 1,
+        Sides::Both => 2,
+    }
+}
+
+/// Encode one summary into a frame payload.
+#[must_use]
+pub fn encode_payload(s: &CurveSummary) -> Vec<u8> {
+    let grid = s.grid();
+    let mut out = Vec::with_capacity(16 + grid.len() * 4 + s.head().len() * 4);
+    out.push(sides_code(s.sides()));
+    put_varint(&mut out, s.len() as u64);
+    put_varint(&mut out, s.total() as u64);
+    put_varint(&mut out, (s.total() >> 64) as u64);
+    put_varint(&mut out, grid.len() as u64);
+    for &k in grid {
+        put_varint(&mut out, k as u64);
+    }
+    let wants_max = matches!(s.sides(), Sides::Max | Sides::Both);
+    let wants_min = matches!(s.sides(), Sides::Min | Sides::Both);
+    if wants_max {
+        for &v in s.max_table() {
+            put_varint(&mut out, v);
+        }
+    }
+    if wants_min {
+        for &v in s.min_table() {
+            put_varint(&mut out, v);
+        }
+    }
+    for &v in s.head() {
+        put_varint(&mut out, v);
+    }
+    for &v in s.tail() {
+        put_varint(&mut out, v);
+    }
+    out
+}
+
+fn bad(at: usize) -> WireError {
+    WireError::new(at, WireErrorKind::BadSummary)
+}
+
+/// Read `n` varints, guarding the count against the bytes remaining
+/// before sizing the buffer.
+fn varint_vec(c: &mut Cursor<'_>, n: usize) -> Result<Vec<u64>, WireError> {
+    if n > c.remaining() {
+        return Err(WireError::new(c.offset(), WireErrorKind::CountTooLarge));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(c.varint()?);
+    }
+    Ok(out)
+}
+
+/// Decode one summary from a frame payload cursor.
+///
+/// # Errors
+///
+/// Structural violations surface as [`WireErrorKind::BadSummary`];
+/// framing problems (truncation, bad varints, oversized counts) keep
+/// their own kinds.
+pub fn decode_payload(c: &mut Cursor<'_>) -> Result<CurveSummary, WireError> {
+    let at = c.offset();
+    let sides = match c.u8()? {
+        0 => Sides::Max,
+        1 => Sides::Min,
+        2 => Sides::Both,
+        _ => return Err(bad(at)),
+    };
+    let at = c.offset();
+    let len = usize::try_from(c.varint()?).map_err(|_| bad(at))?;
+    let total_lo = c.varint()?;
+    let total_hi = c.varint()?;
+    let total = (u128::from(total_hi) << 64) | u128::from(total_lo);
+    let grid_len = c.count(1)?;
+    let at = c.offset();
+    let grid: Vec<usize> = varint_vec(c, grid_len)?
+        .into_iter()
+        .map(usize::try_from)
+        .collect::<Result<_, _>>()
+        .map_err(|_| bad(at))?;
+    let Some(&k_max) = grid.last() else {
+        return Err(bad(at));
+    };
+    if k_max == 0 {
+        return Err(bad(at));
+    }
+    let wants_max = matches!(sides, Sides::Max | Sides::Both);
+    let wants_min = matches!(sides, Sides::Min | Sides::Both);
+    let max_win = if wants_max {
+        varint_vec(c, grid_len)?
+    } else {
+        vec![0; grid_len]
+    };
+    let min_win = if wants_min {
+        varint_vec(c, grid_len)?
+    } else {
+        vec![u64::MAX; grid_len]
+    };
+    let boundary = len.min(k_max - 1);
+    let head = varint_vec(c, boundary)?;
+    let tail = varint_vec(c, boundary)?;
+    let at = c.offset();
+    CurveSummary::from_parts(SummaryParts {
+        grid,
+        sides,
+        len,
+        total,
+        max_win,
+        min_win,
+        head,
+        tail,
+    })
+    .map_err(|_| bad(at))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{decode, DecodePolicy, StreamEncoder};
+
+    fn demo_values(n: usize) -> Vec<u64> {
+        let mut state = 0x9e37_79b9_u64;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state % 1000
+            })
+            .collect()
+    }
+
+    fn round_trip(s: &CurveSummary) -> CurveSummary {
+        let payload = encode_payload(s);
+        let mut c = Cursor::new(&payload, 0);
+        let back = decode_payload(&mut c).unwrap();
+        c.finish().unwrap();
+        back
+    }
+
+    #[test]
+    fn round_trip_is_exact_for_all_sides() {
+        let values = demo_values(300);
+        let grid = vec![1, 2, 3, 5, 8, 13, 21, 34];
+        for sides in [Sides::Max, Sides::Min, Sides::Both] {
+            let s = CurveSummary::from_values(&values, &grid, sides);
+            assert_eq!(round_trip(&s), s);
+        }
+    }
+
+    #[test]
+    fn round_trip_short_and_empty_runs() {
+        let grid = vec![1, 4, 16, 64];
+        let empty = CurveSummary::empty(&grid, Sides::Both);
+        assert_eq!(round_trip(&empty), empty);
+        // Shorter than k_max: identity entries + short boundaries.
+        let s = CurveSummary::from_values(&demo_values(5), &grid, Sides::Both);
+        assert_eq!(round_trip(&s), s);
+    }
+
+    #[test]
+    fn decoded_chunks_merge_like_the_originals() {
+        let values = demo_values(500);
+        let grid = vec![1, 3, 9, 27];
+        let a = CurveSummary::from_values(&values[..220], &grid, Sides::Both);
+        let b = CurveSummary::from_values(&values[220..], &grid, Sides::Both);
+        let merged_wire = round_trip(&a).merge(&round_trip(&b));
+        let whole = CurveSummary::from_values(&values, &grid, Sides::Both);
+        assert_eq!(merged_wire, whole);
+    }
+
+    #[test]
+    fn stream_carries_summaries() {
+        let values = demo_values(100);
+        let grid = vec![1, 2, 4];
+        let s = CurveSummary::from_values(&values, &grid, Sides::Both);
+        let mut enc = StreamEncoder::new();
+        enc.meta("sums");
+        enc.summary(&s);
+        enc.summary(&s);
+        let out = decode(&enc.finish(), DecodePolicy::Strict).unwrap();
+        assert_eq!(out.summaries.len(), 2);
+        assert_eq!(out.summaries[0], s);
+    }
+
+    #[test]
+    fn hostile_blobs_rejected_not_materialized() {
+        let values = demo_values(60);
+        let grid = vec![1, 5, 10];
+        let s = CurveSummary::from_values(&values, &grid, Sides::Both);
+        let clean = encode_payload(&s);
+        // Unknown sides byte.
+        let mut p = clean.clone();
+        p[0] = 9;
+        assert!(decode_payload(&mut Cursor::new(&p, 0)).is_err());
+        // Truncated at every prefix length: error, never panic.
+        for cut in 0..clean.len() {
+            let mut c = Cursor::new(&clean[..cut], 0);
+            let r = decode_payload(&mut c).and_then(|_| c.finish());
+            assert!(r.is_err(), "prefix of {cut} bytes decoded");
+        }
+    }
+
+    #[test]
+    fn giant_len_claim_is_bounded() {
+        // sides=both, len=huge, totals, grid=[1, big] — boundary claim
+        // must be capped by remaining payload, not allocated.
+        let mut p = vec![2u8];
+        put_varint(&mut p, u64::MAX);
+        put_varint(&mut p, 0);
+        put_varint(&mut p, 0);
+        put_varint(&mut p, 2);
+        put_varint(&mut p, 1);
+        put_varint(&mut p, u64::MAX);
+        let err = decode_payload(&mut Cursor::new(&p, 0)).unwrap_err();
+        assert!(matches!(
+            err.kind,
+            WireErrorKind::CountTooLarge | WireErrorKind::Truncated | WireErrorKind::BadSummary
+        ));
+    }
+}

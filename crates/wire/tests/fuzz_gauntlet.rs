@@ -1,0 +1,110 @@
+//! Adversarial-input gauntlet: ≥10k deterministic seeded mutations per
+//! reader — the binary wire decoder (both policies), the JSON parser and
+//! the CSV parser — with zero panics and bounded allocation.
+//!
+//! Every case is reproducible from its printed seed alone:
+//! `mutate(corpus, seed)` regenerates the offending document.
+
+use wcm_events::summary::{CurveSummary, Sides};
+use wcm_events::{Cycles, ExecutionInterval, TimedTrace, TimedEvent, TypeRegistry};
+use wcm_wire::fuzz::{mutate, sweep, MAX_CASE_LEN};
+use wcm_wire::{decode, DecodePolicy, StreamEncoder};
+
+/// Acceptance floor: at least this many seeded cases per reader.
+const CASES: u64 = 10_000;
+
+/// Valid wire streams the mutator starts from: every frame kind the
+/// format defines appears somewhere in the corpus.
+fn wire_corpus() -> Vec<Vec<u8>> {
+    let demands: Vec<u64> = (0..600u64).map(|i| i.wrapping_mul(2_654_435_761) >> 40).collect();
+    let times: Vec<f64> = (0..600).map(|i| i as f64 * 0.04).collect();
+
+    let mut full = StreamEncoder::new();
+    full.meta("gauntlet");
+    full.demands(&demands);
+    full.times(&times).unwrap();
+    full.summary(&CurveSummary::from_values(&demands, &[1, 2, 4, 8, 16], Sides::Both));
+    full.app_frame(0x41, b"opaque application payload");
+
+    let mut reg = TypeRegistry::new();
+    let a = reg.register("a", ExecutionInterval::new(Cycles(10), Cycles(40)).unwrap()).unwrap();
+    let b = reg.register("b", ExecutionInterval::new(Cycles(5), Cycles(90)).unwrap()).unwrap();
+    let events: Vec<TimedEvent> = (0..400)
+        .map(|i| TimedEvent {
+            time: i as f64 * 0.02,
+            ty: if i % 3 == 0 { a } else { b },
+        })
+        .collect();
+    let typed = TimedTrace::new(reg, events).unwrap();
+
+    vec![
+        full.finish(),
+        wcm_wire::encode_demands("d-only", &demands),
+        wcm_wire::encode_times("t-only", &times).unwrap(),
+        wcm_wire::encode_timed_trace("typed", &typed),
+        StreamEncoder::new().finish(), // header + end marker only
+    ]
+}
+
+#[test]
+fn wire_reader_survives_ten_thousand_mutations() {
+    let corpus = wire_corpus();
+    let refs: Vec<&[u8]> = corpus.iter().map(Vec::as_slice).collect();
+    sweep(&refs, CASES, 0x57C3_0001, |seed, doc| {
+        // Neither policy may panic, loop, or allocate beyond the input's
+        // own size class; errors and skips are the expected outcomes.
+        let _ = decode(doc, DecodePolicy::Strict);
+        if let Ok(out) = decode(doc, DecodePolicy::SkipCorrupt) {
+            assert!(
+                out.report.bytes_lost as usize <= doc.len(),
+                "seed {seed}: bytes_lost {} exceeds input {}",
+                out.report.bytes_lost,
+                doc.len()
+            );
+            // Decoded payload counts are bounded by what the bytes could
+            // possibly hold — the length-claim caps at work.
+            assert!(
+                out.demands.len() + out.times.len() <= doc.len(),
+                "seed {seed}: decoded more items than input bytes"
+            );
+        }
+    });
+}
+
+#[test]
+fn json_reader_survives_ten_thousand_mutations() {
+    let corpus: Vec<&[u8]> = vec![
+        br#"{"stats": {"total": 6, "simulated": 2}, "points": [{"mhz": 340.0, "ok": true}, {"mhz": 2.0, "ok": false}], "pareto": [[340.0, 4]]}"#,
+        br#"{"traceEvents": [{"name": "sweep.run", "ph": "B", "ts": 0.0}, {"name": "sweep.run", "ph": "E", "ts": 12.5}]}"#,
+        br#"{"counters": {"sweep.points": 6}, "gauges": {}, "histograms": {"cell_us": [1, 2, 3]}, "spans": []}"#,
+        br#"[null, true, false, -12.5e3, "str with \"escapes\" and \u00e9 text"]"#,
+    ];
+    sweep(&corpus, CASES, 0x57C3_0002, |_seed, doc| {
+        let text = String::from_utf8_lossy(doc);
+        let _ = wcm_obs::json::parse(&text);
+    });
+}
+
+#[test]
+fn csv_reader_survives_ten_thousand_mutations() {
+    let corpus: Vec<&[u8]> = vec![
+        b"clip,mhz,capacity,policy,ok\nnewscast,340.00,4,backpressure,true\nnewscast,2.00,4,reject,false\n",
+        b"a,b\n\"quoted, with comma\",\"line\nbreak\"\n\"doubled \"\"quotes\"\"\",plain\n",
+        b"single\r\ncrlf\r\n",
+    ];
+    sweep(&corpus, CASES, 0x57C3_0003, |_seed, doc| {
+        let text = String::from_utf8_lossy(doc);
+        let _ = wcm_obs::csv::parse_table(&text);
+    });
+}
+
+/// The gauntlet's own guardrail: mutated documents never exceed the size
+/// cap, so a "survived" run really did test bounded inputs.
+#[test]
+fn gauntlet_inputs_stay_bounded() {
+    let corpus = wire_corpus();
+    let refs: Vec<&[u8]> = corpus.iter().map(Vec::as_slice).collect();
+    for seed in 0..500 {
+        assert!(mutate(&refs, seed).len() <= MAX_CASE_LEN);
+    }
+}

@@ -66,6 +66,13 @@ fi
 check "curves.merge_overhead"         "$(jq .chunk_summaries.merge_overhead_vs_single BENCH_curves.json)" "<=" 1.5
 check "curves.append_over_rebuild"    "$(jq .append_one_gop.append_over_rebuild BENCH_curves.json)" "<=" 0.25
 
+# Wire format: the lenient (resync-capable) reader must stay within 50%
+# of the strict reader on a *clean* stream — graceful degradation is
+# paid for only when frames are actually damaged. A ratio of two decodes
+# of the same bytes in the same process, so host speed cancels out.
+# Recorded value sits at 1.01-1.04.
+check "wire.lenient_overhead"         "$(jq .wire.lenient_overhead_vs_strict BENCH_curves.json)" "<=" 1.5
+
 # Sweep engine: pruned+threaded points/s must stay clearly ahead of the
 # exhaustive sequential sweep, and the heap-free simulator hot path must
 # stay clearly ahead of the legacy heap loop (ns/event).
