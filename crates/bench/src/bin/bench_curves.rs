@@ -15,8 +15,10 @@
 //!
 //! Usage: `cargo run --release -p wcm-bench --bin bench_curves [OUT.json]`
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
-use wcm_curves::{minplus, Pwl};
+use wcm_curves::{minplus, CurveIter, Pwl, Segment};
 use wcm_events::summary::{summarize_with, CurveSummary, Sides, SummarySpine};
 use wcm_events::window::{max_window_sums_with, min_spans_with, Parallelism, WindowMode};
 
@@ -27,6 +29,50 @@ const REPS: usize = 31;
 /// 250-macroblock frames, the granularity at which a monitor or sweep
 /// replay extends its trace.
 const GOP_EVENTS: usize = 3_000;
+
+/// System allocator wrapped with relaxed atomic counters, so the lazy
+/// vs eager comparison can report allocation counts and bytes, not just
+/// wall-clock. Counting is always on; the counters are read as
+/// before/after snapshots around single-threaded regions.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A grow counts as one allocation of the new size: that is what
+        // a Vec push over capacity costs the allocator.
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocator calls and bytes consumed by one run of `f` (run on the
+/// calling thread; callers keep the region single-threaded).
+fn count_allocs<T>(f: impl FnOnce() -> T) -> (u64, u64) {
+    let calls0 = ALLOC_CALLS.load(Ordering::Relaxed);
+    let bytes0 = ALLOC_BYTES.load(Ordering::Relaxed);
+    std::hint::black_box(f());
+    (
+        ALLOC_CALLS.load(Ordering::Relaxed) - calls0,
+        ALLOC_BYTES.load(Ordering::Relaxed) - bytes0,
+    )
+}
 
 /// Deterministic xorshift64* stream (the bench binaries do not link `rand`).
 struct XorShift(u64);
@@ -296,6 +342,55 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ]);
     let (conv_seq, conv_par) = (conv.best(0), conv.best(1));
 
+    // Lazy streaming curve algebra: a 32-stage tandem service
+    // composition (left fold of min-plus convolutions). The eager fold
+    // materializes a fresh Pwl per stage plus every intermediate inside
+    // each convolution; the lazy fold streams each convolution's
+    // segments straight into a ping-pong buffer. Results are pinned
+    // bitwise identical before anything is timed.
+    const STAGES: usize = 32;
+    let stage_curves: Vec<Pwl> = (0..STAGES)
+        .map(|i| staircase(16, 100 + i as u64))
+        .collect();
+    let eager_tandem = || {
+        let mut acc = stage_curves[0].clone();
+        for c in &stage_curves[1..] {
+            acc = minplus::convolve(&acc, c);
+        }
+        acc
+    };
+    let lazy_tandem = || {
+        let mut acc = stage_curves[0].clone();
+        let mut buf: Vec<Segment> = Vec::new();
+        for c in &stage_curves[1..] {
+            let next =
+                minplus::convolve_lazy(&acc, c).collect_pwl_reusing(std::mem::take(&mut buf));
+            buf = std::mem::replace(&mut acc, next).into_segments();
+        }
+        acc
+    };
+    {
+        let (e, l) = (eager_tandem(), lazy_tandem());
+        assert_eq!(e.segments().len(), l.segments().len(), "lazy tandem diverged");
+        for (a, b) in e.segments().iter().zip(l.segments()) {
+            assert!(
+                a.x.to_bits() == b.x.to_bits()
+                    && a.y.to_bits() == b.y.to_bits()
+                    && a.slope.to_bits() == b.slope.to_bits(),
+                "lazy tandem is not bitwise identical to eager"
+            );
+        }
+    }
+    let (tandem_eager_allocs, tandem_eager_bytes) = count_allocs(eager_tandem);
+    let (tandem_lazy_allocs, tandem_lazy_bytes) = count_allocs(lazy_tandem);
+    let tandem = measure([
+        &mut || time_once(eager_tandem),
+        &mut || time_once(lazy_tandem),
+    ]);
+    let (tandem_eager_s, tandem_lazy_s) = (tandem.best(0), tandem.best(1));
+    let tandem_alloc_ratio = tandem_eager_allocs as f64 / tandem_lazy_allocs as f64;
+    let tandem_bytes_ratio = tandem_eager_bytes as f64 / tandem_lazy_bytes as f64;
+
     // Binary wire format: encode and decode throughput on the same
     // N-event demand+timestamp trace, plus the cost of the lenient
     // (resync-capable) reader on a clean stream relative to strict —
@@ -380,6 +475,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          \x20 }},\n\
          \x20 \"min_spans\": {{ \"seq_s\": {spans_seq:.6}, \"par_s\": {spans_par:.6}, \"speedup\": {:.1} }},\n\
          \x20 \"minplus_convolve_96seg\": {{ \"seq_s\": {conv_seq:.6}, \"par_s\": {conv_par:.6}, \"speedup\": {:.1} }},\n\
+         \x20 \"lazy_tandem_32\": {{\n\
+         \x20   \"stages\": {STAGES},\n\
+         \x20   \"eager_s\": {tandem_eager_s:.6},\n\
+         \x20   \"lazy_s\": {tandem_lazy_s:.6},\n\
+         \x20   \"speedup_lazy_vs_eager\": {:.2},\n\
+         \x20   \"eager_allocs\": {tandem_eager_allocs},\n\
+         \x20   \"lazy_allocs\": {tandem_lazy_allocs},\n\
+         \x20   \"alloc_ratio\": {tandem_alloc_ratio:.1},\n\
+         \x20   \"eager_bytes\": {tandem_eager_bytes},\n\
+         \x20   \"lazy_bytes\": {tandem_lazy_bytes},\n\
+         \x20   \"bytes_ratio\": {tandem_bytes_ratio:.1}\n\
+         \x20 }},\n\
          \x20 \"wire\": {{\n\
          \x20   \"stream_mb\": {wire_mb:.3},\n\
          \x20   \"events\": {N},\n\
@@ -397,6 +504,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         summaries.speedup(1, 0),
         core.speedup(3, 4),
         conv.speedup(0, 1),
+        tandem.speedup(0, 1),
     );
     std::fs::write(&out_path, &json)?;
     print!("{json}");

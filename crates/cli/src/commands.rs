@@ -8,6 +8,7 @@ use wcm_core::curve::{LowerWorkloadCurve, UpperWorkloadCurve};
 use wcm_core::polling::PollingTask;
 use wcm_core::sizing;
 use wcm_core::EnvelopeMonitor;
+use wcm_curves::{minplus, StepCurve};
 use wcm_events::window::{max_window_sums_with, min_window_sums_with, min_spans_with, WindowMode};
 use wcm_events::Cycles;
 use wcm_sim::{FaultPlan, FifoConfig, Injector, OverflowPolicy, ProcessingElement, SourceModel};
@@ -16,8 +17,12 @@ use wcm_sim::{FaultPlan, FifoConfig, Injector, OverflowPolicy, ProcessingElement
 pub const USAGE: &str = "usage: wcm-cli <subcommand> [--option value]...
 
 subcommands:
-  curves   --demands FILE --k K [--exact-upto N --stride S] [--threads T]
-           workload curves gamma_u/gamma_l from a per-event demand trace
+  curves   --demands FILE --k K [--exact-upto N --stride S]
+           [--closure N] [--threads T]
+           workload curves gamma_u/gamma_l from a per-event demand trace;
+           --closure N also takes the sub-additive closure of gamma_u
+           (at most N min-plus iterations on the lazy streaming path)
+           and reports whether it converged to a fixpoint
   arrival  --times FILE --k K [--threads T]
            empirical arrival staircase from sorted timestamps
   fmin     --times FILE --demands FILE --buffer B --k K [--threads T]
@@ -114,6 +119,26 @@ pub fn curves(opts: &Options) -> Result<(), CliError> {
             w * k as u64,
             b * k as u64
         );
+    }
+    if opts.optional("closure").is_some() {
+        let max_iter = opts.required_usize("closure")?;
+        // Lift gamma_u to a right-continuous upper staircase over the
+        // event-count axis: value gamma_u(k+1) on [k, k+1) — the demand
+        // of any window holding more than k events — with a wcet-rate
+        // tail past the measured horizon. Closure runs on the lazy
+        // streaming path and reports convergence explicitly.
+        let steps: Vec<(f64, u64)> = (1..=k_max)
+            .map(|k| ((k - 1) as f64, upper.value(k).get()))
+            .collect();
+        let gamma = StepCurve::new(steps, (k_max - 1) as f64, w as f64)?.to_pwl_upper();
+        let out = minplus::subadditive_closure_report(&gamma, max_iter);
+        println!("closure_iterations {}", out.iterations);
+        println!("closure_converged {}", out.converged);
+        println!("closure_segments {}", out.curve.segments().len());
+        println!("# k closure_gamma_u");
+        for k in 1..=k_max {
+            println!("{k} {}", out.curve.value((k - 1) as f64));
+        }
     }
     Ok(())
 }

@@ -50,6 +50,59 @@ fn curves_from_demand_file() {
 }
 
 #[test]
+fn curves_closure_reports_convergence() {
+    // At k=1 the lifted curve is an affine leaky bucket (burst gamma_u(1),
+    // rate wcet) — sub-additive already, so the closure reaches its
+    // fixpoint on the first iteration.
+    let p = tmp_file("demands-closure-flat.txt", "5 5 5 5 5 5\n");
+    let out = cli()
+        .args([
+            "curves",
+            "--demands",
+            p.to_str().unwrap(),
+            "--k",
+            "1",
+            "--closure",
+            "16",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.lines().any(|l| l == "closure_iterations 1"), "{text}");
+    assert!(text.lines().any(|l| l == "closure_converged true"), "{text}");
+    // The closure of a sub-additive curve is the curve itself.
+    assert!(text.lines().any(|l| l == "1 5"), "{text}");
+    std::fs::remove_file(p).ok();
+}
+
+#[test]
+fn curves_closure_surfaces_truncation() {
+    // Bursty demand whose long-run rate (7 cycles per 3 events) is far
+    // below its wcet tail: every iteration keeps refining the closure
+    // further out, so truncation at --closure N must be reported, not
+    // silently returned as if converged.
+    let p = tmp_file("demands-closure-burst.txt", "5 1 1 5 1 1 5 1\n");
+    let out = cli()
+        .args([
+            "curves",
+            "--demands",
+            p.to_str().unwrap(),
+            "--k",
+            "4",
+            "--closure",
+            "8",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.lines().any(|l| l == "closure_iterations 8"), "{text}");
+    assert!(text.lines().any(|l| l == "closure_converged false"), "{text}");
+    std::fs::remove_file(p).ok();
+}
+
+#[test]
 fn polling_matches_fig2_values() {
     let out = cli()
         .args([

@@ -173,7 +173,7 @@ pub fn backlog_events_pwl(
             reason: "arrival rate exceeds service rate; backlog diverges",
         });
     }
-    let mut ds = alpha_events.breakpoint_xs();
+    let mut ds: Vec<f64> = alpha_events.breakpoint_xs().collect();
     ds.extend(beta_cycles.breakpoint_xs());
     let span = alpha_events.tail_start().max(beta_cycles.tail_start()).max(1e-9);
     for i in 0..=256 {

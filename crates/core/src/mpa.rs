@@ -22,7 +22,7 @@
 
 use crate::curve::WorkloadBounds;
 use crate::WorkloadError;
-use wcm_curves::{bounds, minplus, Pwl, StepCurve};
+use wcm_curves::{bounds, minplus, CurveIter, Pwl, Segment, StepCurve};
 
 /// An event stream abstracted by upper and lower arrival curves
 /// (events per time window).
@@ -170,16 +170,17 @@ pub fn greedy_processing(
     // Processed output in the cycle domain (GPC equations of [4]):
     //   α′ᵘ = [(αᵘ ⊗ βᵘ) ⊘ βˡ] ∧ βᵘ,
     //   α′ˡ = [(αˡ ⊘ βᵘ) ⊗ βˡ] ∧ βˡ.
-    let out_upper_cycles = minplus::deconvolve(
-        &minplus::convolve(&demand_upper, &service.upper),
-        &service.lower,
-    )?
-    .min(&service.upper);
-    let out_lower_cycles = minplus::convolve(
-        &deconvolve_or_zero(&demand_lower, &service.upper),
-        &service.lower,
-    )
-    .min(&service.lower);
+    // Each equation runs as one lazy segment stream, materializing only
+    // where the next operator needs a breakpoint view of its operand; the
+    // results are bit-identical to the eager operators.
+    let conv = minplus::convolve_lazy(&demand_upper, &service.upper).collect_pwl();
+    let out_upper_cycles = minplus::deconvolve_lazy(&conv, &service.lower)?
+        .lazy_min(service.upper.lazy())
+        .collect_pwl();
+    let deconv = deconvolve_or_zero(&demand_lower, &service.upper);
+    let out_lower_cycles = minplus::convolve_lazy(&deconv, &service.lower)
+        .lazy_min(service.lower.lazy())
+        .collect_pwl();
 
     // Cycle → event back-conversion: at most C processed cycles can be
     // γˡ⁻¹-many events; at least C cycles are γᵘ⁻¹-many.
@@ -267,7 +268,7 @@ enum Round {
 /// edge when rounding up (the largest the true composition reaches there)
 /// and at its *left* edge when rounding down.
 fn compose(curve: &Pwl, grid: usize, round: Round, f: impl Fn(f64) -> f64) -> Pwl {
-    let mut xs = curve.breakpoint_xs();
+    let mut xs: Vec<f64> = curve.breakpoint_xs().collect();
     let span = curve.tail_start().max(1e-9) * 2.0;
     let n = grid.clamp(8, 512);
     for i in 0..=n {
@@ -311,7 +312,32 @@ fn compose(curve: &Pwl, grid: usize, round: Round, f: impl Fn(f64) -> f64) -> Pw
 /// `f ⊘ g` for lower curves, falling back to zero when the deconvolution
 /// diverges (a trivial but sound lower bound).
 fn deconvolve_or_zero(f: &Pwl, g: &Pwl) -> Pwl {
-    minplus::deconvolve(f, g).unwrap_or_else(|_| Pwl::zero())
+    minplus::deconvolve_lazy(f, g)
+        .map(CurveIter::collect_pwl)
+        .unwrap_or_else(|_| Pwl::zero())
+}
+
+/// End-to-end service of `N` servers in tandem: `β₁ ⊗ β₂ ⊗ … ⊗ β_N` (the
+/// classic "pay bursts only once" composition). The left fold runs through
+/// the lazy streaming convolution and ping-pongs two segment buffers, so
+/// an `N`-stage pipeline keeps one accumulator curve and one scratch
+/// buffer live instead of materializing eager intermediates at every
+/// stage. Bit-identical to folding [`minplus::convolve`].
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::InvalidParameter`] if `betas` is empty.
+pub fn tandem_service(betas: &[Pwl]) -> Result<Pwl, WorkloadError> {
+    let Some((first, rest)) = betas.split_first() else {
+        return Err(WorkloadError::InvalidParameter { name: "betas" });
+    };
+    let mut acc = first.clone();
+    let mut buf: Vec<Segment> = Vec::new();
+    for beta in rest {
+        let next = minplus::convolve_lazy(&acc, beta).collect_pwl_reusing(std::mem::take(&mut buf));
+        buf = std::mem::replace(&mut acc, next).into_segments();
+    }
+    Ok(acc)
 }
 
 #[cfg(test)]
@@ -484,6 +510,28 @@ mod tests {
             let d = i as f64 * 0.5;
             assert!(out.output.lower.value(d) <= out.output.upper.value(d) + 1e-6);
         }
+    }
+
+    #[test]
+    fn tandem_service_matches_eager_fold() {
+        let betas: Vec<Pwl> = (1..=8)
+            .map(|i| {
+                Pwl::from_breakpoints(vec![
+                    (0.0, 0.0, 0.0),
+                    (0.25 * i as f64, 0.0, 10.0 + i as f64),
+                ])
+                .unwrap()
+            })
+            .collect();
+        let lazy = tandem_service(&betas).unwrap();
+        let mut eager = betas[0].clone();
+        for b in &betas[1..] {
+            eager = minplus::convolve(&eager, b);
+        }
+        assert_eq!(lazy, eager);
+        // Rate-latency servers compose to sum-of-latencies, min-of-rates.
+        assert!((lazy.ultimate_rate() - 11.0).abs() < 1e-9);
+        assert!(tandem_service(&[]).is_err());
     }
 
     #[test]

@@ -77,8 +77,8 @@ pub fn delay(alpha: &Pwl, beta: &Pwl) -> Result<f64, CurveError> {
     }
     // Candidate t values: breakpoints of α, plus points where α(t) crosses
     // the value of β at β's breakpoints (kinks of β⁻¹∘α).
-    let mut ts = alpha.breakpoint_xs();
-    for &b in &beta.breakpoint_xs() {
+    let mut ts: Vec<f64> = alpha.breakpoint_xs().collect();
+    for b in beta.breakpoint_xs() {
         let y = beta.value(b);
         if let Some(t) = alpha.inverse_at(y) {
             ts.push(t);

@@ -12,6 +12,9 @@
 //!   scaling, shifting) in [`ops`](crate::pwl);
 //! * min-plus convolution `⊗`, deconvolution `⊘` and the sub-additive
 //!   closure in [`minplus`];
+//! * a lazy, composable streaming form of the same algebra in [`iter`]
+//!   (operator chains as segment iterators, bit-identical to the eager
+//!   path) and dominance-based segment compaction in [`compact`];
 //! * the classic Network Calculus bounds in [`bounds`]: backlog
 //!   `B ≤ sup_{Δ≥0} (α(Δ) − β(Δ))` (eq. 6 of the paper), delay as the
 //!   horizontal deviation, and the output arrival curve `α′ = α ⊘ β`;
@@ -46,7 +49,9 @@
 
 pub mod arrival;
 pub mod bounds;
+pub mod compact;
 mod error;
+pub mod iter;
 pub mod maxplus;
 pub mod minplus;
 mod num;
@@ -55,7 +60,9 @@ pub mod service;
 pub mod shaper;
 pub mod step;
 
+pub use compact::{CompactSide, Compacted};
 pub use error::CurveError;
+pub use iter::{CurveIter, LazyCurve};
 pub use num::{approx_eq, approx_ge, approx_le, EPSILON};
 pub use pwl::{Pwl, Segment};
 pub use step::StepCurve;

@@ -19,6 +19,7 @@
 //! breakpoint of `f` or `g`, so the result is the upper (resp. lower)
 //! envelope of finitely many shifted copies.
 
+use crate::iter::{LazyCurve, MergeOp};
 use crate::num::EPSILON;
 use crate::pwl::{Pwl, Segment};
 use crate::CurveError;
@@ -52,15 +53,36 @@ pub fn convolve(f: &Pwl, g: &Pwl) -> Pwl {
     let mut env = f
         .shift(0.0, g.value(0.0))
         .expect("shift by non-negative offsets");
-    for &b in &g.breakpoint_xs()[1..] {
+    for b in g.breakpoint_xs().skip(1) {
         env = env.max(&shift_zero_head(f, b, g.value(b)));
     }
-    for &a in &f.breakpoint_xs()[1..] {
+    for a in f.breakpoint_xs().skip(1) {
         env = env.max(&shift_zero_head(g, a, f.value(a)));
     }
     env.max(
         &g.shift(0.0, f.value(0.0))
             .expect("shift by non-negative offsets"),
+    )
+}
+
+/// Lazy max-plus convolution: the same exact envelope as [`convolve`],
+/// returned as a composable segment stream. Bit-identical to the eager
+/// path once collected — the stream mirrors the eager left-deep max fold
+/// over the same shifted-copy branches. See
+/// [`crate::minplus::convolve_lazy`] for the streaming contract.
+#[must_use]
+pub fn convolve_lazy<'a>(f: &'a Pwl, g: &'a Pwl) -> LazyCurve<'a> {
+    let mut env = LazyCurve::shift(f, 0.0, g.value(0.0));
+    for b in g.breakpoint_xs().skip(1) {
+        env = LazyCurve::merge(env, LazyCurve::zero_head(f, b, g.value(b)), MergeOp::Upper);
+    }
+    for a in f.breakpoint_xs().skip(1) {
+        env = LazyCurve::merge(env, LazyCurve::zero_head(g, a, f.value(a)), MergeOp::Upper);
+    }
+    LazyCurve::merge(
+        env,
+        LazyCurve::shift(g, 0.0, f.value(0.0)),
+        MergeOp::Upper,
     )
 }
 
@@ -94,8 +116,8 @@ pub fn deconvolve(f: &Pwl, g: &Pwl) -> Result<Pwl, CurveError> {
     // and keep the lower envelope via direct evaluation (the result is
     // piecewise linear with kinks on {a − b}).
     let mut ts: Vec<f64> = vec![0.0];
-    for &a in &f.breakpoint_xs() {
-        for &b in &g.breakpoint_xs() {
+    for a in f.breakpoint_xs() {
+        for b in g.breakpoint_xs() {
             if a - b > EPSILON {
                 ts.push(a - b);
             }
@@ -123,10 +145,10 @@ pub fn deconvolve(f: &Pwl, g: &Pwl) -> Result<Pwl, CurveError> {
             best = best.min(fv - gv);
         };
         consider(0.0);
-        for &b in &g.breakpoint_xs() {
+        for b in g.breakpoint_xs() {
             consider(b);
         }
-        for &a in &f.breakpoint_xs() {
+        for a in f.breakpoint_xs() {
             if a >= t {
                 consider(a - t);
             }

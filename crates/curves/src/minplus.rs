@@ -41,6 +41,7 @@
 //! [`Parallelism`] knob; the plain functions default to
 //! [`Parallelism::Auto`].
 
+use crate::iter::{CurveIter, LazyCurve, MergeOp};
 use crate::num::{approx_eq, EPSILON};
 use crate::pwl::{Pwl, Segment};
 use crate::CurveError;
@@ -115,6 +116,39 @@ pub fn convolve_with(f: &Pwl, g: &Pwl, par: Parallelism) -> Pwl {
     }
 }
 
+/// Lazy min-plus convolution: the same exact envelope as [`convolve`], but
+/// returned as a composable segment stream ([`LazyCurve`]) instead of a
+/// materialized [`Pwl`].
+///
+/// Nothing is computed until the stream is consumed, and consuming it keeps
+/// only the active window of every internal branch in memory: an N-stage
+/// chain of lazy operators allocates O(branches) small iterator nodes
+/// instead of O(branches) intermediate curves. Collecting the stream
+/// ([`CurveIter::collect_pwl`]) yields a curve bit-identical to
+/// `convolve(f, g)` — the stream replicates the eager breakpoint merge,
+/// crossing and branch-fold arithmetic operation for operation (the branch
+/// fold mirrors the pairwise tree of [`wcm_par::tree_reduce`], which is
+/// what makes the eager path worker-count independent).
+#[must_use]
+pub fn convolve_lazy<'a>(f: &'a Pwl, g: &'a Pwl) -> LazyCurve<'a> {
+    let base = LazyCurve::merge(LazyCurve::source(f), LazyCurve::source(g), MergeOp::Lower);
+    let mut branches: Vec<LazyCurve<'a>> = Vec::new();
+    branches.extend(
+        pruned_shifts(g, false)
+            .into_iter()
+            .map(|(b, c)| LazyCurve::shift(f, b, c)),
+    );
+    branches.extend(
+        pruned_shifts(f, false)
+            .into_iter()
+            .map(|(a, c)| LazyCurve::shift(g, a, c)),
+    );
+    match LazyCurve::tree_merge(branches, MergeOp::Lower) {
+        Some(env) => LazyCurve::merge(base, env, MergeOp::Lower),
+        None => base,
+    }
+}
+
 /// Shift candidates `(b, h(b⁻))` of a curve `h`, with runs of equal raise
 /// collapsed to the largest shift: for monotone curves,
 /// `x(· − b₁) + c` ≤ `x(· − b₂) + c` pointwise whenever `b₁ ≥ b₂`, so the
@@ -124,9 +158,8 @@ pub fn convolve_with(f: &Pwl, g: &Pwl, par: Parallelism) -> Pwl {
 /// `h(0) = 0` convention for the first candidate instead of the stored
 /// right-limit.
 fn pruned_shifts(h: &Pwl, zero_at_origin: bool) -> Vec<(f64, f64)> {
-    let xs = h.breakpoint_xs();
-    let mut out: Vec<(f64, f64)> = Vec::with_capacity(xs.len());
-    for (i, &b) in xs.iter().enumerate() {
+    let mut out: Vec<(f64, f64)> = Vec::with_capacity(h.segments().len());
+    for (i, b) in h.breakpoint_xs().enumerate() {
         let c = if i == 0 {
             if zero_at_origin {
                 0.0
@@ -222,7 +255,7 @@ pub fn deconvolve_with(f: &Pwl, g: &Pwl, par: Parallelism) -> Result<Pwl, CurveE
     // Along a flat run of f the smallest a dominates: equal fa, and
     // g(a − t) only grows with a.
     let mut last_fa: Option<f64> = None;
-    for &a in &f.breakpoint_xs() {
+    for a in f.breakpoint_xs() {
         if a > EPSILON {
             let fa = f.value(a);
             if !last_fa.is_some_and(|prev| approx_eq(fa, prev)) {
@@ -242,6 +275,40 @@ pub fn deconvolve_with(f: &Pwl, g: &Pwl, par: Parallelism) -> Result<Pwl, CurveE
         .expect("g has at least one breakpoint");
     // Clamp at zero (arrival/service curves are non-negative).
     Ok(env.max(&Pwl::zero()))
+}
+
+/// Lazy min-plus deconvolution: the same exact envelope as [`deconvolve`],
+/// returned as a composable segment stream. Bit-identical to the eager path
+/// once collected; see [`convolve_lazy`] for the streaming contract.
+///
+/// # Errors
+///
+/// Same conditions as [`deconvolve`].
+pub fn deconvolve_lazy<'a>(f: &'a Pwl, g: &'a Pwl) -> Result<LazyCurve<'a>, CurveError> {
+    if f.ultimate_rate() > g.ultimate_rate() + EPSILON {
+        return Err(CurveError::Unbounded {
+            operation: "deconvolution (flow rate exceeds service rate)",
+        });
+    }
+    let mut branches: Vec<LazyCurve<'a>> = Vec::new();
+    branches.extend(
+        pruned_shifts(g, true)
+            .into_iter()
+            .map(|(b, gv)| LazyCurve::shift_left_minus(f, b, gv)),
+    );
+    let mut last_fa: Option<f64> = None;
+    for a in f.breakpoint_xs() {
+        if a > EPSILON {
+            let fa = f.value(a);
+            if !last_fa.is_some_and(|prev| approx_eq(fa, prev)) {
+                branches.push(LazyCurve::reflected(fa, g, a));
+                last_fa = Some(fa);
+            }
+        }
+    }
+    let env = LazyCurve::tree_merge(branches, MergeOp::Upper)
+        .expect("g has at least one breakpoint");
+    Ok(LazyCurve::merge(env, LazyCurve::zero(), MergeOp::Upper))
 }
 
 /// The branch `t ↦ f(t + b) − c` as a PWL curve (values may be negative;
@@ -266,8 +333,7 @@ fn reflected_branch(fa: f64, g: &Pwl, a: f64) -> Pwl {
     // Kinks at t = a − b for each breakpoint b of g (clipped to ≥ 0).
     let mut ts: Vec<f64> = g
         .breakpoint_xs()
-        .iter()
-        .map(|&b| a - b)
+        .map(|b| a - b)
         .filter(|&t| t > EPSILON)
         .collect();
     ts.push(0.0);
@@ -324,6 +390,57 @@ pub fn subadditive_closure(f: &Pwl, max_iter: usize) -> Pwl {
         closure = next;
     }
     closure
+}
+
+/// Result of [`subadditive_closure_report`]: the closure curve together
+/// with an explicit convergence verdict, instead of the silent truncation
+/// of [`subadditive_closure`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosureOutcome {
+    /// The (possibly truncated) closure curve.
+    pub curve: Pwl,
+    /// Convolution iterations actually performed.
+    pub iterations: usize,
+    /// `true` if a fixpoint was reached within `max_iter` iterations;
+    /// `false` if the iteration was truncated and `curve` is only an
+    /// upper bound on the true closure.
+    pub converged: bool,
+}
+
+/// Sub-additive closure with an explicit convergence report, computed on
+/// the lazy streaming path: each iteration evaluates
+/// `min(closure, closure ⊗ f)` as one fused segment stream
+/// ([`convolve_lazy`]) collected into a ping-pong buffer, so no
+/// intermediate convolution curve is materialized. The fixpoint test and
+/// the resulting curve are bit-identical to [`subadditive_closure`].
+#[must_use]
+pub fn subadditive_closure_report(f: &Pwl, max_iter: usize) -> ClosureOutcome {
+    let mut closure = f.clone();
+    let mut buf: Vec<Segment> = Vec::new();
+    for it in 0..max_iter {
+        closure
+            .lazy()
+            .lazy_min(convolve_lazy(&closure, f))
+            .collect_segments_into(&mut buf);
+        if buf == closure.segments() {
+            return ClosureOutcome {
+                curve: closure,
+                iterations: it + 1,
+                converged: true,
+            };
+        }
+        // Ping-pong: the old closure's buffer becomes the next scratch.
+        let old = std::mem::replace(
+            &mut closure,
+            Pwl::from_normalized(std::mem::take(&mut buf)),
+        );
+        buf = old.into_segments();
+    }
+    ClosureOutcome {
+        curve: closure,
+        iterations: max_iter,
+        converged: false,
+    }
 }
 
 /// Tests `f(s + t) ≤ f(s) + f(t)` on a grid spanning the breakpoints

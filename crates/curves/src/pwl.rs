@@ -168,6 +168,26 @@ impl Pwl {
         Self::from_breakpoints(bps)
     }
 
+    /// Trusted constructor for segment lists that are already deduplicated,
+    /// validated and normalized — i.e. the exact output the
+    /// [`Pwl::from_segments`] pipeline would produce. Used by the lazy
+    /// iterator layer ([`crate::iter`]), whose adapters run the same
+    /// dedup/validate/normalize steps incrementally while streaming.
+    ///
+    /// Debug builds re-check the invariants; release builds trust the caller.
+    pub(crate) fn from_normalized(segments: Vec<Segment>) -> Self {
+        debug_assert!(!segments.is_empty(), "normalized stream must be non-empty");
+        debug_assert!(
+            approx_eq(segments[0].x, 0.0),
+            "normalized stream must start at x ≈ 0"
+        );
+        debug_assert!(
+            segments.windows(2).all(|w| w[1].x > w[0].x + EPSILON),
+            "normalized stream must have strictly increasing x"
+        );
+        Self { segments }
+    }
+
     /// Internal constructor: validates and normalizes a segment list.
     pub(crate) fn from_segments(mut segments: Vec<Segment>) -> Result<Self, CurveError> {
         if segments.is_empty() {
@@ -225,6 +245,15 @@ impl Pwl {
     #[must_use]
     pub fn segments(&self) -> &[Segment] {
         &self.segments
+    }
+
+    /// Consumes the curve, returning its segment buffer for reuse — e.g.
+    /// as a ping-pong buffer feeding
+    /// [`CurveIter::collect_pwl_reusing`](crate::CurveIter::collect_pwl_reusing)
+    /// in fixpoint or fold loops.
+    #[must_use]
+    pub fn into_segments(self) -> Vec<Segment> {
+        self.segments
     }
 
     /// Evaluates the curve at `t` (right-continuous value).
@@ -286,10 +315,12 @@ impl Pwl {
         self.segments.last().expect("non-empty by invariant").x
     }
 
-    /// All breakpoint x-coordinates.
-    #[must_use]
-    pub fn breakpoint_xs(&self) -> Vec<f64> {
-        self.segments.iter().map(|s| s.x).collect()
+    /// All breakpoint x-coordinates, in increasing order.
+    ///
+    /// Returns a lazy iterator; callers that need a `Vec` can `collect()`,
+    /// but operator hot paths iterate directly without allocating.
+    pub fn breakpoint_xs(&self) -> impl Iterator<Item = f64> + '_ {
+        self.segments.iter().map(|s| s.x)
     }
 
     /// Pointwise minimum (lower envelope) of two curves — exact, including
@@ -309,22 +340,19 @@ impl Pwl {
     #[must_use]
     pub fn add(&self, other: &Pwl) -> Pwl {
         let xs = merged_breakpoints(self, other);
-        let segments = xs
-            .iter()
-            .map(|&x| Segment::new(x, self.value(x) + other.value(x), 0.0))
-            .collect::<Vec<_>>();
-        let mut segs = Vec::with_capacity(segments.len());
-        for (i, s) in segments.iter().enumerate() {
-            let slope = if i + 1 < segments.len() {
+        let mut segs = Vec::with_capacity(xs.len());
+        for (i, &x) in xs.iter().enumerate() {
+            let y = self.value(x) + other.value(x);
+            let slope = if i + 1 < xs.len() {
                 // Slope on [x_i, x_{i+1}) from left-limits to keep jumps at
                 // the junction rather than smearing them.
-                let next_x = segments[i + 1].x;
+                let next_x = xs[i + 1];
                 let left = self.value_left(next_x) + other.value_left(next_x);
-                (left - s.y) / (next_x - s.x)
+                (left - y) / (next_x - x)
             } else {
                 self.ultimate_rate() + other.ultimate_rate()
             };
-            segs.push(Segment::new(s.x, s.y, slope.max(0.0)));
+            segs.push(Segment::new(x, y, slope.max(0.0)));
         }
         Pwl::from_segments(segs).expect("sum of valid curves is valid")
     }
@@ -499,11 +527,7 @@ impl Default for Pwl {
 
 /// Merged, deduplicated breakpoint x-coordinates of two curves.
 pub(crate) fn merged_breakpoints(a: &Pwl, b: &Pwl) -> Vec<f64> {
-    let mut xs: Vec<f64> = a
-        .breakpoint_xs()
-        .into_iter()
-        .chain(b.breakpoint_xs())
-        .collect();
+    let mut xs: Vec<f64> = a.breakpoint_xs().chain(b.breakpoint_xs()).collect();
     xs.sort_by(f64::total_cmp);
     xs.dedup_by(|p, q| approx_eq(*p, *q));
     xs
@@ -512,10 +536,10 @@ pub(crate) fn merged_breakpoints(a: &Pwl, b: &Pwl) -> Vec<f64> {
 /// Exact lower (`lower = true`) or upper envelope of two PWL curves.
 fn envelope(f: &Pwl, g: &Pwl, lower: bool) -> Pwl {
     let mut xs = merged_breakpoints(f, g);
-    // Add interior intersection points.
+    // Add interior intersection points (collected before `xs` is extended,
+    // so no snapshot copy of the breakpoint list is needed).
     let mut extra = Vec::new();
-    let all_xs = xs.clone();
-    for w in all_xs.windows(2) {
+    for w in xs.windows(2) {
         push_crossing(f, g, w[0], w[1], &mut extra);
     }
     // The tails may also cross beyond the last breakpoint.

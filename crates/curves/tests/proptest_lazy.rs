@@ -1,0 +1,241 @@
+//! Property-based pinning of the lazy streaming curve algebra against the
+//! eager oracle.
+//!
+//! The lazy layer's contract is *bitwise* equality: collecting a lazy
+//! operator chain must produce exactly the segment list the eager
+//! operators produce, bit for bit (`f64::to_bits`), for every operator and
+//! for arbitrarily deep chains. Generators draw breakpoint coordinates
+//! from coarse grids (gaps ≥ 1/8, values in small-integer steps) so the
+//! curves are well-conditioned but otherwise unconstrained — staircases,
+//! jumps, flats and steep pieces all occur.
+
+use proptest::prelude::*;
+use wcm_curves::compact::compact;
+use wcm_curves::{maxplus, minplus, CompactSide, CurveIter, Pwl, Segment};
+
+/// Bit-exact segment-list equality with a readable failure message.
+fn prop_bitwise(lazy: &Pwl, eager: &Pwl, what: &str) -> Result<(), TestCaseError> {
+    prop_assert_eq!(
+        lazy.segments().len(),
+        eager.segments().len(),
+        "{}: segment count {} vs {}",
+        what,
+        lazy.segments().len(),
+        eager.segments().len()
+    );
+    for (i, (l, e)) in lazy.segments().iter().zip(eager.segments()).enumerate() {
+        for (a, b, field) in [
+            (l.x, e.x, "x"),
+            (l.y, e.y, "y"),
+            (l.slope, e.slope, "slope"),
+        ] {
+            prop_assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{}: segment {} {} differs: {} vs {}",
+                what,
+                i,
+                field,
+                a,
+                b
+            );
+        }
+    }
+    Ok(())
+}
+
+/// A valid curve built from grid-valued deltas: x gaps in `{1..=8}/8`,
+/// upward jumps in `{0..=6}/2`, slopes in `{0..=12}/4`. Accumulating from
+/// the previous segment's reach guarantees the wide-sense-increasing,
+/// no-downward-jump invariant by construction.
+fn pwl_strategy(max_bps: usize) -> impl Strategy<Value = Pwl> {
+    (
+        0u32..=6,
+        0u32..=12,
+        proptest::collection::vec((1u32..=8, 0u32..=6, 0u32..=12), 0..max_bps),
+    )
+        .prop_map(|(y0, s0, steps)| {
+            let mut bps = vec![(0.0, y0 as f64 / 2.0, s0 as f64 / 4.0)];
+            for (gap, jump, slope) in steps {
+                let (px, py, ps) = *bps.last().unwrap();
+                let x = px + gap as f64 / 8.0;
+                let y = py + ps * (x - px) + jump as f64 / 2.0;
+                bps.push((x, y, slope as f64 / 4.0));
+            }
+            Pwl::from_breakpoints(bps).expect("grid construction preserves invariants")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Pointwise lazy adapters reproduce the eager operators bit for bit.
+    #[test]
+    fn pointwise_ops_match_eager_bitwise(
+        f in pwl_strategy(8),
+        g in pwl_strategy(8),
+        c in 0u32..=8,
+        dx in 0u32..=8,
+        dy in 0u32..=8,
+    ) {
+        prop_bitwise(&f.lazy().lazy_min(g.lazy()).collect_pwl(), &f.min(&g), "min")?;
+        prop_bitwise(&f.lazy().lazy_max(g.lazy()).collect_pwl(), &f.max(&g), "max")?;
+        prop_bitwise(&f.lazy().lazy_add(g.lazy()).collect_pwl(), &f.add(&g), "add")?;
+        let (c, dx, dy) = (c as f64 / 2.0, dx as f64 / 4.0, dy as f64 / 2.0);
+        prop_bitwise(
+            &f.lazy().scale_by(c).unwrap().collect_pwl(),
+            &f.scale(c).unwrap(),
+            "scale",
+        )?;
+        prop_bitwise(
+            &f.lazy().shift_by(dx, dy).unwrap().collect_pwl(),
+            &f.shift(dx, dy).unwrap(),
+            "shift",
+        )?;
+    }
+
+    /// Lazy min-plus convolution ≡ eager, bit for bit.
+    #[test]
+    fn minplus_convolve_matches_eager_bitwise(
+        f in pwl_strategy(6),
+        g in pwl_strategy(6),
+    ) {
+        prop_bitwise(
+            &minplus::convolve_lazy(&f, &g).collect_pwl(),
+            &minplus::convolve(&f, &g),
+            "minplus convolve",
+        )?;
+    }
+
+    /// Lazy min-plus deconvolution ≡ eager, bit for bit, including the
+    /// unbounded-rate error case.
+    #[test]
+    fn minplus_deconvolve_matches_eager_bitwise(
+        f in pwl_strategy(6),
+        g in pwl_strategy(6),
+    ) {
+        match (minplus::deconvolve_lazy(&f, &g), minplus::deconvolve(&f, &g)) {
+            (Ok(lazy), Ok(eager)) => {
+                prop_bitwise(&lazy.collect_pwl(), &eager, "minplus deconvolve")?;
+            }
+            (Err(_), Err(_)) => {}
+            (l, e) => {
+                return Err(TestCaseError::fail(format!(
+                    "error disagreement: lazy {:?} vs eager {:?}",
+                    l.is_ok(),
+                    e.is_ok()
+                )));
+            }
+        }
+    }
+
+    /// Lazy max-plus convolution ≡ eager, bit for bit.
+    #[test]
+    fn maxplus_convolve_matches_eager_bitwise(
+        f in pwl_strategy(6),
+        g in pwl_strategy(6),
+    ) {
+        prop_bitwise(
+            &maxplus::convolve_lazy(&f, &g).collect_pwl(),
+            &maxplus::convolve(&f, &g),
+            "maxplus convolve",
+        )?;
+    }
+
+    /// Deep chains (2–32 stages) of alternating pointwise operators stay
+    /// bitwise-identical to the eager fold, with and without interleaved
+    /// zero-epsilon compaction.
+    #[test]
+    fn deep_chains_match_eager_bitwise(
+        curves in proptest::collection::vec(pwl_strategy(5), 2..32),
+        ops in proptest::collection::vec(0u8..3, 31),
+        upper in (0u32..2).prop_map(|b| b == 0),
+    ) {
+        let mut eager = curves[0].clone();
+        for (i, c) in curves.iter().enumerate().skip(1) {
+            eager = match ops[i - 1] {
+                0 => eager.min(c),
+                1 => eager.max(c),
+                _ => eager.add(c),
+            };
+        }
+        let mut lazy: Box<dyn Iterator<Item = Segment>> = Box::new(curves[0].lazy());
+        for (i, c) in curves.iter().enumerate().skip(1) {
+            lazy = match ops[i - 1] {
+                0 => Box::new(lazy.lazy_min(c.lazy())),
+                1 => Box::new(lazy.lazy_max(c.lazy())),
+                _ => Box::new(lazy.lazy_add(c.lazy())),
+            };
+        }
+        // Zero-epsilon compaction terminating the chain must be a no-op.
+        let side = if upper { CompactSide::Upper } else { CompactSide::Lower };
+        let compacted = lazy.compact(side, 0.0).unwrap().collect_pwl();
+        prop_bitwise(&compacted, &eager, "deep chain")?;
+    }
+
+    /// The closure report's curve is the eager closure, bit for bit, and
+    /// a converged report is a true fixpoint.
+    #[test]
+    fn closure_report_matches_eager_bitwise(
+        f in pwl_strategy(4),
+        max_iter in 1usize..6,
+    ) {
+        let report = minplus::subadditive_closure_report(&f, max_iter);
+        let eager = minplus::subadditive_closure(&f, max_iter);
+        prop_bitwise(&report.curve, &eager, "subadditive closure")?;
+        prop_assert!(report.iterations >= 1 && report.iterations <= max_iter);
+        if report.converged {
+            let next = report.curve.min(&minplus::convolve(&report.curve, &f));
+            prop_assert_eq!(&next, &report.curve, "converged but not a fixpoint");
+        }
+    }
+
+    /// Compaction soundness: the compacted curve stays on the declared side
+    /// of the original, within the declared epsilon, and the dropped count
+    /// matches the removed breakpoints. Compaction is also idempotent.
+    #[test]
+    fn compaction_dominance_and_bound(
+        f in pwl_strategy(10),
+        eps_grid in 0u32..=8,
+        upper in (0u32..2).prop_map(|b| b == 0),
+    ) {
+        let eps = eps_grid as f64 / 4.0;
+        let side = if upper { CompactSide::Upper } else { CompactSide::Lower };
+        let c = compact(&f, side, eps).unwrap();
+        // The surfaced bound is zero exactly when nothing merged.
+        prop_assert_eq!(c.dropped == 0, c.epsilon == 0.0);
+        prop_assert_eq!(
+            f.segments().len() - c.curve.segments().len(),
+            c.dropped,
+            "dropped miscount"
+        );
+        // Sample breakpoints of both curves plus midpoints and a tail point.
+        let mut ts: Vec<f64> = f.breakpoint_xs().chain(c.curve.breakpoint_xs()).collect();
+        ts.push(f.tail_start() + 1.5);
+        let mids: Vec<f64> = ts.windows(2).map(|w| 0.5 * (w[0] + w[1])).collect();
+        ts.extend(mids);
+        for &t in &ts {
+            let (orig, comp) = (f.value(t), c.curve.value(t));
+            let dev = match side {
+                CompactSide::Upper => {
+                    prop_assert!(comp >= orig - 1e-9, "not dominating at t={}", t);
+                    comp - orig
+                }
+                CompactSide::Lower => {
+                    prop_assert!(comp <= orig + 1e-9, "not dominated at t={}", t);
+                    orig - comp
+                }
+            };
+            prop_assert!(
+                dev <= c.epsilon + 1e-9,
+                "deviation {} > bound {} at t={}",
+                dev,
+                c.epsilon,
+                t
+            );
+        }
+        let again = compact(&c.curve, side, eps).unwrap();
+        prop_assert_eq!(&again.curve, &c.curve, "compaction not idempotent");
+        prop_assert_eq!(again.dropped, 0, "fixed point must not merge further");
+    }
+}

@@ -359,13 +359,29 @@ impl CurveSummary {
     /// overflows `u64` (the sequential scan panics on the same input).
     #[must_use]
     pub fn merge(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        out.merge_in_place(other);
+        out
+    }
+
+    /// In-place [`merge`](CurveSummary::merge): folds `other` (the *later*
+    /// run) into `self`, reusing `self`'s window tables and head/tail
+    /// buffers instead of allocating a fresh summary per merge. Long
+    /// chunk folds (e.g. the sweep demand memo) keep one accumulator live.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grids or sides differ, or if a crossing window sum
+    /// overflows `u64` (the sequential scan panics on the same input).
+    pub fn merge_in_place(&mut self, other: &Self) {
         assert_eq!(self.grid, other.grid, "summary grids must match");
         assert_eq!(self.sides, other.sides, "summary sides must match");
-        if self.is_empty() {
-            return other.clone();
-        }
         if other.is_empty() {
-            return self.clone();
+            return;
+        }
+        if self.is_empty() {
+            self.clone_from(other);
+            return;
         }
         let k_max = *self.grid.last().expect("grid is non-empty");
         // Monotone seam profiles: suf[i] = sum of the last i values of
@@ -377,9 +393,10 @@ impl CurveSummary {
         let ta = self.tail.len();
         let hb = other.head.len();
         let merged_len = self.len + other.len;
-        let mut max_win = vec![MAX_IDENTITY; self.grid.len()];
-        let mut min_win = vec![MIN_IDENTITY; self.grid.len()];
-        for (j, &k) in self.grid.iter().enumerate() {
+        // Window tables update in place: entries with k > merged_len are
+        // already identities (k exceeds self.len too) and stay untouched.
+        for j in 0..self.grid.len() {
+            let k = self.grid[j];
             if k > merged_len {
                 continue;
             }
@@ -410,33 +427,24 @@ impl CurveSummary {
                         .fold(mn, |m, (&x, &y)| m.min(x + y));
                 }
             }
-            max_win[j] = mx;
-            min_win[j] = mn;
+            self.max_win[j] = mx;
+            self.min_win[j] = mn;
         }
         let boundary = k_max - 1;
-        let mut head = self.head.clone();
         if self.len < boundary {
             let want = (boundary - self.len).min(other.head.len());
-            head.extend_from_slice(&other.head[..want]);
+            self.head.extend_from_slice(&other.head[..want]);
         }
-        let mut tail;
         if other.len >= boundary {
-            tail = other.tail.clone();
+            self.tail.clear();
+            self.tail.extend_from_slice(&other.tail);
         } else {
             let want = (boundary - other.len).min(self.tail.len());
-            tail = self.tail[self.tail.len() - want..].to_vec();
-            tail.extend_from_slice(&other.tail);
+            self.tail.drain(..self.tail.len() - want);
+            self.tail.extend_from_slice(&other.tail);
         }
-        Self {
-            grid: self.grid.clone(),
-            sides: self.sides,
-            len: merged_len,
-            total: self.total + other.total,
-            max_win,
-            min_win,
-            head,
-            tail,
-        }
+        self.len = merged_len;
+        self.total += other.total;
     }
 
     /// Extend the run by one event in `O(k_max)`: the only new windows
@@ -782,6 +790,28 @@ mod tests {
             assert_eq!(merged.head, whole.head, "split {split}");
             assert_eq!(merged.tail, whole.tail, "split {split}");
             assert_eq!(merged.total(), whole.total());
+        }
+    }
+
+    #[test]
+    fn merge_in_place_matches_merge() {
+        let values = demo_values(300);
+        let grid = vec![1, 2, 3, 5, 8, 13, 21, 34];
+        for chunk_len in [1, 7, 34, 50, 299] {
+            let mut acc = CurveSummary::empty(&grid, Sides::Both);
+            let mut consumed = 0;
+            for chunk in values.chunks(chunk_len) {
+                acc.merge_in_place(&CurveSummary::from_values(chunk, &grid, Sides::Both));
+                consumed += chunk.len();
+                // Oracle: a from-scratch summary of everything folded so far.
+                let whole = CurveSummary::from_values(&values[..consumed], &grid, Sides::Both);
+                assert_eq!(acc.max_table(), whole.max_table(), "chunk {chunk_len}");
+                assert_eq!(acc.min_table(), whole.min_table(), "chunk {chunk_len}");
+                assert_eq!(acc.head, whole.head, "chunk {chunk_len}");
+                assert_eq!(acc.tail, whole.tail, "chunk {chunk_len}");
+                assert_eq!(acc.len(), whole.len());
+                assert_eq!(acc.total(), whole.total());
+            }
         }
     }
 

@@ -123,6 +123,21 @@ pub fn encode_clip(clip: &ClipWorkload) -> Vec<u8> {
     enc.finish()
 }
 
+/// Append a clip to an already-sealed `.wcmt` stream, returning the
+/// extended (re-sealed) bytes. The existing buffer is revalidated and
+/// reused in place via [`StreamEncoder::reopen`], so growing a clip
+/// library file never copies the clips already in it.
+///
+/// # Errors
+///
+/// Any strict framing error from the reopen walk: a damaged, truncated,
+/// or unterminated stream is refused rather than extended.
+pub fn append_clip_to_stream(bytes: Vec<u8>, clip: &ClipWorkload) -> Result<Vec<u8>, WireError> {
+    let mut enc = StreamEncoder::reopen(bytes)?;
+    append_clip(&mut enc, clip);
+    Ok(enc.finish())
+}
+
 fn decode_meta(payload: &[u8]) -> Result<(ClipWorkload, usize), WireError> {
     let mut c = Cursor::new(payload, 0);
     let name = c.str()?.to_string();
@@ -315,6 +330,33 @@ mod tests {
         assert_eq!(clips[0].name(), a.name());
         assert_eq!(clips[1].name(), b.name());
         assert_eq!(clips[1].frames(), b.frames());
+    }
+
+    #[test]
+    fn append_after_reopen_matches_single_sitting() {
+        let a = sample();
+        let params =
+            VideoParams::new(160, 128, 30.0, 2.0e6, GopStructure::broadcast()).unwrap();
+        let b = Synthesizer::new(params)
+            .generate(&standard_clips()[9], 1)
+            .unwrap();
+        // Two sittings: encode a, then reopen and append b.
+        let reopened = append_clip_to_stream(encode_clip(&a), &b).unwrap();
+        // One sitting: both clips in a fresh encoder.
+        let mut enc = StreamEncoder::new();
+        append_clip(&mut enc, &a);
+        append_clip(&mut enc, &b);
+        assert_eq!(reopened, enc.finish());
+        let (clips, report) = decode_clips(&reopened, DecodePolicy::Strict).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(clips.len(), 2);
+        assert_eq!(clips[0].frames(), a.frames());
+        assert_eq!(clips[1].frames(), b.frames());
+        // A damaged library file is refused, not extended.
+        let mut dirty = encode_clip(&a);
+        let mid = dirty.len() / 2;
+        dirty[mid] ^= 0x01;
+        assert!(append_clip_to_stream(dirty, &b).is_err());
     }
 
     #[test]

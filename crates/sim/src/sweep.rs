@@ -363,15 +363,18 @@ impl DemandMemo {
             let full = (lcp / self.chunk).min(self.chunks.len());
             if full > 0 {
                 let shared = full * self.chunk;
+                // In-place fold: one accumulator reused across all chunk
+                // merges instead of a fresh summary per merge.
                 let mut acc = self.chunks[0].clone();
                 for c in &self.chunks[1..full] {
-                    acc = acc.merge(c);
+                    acc.merge_in_place(c);
                 }
-                acc.merge(&CurveSummary::from_values(
+                acc.merge_in_place(&CurveSummary::from_values(
                     &demand[shared..],
                     grid,
                     self.sides,
-                ))
+                ));
+                acc
             } else {
                 CurveSummary::from_values(demand, grid, self.sides)
             }

@@ -115,6 +115,36 @@ impl FrameWriter {
         self.push(KIND_END, &[]);
         self.buf
     }
+
+    /// Reopen a previously [`finish`](FrameWriter::finish)ed stream for
+    /// appending: validates the header, strictly re-walks every frame
+    /// (CRCs included), strips the trailing end marker, and resumes the
+    /// writer right after the last data frame. A header-only buffer (a
+    /// stream abandoned before its first frame) is accepted unchanged.
+    /// The buffer is taken by value and reused — reopening never copies
+    /// the existing frames.
+    ///
+    /// # Errors
+    ///
+    /// Any strict-reader error: a damaged, truncated, or end-marker-less
+    /// stream is refused rather than silently extended, and bytes after
+    /// the end marker report [`WireErrorKind::TrailingBytes`].
+    pub fn reopen(mut buf: Vec<u8>) -> Result<Self, WireError> {
+        let header_only = buf.len() == HEADER_LEN;
+        {
+            let mut reader = FrameReader::new(&buf)?;
+            if !header_only {
+                while reader.next_strict()?.is_some() {}
+            }
+        }
+        if !header_only {
+            // The strict walk ended on a clean, empty-payload end frame
+            // flush against the buffer end, so it is exactly the last
+            // FRAME_OVERHEAD bytes.
+            buf.truncate(buf.len() - FRAME_OVERHEAD);
+        }
+        Ok(Self { buf })
+    }
 }
 
 impl Default for FrameWriter {
@@ -442,6 +472,61 @@ mod tests {
         }
         assert_eq!(frames, 3);
         assert!(lost_total > 0);
+    }
+
+    #[test]
+    fn reopen_appends_after_the_end_marker() {
+        let bytes = sample_stream();
+        let mut w = FrameWriter::reopen(bytes).unwrap();
+        w.push(0x42, b"late addition");
+        let bytes = w.finish();
+        let mut r = FrameReader::new(&bytes).unwrap();
+        let mut kinds = Vec::new();
+        while let Some(f) = r.next_strict().unwrap() {
+            kinds.push(f.kind);
+        }
+        assert_eq!(kinds, vec![KIND_DEMANDS, KIND_TIMES, 0x41, 0x42]);
+    }
+
+    #[test]
+    fn reopen_accepts_header_only_buffer() {
+        let mut header = Vec::new();
+        header.extend_from_slice(&MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        header.extend_from_slice(&0u16.to_le_bytes());
+        let mut w = FrameWriter::reopen(header).unwrap();
+        w.push(KIND_DEMANDS, b"x");
+        let bytes = w.finish();
+        let mut r = FrameReader::new(&bytes).unwrap();
+        assert_eq!(r.next_strict().unwrap().unwrap().kind, KIND_DEMANDS);
+        assert!(r.next_strict().unwrap().is_none());
+    }
+
+    #[test]
+    fn reopen_refuses_damaged_streams() {
+        // Truncated mid-frame: no end marker survives.
+        let bytes = sample_stream();
+        let cut = bytes[..bytes.len() - 4].to_vec();
+        assert!(FrameWriter::reopen(cut).is_err());
+        // Payload corruption: CRC fails on the strict re-walk.
+        let mut dirty = bytes.clone();
+        dirty[HEADER_LEN + 6] ^= 0x10;
+        assert!(FrameWriter::reopen(dirty).is_err());
+        // Bytes after the end marker.
+        let mut noisy = bytes.clone();
+        noisy.extend_from_slice(b"junk");
+        assert_eq!(
+            FrameWriter::reopen(noisy).unwrap_err().kind,
+            WireErrorKind::TrailingBytes
+        );
+        // A stream that never got its end marker.
+        let mut w = FrameWriter::new();
+        w.push(KIND_DEMANDS, b"abc");
+        let unfinished = w.buf;
+        assert_eq!(
+            FrameWriter::reopen(unfinished).unwrap_err().kind,
+            WireErrorKind::MissingEnd
+        );
     }
 
     #[test]

@@ -136,6 +136,21 @@ impl StreamEncoder {
     pub fn finish(self) -> Vec<u8> {
         self.writer.finish()
     }
+
+    /// Reopen a sealed stream to append more sections. The buffer is
+    /// strictly re-validated (every CRC re-checked) and its end marker
+    /// stripped, so appending to a stream is exactly as safe as writing
+    /// it in one sitting — and reuses the existing bytes in place.
+    ///
+    /// # Errors
+    ///
+    /// Any strict framing error from [`FrameWriter::reopen`]: damaged,
+    /// truncated, unterminated, or trailing-byte streams are refused.
+    pub fn reopen(bytes: Vec<u8>) -> Result<Self, WireError> {
+        Ok(Self {
+            writer: FrameWriter::reopen(bytes)?,
+        })
+    }
 }
 
 /// Encode a named demand sequence.
@@ -547,6 +562,38 @@ mod tests {
             .demands
             .iter()
             .all(|d| demands.contains(d)));
+    }
+
+    #[test]
+    fn reopened_stream_round_trips_both_sittings() {
+        let demands: Vec<u64> = (0..500).map(|i| i * 13 % 97).collect();
+        let bytes = encode_demands("first sitting", &demands);
+        let mut enc = StreamEncoder::reopen(bytes).unwrap();
+        let times = vec![0.0, 0.125, 0.30000000000000004, 7.5];
+        enc.times(&times).unwrap();
+        enc.meta("second sitting");
+        let bytes = enc.finish();
+        let out = decode(&bytes, DecodePolicy::Strict).unwrap();
+        assert!(out.report.is_clean());
+        assert_eq!(out.demands, demands);
+        assert_eq!(out.name.as_deref(), Some("second sitting"));
+        assert_eq!(out.times.len(), times.len());
+        for (a, b) in out.times.iter().zip(&times) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // A third sitting works too: reopen is closed under itself.
+        let mut enc = StreamEncoder::reopen(bytes).unwrap();
+        enc.demands(&[1, 2, 3]);
+        let out = decode(&enc.finish(), DecodePolicy::Strict).unwrap();
+        assert_eq!(out.demands.len(), demands.len() + 3);
+    }
+
+    #[test]
+    fn reopen_refuses_damaged_stream() {
+        let mut bytes = encode_demands("x", &[1, 2, 3]);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x08;
+        assert!(StreamEncoder::reopen(bytes).is_err());
     }
 
     #[test]

@@ -21,7 +21,7 @@ use wcm::sim::pipeline::{simulate_pipeline, PipelineConfig};
 /// Δ grid plus the staircase steps.
 fn buffer_bound(alpha: &Pwl, gamma: &UpperWorkloadCurve, f_hz: f64, horizon: f64) -> u64 {
     let mut worst = 0i64;
-    let mut ds: Vec<f64> = alpha.breakpoint_xs();
+    let mut ds: Vec<f64> = alpha.breakpoint_xs().collect();
     ds.extend((0..400).map(|i| horizon * i as f64 / 400.0));
     for d in ds {
         let arrived = alpha.value(d).ceil() as i64;

@@ -142,11 +142,11 @@ proptest! {
                     brute = brute.min(f.value_left(t - s) + g.value_left(s));
                 }
             };
-            for &b in &g.breakpoint_xs() {
+            for b in g.breakpoint_xs() {
                 consider(b);
                 consider(b - 1e-9);
             }
-            for &a in &f.breakpoint_xs() {
+            for a in f.breakpoint_xs() {
                 consider(t - a);
                 consider(t - a + 1e-9);
             }
