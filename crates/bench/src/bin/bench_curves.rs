@@ -15,9 +15,8 @@
 //!
 //! Usage: `cargo run --release -p wcm-bench --bin bench_curves [OUT.json]`
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+use wcm_bench::alloc::{count_allocs, CountingAlloc};
 use wcm_curves::{minplus, CurveIter, Pwl, Segment};
 use wcm_events::summary::{summarize_with, CurveSummary, Sides, SummarySpine};
 use wcm_events::window::{max_window_sums_with, min_spans_with, Parallelism, WindowMode};
@@ -30,49 +29,12 @@ const REPS: usize = 31;
 /// replay extends its trace.
 const GOP_EVENTS: usize = 3_000;
 
-/// System allocator wrapped with relaxed atomic counters, so the lazy
-/// vs eager comparison can report allocation counts and bytes, not just
-/// wall-clock. Counting is always on; the counters are read as
-/// before/after snapshots around single-threaded regions.
-struct CountingAlloc;
-
-static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
-static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
-        unsafe { System.alloc(layout) }
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        unsafe { System.dealloc(ptr, layout) }
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        // A grow counts as one allocation of the new size: that is what
-        // a Vec push over capacity costs the allocator.
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
-        unsafe { System.realloc(ptr, layout, new_size) }
-    }
-}
-
+// Shared counting allocator (`wcm_bench::alloc`), so the lazy vs eager
+// comparison can report allocation counts and bytes, not just
+// wall-clock. Counting is always on; the counters are read as
+// before/after snapshots around single-threaded regions.
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
-
-/// Allocator calls and bytes consumed by one run of `f` (run on the
-/// calling thread; callers keep the region single-threaded).
-fn count_allocs<T>(f: impl FnOnce() -> T) -> (u64, u64) {
-    let calls0 = ALLOC_CALLS.load(Ordering::Relaxed);
-    let bytes0 = ALLOC_BYTES.load(Ordering::Relaxed);
-    std::hint::black_box(f());
-    (
-        ALLOC_CALLS.load(Ordering::Relaxed) - calls0,
-        ALLOC_BYTES.load(Ordering::Relaxed) - bytes0,
-    )
-}
 
 /// Deterministic xorshift64* stream (the bench binaries do not link `rand`).
 struct XorShift(u64);

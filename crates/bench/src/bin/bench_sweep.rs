@@ -16,19 +16,48 @@
 //! * **simulator ns/event** — the legacy heap-driven event loop
 //!   (`wcm_bench::legacy`) vs the heap-free hot path with a reusable
 //!   scratch, on one identical clip (3 events per macroblock).
+//! * **streaming result pipeline** — peak allocator bytes of the
+//!   materializing `run_sweep` vs `run_sweep_streaming` into a
+//!   stat-only sink, at a ~100k-cell grid and at 10× that: the
+//!   streaming peak must stay flat while the materializing peak grows
+//!   with the grid (guarded by `scripts/bench_smoke.sh`).
 //! * **verdict equality** — asserts prune=on and prune=off agree on
-//!   every overflow verdict before any number is written.
+//!   every overflow verdict before any number is written, and the
+//!   streamed collect path rebuilds the materializing report exactly.
 //!
 //! Usage: `cargo run --release -p wcm-bench --bin bench_sweep [OUT.json]`
 
 use std::time::Instant;
+use wcm_bench::alloc::{measure as measure_allocs, CountingAlloc};
 use wcm_bench::legacy::simulate_pipeline_legacy;
 use wcm_events::window::WindowMode;
+use wcm_mpeg::{profile::standard_clips, GopStructure, Synthesizer, VideoParams};
 use wcm_par::Parallelism;
 use wcm_sim::pipeline::{simulate_faulted, FifoConfig, PipelineConfig, SimScratch, SourceModel};
-use wcm_sim::{run_frontier, run_sweep, FaultedWorkload, FrontierMethod, OverflowPolicy, SweepSpec};
+use wcm_sim::{
+    run_frontier, run_sweep, run_sweep_streaming, CollectSink, FaultedWorkload, FrontierMethod,
+    OverflowPolicy, PointRecord, ShardRange, SweepError, SweepSink, SweepSpec,
+};
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 const REPS: usize = 5;
+
+/// Stat-only sink for the streaming memory measurement: consumes each
+/// record without retaining anything, so the run's peak is the
+/// pipeline's own working set.
+struct NullSink {
+    points: u64,
+}
+
+impl SweepSink for NullSink {
+    fn point(&mut self, rec: &PointRecord<'_>) -> Result<(), SweepError> {
+        std::hint::black_box(rec.verdict);
+        self.points += 1;
+        Ok(())
+    }
+}
 
 fn time_once<T>(f: impl FnOnce() -> T) -> f64 {
     let start = Instant::now();
@@ -305,6 +334,85 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let legacy_ns = sim.best(0) / events * 1e9;
     let hot_ns = sim.best(1) / events * 1e9;
 
+    // Streaming result pipeline: allocator peak of materializing vs
+    // streaming, at a ~100k-cell grid and at 10× that. The grid grows
+    // along the policy axis (duplicated entries): the analytic table
+    // carries no policy dimension, so extra policies multiply only the
+    // per-point result handling — exactly what the constant-memory
+    // claim is about — at ~zero added precomputation. Frequencies sit
+    // far outside the uncertain band so the pre-pass decides every
+    // point and no simulation time drowns the measurement.
+    let stream_clip = {
+        let params = VideoParams::new(160, 128, 25.0, 1.0e6, GopStructure::broadcast())?;
+        Synthesizer::new(params).generate(&standard_clips()[0], 1)?
+    };
+    let stream_spec_at = |dup_policies: usize| SweepSpec {
+        pe1_hz: 60.0e6,
+        frequencies_hz: vec![2.0e6, 2000.0e6],
+        capacities: vec![20, 80],
+        policies: vec![OverflowPolicy::Backpressure; dup_policies],
+        seeds: vec![None],
+        injectors: vec![],
+        k_max: 400,
+        mode: WindowMode::Strided {
+            exact_upto: 96,
+            stride: 40,
+        },
+        cert_depth: 300,
+        prune: true,
+    };
+    let stream_base = stream_spec_at(25_000);
+    let stream_big = stream_spec_at(250_000);
+    let sclips = std::slice::from_ref(&stream_clip);
+
+    // Correctness gate: the streamed collect path rebuilds the
+    // materializing report exactly at the base grid, and the grid is
+    // fully analytic (otherwise the measurement would mostly time
+    // simulation, not the result pipeline).
+    let stream_dense = run_sweep(sclips, &stream_base, Parallelism::Seq)?;
+    {
+        let mut sink = CollectSink::new();
+        let summary =
+            run_sweep_streaming(sclips, &stream_base, Parallelism::Seq, ShardRange::FULL, &mut sink)?;
+        assert_eq!(
+            sink.into_report(&summary),
+            stream_dense,
+            "streamed collect diverged from run_sweep"
+        );
+    }
+    assert_eq!(
+        stream_dense.stats.pruned_safe + stream_dense.stats.pruned_unsafe,
+        stream_dense.stats.total,
+        "stream-bench grid must be fully analytic"
+    );
+
+    let run_mat = |spec: &SweepSpec| {
+        let start = Instant::now();
+        let (n, m) = measure_allocs(|| {
+            let r = run_sweep(sclips, spec, Parallelism::Seq).unwrap();
+            std::hint::black_box(r.points.len())
+        });
+        (start.elapsed().as_secs_f64(), n, m)
+    };
+    let run_stream = |spec: &SweepSpec| {
+        let start = Instant::now();
+        let (n, m) = measure_allocs(|| {
+            let mut sink = NullSink { points: 0 };
+            run_sweep_streaming(sclips, spec, Parallelism::Seq, ShardRange::FULL, &mut sink)
+                .unwrap();
+            sink.points
+        });
+        (start.elapsed().as_secs_f64(), n, m)
+    };
+    let (mat_1x_s, mat_n_1x, mat_1x) = run_mat(&stream_base);
+    let (mat_10x_s, mat_n_10x, mat_10x) = run_mat(&stream_big);
+    let (_stream_1x_s, stream_n_1x, stream_1x) = run_stream(&stream_base);
+    let (stream_10x_s, stream_n_10x, stream_10x) = run_stream(&stream_big);
+    assert_eq!(mat_n_1x as u64, stream_n_1x);
+    assert_eq!(mat_n_10x as u64, stream_n_10x);
+    let stream_peak_ratio_10x = stream_10x.peak_bytes as f64 / stream_1x.peak_bytes.max(1) as f64;
+    let mat_peak_ratio_10x = mat_10x.peak_bytes as f64 / mat_1x.peak_bytes.max(1) as f64;
+
     let n_clips = clips.len();
     let json = format!(
         "{{\n  \"config\": {{ \"clips\": {n_clips}, \"gops\": 2, \"grid_points\": {points}, \"threads\": {threads}, \"reps\": {REPS} }},\n\
@@ -334,6 +442,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          \x20   \"legacy_heap_ns_per_event\": {legacy_ns:.2},\n\
          \x20   \"hot_path_ns_per_event\": {hot_ns:.2},\n\
          \x20   \"speedup\": {:.1}\n\
+         \x20 }},\n\
+         \x20 \"stream\": {{\n\
+         \x20   \"grid_points_1x\": {mat_n_1x},\n\
+         \x20   \"grid_points_10x\": {mat_n_10x},\n\
+         \x20   \"materialize_peak_bytes_1x\": {},\n\
+         \x20   \"materialize_peak_bytes_10x\": {},\n\
+         \x20   \"stream_peak_bytes_1x\": {},\n\
+         \x20   \"stream_peak_bytes_10x\": {},\n\
+         \x20   \"materialize_allocs_10x\": {},\n\
+         \x20   \"stream_allocs_10x\": {},\n\
+         \x20   \"materialize_s_1x\": {mat_1x_s:.6},\n\
+         \x20   \"materialize_s_10x\": {mat_10x_s:.6},\n\
+         \x20   \"stream_s_10x\": {stream_10x_s:.6},\n\
+         \x20   \"points_per_s_stream_10x\": {:.2},\n\
+         \x20   \"materialize_peak_ratio_10x\": {mat_peak_ratio_10x:.2},\n\
+         \x20   \"peak_ratio_10x\": {stream_peak_ratio_10x:.4}\n\
          \x20 }}\n}}\n",
         points / seq_unpruned_s,
         points / par_pruned_s,
@@ -343,16 +467,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         bisect_frontier.evaluated_cells,
         frontier_times.speedup(0, 1),
         sim.speedup(0, 1),
+        mat_1x.peak_bytes,
+        mat_10x.peak_bytes,
+        stream_1x.peak_bytes,
+        stream_10x.peak_bytes,
+        mat_10x.calls,
+        stream_10x.calls,
+        stream_n_10x as f64 / stream_10x_s,
     );
     std::fs::write(&out_path, &json)?;
     print!("{json}");
     eprintln!(
-        "bench_sweep: {:.2}x points/s (pruned fraction {:.0}%), frontier bisection {}/{} cells, simulator {:.2}x ns/event, wrote {out_path}",
+        "bench_sweep: {:.2}x points/s (pruned fraction {:.0}%), frontier bisection {}/{} cells, simulator {:.2}x ns/event, stream peak {:.2}x at 10x grid (materializing {:.2}x), wrote {out_path}",
         sweeps.speedup(0, 1),
         pruned_fraction * 100.0,
         bisect_frontier.evaluated_cells,
         bisect_frontier.grid_cells,
-        sim.speedup(0, 1)
+        sim.speedup(0, 1),
+        stream_peak_ratio_10x,
+        mat_peak_ratio_10x,
     );
     Ok(())
 }

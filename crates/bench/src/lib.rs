@@ -6,9 +6,13 @@
 //! identical code paths. See `EXPERIMENTS.md` at the repository root for
 //! the experiment index (E1–E7) and recorded results.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the [`alloc`] module needs one `unsafe impl
+// GlobalAlloc` (counting pass-through to the system allocator) and opts
+// in locally; everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod legacy;
 
 use wcm_core::build::arrival_upper;

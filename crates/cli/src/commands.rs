@@ -44,7 +44,9 @@ subcommands:
            [--seeds clean,S1,S2] [--inject SPEC[;SPEC...]]
            [--k K --exact-upto N --stride S] [--cert-depth D]
            [--prune on|off] [--frontier bisect|dense] [--threads T]
-           [--json FILE] [--csv FILE]
+           [--json FILE] [--csv FILE] [--stream on|off]
+           [--shard I/N --out-wcmt FILE]
+           [--merge a.wcmt,b.wcmt,...]
            [--trace-out FILE] [--metrics-out FILE]
            parallel design-space sweep over the
            (clip x frequency x capacity x policy x seed) grid; an
@@ -55,6 +57,16 @@ subcommands:
            (O(log grid) cell evaluations per capacity), `dense'
            evaluates every cell; both print the identical frontier
            plus how many cells deciding it took (no --json/--csv)
+           --stream on evaluates through the constant-memory result
+           pipeline: --json/--csv artifacts are written row by row as
+           points are decided (byte-identical to the default path) and
+           peak memory stays flat however large the grid is
+           --shard I/N evaluates only the i-th of N balanced grid
+           slices and writes it as a binary partial-sweep stream to
+           --out-wcmt (run one process per shard); --merge folds the
+           shard files back into the single-process report — stats,
+           Pareto frontier and --json/--csv artifacts byte-identical —
+           refusing mismatched or incomplete shard sets
            --trace-out writes a chrome://tracing JSON trace of the run,
            --metrics-out a counters/gauges/histograms summary
            --clips entries ending in `.wcmt' are read as binary clip
@@ -442,6 +454,18 @@ pub fn faults(opts: &Options) -> Result<(), CliError> {
 /// Parses one `name:key=val,key=val` injector spec.
 /// `sweep` subcommand — the design-space exploration engine.
 pub fn sweep(opts: &Options) -> Result<(), CliError> {
+    // Merge mode folds already-evaluated shard files; it takes no grid
+    // arguments at all, so dispatch before anything is synthesized.
+    if let Some(list) = opts.optional("merge") {
+        for key in ["shard", "out-wcmt", "frontier", "stream", "pe2-mhz", "capacities"] {
+            if opts.optional(key).is_some() {
+                return Err(CliError::Usage(format!(
+                    "--merge cannot be combined with --{key}"
+                )));
+            }
+        }
+        return sweep_merge(opts, list);
+    }
     let params = wcm_mpeg::VideoParams::main_profile_main_level()?;
     let all = wcm_mpeg::profile::standard_clips();
     let gops = opts.usize_or("gops", 1)?;
@@ -524,6 +548,38 @@ pub fn sweep(opts: &Options) -> Result<(), CliError> {
             )))
         }
     };
+    let stream = match opts.optional("stream").unwrap_or("off") {
+        "on" => true,
+        "off" => false,
+        other => {
+            return Err(CliError::Usage(format!(
+                "--stream: `{other}` is not on|off"
+            )))
+        }
+    };
+    let shard = match opts.optional("shard") {
+        None => None,
+        Some(s) => Some(parse_shard(s)?),
+    };
+    if shard.is_some() && opts.optional("out-wcmt").is_none() {
+        return Err(CliError::Usage(
+            "--shard needs --out-wcmt FILE for the partial-sweep stream".to_string(),
+        ));
+    }
+    if opts.optional("out-wcmt").is_some() {
+        for key in ["frontier", "json", "csv", "stream"] {
+            if opts.optional(key).is_some() {
+                return Err(CliError::Usage(format!(
+                    "--out-wcmt cannot be combined with --{key} (merge the shards first)"
+                )));
+            }
+        }
+    }
+    if frontier.is_some() && stream {
+        return Err(CliError::Usage(
+            "--frontier cannot be combined with --stream".to_string(),
+        ));
+    }
 
     let spec = wcm_sim::SweepSpec {
         pe1_hz: match opts.optional("pe1-mhz") {
@@ -581,7 +637,94 @@ pub fn sweep(opts: &Options) -> Result<(), CliError> {
         return Ok(());
     }
 
-    let report = wcm_sim::run_sweep(&clips, &spec, opts.parallelism()?).map_err(map_err)?;
+    // Shard mode: evaluate one balanced slice of the grid through the
+    // streaming pipeline and write it as a partial-sweep `.wcmt` stream
+    // for a later `--merge`.
+    if let Some(shard) = shard {
+        let out = opts.required("out-wcmt")?;
+        let file = std::fs::File::create(out).map_err(|source| CliError::Io {
+            path: out.into(),
+            source,
+        })?;
+        let mut sink = wcm_sim::WcmtShardSink::new(std::io::BufWriter::new(file))
+            .map_err(map_err)?;
+        let summary =
+            wcm_sim::run_sweep_streaming(&clips, &spec, opts.parallelism()?, shard, &mut sink)
+                .map_err(map_err)?;
+        let writer = sink.finish_stream().map_err(map_err)?;
+        writer.into_inner().map_err(|e| CliError::Io {
+            path: out.into(),
+            source: e.into_error(),
+        })?;
+        if observe {
+            wcm_obs::set_enabled(false);
+            let snap = wcm_obs::mem().snapshot();
+            if let Some(path) = trace_out {
+                write_report(Path::new(path), &snap.to_chrome_trace())?;
+            }
+            if let Some(path) = metrics_out {
+                write_report(Path::new(path), &snap.to_metrics_json())?;
+            }
+        }
+        println!("shard {}/{}", shard.index, shard.count);
+        println!("points {}", summary.stats.total);
+        println!("wrote {out}");
+        return Ok(());
+    }
+
+    let par = opts.parallelism()?;
+    let (stats, pareto);
+    if stream {
+        // Constant-memory pipeline: artifact rows hit disk as points are
+        // decided; the JSON document is composed head + rows + tail once
+        // the summary exists, so its bytes match `to_json` exactly.
+        let mut csv_sink = match opts.optional("csv") {
+            Some(p) => {
+                let file = std::fs::File::create(p).map_err(|source| CliError::Io {
+                    path: p.into(),
+                    source,
+                })?;
+                Some(wcm_sim::CsvSink::new(std::io::BufWriter::new(file)))
+            }
+            None => None,
+        };
+        let mut json_sink = match opts.optional("json") {
+            Some(p) => Some(JsonRowsSink::create(Path::new(p))?),
+            None => None,
+        };
+        let mut sinks: Vec<&mut dyn wcm_sim::SweepSink> = Vec::new();
+        if let Some(s) = csv_sink.as_mut() {
+            sinks.push(s);
+        }
+        if let Some(s) = json_sink.as_mut() {
+            sinks.push(s);
+        }
+        let mut fan = FanoutSink { sinks };
+        let summary =
+            wcm_sim::run_sweep_streaming(&clips, &spec, par, wcm_sim::ShardRange::FULL, &mut fan)
+                .map_err(map_err)?;
+        if let Some(s) = csv_sink {
+            s.into_inner().into_inner().map_err(|e| CliError::Io {
+                path: opts.optional("csv").unwrap_or_default().into(),
+                source: e.into_error(),
+            })?;
+        }
+        if let Some(s) = json_sink {
+            s.compose(&summary)?;
+        }
+        stats = summary.stats;
+        pareto = summary.pareto;
+    } else {
+        let report = wcm_sim::run_sweep(&clips, &spec, par).map_err(map_err)?;
+        if let Some(path) = opts.optional("json") {
+            write_report(Path::new(path), &report.to_json())?;
+        }
+        if let Some(path) = opts.optional("csv") {
+            write_report(Path::new(path), &report.to_csv())?;
+        }
+        stats = report.stats;
+        pareto = report.pareto;
+    }
     if observe {
         wcm_obs::set_enabled(false);
         let snap = wcm_obs::mem().snapshot();
@@ -593,14 +736,51 @@ pub fn sweep(opts: &Options) -> Result<(), CliError> {
         }
     }
 
+    println!("points {}", stats.total);
+    println!(
+        "pruned_safe {} pruned_unsafe {} simulated {}",
+        stats.pruned_safe, stats.pruned_unsafe, stats.simulated
+    );
+    println!("pruned_fraction {:.4}", stats.pruned_fraction());
+    println!("overflowed {}", stats.overflowed);
+    for &(f, c) in &pareto {
+        println!("pareto {:.2} MHz capacity {c}", f / 1e6);
+    }
+    Ok(())
+}
+
+/// `sweep --merge`: fold shard `.wcmt` streams back into the
+/// single-process report. Exit codes follow the global table: a
+/// malformed or truncated shard file is a bad input (3, via the strict
+/// wire decode), an inconsistent or incomplete shard set is a usage
+/// error (2).
+fn sweep_merge(opts: &Options, list: &str) -> Result<(), CliError> {
+    let mut decoded = Vec::new();
+    for entry in list.split(',').filter(|s| !s.is_empty()) {
+        let path = Path::new(entry);
+        let bytes = read_wire_bytes(path)?;
+        decoded.push(
+            wcm_wire::decode(&bytes, wcm_wire::DecodePolicy::Strict)
+                .map_err(|e| io::wire_error(path, &e))?,
+        );
+    }
+    if decoded.is_empty() {
+        return Err(CliError::Usage(
+            "--merge needs at least one shard file".to_string(),
+        ));
+    }
+    let report = wcm_sim::merge_shards(&decoded).map_err(|e| match e {
+        wcm_sim::SweepError::Invalid(what) => CliError::Usage(what.to_string()),
+        other => CliError::Analysis(other.to_string()),
+    })?;
     if let Some(path) = opts.optional("json") {
         write_report(Path::new(path), &report.to_json())?;
     }
     if let Some(path) = opts.optional("csv") {
         write_report(Path::new(path), &report.to_csv())?;
     }
-
     let s = &report.stats;
+    println!("merged_shards {}", decoded.len());
     println!("points {}", s.total);
     println!(
         "pruned_safe {} pruned_unsafe {} simulated {}",
@@ -612,6 +792,123 @@ pub fn sweep(opts: &Options) -> Result<(), CliError> {
         println!("pareto {:.2} MHz capacity {c}", f / 1e6);
     }
     Ok(())
+}
+
+/// Parses `--shard I/N`.
+fn parse_shard(s: &str) -> Result<wcm_sim::ShardRange, CliError> {
+    let (i, n) = s
+        .split_once('/')
+        .ok_or_else(|| CliError::Usage(format!("--shard: `{s}` is not I/N")))?;
+    let index = i
+        .parse()
+        .map_err(|e| CliError::Usage(format!("--shard: `{i}`: {e}")))?;
+    let count = n
+        .parse()
+        .map_err(|e| CliError::Usage(format!("--shard: `{n}`: {e}")))?;
+    if count == 0 || index >= count {
+        return Err(CliError::Usage(format!(
+            "--shard: index {index} out of range for {count} shard(s)"
+        )));
+    }
+    Ok(wcm_sim::ShardRange { index, count })
+}
+
+/// Forwards every sink callback to each inner sink in order.
+struct FanoutSink<'a> {
+    sinks: Vec<&'a mut dyn wcm_sim::SweepSink>,
+}
+
+impl wcm_sim::SweepSink for FanoutSink<'_> {
+    fn begin(&mut self, header: &wcm_sim::SweepRunHeader<'_>) -> Result<(), wcm_sim::SweepError> {
+        for s in &mut self.sinks {
+            s.begin(header)?;
+        }
+        Ok(())
+    }
+
+    fn point(&mut self, rec: &wcm_sim::PointRecord<'_>) -> Result<(), wcm_sim::SweepError> {
+        for s in &mut self.sinks {
+            s.point(rec)?;
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self, summary: &wcm_sim::SweepSummary) -> Result<(), wcm_sim::SweepError> {
+        for s in &mut self.sinks {
+            s.finish(summary)?;
+        }
+        Ok(())
+    }
+}
+
+/// Streams JSON point rows to a `<path>.rows.part` side file during the
+/// sweep, then composes the final document (stats head + rows + tail)
+/// once the summary is known — the stats block precedes the points in
+/// the report layout, so a single pass cannot write the file in order.
+struct JsonRowsSink {
+    out: std::io::BufWriter<std::fs::File>,
+    part: std::path::PathBuf,
+    path: std::path::PathBuf,
+    rows: u64,
+}
+
+impl JsonRowsSink {
+    fn create(path: &Path) -> Result<Self, CliError> {
+        let part = std::path::PathBuf::from(format!("{}.rows.part", path.display()));
+        let file = std::fs::File::create(&part).map_err(|source| CliError::Io {
+            path: part.clone(),
+            source,
+        })?;
+        Ok(Self {
+            out: std::io::BufWriter::new(file),
+            part,
+            path: path.to_path_buf(),
+            rows: 0,
+        })
+    }
+
+    fn compose(self, summary: &wcm_sim::SweepSummary) -> Result<(), CliError> {
+        use std::io::Write;
+        let JsonRowsSink {
+            out,
+            part,
+            path,
+            rows,
+        } = self;
+        let io_err = |p: &Path| {
+            let p = p.to_path_buf();
+            move |source: std::io::Error| CliError::Io { path: p, source }
+        };
+        out.into_inner()
+            .map_err(|e| io_err(&part)(e.into_error()))?;
+        let file = std::fs::File::create(&path).map_err(io_err(&path))?;
+        let mut w = std::io::BufWriter::new(file);
+        w.write_all(wcm_sim::sweep::json_head(&summary.stats).as_bytes())
+            .map_err(io_err(&path))?;
+        let mut rows_file = std::fs::File::open(&part).map_err(io_err(&part))?;
+        std::io::copy(&mut rows_file, &mut w).map_err(io_err(&path))?;
+        if rows > 0 {
+            w.write_all(b"\n").map_err(io_err(&path))?;
+        }
+        w.write_all(wcm_sim::sweep::json_tail(&summary.advisories, &summary.pareto).as_bytes())
+            .map_err(io_err(&path))?;
+        w.into_inner().map_err(|e| io_err(&path)(e.into_error()))?;
+        let _ = std::fs::remove_file(&part);
+        Ok(())
+    }
+}
+
+impl wcm_sim::SweepSink for JsonRowsSink {
+    fn point(&mut self, rec: &wcm_sim::PointRecord<'_>) -> Result<(), wcm_sim::SweepError> {
+        use std::io::Write;
+        if self.rows > 0 {
+            self.out.write_all(b",\n")?;
+        }
+        self.out
+            .write_all(wcm_sim::sweep::json_point_row(rec).as_bytes())?;
+        self.rows += 1;
+        Ok(())
+    }
 }
 
 /// `validate` subcommand: strict well-formedness checks on the machine-

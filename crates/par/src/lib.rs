@@ -399,6 +399,101 @@ where
     assemble(items.len(), parts)
 }
 
+/// Streaming variant of [`par_map_init`] for outputs too large to hold:
+/// evaluates the **virtual index range** `0..n_items` (no input slice —
+/// the caller decodes each index itself, so a million-cell grid is never
+/// materialized) one bounded chunk at a time and hands each completed
+/// chunk to `emit` **in input-index order**. Peak memory is
+/// O(`chunk_items`) values regardless of `n_items`.
+///
+/// Within a chunk the items are spread across the worker pool through
+/// the same stealing block deques as [`par_map_init`] and placed by
+/// index, so the emitted sequence equals the sequential
+/// `for i in 0..n_items { f(&mut s, i) }` for any worker count. `emit`
+/// runs on the calling thread between chunks; returning `Err` aborts the
+/// run immediately (remaining chunks are never evaluated) — the hook for
+/// sink I/O failures.
+///
+/// The chunk buffer is reused across chunks; `emit` receives it by
+/// `&mut` and may drain it, but whatever it leaves is cleared before the
+/// next chunk.
+///
+/// # Errors
+///
+/// Only what `emit` returns; evaluation itself is infallible.
+pub fn par_map_stream<U, S, I, F, M, E>(
+    par: Parallelism,
+    n_items: usize,
+    cost_hint_ops: u64,
+    chunk_items: usize,
+    init: I,
+    f: F,
+    mut emit: M,
+) -> Result<(), E>
+where
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> U + Sync,
+    M: FnMut(usize, &mut Vec<U>) -> Result<(), E>,
+{
+    let chunk_items = chunk_items.max(1);
+    let workers = par.workers(n_items, cost_hint_ops);
+    if workers <= 1 || n_items <= 1 {
+        wcm_obs::counter("par.seq_runs", 1);
+        let mut state = init();
+        let mut buf: Vec<U> = Vec::with_capacity(chunk_items.min(n_items));
+        let mut start = 0;
+        while start < n_items {
+            let end = (start + chunk_items).min(n_items);
+            buf.clear();
+            buf.extend((start..end).map(|i| f(&mut state, i)));
+            wcm_obs::counter("par.stream_chunks", 1);
+            emit(start, &mut buf)?;
+            start = end;
+        }
+        return Ok(());
+    }
+    wcm_obs::counter("par.par_runs", 1);
+    wcm_obs::counter("par.workers_spawned", workers as u64);
+    let mut buf: Vec<Option<U>> = Vec::new();
+    let mut out: Vec<U> = Vec::with_capacity(chunk_items);
+    let mut start = 0;
+    while start < n_items {
+        let end = (start + chunk_items).min(n_items);
+        let len = end - start;
+        // One pool job per chunk: workers re-create their state each
+        // chunk, which a large chunk (the default is tens of thousands
+        // of items) amortizes away.
+        let parts = run_blocks(
+            workers.min(len),
+            len,
+            &init,
+            |state, mine: &mut Vec<(usize, Vec<U>)>, block| {
+                let vals: Vec<U> = (block.start..block.end)
+                    .map(|j| f(state, start + j))
+                    .collect();
+                mine.push((block.start, vals));
+            },
+        );
+        buf.clear();
+        buf.resize_with(len, || None);
+        for (bstart, vals) in parts {
+            for (j, v) in vals.into_iter().enumerate() {
+                buf[bstart + j] = Some(v);
+            }
+        }
+        out.clear();
+        out.extend(
+            buf.drain(..)
+                .map(|slot| slot.expect("every block fills its own slots")),
+        );
+        wcm_obs::counter("par.stream_chunks", 1);
+        emit(start, &mut out)?;
+        start = end;
+    }
+    Ok(())
+}
+
 /// Folds `items` with a **fixed pairwise tree**: adjacent pairs are combined
 /// round after round until one value remains. Returns `None` for empty input.
 ///
@@ -585,6 +680,109 @@ mod tests {
         assert_eq!(Parallelism::Auto.workers(1000, grain_ops() - 1), 1);
         let w = Parallelism::Auto.workers(1000, 3 * grain_ops());
         assert!((1..=3).contains(&w), "expected at most 3 affordable workers, got {w}");
+    }
+
+    #[test]
+    fn par_map_stream_emits_in_order_for_all_worker_counts() {
+        let n = 5_003usize;
+        let expect: Vec<u64> = (0..n as u64).map(|i| i * 13 + 5).collect();
+        for par in [
+            Parallelism::Seq,
+            Parallelism::Threads(2),
+            Parallelism::Threads(3),
+            Parallelism::Threads(16),
+            Parallelism::Auto,
+        ] {
+            for chunk in [1usize, 7, 256, 10_000] {
+                let mut got: Vec<u64> = Vec::new();
+                let mut next_start = 0usize;
+                par_map_stream::<_, _, _, _, _, ()>(
+                    par,
+                    n,
+                    u64::MAX,
+                    chunk,
+                    || 0u64,
+                    |calls, i| {
+                        *calls += 1;
+                        i as u64 * 13 + 5
+                    },
+                    |start, vals| {
+                        assert_eq!(start, next_start, "chunks out of order under {par:?}");
+                        assert!(vals.len() <= chunk, "chunk overflow under {par:?}");
+                        next_start = start + vals.len();
+                        got.append(vals);
+                        Ok(())
+                    },
+                )
+                .unwrap();
+                assert_eq!(got, expect, "mismatch under {par:?} chunk {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_stream_aborts_on_emit_error() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let evaluated = AtomicUsize::new(0);
+        let mut emits = 0usize;
+        let r = par_map_stream(
+            Parallelism::Threads(4),
+            100_000,
+            u64::MAX,
+            1_000,
+            || (),
+            |(), i| {
+                evaluated.fetch_add(1, Ordering::Relaxed);
+                i
+            },
+            |_, _| {
+                emits += 1;
+                if emits == 3 {
+                    Err("sink full")
+                } else {
+                    Ok(())
+                }
+            },
+        );
+        assert_eq!(r, Err("sink full"));
+        assert_eq!(emits, 3);
+        // Only the chunks up to the failing emit were evaluated.
+        assert_eq!(evaluated.load(Ordering::Relaxed), 3_000);
+    }
+
+    #[test]
+    fn par_map_stream_handles_empty_and_tiny_ranges() {
+        let mut emits = 0usize;
+        par_map_stream::<u32, _, _, _, _, ()>(
+            Parallelism::Threads(4),
+            0,
+            u64::MAX,
+            16,
+            || (),
+            |(), _| 0,
+            |_, _| {
+                emits += 1;
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(emits, 0, "empty range must not emit");
+        let mut got = Vec::new();
+        par_map_stream::<u32, _, _, _, _, ()>(
+            Parallelism::Threads(4),
+            1,
+            u64::MAX,
+            16,
+            || (),
+            |(), i| i as u32 + 40,
+            |start, vals| {
+                assert_eq!(start, 0);
+                got.append(vals);
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(got, vec![40]);
     }
 
     #[test]

@@ -60,6 +60,8 @@ pub use pipeline::{
     PipelineResult, RobustPipelineResult, SourceModel,
 };
 pub use sweep::{
-    run_frontier, run_sweep, staircase_thresholds, FrontierMethod, FrontierReport, SweepError,
-    SweepReport, SweepSpec, Verdict,
+    merge_shards, run_frontier, run_sweep, run_sweep_streaming, spec_fingerprint,
+    staircase_thresholds, CollectSink, CsvSink, FrontierMethod, FrontierReport, PointRecord,
+    ShardRange, SweepError, SweepReport, SweepRunHeader, SweepSink, SweepSpec, SweepSummary,
+    Verdict, WcmtShardSink,
 };

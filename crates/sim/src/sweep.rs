@@ -206,7 +206,10 @@ pub struct SweepReport {
     pub stats: SweepStats,
     /// Frequency/capacity Pareto frontier: the non-dominated
     /// `(frequency_hz, capacity)` pairs for which **no** clean point of
-    /// any clip/policy overflows.
+    /// any clip/policy overflows, sorted by frequency then capacity.
+    /// One-axis ties survive (domination is strict), exactly-equal pairs
+    /// from duplicate axis values are collapsed to one entry — see
+    /// `nondominated` for the full tie contract.
     pub pareto: Vec<(f64, u64)>,
 }
 
@@ -219,6 +222,9 @@ pub enum SweepError {
     Analysis(WorkloadError),
     /// The spec itself is unusable.
     Invalid(&'static str),
+    /// A [`SweepSink`] failed to accept a result (I/O on the underlying
+    /// writer).
+    Io(std::io::Error),
 }
 
 impl std::fmt::Display for SweepError {
@@ -227,6 +233,7 @@ impl std::fmt::Display for SweepError {
             SweepError::Sim(e) => write!(f, "simulation: {e}"),
             SweepError::Analysis(e) => write!(f, "analysis: {e}"),
             SweepError::Invalid(what) => write!(f, "invalid sweep spec: {what}"),
+            SweepError::Io(e) => write!(f, "sweep sink I/O: {e}"),
         }
     }
 }
@@ -237,7 +244,14 @@ impl std::error::Error for SweepError {
             SweepError::Sim(e) => Some(e),
             SweepError::Analysis(e) => Some(e),
             SweepError::Invalid(_) => None,
+            SweepError::Io(e) => Some(e),
         }
+    }
+}
+
+impl From<std::io::Error> for SweepError {
+    fn from(e: std::io::Error) -> Self {
+        SweepError::Io(e)
     }
 }
 
@@ -921,16 +935,61 @@ fn validate(clips: &[ClipWorkload], spec: &SweepSpec) -> Result<(), SweepError> 
 /// Non-dominated `(frequency, capacity)` pairs where no clean point of
 /// any clip/policy overflows.
 fn pareto_frontier(points: &[PointReport], spec: &SweepSpec) -> Vec<(f64, u64)> {
+    pareto_frontier_values(points, &spec.frequencies_hz, &spec.capacities)
+}
+
+/// [`pareto_frontier`] against explicit axis vectors — the form
+/// [`merge_shards`] uses, where the axes come off the wire instead of a
+/// [`SweepSpec`]. Cells are compared **by axis value**: a `(f, c)` cell
+/// is safe only if *no* clean point with that frequency value and
+/// capacity value overflows, so duplicate axis entries share one fate.
+fn pareto_frontier_values(
+    points: &[PointReport],
+    frequencies_hz: &[f64],
+    capacities: &[u64],
+) -> Vec<(f64, u64)> {
+    // One pass over the points instead of one scan per cell: mark
+    // clean-seed overflows on a cell bitmap at *canonical* axis
+    // positions (duplicate axis values share one cell), then enumerate
+    // only canonical cells. O(points + cells) where the naive by-value
+    // scan is O(cells x points) — the difference between seconds and
+    // hours on a million-point grid — and hands `nondominated` a
+    // duplicate-free safe set. Bit-pattern map keys are value-exact
+    // here: axis validation rejects NaN and non-positive frequencies,
+    // and even a ±0.0 pair would collapse through `canonical_positions`
+    // (which compares by `==`) before the keys are consulted.
+    let f_canon = canonical_positions(frequencies_hz);
+    let c_canon = canonical_positions(capacities);
+    let f_at: std::collections::HashMap<u64, usize> = frequencies_hz
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.to_bits(), f_canon[i]))
+        .collect();
+    let c_at: std::collections::HashMap<u64, usize> = capacities
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (c, c_canon[i]))
+        .collect();
+    let mut overflow = vec![false; frequencies_hz.len() * capacities.len()];
+    for p in points {
+        if p.seed.is_none() && p.verdict.overflowed() {
+            if let (Some(&fi), Some(&ci)) =
+                (f_at.get(&p.frequency_hz.to_bits()), c_at.get(&p.capacity))
+            {
+                overflow[fi * capacities.len() + ci] = true;
+            }
+        }
+    }
     let mut safe: Vec<(f64, u64)> = Vec::new();
-    for &f in &spec.frequencies_hz {
-        for &c in &spec.capacities {
-            let ok = points.iter().all(|p| {
-                p.seed.is_some()
-                    || p.frequency_hz != f
-                    || p.capacity != c
-                    || !p.verdict.overflowed()
-            });
-            if ok {
+    for (fi, &f) in frequencies_hz.iter().enumerate() {
+        if f_canon[fi] != fi {
+            continue;
+        }
+        for (ci, &c) in capacities.iter().enumerate() {
+            if c_canon[ci] != ci {
+                continue;
+            }
+            if !overflow[fi * capacities.len() + ci] {
                 safe.push((f, c));
             }
         }
@@ -939,8 +998,20 @@ fn pareto_frontier(points: &[PointReport], spec: &SweepSpec) -> Vec<(f64, u64)> 
 }
 
 /// Strict-domination filter + canonical sort shared by the dense
-/// [`pareto_frontier`] and [`run_frontier`] — one implementation so the
-/// two paths cannot drift apart on ties or duplicate axis values.
+/// [`pareto_frontier`], [`run_frontier`] and the streaming online
+/// accumulator of [`run_sweep_streaming`] — one implementation so the
+/// paths cannot drift apart on ties or duplicate axis values.
+///
+/// Tie/duplicate contract (also the contract of [`SweepReport::pareto`]):
+///
+/// * two *distinct* pairs that tie on one axis (e.g. `(f, 4)` and
+///   `(f, 8)`) do **not** dominate each other — domination is strict in
+///   at least one axis — so both survive when nothing else dominates
+///   them;
+/// * *exactly equal* pairs (duplicate axis values produce the same
+///   `(f, c)` cell twice) are collapsed to a single entry after the
+///   canonical sort, compared bitwise on the frequency so `-0.0` and
+///   `0.0` stay the distinct values `total_cmp` says they are.
 fn nondominated(safe: &[(f64, u64)]) -> Vec<(f64, u64)> {
     let mut frontier: Vec<(f64, u64)> = safe
         .iter()
@@ -952,6 +1023,7 @@ fn nondominated(safe: &[(f64, u64)]) -> Vec<(f64, u64)> {
         })
         .collect();
     frontier.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    frontier.dedup_by(|a, b| a.0.to_bits() == b.0.to_bits() && a.1 == b.1);
     frontier
 }
 
@@ -1201,70 +1273,16 @@ impl SweepReport {
     /// and quote-free names the output is byte-identical to before.
     #[must_use]
     pub fn to_json(&self) -> String {
-        use wcm_obs::json::{fmt_f64, quote};
         let mut s = String::with_capacity(256 + self.points.len() * 160);
-        s.push_str("{\n  \"stats\": {");
-        s.push_str(&format!(
-            "\"total\": {}, \"pruned_safe\": {}, \"pruned_unsafe\": {}, \
-             \"simulated\": {}, \"overflowed\": {}, \"pruned_fraction\": {}",
-            self.stats.total,
-            self.stats.pruned_safe,
-            self.stats.pruned_unsafe,
-            self.stats.simulated,
-            self.stats.overflowed,
-            fmt_f64(self.stats.pruned_fraction()),
-        ));
-        s.push_str("},\n  \"points\": [\n");
+        s.push_str(&json_head(&self.stats));
         for (i, p) in self.points.iter().enumerate() {
-            s.push_str("    {");
-            s.push_str(&format!(
-                "\"clip\": {}, \"frequency_hz\": {}, \"capacity\": {}, \
-                 \"policy\": \"{}\", \"seed\": {}, \"verdict\": \"{}\"",
-                quote(&p.clip),
-                fmt_f64(p.frequency_hz),
-                p.capacity,
-                policy_str(p.policy),
-                p.seed.map_or("null".to_string(), |s| s.to_string()),
-                p.verdict.as_str(),
-            ));
-            if let (Some(b), Some(d), Some(st)) = (p.max_backlog, p.dropped, p.pe1_stalled_s) {
-                s.push_str(&format!(
-                    ", \"max_backlog\": {b}, \"dropped\": {d}, \"pe1_stalled_s\": {}",
-                    fmt_f64(st)
-                ));
-            }
-            s.push('}');
+            s.push_str(&json_point_row(&PointRecord::from_report(p, i as u64)));
             if i + 1 < self.points.len() {
                 s.push(',');
             }
             s.push('\n');
         }
-        s.push_str("  ],\n  \"rms_advisories\": [\n");
-        for (i, a) in self.advisories.iter().enumerate() {
-            s.push_str(&format!(
-                "    {{\"clip\": {}, \"frequency_hz\": {}, \
-                 \"schedulable\": {}, \"l_factor\": {}}}",
-                quote(&a.clip),
-                fmt_f64(a.frequency_hz),
-                a.schedulable,
-                fmt_f64(a.l_factor)
-            ));
-            if i + 1 < self.advisories.len() {
-                s.push(',');
-            }
-            s.push('\n');
-        }
-        s.push_str("  ],\n  \"pareto\": [");
-        for (i, &(f, c)) in self.pareto.iter().enumerate() {
-            if i > 0 {
-                s.push_str(", ");
-            }
-            s.push_str(&format!(
-                "{{\"frequency_hz\": {}, \"capacity\": {c}}}",
-                fmt_f64(f)
-            ));
-        }
-        s.push_str("]\n}\n");
+        s.push_str(&json_tail(&self.advisories, &self.pareto));
         s
     }
 
@@ -1276,25 +1294,118 @@ impl SweepReport {
     /// so reports for ordinary names are byte-identical to before.
     #[must_use]
     pub fn to_csv(&self) -> String {
-        let mut s = String::from(
-            "clip,frequency_hz,capacity,policy,seed,verdict,max_backlog,dropped,pe1_stalled_s\n",
-        );
-        for p in &self.points {
-            s.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{}\n",
-                wcm_obs::csv::field(&p.clip),
-                p.frequency_hz,
-                p.capacity,
-                policy_str(p.policy),
-                p.seed.map_or(String::new(), |x| x.to_string()),
-                p.verdict.as_str(),
-                p.max_backlog.map_or(String::new(), |x| x.to_string()),
-                p.dropped.map_or(String::new(), |x| x.to_string()),
-                p.pe1_stalled_s.map_or(String::new(), |x| x.to_string()),
-            ));
+        let mut s = String::from(CSV_HEADER);
+        for (i, p) in self.points.iter().enumerate() {
+            s.push_str(&csv_point_row(&PointRecord::from_report(p, i as u64)));
         }
         s
     }
+}
+
+/// Header line of [`SweepReport::to_csv`] (trailing newline included).
+pub const CSV_HEADER: &str =
+    "clip,frequency_hz,capacity,policy,seed,verdict,max_backlog,dropped,pe1_stalled_s\n";
+
+/// Opening of the [`SweepReport::to_json`] document up to and including
+/// the `"points": [` line — the stats block precedes the rows, which is
+/// why the streaming CLI path composes its JSON from a row temp file
+/// instead of writing head-to-tail.
+#[must_use]
+pub fn json_head(stats: &SweepStats) -> String {
+    use wcm_obs::json::fmt_f64;
+    let mut s = String::with_capacity(256);
+    s.push_str("{\n  \"stats\": {");
+    s.push_str(&format!(
+        "\"total\": {}, \"pruned_safe\": {}, \"pruned_unsafe\": {}, \
+         \"simulated\": {}, \"overflowed\": {}, \"pruned_fraction\": {}",
+        stats.total,
+        stats.pruned_safe,
+        stats.pruned_unsafe,
+        stats.simulated,
+        stats.overflowed,
+        fmt_f64(stats.pruned_fraction()),
+    ));
+    s.push_str("},\n  \"points\": [\n");
+    s
+}
+
+/// One `points[]` row of [`SweepReport::to_json`], indented, without the
+/// separating comma or newline (the caller knows whether a row follows).
+#[must_use]
+pub fn json_point_row(p: &PointRecord<'_>) -> String {
+    use wcm_obs::json::{fmt_f64, quote};
+    let mut s = String::with_capacity(160);
+    s.push_str("    {");
+    s.push_str(&format!(
+        "\"clip\": {}, \"frequency_hz\": {}, \"capacity\": {}, \
+         \"policy\": \"{}\", \"seed\": {}, \"verdict\": \"{}\"",
+        quote(p.clip),
+        fmt_f64(p.frequency_hz),
+        p.capacity,
+        policy_str(p.policy),
+        p.seed.map_or("null".to_string(), |s| s.to_string()),
+        p.verdict.as_str(),
+    ));
+    if let (Some(b), Some(d), Some(st)) = (p.max_backlog, p.dropped, p.pe1_stalled_s) {
+        s.push_str(&format!(
+            ", \"max_backlog\": {b}, \"dropped\": {d}, \"pe1_stalled_s\": {}",
+            fmt_f64(st)
+        ));
+    }
+    s.push('}');
+    s
+}
+
+/// Everything of [`SweepReport::to_json`] after the last point row: the
+/// advisory and Pareto sections plus the closing braces.
+#[must_use]
+pub fn json_tail(advisories: &[RmsAdvisory], pareto: &[(f64, u64)]) -> String {
+    use wcm_obs::json::{fmt_f64, quote};
+    let mut s = String::with_capacity(128 + advisories.len() * 96);
+    s.push_str("  ],\n  \"rms_advisories\": [\n");
+    for (i, a) in advisories.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"clip\": {}, \"frequency_hz\": {}, \
+             \"schedulable\": {}, \"l_factor\": {}}}",
+            quote(&a.clip),
+            fmt_f64(a.frequency_hz),
+            a.schedulable,
+            fmt_f64(a.l_factor)
+        ));
+        if i + 1 < advisories.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  ],\n  \"pareto\": [");
+    for (i, &(f, c)) in pareto.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!(
+            "{{\"frequency_hz\": {}, \"capacity\": {c}}}",
+            fmt_f64(f)
+        ));
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
+/// One data row of [`SweepReport::to_csv`] (trailing newline included).
+#[must_use]
+pub fn csv_point_row(p: &PointRecord<'_>) -> String {
+    format!(
+        "{},{},{},{},{},{},{},{},{}\n",
+        wcm_obs::csv::field(p.clip),
+        p.frequency_hz,
+        p.capacity,
+        policy_str(p.policy),
+        p.seed.map_or(String::new(), |x| x.to_string()),
+        p.verdict.as_str(),
+        p.max_backlog.map_or(String::new(), |x| x.to_string()),
+        p.dropped.map_or(String::new(), |x| x.to_string()),
+        p.pe1_stalled_s.map_or(String::new(), |x| x.to_string()),
+    )
 }
 
 /// Stable lower-case policy label for reports.
@@ -1305,6 +1416,821 @@ pub fn policy_str(p: OverflowPolicy) -> &'static str {
         OverflowPolicy::Reject => "reject",
         OverflowPolicy::DropByPriority => "drop-priority",
     }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming evaluation: sinks, shards, merge
+// ---------------------------------------------------------------------------
+
+/// Points evaluated per pool job in [`run_sweep_streaming`] — the
+/// constant that bounds peak memory: the pipeline ever holds one chunk
+/// of verdicts, never the grid.
+const STREAM_CHUNK: usize = 16_384;
+
+/// Stable wire code of a [`Verdict`]
+/// (`0..=`[`wcm_wire::sweep::MAX_VERDICT_CODE`]).
+#[must_use]
+pub fn verdict_code(v: Verdict) -> u8 {
+    match v {
+        Verdict::ProvablySafe => 0,
+        Verdict::ProvablyUnsafe => 1,
+        Verdict::SimOk => 2,
+        Verdict::SimOverflow => 3,
+    }
+}
+
+/// Inverse of [`verdict_code`].
+#[must_use]
+pub fn verdict_from_code(code: u8) -> Option<Verdict> {
+    match code {
+        0 => Some(Verdict::ProvablySafe),
+        1 => Some(Verdict::ProvablyUnsafe),
+        2 => Some(Verdict::SimOk),
+        3 => Some(Verdict::SimOverflow),
+        _ => None,
+    }
+}
+
+/// Stable wire code of a policy: the index of its [`policy_str`] label
+/// in `backpressure`, `reject`, `drop-priority` order.
+#[must_use]
+pub fn policy_code(p: OverflowPolicy) -> u8 {
+    match p {
+        OverflowPolicy::Backpressure => 0,
+        OverflowPolicy::Reject => 1,
+        OverflowPolicy::DropByPriority => 2,
+    }
+}
+
+/// Inverse of [`policy_code`].
+#[must_use]
+pub fn policy_from_code(code: u8) -> Option<OverflowPolicy> {
+    match code {
+        0 => Some(OverflowPolicy::Backpressure),
+        1 => Some(OverflowPolicy::Reject),
+        2 => Some(OverflowPolicy::DropByPriority),
+        _ => None,
+    }
+}
+
+/// Borrowed view of one evaluated grid point, pushed to a [`SweepSink`]
+/// the moment it is decided — the streaming counterpart of
+/// [`PointReport`], carrying its global grid index so shard outputs can
+/// be stitched back into grid order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointRecord<'a> {
+    /// Global grid index (clip-major, then frequency, capacity, policy,
+    /// seed — the order of [`SweepReport::points`]).
+    pub index: u64,
+    /// Clip name.
+    pub clip: &'a str,
+    /// PE₂ clock in Hz.
+    pub frequency_hz: f64,
+    /// FIFO capacity in macroblocks.
+    pub capacity: u64,
+    /// Overflow policy.
+    pub policy: OverflowPolicy,
+    /// Fault seed (`None` = clean).
+    pub seed: Option<u64>,
+    /// The decision.
+    pub verdict: Verdict,
+    /// Peak FIFO occupancy (simulated points only).
+    pub max_backlog: Option<u64>,
+    /// Dropped macroblocks (simulated points only).
+    pub dropped: Option<usize>,
+    /// Seconds PE₁ spent blocked on a full FIFO (simulated points only).
+    pub pe1_stalled_s: Option<f64>,
+}
+
+impl<'a> PointRecord<'a> {
+    /// Borrows a materialized report row as a record.
+    #[must_use]
+    pub fn from_report(p: &'a PointReport, index: u64) -> Self {
+        Self {
+            index,
+            clip: &p.clip,
+            frequency_hz: p.frequency_hz,
+            capacity: p.capacity,
+            policy: p.policy,
+            seed: p.seed,
+            verdict: p.verdict,
+            max_backlog: p.max_backlog,
+            dropped: p.dropped,
+            pe1_stalled_s: p.pe1_stalled_s,
+        }
+    }
+
+    /// Materializes the record (the collecting sink's storage step).
+    #[must_use]
+    pub fn to_report(&self) -> PointReport {
+        PointReport {
+            clip: self.clip.to_string(),
+            frequency_hz: self.frequency_hz,
+            capacity: self.capacity,
+            policy: self.policy,
+            seed: self.seed,
+            verdict: self.verdict,
+            max_backlog: self.max_backlog,
+            dropped: self.dropped,
+            pe1_stalled_s: self.pe1_stalled_s,
+        }
+    }
+}
+
+/// Everything a [`SweepReport`] carries except the point vector:
+/// what [`run_sweep_streaming`] returns after the last point has been
+/// pushed to the sink. For a full-grid run (`ShardRange::FULL`) every
+/// field is **byte-identical** to the corresponding [`run_sweep`]
+/// fields; for a shard run, `stats` and `pareto` cover only the shard's
+/// slice of the grid (the merge step recomputes them globally).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSummary {
+    /// Per-`(clip, frequency)` RMS advisories (always the full set —
+    /// they depend on the clip analysis, not the shard range).
+    pub advisories: Vec<RmsAdvisory>,
+    /// Aggregate counters over the evaluated range.
+    pub stats: SweepStats,
+    /// Pareto frontier over the evaluated range.
+    pub pareto: Vec<(f64, u64)>,
+}
+
+/// The coordinates of one streaming run: which contiguous slice of the
+/// grid it evaluates and the axes every shard must agree on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepRunHeader<'a> {
+    /// This shard's index (`0` for a full run).
+    pub shard: u32,
+    /// Total shard count (`1` for a full run).
+    pub shards: u32,
+    /// First global grid index of this shard's slice.
+    pub start: u64,
+    /// Points in this shard's slice.
+    pub len: u64,
+    /// Total grid points across all shards.
+    pub total: u64,
+    /// [`spec_fingerprint`] of the clip set and spec.
+    pub fingerprint: u64,
+    /// Clip names, in grid (clip-major) order.
+    pub clips: &'a [String],
+    /// Frequency axis of the spec.
+    pub frequencies_hz: &'a [f64],
+    /// Capacity axis of the spec.
+    pub capacities: &'a [u64],
+    /// Policy axis of the spec.
+    pub policies: &'a [OverflowPolicy],
+    /// Seed axis of the spec.
+    pub seeds: &'a [Option<u64>],
+    /// Full advisory set (computed before point evaluation starts).
+    pub advisories: &'a [RmsAdvisory],
+}
+
+/// Consumer of a streaming sweep: receives the run header once, then
+/// every evaluated point in global grid-index order, then the summary.
+/// Any error aborts the sweep immediately — remaining points are never
+/// evaluated.
+pub trait SweepSink {
+    /// Called once before the first point, with the run coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Propagated out of [`run_sweep_streaming`] verbatim.
+    fn begin(&mut self, header: &SweepRunHeader<'_>) -> Result<(), SweepError> {
+        let _ = header;
+        Ok(())
+    }
+
+    /// Called for every evaluated point, in grid-index order.
+    ///
+    /// # Errors
+    ///
+    /// Propagated out of [`run_sweep_streaming`] verbatim.
+    fn point(&mut self, rec: &PointRecord<'_>) -> Result<(), SweepError>;
+
+    /// Called once after the last point, with the run summary.
+    ///
+    /// # Errors
+    ///
+    /// Propagated out of [`run_sweep_streaming`] verbatim.
+    fn finish(&mut self, summary: &SweepSummary) -> Result<(), SweepError> {
+        let _ = summary;
+        Ok(())
+    }
+}
+
+/// In-process aggregating sink: collects the streamed points so
+/// [`CollectSink::into_report`] can rebuild the exact [`SweepReport`] of
+/// the materializing path — the equivalence witness used by the tests
+/// and benches, and the bridge for callers that want streaming
+/// evaluation but a materialized result.
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    points: Vec<PointReport>,
+}
+
+impl CollectSink {
+    /// An empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The collected points plus `summary`, as a full report.
+    #[must_use]
+    pub fn into_report(self, summary: &SweepSummary) -> SweepReport {
+        SweepReport {
+            points: self.points,
+            advisories: summary.advisories.clone(),
+            stats: summary.stats,
+            pareto: summary.pareto.clone(),
+        }
+    }
+}
+
+impl SweepSink for CollectSink {
+    fn point(&mut self, rec: &PointRecord<'_>) -> Result<(), SweepError> {
+        self.points.push(rec.to_report());
+        Ok(())
+    }
+}
+
+/// Row-streaming CSV sink: writes [`CSV_HEADER`] at `begin` and one
+/// [`csv_point_row`] per point straight to `W` — for a full-grid run the
+/// bytes written equal [`SweepReport::to_csv`] exactly.
+#[derive(Debug)]
+pub struct CsvSink<W: std::io::Write> {
+    out: W,
+}
+
+impl<W: std::io::Write> CsvSink<W> {
+    /// A sink writing to `out`.
+    pub fn new(out: W) -> Self {
+        Self { out }
+    }
+
+    /// The underlying writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: std::io::Write> SweepSink for CsvSink<W> {
+    fn begin(&mut self, _header: &SweepRunHeader<'_>) -> Result<(), SweepError> {
+        self.out.write_all(CSV_HEADER.as_bytes())?;
+        Ok(())
+    }
+
+    fn point(&mut self, rec: &PointRecord<'_>) -> Result<(), SweepError> {
+        self.out.write_all(csv_point_row(rec).as_bytes())?;
+        Ok(())
+    }
+
+    fn finish(&mut self, _summary: &SweepSummary) -> Result<(), SweepError> {
+        self.out.flush()?;
+        Ok(())
+    }
+}
+
+/// `.wcmt` shard sink: one `KIND_SWEEP_META` frame carrying the run
+/// coordinates and axes (so the merge step needs no side-channel), then
+/// `KIND_SWEEP_POINTS` frames of up to 4096 verdict records, written
+/// incrementally through [`wcm_wire::FrameSink`] — peak memory is one
+/// frame, whatever the shard size. Call [`WcmtShardSink::finish_stream`]
+/// after the sweep returns to seal the stream with its end marker.
+#[derive(Debug)]
+pub struct WcmtShardSink<W: std::io::Write> {
+    sink: wcm_wire::FrameSink<W>,
+    buf: Vec<wcm_wire::SweepPointRec>,
+}
+
+impl<W: std::io::Write> WcmtShardSink<W> {
+    /// Points buffered before a `KIND_SWEEP_POINTS` frame is flushed.
+    const FLUSH_AT: usize = 4096;
+
+    /// A sink writing a fresh `.wcmt` stream to `out` (the stream header
+    /// is written immediately).
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Io`] from the writer.
+    pub fn new(out: W) -> Result<Self, SweepError> {
+        Ok(Self {
+            sink: wcm_wire::FrameSink::new(out)?,
+            buf: Vec::with_capacity(Self::FLUSH_AT),
+        })
+    }
+
+    fn flush_points(&mut self) -> Result<(), SweepError> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        for chunk in wcm_wire::sweep::points_chunks(&self.buf) {
+            self.sink.push(
+                wcm_wire::frame::KIND_SWEEP_POINTS,
+                &wcm_wire::sweep::encode_sweep_points(chunk),
+            )?;
+        }
+        wcm_obs::counter("sweep.stream.flushes", 1);
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Flushes any buffered points and seals the stream with its end
+    /// marker, returning the writer. A sink dropped without this call
+    /// leaves a truncated stream that strict readers (and the merge
+    /// step) refuse — the honest outcome for an interrupted shard.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Io`] from the writer.
+    pub fn finish_stream(mut self) -> Result<W, SweepError> {
+        self.flush_points()?;
+        Ok(self.sink.finish()?)
+    }
+}
+
+impl<W: std::io::Write> SweepSink for WcmtShardSink<W> {
+    fn begin(&mut self, header: &SweepRunHeader<'_>) -> Result<(), SweepError> {
+        let meta = wcm_wire::SweepShardMeta {
+            shard: header.shard,
+            shards: header.shards,
+            start: header.start,
+            len: header.len,
+            total: header.total,
+            fingerprint: header.fingerprint,
+            clips: header.clips.to_vec(),
+            frequencies_hz: header.frequencies_hz.to_vec(),
+            capacities: header.capacities.to_vec(),
+            policies: header.policies.iter().map(|&p| policy_code(p)).collect(),
+            seeds: header.seeds.to_vec(),
+            advisories: header
+                .advisories
+                .iter()
+                .map(|a| {
+                    let clip = header
+                        .clips
+                        .iter()
+                        .position(|c| c == &a.clip)
+                        .unwrap_or_default();
+                    wcm_wire::SweepAdvisoryRec {
+                        clip: clip as u32,
+                        frequency_hz: a.frequency_hz,
+                        schedulable: a.schedulable,
+                        l_factor: a.l_factor,
+                    }
+                })
+                .collect(),
+        };
+        self.sink.push(
+            wcm_wire::frame::KIND_SWEEP_META,
+            &wcm_wire::sweep::encode_sweep_meta(&meta),
+        )?;
+        Ok(())
+    }
+
+    fn point(&mut self, rec: &PointRecord<'_>) -> Result<(), SweepError> {
+        self.buf.push(wcm_wire::SweepPointRec {
+            verdict: verdict_code(rec.verdict),
+            sim: match (rec.max_backlog, rec.dropped, rec.pe1_stalled_s) {
+                (Some(b), Some(d), Some(s)) => Some(wcm_wire::SweepSimRec {
+                    max_backlog: b,
+                    dropped: d as u64,
+                    pe1_stalled_s: s,
+                }),
+                _ => None,
+            },
+        });
+        if self.buf.len() >= Self::FLUSH_AT {
+            self.flush_points()?;
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self, _summary: &SweepSummary) -> Result<(), SweepError> {
+        self.flush_points()
+    }
+}
+
+/// Which contiguous slice of the grid a streaming run evaluates:
+/// shard `index` of `count` balanced slices
+/// (`start = index·total/count`, `end = (index+1)·total/count`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRange {
+    /// Shard index, `< count`.
+    pub index: u32,
+    /// Total shard count, `≥ 1`.
+    pub count: u32,
+}
+
+impl ShardRange {
+    /// The whole grid in one run.
+    pub const FULL: ShardRange = ShardRange { index: 0, count: 1 };
+}
+
+/// FNV-1a over every input that shapes a sweep's results: clip
+/// identities, all grid axes, injectors, analysis windows and the prune
+/// switch. Shards stamp it into their metadata so [`merge_shards`] can
+/// refuse to fold outputs of different runs — a cheap guard against
+/// mixing shard files, not a cryptographic commitment.
+#[must_use]
+pub fn spec_fingerprint(clips: &[ClipWorkload], spec: &SweepSpec) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for clip in clips {
+        eat(clip.name().as_bytes());
+        eat(&(clip.macroblock_count() as u64).to_le_bytes());
+    }
+    eat(&spec.pe1_hz.to_bits().to_le_bytes());
+    for &f in &spec.frequencies_hz {
+        eat(&f.to_bits().to_le_bytes());
+    }
+    for &c in &spec.capacities {
+        eat(&c.to_le_bytes());
+    }
+    for &p in &spec.policies {
+        eat(&[policy_code(p)]);
+    }
+    for s in &spec.seeds {
+        match s {
+            None => eat(&[0]),
+            Some(v) => {
+                eat(&[1]);
+                eat(&v.to_le_bytes());
+            }
+        }
+    }
+    for inj in &spec.injectors {
+        eat(format!("{inj:?}").as_bytes());
+    }
+    eat(&(spec.k_max as u64).to_le_bytes());
+    eat(format!("{:?}", spec.mode).as_bytes());
+    eat(&(spec.cert_depth as u64).to_le_bytes());
+    eat(&[u8::from(spec.prune)]);
+    h
+}
+
+/// Decomposes a global grid index into axis indices — the arithmetic
+/// inverse of the nested enumeration in [`run_sweep`], so the streaming
+/// path never materializes the grid vector.
+fn grid_point_at(mut idx: u64, n_freq: usize, n_cap: usize, n_pol: usize, n_seed: usize) -> GridPoint {
+    let seed = (idx % n_seed as u64) as usize;
+    idx /= n_seed as u64;
+    let policy = (idx % n_pol as u64) as usize;
+    idx /= n_pol as u64;
+    let cap = (idx % n_cap as u64) as usize;
+    idx /= n_cap as u64;
+    let freq = (idx % n_freq as u64) as usize;
+    idx /= n_freq as u64;
+    GridPoint {
+        clip: idx as usize,
+        freq,
+        cap,
+        policy,
+        seed,
+    }
+}
+
+/// Canonical axis-index map: each position maps to the first position
+/// holding an equal value, so duplicate axis values share one frontier
+/// cell — the index-space mirror of the by-value matching in
+/// `pareto_frontier_values`.
+fn canonical_positions<T: PartialEq>(axis: &[T]) -> Vec<usize> {
+    axis.iter()
+        .map(|v| axis.iter().position(|w| w == v).expect("v is in axis"))
+        .collect()
+}
+
+/// Streaming counterpart of [`run_sweep`]: evaluates the shard's slice
+/// of the grid and pushes every point to `sink` in grid-index order
+/// instead of collecting a vector. Peak memory is **independent of the
+/// grid size** — one bounded chunk of verdicts in flight, the per-clip
+/// analysis contexts, and the analytic table's one slot per
+/// `(clip, seed, capacity, frequency)` cell.
+///
+/// Determinism carries over from [`run_sweep`] wholesale: points arrive
+/// in grid order for every `par` setting, and for a full-grid run
+/// (`ShardRange::FULL`) the returned [`SweepSummary`] — stats, advisory
+/// set and Pareto frontier, ties included — is **byte-identical** to the
+/// corresponding fields of [`run_sweep`]'s report. The frontier is
+/// tracked online: clean-seed overflows mark their
+/// `(frequency, capacity)` cell (by canonical value, so duplicate axis
+/// entries share one cell exactly like the by-value filter of the
+/// materializing path) and the safe cells are enumerated in the same
+/// axis order at the end.
+///
+/// # Errors
+///
+/// [`SweepError::Invalid`] for a bad spec or an out-of-range shard;
+/// sink errors verbatim; otherwise as [`run_sweep`].
+pub fn run_sweep_streaming(
+    clips: &[ClipWorkload],
+    spec: &SweepSpec,
+    par: Parallelism,
+    shard: ShardRange,
+    sink: &mut dyn SweepSink,
+) -> Result<SweepSummary, SweepError> {
+    validate(clips, spec)?;
+    if shard.count == 0 || shard.index >= shard.count {
+        return Err(SweepError::Invalid("shard index out of range"));
+    }
+    let _span = wcm_obs::span("sweep.stream");
+
+    let ctxs: Vec<ClipContext> = {
+        let _span = wcm_obs::span("sweep.clip_analysis");
+        clips
+            .iter()
+            .map(|c| ClipContext::build(c, spec, par))
+            .collect::<Result<_, _>>()?
+    };
+    let table = AnalyticTable::build(&ctxs, spec);
+
+    let n_freq = spec.frequencies_hz.len();
+    let n_cap = spec.capacities.len();
+    let n_pol = spec.policies.len();
+    let n_seed = spec.seeds.len();
+    let total = clips.len() as u64 * n_freq as u64 * n_cap as u64 * n_pol as u64 * n_seed as u64;
+    let start = u64::from(shard.index) * total / u64::from(shard.count);
+    let end = (u64::from(shard.index) + 1) * total / u64::from(shard.count);
+    let len = (end - start) as usize;
+
+    let advisories: Vec<RmsAdvisory> = ctxs
+        .iter()
+        .flat_map(|ctx| {
+            spec.frequencies_hz
+                .iter()
+                .zip(&ctx.rms)
+                .filter_map(|(&f, r)| {
+                    r.map(|(schedulable, l)| RmsAdvisory {
+                        clip: ctx.name.clone(),
+                        frequency_hz: f,
+                        schedulable,
+                        l_factor: l,
+                    })
+                })
+        })
+        .collect();
+    let clip_names: Vec<String> = ctxs.iter().map(|c| c.name.clone()).collect();
+    sink.begin(&SweepRunHeader {
+        shard: shard.index,
+        shards: shard.count,
+        start,
+        len: len as u64,
+        total,
+        fingerprint: spec_fingerprint(clips, spec),
+        clips: &clip_names,
+        frequencies_hz: &spec.frequencies_hz,
+        capacities: &spec.capacities,
+        policies: &spec.policies,
+        seeds: &spec.seeds,
+        advisories: &advisories,
+    })?;
+
+    let freq_canon = canonical_positions(&spec.frequencies_hz);
+    let cap_canon = canonical_positions(&spec.capacities);
+    let mut overflow_cells = vec![false; n_freq * n_cap];
+    let mut stats = SweepStats {
+        total: len,
+        ..SweepStats::default()
+    };
+
+    let events_per_point = clips.iter().map(ClipWorkload::macroblock_count).sum::<usize>()
+        / clips.len();
+    let cost = (len as u64) * (events_per_point as u64).max(1) * 16;
+    wcm_obs::counter("sweep.stream.points", len as u64);
+    {
+        let _span = wcm_obs::span("sweep.eval");
+        wcm_par::par_map_stream(
+            par,
+            len,
+            cost,
+            STREAM_CHUNK,
+            SimScratch::new,
+            |scratch, i| {
+                let p = grid_point_at(start + i as u64, n_freq, n_cap, n_pol, n_seed);
+                eval_point(p, &ctxs, spec, &table, scratch)
+            },
+            |chunk_start, vals| -> Result<(), SweepError> {
+                for (j, out) in vals.drain(..).enumerate() {
+                    let idx = start + (chunk_start + j) as u64;
+                    let p = grid_point_at(idx, n_freq, n_cap, n_pol, n_seed);
+                    let (verdict, sim) = out?;
+                    match verdict {
+                        Verdict::ProvablySafe => stats.pruned_safe += 1,
+                        Verdict::ProvablyUnsafe => stats.pruned_unsafe += 1,
+                        Verdict::SimOk | Verdict::SimOverflow => stats.simulated += 1,
+                    }
+                    if verdict.overflowed() {
+                        stats.overflowed += 1;
+                        if spec.seeds[p.seed].is_none() {
+                            overflow_cells[freq_canon[p.freq] * n_cap + cap_canon[p.cap]] = true;
+                        }
+                    }
+                    if let Some((b, _, _)) = sim {
+                        wcm_obs::gauge_max("sweep.max_backlog", b);
+                    }
+                    sink.point(&PointRecord {
+                        index: idx,
+                        clip: &ctxs[p.clip].name,
+                        frequency_hz: spec.frequencies_hz[p.freq],
+                        capacity: spec.capacities[p.cap],
+                        policy: spec.policies[p.policy],
+                        seed: spec.seeds[p.seed],
+                        verdict,
+                        max_backlog: sim.map(|(b, _, _)| b),
+                        dropped: sim.map(|(_, d, _)| d),
+                        pe1_stalled_s: sim.map(|(_, _, s)| s),
+                    })?;
+                }
+                Ok(())
+            },
+        )?;
+    }
+
+    // Canonical cells only: duplicate axis values share one cell, and
+    // `nondominated` must see each cell once — both for the tie
+    // contract and because its strict-domination filter is quadratic in
+    // the safe-set size. Same enumeration as `pareto_frontier_values`,
+    // so the streamed frontier stays byte-identical to the dense one.
+    let mut safe: Vec<(f64, u64)> = Vec::new();
+    for (fi, &f) in spec.frequencies_hz.iter().enumerate() {
+        if freq_canon[fi] != fi {
+            continue;
+        }
+        for (ci, &c) in spec.capacities.iter().enumerate() {
+            if cap_canon[ci] != ci {
+                continue;
+            }
+            if !overflow_cells[fi * n_cap + ci] {
+                safe.push((f, c));
+            }
+        }
+    }
+    let summary = SweepSummary {
+        advisories,
+        stats,
+        pareto: nondominated(&safe),
+    };
+    sink.finish(&summary)?;
+    Ok(summary)
+}
+
+/// Bitwise equality for float-bearing advisory records — shard
+/// consistency must not be fooled by `NaN != NaN`.
+fn advisory_recs_equal(a: &[wcm_wire::SweepAdvisoryRec], b: &[wcm_wire::SweepAdvisoryRec]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.clip == y.clip
+                && x.frequency_hz.to_bits() == y.frequency_hz.to_bits()
+                && x.schedulable == y.schedulable
+                && x.l_factor.to_bits() == y.l_factor.to_bits()
+        })
+}
+
+/// Folds decoded shard streams (one per `wcm sweep --shard i/N` process)
+/// into the [`SweepReport`] a single-process [`run_sweep`] of the same
+/// spec produces — **byte-for-byte**, including `to_json`/`to_csv`
+/// output: points are stitched back into global grid order, stats are
+/// recounted from the verdicts, advisories come from the (validated
+/// identical) shard metadata, and the frontier goes through the same
+/// by-value filter as the dense path.
+///
+/// # Errors
+///
+/// [`SweepError::Invalid`] when the shard set is not exactly the output
+/// of one run: a stream without sweep metadata, fingerprint/axis/
+/// advisory disagreement, duplicate/missing/unbalanced shard ranges, or
+/// a point count that does not match a shard's declared range.
+pub fn merge_shards(shards: &[wcm_wire::Decoded]) -> Result<SweepReport, SweepError> {
+    let _span = wcm_obs::span("sweep.merge");
+    let mut parts: Vec<(&wcm_wire::SweepShardMeta, &[wcm_wire::SweepPointRec])> = shards
+        .iter()
+        .map(|d| {
+            d.sweep_meta
+                .as_ref()
+                .map(|m| (m, d.sweep_points.as_slice()))
+                .ok_or(SweepError::Invalid("shard stream carries no sweep metadata"))
+        })
+        .collect::<Result<_, _>>()?;
+    let Some(&(first, _)) = parts.first() else {
+        return Err(SweepError::Invalid("no shard streams to merge"));
+    };
+    if parts.len() != first.shards as usize {
+        return Err(SweepError::Invalid(
+            "shard file count does not match the declared shard count",
+        ));
+    }
+    for &(m, pts) in &parts {
+        if m.fingerprint != first.fingerprint {
+            return Err(SweepError::Invalid(
+                "shard fingerprints disagree (outputs of different runs?)",
+            ));
+        }
+        let axes_equal = m.shards == first.shards
+            && m.total == first.total
+            && m.clips == first.clips
+            && m.frequencies_hz.len() == first.frequencies_hz.len()
+            && m.frequencies_hz
+                .iter()
+                .zip(&first.frequencies_hz)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+            && m.capacities == first.capacities
+            && m.policies == first.policies
+            && m.seeds == first.seeds;
+        if !axes_equal {
+            return Err(SweepError::Invalid("shard grid axes disagree"));
+        }
+        if !advisory_recs_equal(&m.advisories, &first.advisories) {
+            return Err(SweepError::Invalid("shard advisories disagree"));
+        }
+        if pts.len() as u64 != m.len {
+            return Err(SweepError::Invalid(
+                "shard point count does not match its declared range",
+            ));
+        }
+    }
+    parts.sort_by_key(|&(m, _)| m.shard);
+    let count = u64::from(first.shards);
+    for (i, &(m, _)) in parts.iter().enumerate() {
+        if m.shard as usize != i {
+            return Err(SweepError::Invalid("duplicate or missing shard index"));
+        }
+        let expect_start = i as u64 * first.total / count;
+        let expect_end = (i as u64 + 1) * first.total / count;
+        if m.start != expect_start || m.start + m.len != expect_end {
+            return Err(SweepError::Invalid("shard range is not the balanced split"));
+        }
+    }
+
+    let n_freq = first.frequencies_hz.len();
+    let n_cap = first.capacities.len();
+    let n_pol = first.policies.len();
+    let n_seed = first.seeds.len();
+    let policies: Vec<OverflowPolicy> = first
+        .policies
+        .iter()
+        .map(|&c| policy_from_code(c).ok_or(SweepError::Invalid("unknown policy code")))
+        .collect::<Result<_, _>>()?;
+    for a in &first.advisories {
+        if a.clip as usize >= first.clips.len() {
+            return Err(SweepError::Invalid("advisory clip index out of range"));
+        }
+    }
+
+    let mut points = Vec::with_capacity(first.total as usize);
+    let mut stats = SweepStats {
+        total: first.total as usize,
+        ..SweepStats::default()
+    };
+    for &(m, pts) in &parts {
+        for (j, rec) in pts.iter().enumerate() {
+            let p = grid_point_at(m.start + j as u64, n_freq, n_cap, n_pol, n_seed);
+            let verdict = verdict_from_code(rec.verdict)
+                .ok_or(SweepError::Invalid("unknown verdict code"))?;
+            match verdict {
+                Verdict::ProvablySafe => stats.pruned_safe += 1,
+                Verdict::ProvablyUnsafe => stats.pruned_unsafe += 1,
+                Verdict::SimOk | Verdict::SimOverflow => stats.simulated += 1,
+            }
+            if verdict.overflowed() {
+                stats.overflowed += 1;
+            }
+            points.push(PointReport {
+                clip: first.clips[p.clip].clone(),
+                frequency_hz: first.frequencies_hz[p.freq],
+                capacity: first.capacities[p.cap],
+                policy: policies[p.policy],
+                seed: first.seeds[p.seed],
+                verdict,
+                max_backlog: rec.sim.map(|s| s.max_backlog),
+                dropped: rec.sim.map(|s| s.dropped as usize),
+                pe1_stalled_s: rec.sim.map(|s| s.pe1_stalled_s),
+            });
+        }
+    }
+    wcm_obs::counter("sweep.merge.shards", parts.len() as u64);
+    wcm_obs::counter("sweep.merge.points", points.len() as u64);
+
+    let advisories = first
+        .advisories
+        .iter()
+        .map(|a| RmsAdvisory {
+            clip: first.clips[a.clip as usize].clone(),
+            frequency_hz: a.frequency_hz,
+            schedulable: a.schedulable,
+            l_factor: a.l_factor,
+        })
+        .collect();
+    let pareto = pareto_frontier_values(&points, &first.frequencies_hz, &first.capacities);
+    Ok(SweepReport {
+        points,
+        advisories,
+        stats,
+        pareto,
+    })
 }
 
 fn times_to_trace(times: &[f64]) -> Result<TimedTrace, SimError> {
@@ -1638,5 +2564,220 @@ mod tests {
         assert_eq!(points.len(), report.points.len());
         let rows = wcm_obs::csv::parse_table(&report.to_csv()).expect("sweep CSV parses");
         assert_eq!(rows.len(), report.points.len() + 1);
+    }
+
+    // ---- streaming path ---------------------------------------------------
+
+    #[test]
+    fn streaming_full_grid_reproduces_run_sweep_exactly() {
+        let clips = small_clips(2);
+        let spec = small_spec();
+        let dense = run_sweep(&clips, &spec, Parallelism::Seq).unwrap();
+        for par in [Parallelism::Seq, Parallelism::Threads(2), Parallelism::Threads(4)] {
+            let mut sink = CollectSink::new();
+            let summary =
+                run_sweep_streaming(&clips, &spec, par, ShardRange::FULL, &mut sink).unwrap();
+            let streamed = sink.into_report(&summary);
+            assert_eq!(streamed, dense, "{par:?}: reports diverge");
+            assert_eq!(streamed.to_json(), dense.to_json(), "{par:?}: JSON diverges");
+            assert_eq!(streamed.to_csv(), dense.to_csv(), "{par:?}: CSV diverges");
+        }
+    }
+
+    #[test]
+    fn streaming_csv_sink_writes_to_csv_bytes() {
+        let clips = small_clips(1);
+        let spec = small_spec();
+        let dense = run_sweep(&clips, &spec, Parallelism::Seq).unwrap();
+        let mut sink = CsvSink::new(Vec::new());
+        run_sweep_streaming(&clips, &spec, Parallelism::Seq, ShardRange::FULL, &mut sink)
+            .unwrap();
+        assert_eq!(String::from_utf8(sink.into_inner()).unwrap(), dense.to_csv());
+    }
+
+    #[test]
+    fn duplicate_axis_values_share_one_frontier_entry_in_both_paths() {
+        let clips = small_clips(1);
+        let mut spec = small_spec();
+        // Duplicate one frequency and one capacity: the dense path filters
+        // frontier candidates by value, so the streamed accumulator must
+        // collapse the duplicate cells the same way.
+        spec.frequencies_hz = vec![2.0e6, 6.0e6, 6.0e6, 60.0e6];
+        spec.capacities = vec![4, 80, 80, 4000];
+        let dense = run_sweep(&clips, &spec, Parallelism::Seq).unwrap();
+        let mut sink = CollectSink::new();
+        let summary =
+            run_sweep_streaming(&clips, &spec, Parallelism::Seq, ShardRange::FULL, &mut sink)
+                .unwrap();
+        assert_eq!(summary.pareto, dense.pareto);
+        // The frontier itself carries no exact duplicates.
+        for (i, a) in dense.pareto.iter().enumerate() {
+            for b in &dense.pareto[i + 1..] {
+                assert!(
+                    a.0.to_bits() != b.0.to_bits() || a.1 != b.1,
+                    "duplicate frontier entry {a:?}"
+                );
+            }
+        }
+        assert_eq!(sink.into_report(&summary), dense);
+    }
+
+    #[test]
+    fn shard_wire_round_trip_merges_to_the_single_process_report() {
+        let clips = small_clips(2);
+        let spec = small_spec();
+        let dense = run_sweep(&clips, &spec, Parallelism::Seq).unwrap();
+        for count in [1u32, 2, 3, 5] {
+            let mut files = Vec::new();
+            for index in 0..count {
+                let mut sink = WcmtShardSink::new(Vec::new()).unwrap();
+                run_sweep_streaming(
+                    &clips,
+                    &spec,
+                    Parallelism::Threads(2),
+                    ShardRange { index, count },
+                    &mut sink,
+                )
+                .unwrap();
+                files.push(sink.finish_stream().unwrap());
+            }
+            let decoded: Vec<wcm_wire::Decoded> = files
+                .iter()
+                .map(|f| wcm_wire::decode(f, wcm_wire::DecodePolicy::Strict).unwrap())
+                .collect();
+            let merged = merge_shards(&decoded).unwrap();
+            assert_eq!(merged, dense, "{count} shards: merged report diverges");
+            assert_eq!(merged.to_json(), dense.to_json(), "{count} shards: JSON");
+            assert_eq!(merged.to_csv(), dense.to_csv(), "{count} shards: CSV");
+        }
+    }
+
+    #[test]
+    fn merge_rejects_inconsistent_or_incomplete_shard_sets() {
+        let clips = small_clips(1);
+        let spec = small_spec();
+        let shard_bytes = |index: u32, count: u32, clips: &[ClipWorkload], spec: &SweepSpec| {
+            let mut sink = WcmtShardSink::new(Vec::new()).unwrap();
+            run_sweep_streaming(clips, spec, Parallelism::Seq, ShardRange { index, count }, &mut sink)
+                .unwrap();
+            sink.finish_stream().unwrap()
+        };
+        let decode = |bytes: &[u8]| wcm_wire::decode(bytes, wcm_wire::DecodePolicy::Strict).unwrap();
+
+        assert!(matches!(merge_shards(&[]), Err(SweepError::Invalid(_))));
+
+        // Missing shard 1 of 2.
+        let a = decode(&shard_bytes(0, 2, &clips, &spec));
+        assert!(matches!(merge_shards(std::slice::from_ref(&a)), Err(SweepError::Invalid(_))));
+
+        // Duplicate shard index.
+        let dup = decode(&shard_bytes(0, 2, &clips, &spec));
+        assert!(matches!(
+            merge_shards(&[a.clone(), dup]),
+            Err(SweepError::Invalid(_))
+        ));
+
+        // Fingerprint mismatch: shard 1 from a different spec.
+        let mut other = small_spec();
+        other.capacities = vec![4, 80, 4001];
+        let b = decode(&shard_bytes(1, 2, &clips, &other));
+        assert!(matches!(merge_shards(&[a, b]), Err(SweepError::Invalid(_))));
+
+        // Stream with no sweep metadata at all.
+        let plain = decode(&wcm_wire::encode_demands("x", &[1, 2, 3]));
+        assert!(matches!(
+            merge_shards(&[plain]),
+            Err(SweepError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn streaming_rejects_out_of_range_shard() {
+        let clips = small_clips(1);
+        let spec = small_spec();
+        let mut sink = CollectSink::new();
+        for shard in [ShardRange { index: 2, count: 2 }, ShardRange { index: 0, count: 0 }] {
+            assert!(matches!(
+                run_sweep_streaming(&clips, &spec, Parallelism::Seq, shard, &mut sink),
+                Err(SweepError::Invalid(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn sink_error_aborts_the_sweep() {
+        struct FailAfter(usize);
+        impl SweepSink for FailAfter {
+            fn point(&mut self, _: &PointRecord<'_>) -> Result<(), SweepError> {
+                if self.0 == 0 {
+                    return Err(SweepError::Io(std::io::Error::other("sink full")));
+                }
+                self.0 -= 1;
+                Ok(())
+            }
+        }
+        let clips = small_clips(1);
+        let spec = small_spec();
+        let mut sink = FailAfter(3);
+        let err = run_sweep_streaming(&clips, &spec, Parallelism::Seq, ShardRange::FULL, &mut sink)
+            .unwrap_err();
+        assert!(matches!(err, SweepError::Io(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn verdict_and_policy_codes_round_trip() {
+        for v in [
+            Verdict::ProvablySafe,
+            Verdict::ProvablyUnsafe,
+            Verdict::SimOk,
+            Verdict::SimOverflow,
+        ] {
+            assert_eq!(verdict_from_code(verdict_code(v)), Some(v));
+            assert!(verdict_code(v) <= wcm_wire::sweep::MAX_VERDICT_CODE);
+        }
+        assert_eq!(verdict_from_code(4), None);
+        for p in [
+            OverflowPolicy::Backpressure,
+            OverflowPolicy::Reject,
+            OverflowPolicy::DropByPriority,
+        ] {
+            assert_eq!(policy_from_code(policy_code(p)), Some(p));
+        }
+        assert_eq!(policy_from_code(3), None);
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_spec_axis() {
+        let clips = small_clips(2);
+        let base = small_spec();
+        let f0 = spec_fingerprint(&clips, &base);
+        assert_eq!(f0, spec_fingerprint(&clips, &base), "must be deterministic");
+        let mut tweaked = Vec::new();
+        let mut s = base.clone();
+        s.pe1_hz += 1.0;
+        tweaked.push(s);
+        let mut s = base.clone();
+        s.frequencies_hz.push(1.0);
+        tweaked.push(s);
+        let mut s = base.clone();
+        s.capacities[0] += 1;
+        tweaked.push(s);
+        let mut s = base.clone();
+        s.policies.push(OverflowPolicy::DropByPriority);
+        tweaked.push(s);
+        let mut s = base.clone();
+        s.seeds.push(Some(99));
+        tweaked.push(s);
+        let mut s = base.clone();
+        s.prune = false;
+        tweaked.push(s);
+        for (i, s) in tweaked.iter().enumerate() {
+            assert_ne!(f0, spec_fingerprint(&clips, s), "tweak {i} not fingerprinted");
+        }
+        assert_ne!(
+            f0,
+            spec_fingerprint(&clips[..1], &base),
+            "clip set not fingerprinted"
+        );
     }
 }

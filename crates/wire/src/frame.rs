@@ -53,6 +53,12 @@ pub const KIND_REGISTRY: u8 = 0x04;
 pub const KIND_EVENTS: u8 = 0x05;
 /// Mergeable curve summary blob (see [`crate::summary`]).
 pub const KIND_SUMMARY: u8 = 0x06;
+/// Sweep shard metadata: shard coordinates, grid axes, and advisories
+/// (see [`crate::sweep`]). At most one decodes per stream.
+pub const KIND_SWEEP_META: u8 = 0x07;
+/// Chunk of per-point sweep verdicts in grid-index order (see
+/// [`crate::sweep`]). Requires a prior [`KIND_SWEEP_META`] frame.
+pub const KIND_SWEEP_POINTS: u8 = 0x08;
 /// End-of-stream marker (empty payload). Its presence distinguishes a
 /// complete stream from one truncated at a frame boundary.
 pub const KIND_END: u8 = 0x7E;
@@ -66,14 +72,37 @@ pub struct FrameWriter {
     buf: Vec<u8>,
 }
 
+/// Append the 8-byte stream header to `buf`.
+pub(crate) fn write_header(buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&0u16.to_le_bytes());
+}
+
+/// Append one CRC-sealed frame of `kind` around `payload` to `buf`.
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds [`MAX_FRAME_LEN`] — encoders chunk their
+/// data orders of magnitude below the cap, so this is a programming
+/// error, not an input error.
+pub(crate) fn append_frame(buf: &mut Vec<u8>, kind: u8, payload: &[u8]) {
+    assert!(payload.len() <= MAX_FRAME_LEN, "frame payload over MAX_FRAME_LEN");
+    let start = buf.len();
+    buf.push(SYNC);
+    buf.push(kind);
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    let crc = crc32(&buf[start..]);
+    buf.extend_from_slice(&crc.to_le_bytes());
+}
+
 impl FrameWriter {
     /// Start a stream: writes the 8-byte header.
     #[must_use]
     pub fn new() -> Self {
         let mut buf = Vec::with_capacity(64);
-        buf.extend_from_slice(&MAGIC);
-        buf.extend_from_slice(&VERSION.to_le_bytes());
-        buf.extend_from_slice(&0u16.to_le_bytes());
+        write_header(&mut buf);
         Self { buf }
     }
 
@@ -85,15 +114,7 @@ impl FrameWriter {
     /// their data orders of magnitude below the cap, so this is a
     /// programming error, not an input error.
     pub fn push(&mut self, kind: u8, payload: &[u8]) {
-        assert!(payload.len() <= MAX_FRAME_LEN, "frame payload over MAX_FRAME_LEN");
-        let start = self.buf.len();
-        self.buf.push(SYNC);
-        self.buf.push(kind);
-        self.buf
-            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        self.buf.extend_from_slice(payload);
-        let crc = crc32(&self.buf[start..]);
-        self.buf.extend_from_slice(&crc.to_le_bytes());
+        append_frame(&mut self.buf, kind, payload);
     }
 
     /// Bytes written so far (header + sealed frames).
@@ -207,24 +228,70 @@ pub struct FrameReader<'a> {
     pos: usize,
 }
 
+/// Validate the fixed 8-byte stream header at the start of `bytes`.
+/// Error offsets are relative to `bytes[0]`.
+pub(crate) fn validate_header(bytes: &[u8]) -> Result<(), WireError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(WireError::new(bytes.len(), WireErrorKind::Truncated));
+    }
+    if bytes[..4] != MAGIC {
+        return Err(WireError::new(0, WireErrorKind::BadMagic));
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version == 0 || version > VERSION {
+        return Err(WireError::new(4, WireErrorKind::UnsupportedVersion(version)));
+    }
+    let flags = u16::from_le_bytes([bytes[6], bytes[7]]);
+    if flags != 0 {
+        return Err(WireError::new(6, WireErrorKind::BadFlags));
+    }
+    Ok(())
+}
+
+/// Try to parse one complete frame at `at` in `bytes`. Offsets in the
+/// returned frame and in errors are relative to `bytes[0]`; a truncation
+/// (not enough bytes for the claimed frame) reports offset `bytes.len()`.
+pub(crate) fn parse_frame_at(bytes: &[u8], at: usize) -> Result<Frame<'_>, WireError> {
+    if at + 6 > bytes.len() {
+        return Err(WireError::new(bytes.len(), WireErrorKind::Truncated));
+    }
+    if bytes[at] != SYNC {
+        return Err(WireError::new(at, WireErrorKind::BadSync));
+    }
+    let kind = bytes[at + 1];
+    let len =
+        u32::from_le_bytes([bytes[at + 2], bytes[at + 3], bytes[at + 4], bytes[at + 5]]) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::new(at + 2, WireErrorKind::FrameTooLong));
+    }
+    let payload_start = at + 6;
+    let crc_start = payload_start + len;
+    if crc_start + 4 > bytes.len() {
+        return Err(WireError::new(bytes.len(), WireErrorKind::Truncated));
+    }
+    let stored = u32::from_le_bytes([
+        bytes[crc_start],
+        bytes[crc_start + 1],
+        bytes[crc_start + 2],
+        bytes[crc_start + 3],
+    ]);
+    if crc32(&bytes[at..crc_start]) != stored {
+        return Err(WireError::new(at, WireErrorKind::BadCrc));
+    }
+    Ok(Frame {
+        kind,
+        payload: &bytes[payload_start..crc_start],
+        start: at,
+        payload_offset: payload_start,
+        wire_len: len + FRAME_OVERHEAD,
+    })
+}
+
 impl<'a> FrameReader<'a> {
     /// Validate the stream header and position the reader at the first
     /// frame.
     pub fn new(bytes: &'a [u8]) -> Result<Self, WireError> {
-        if bytes.len() < HEADER_LEN {
-            return Err(WireError::new(bytes.len(), WireErrorKind::Truncated));
-        }
-        if bytes[..4] != MAGIC {
-            return Err(WireError::new(0, WireErrorKind::BadMagic));
-        }
-        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
-        if version == 0 || version > VERSION {
-            return Err(WireError::new(4, WireErrorKind::UnsupportedVersion(version)));
-        }
-        let flags = u16::from_le_bytes([bytes[6], bytes[7]]);
-        if flags != 0 {
-            return Err(WireError::new(6, WireErrorKind::BadFlags));
-        }
+        validate_header(bytes)?;
         Ok(Self {
             bytes,
             pos: HEADER_LEN,
@@ -239,40 +306,7 @@ impl<'a> FrameReader<'a> {
 
     /// Try to parse a complete frame at `at` without moving the reader.
     fn parse_at(&self, at: usize) -> Result<Frame<'a>, WireError> {
-        let bytes = self.bytes;
-        if at + 6 > bytes.len() {
-            return Err(WireError::new(bytes.len(), WireErrorKind::Truncated));
-        }
-        if bytes[at] != SYNC {
-            return Err(WireError::new(at, WireErrorKind::BadSync));
-        }
-        let kind = bytes[at + 1];
-        let len = u32::from_le_bytes([bytes[at + 2], bytes[at + 3], bytes[at + 4], bytes[at + 5]])
-            as usize;
-        if len > MAX_FRAME_LEN {
-            return Err(WireError::new(at + 2, WireErrorKind::FrameTooLong));
-        }
-        let payload_start = at + 6;
-        let crc_start = payload_start + len;
-        if crc_start + 4 > bytes.len() {
-            return Err(WireError::new(bytes.len(), WireErrorKind::Truncated));
-        }
-        let stored = u32::from_le_bytes([
-            bytes[crc_start],
-            bytes[crc_start + 1],
-            bytes[crc_start + 2],
-            bytes[crc_start + 3],
-        ]);
-        if crc32(&bytes[at..crc_start]) != stored {
-            return Err(WireError::new(at, WireErrorKind::BadCrc));
-        }
-        Ok(Frame {
-            kind,
-            payload: &bytes[payload_start..crc_start],
-            start: at,
-            payload_offset: payload_start,
-            wire_len: len + FRAME_OVERHEAD,
-        })
+        parse_frame_at(self.bytes, at)
     }
 
     /// Next frame, strict: any malformed byte is an error. Returns

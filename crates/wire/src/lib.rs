@@ -55,13 +55,17 @@
 pub mod crc;
 pub mod frame;
 pub mod fuzz;
+pub mod stream;
 pub mod summary;
+pub mod sweep;
 pub mod trace;
 pub mod varint;
 
 use std::fmt;
 
 pub use frame::{Frame, FrameReader, FrameWriter, MAGIC, MAX_FRAME_LEN, VERSION};
+pub use stream::{FrameDecoder, FrameSink};
+pub use sweep::{SweepAdvisoryRec, SweepPointRec, SweepShardMeta, SweepSimRec};
 pub use trace::{
     decode, encode_demands, encode_timed_trace, encode_times, encode_trace, Decoded, StreamEncoder,
 };

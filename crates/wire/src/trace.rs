@@ -13,10 +13,11 @@
 
 use crate::frame::{
     Frame, FrameReader, FrameWriter, Step, KIND_APP_BASE, KIND_DEMANDS, KIND_END, KIND_EVENTS,
-    KIND_META, KIND_REGISTRY, KIND_SUMMARY, KIND_TIMES,
+    KIND_META, KIND_REGISTRY, KIND_SUMMARY, KIND_SWEEP_META, KIND_SWEEP_POINTS, KIND_TIMES,
 };
+use crate::sweep::{SweepPointRec, SweepShardMeta};
 use crate::varint::{f64_to_key, key_to_f64, put_str, put_varint, put_zigzag, Cursor};
-use crate::{summary, DecodePolicy, DecodeReport, WireError, WireErrorKind};
+use crate::{summary, sweep, DecodePolicy, DecodeReport, WireError, WireErrorKind};
 use wcm_events::summary::CurveSummary;
 use wcm_events::{Cycles, EventType, ExecutionInterval, TimedTrace, Trace, TypeRegistry};
 
@@ -29,7 +30,7 @@ const CHUNK: usize = 4096;
 /// [`StreamEncoder::finish`] seals the stream with its end marker.
 #[derive(Debug, Clone, Default)]
 pub struct StreamEncoder {
-    writer: FrameWriter,
+    pub(crate) writer: FrameWriter,
 }
 
 impl StreamEncoder {
@@ -115,6 +116,21 @@ impl StreamEncoder {
     /// Append one mergeable curve-summary blob.
     pub fn summary(&mut self, s: &CurveSummary) {
         self.writer.push(KIND_SUMMARY, &summary::encode_payload(s));
+    }
+
+    /// Append the sweep shard metadata frame (one per shard stream; it
+    /// must precede every [`StreamEncoder::sweep_points`] frame).
+    pub fn sweep_meta(&mut self, meta: &SweepShardMeta) {
+        self.writer
+            .push(KIND_SWEEP_META, &sweep::encode_sweep_meta(meta));
+    }
+
+    /// Append sweep point records in grid-index order (chunked).
+    pub fn sweep_points(&mut self, recs: &[SweepPointRec]) {
+        for chunk in sweep::points_chunks(recs) {
+            self.writer
+                .push(KIND_SWEEP_POINTS, &sweep::encode_sweep_points(chunk));
+        }
     }
 
     /// Append an application frame (`kind` must be in `0x40..=0x7D`).
@@ -215,6 +231,10 @@ pub struct Decoded {
     /// Application frames (kind, payload copy), in stream order, for
     /// application decoders layered on top (e.g. `wcm-mpeg` clips).
     pub app_frames: Vec<(u8, Vec<u8>)>,
+    /// Sweep shard metadata, present when the stream is a sweep shard.
+    pub sweep_meta: Option<SweepShardMeta>,
+    /// Concatenated sweep point records, in grid-index order.
+    pub sweep_points: Vec<SweepPointRec>,
     /// What was read and what was lost.
     pub report: DecodeReport,
 }
@@ -229,6 +249,8 @@ impl Decoded {
             && self.trace.as_ref().is_none_or(|t| t.is_empty())
             && self.summaries.is_empty()
             && self.app_frames.is_empty()
+            && self.sweep_meta.is_none()
+            && self.sweep_points.is_empty()
     }
 
     /// Rebuild the timed trace when the stream carried a registry,
@@ -251,7 +273,7 @@ impl Decoded {
 
 /// Accumulates decoded sections until the whole stream has been walked.
 #[derive(Default)]
-struct DecodeState {
+pub(crate) struct DecodeState {
     name: Option<String>,
     demands: Vec<u64>,
     times: Vec<f64>,
@@ -260,6 +282,8 @@ struct DecodeState {
     events: Vec<EventType>,
     summaries: Vec<CurveSummary>,
     app_frames: Vec<(u8, Vec<u8>)>,
+    sweep_meta: Option<SweepShardMeta>,
+    sweep_points: Vec<SweepPointRec>,
     events_decoded: u64,
 }
 
@@ -268,7 +292,7 @@ impl DecodeState {
     /// payload is staged in temporaries, so a frame that fails midway
     /// leaves the state untouched (what SkipCorrupt relies on).
     /// Returns `true` for known kinds, `false` for unknown ones.
-    fn apply(&mut self, frame: &Frame<'_>) -> Result<bool, WireError> {
+    pub(crate) fn apply(&mut self, frame: &Frame<'_>) -> Result<bool, WireError> {
         let mut c = Cursor::new(frame.payload, frame.payload_offset);
         match frame.kind {
             KIND_META => {
@@ -359,6 +383,22 @@ impl DecodeState {
                 c.finish()?;
                 self.summaries.push(s);
             }
+            KIND_SWEEP_META => {
+                if self.sweep_meta.is_some() {
+                    return Err(WireError::new(frame.start, WireErrorKind::BadPayload));
+                }
+                let meta = sweep::decode_sweep_meta(&mut c, frame.start)?;
+                c.finish()?;
+                self.sweep_meta = Some(meta);
+            }
+            KIND_SWEEP_POINTS => {
+                if self.sweep_meta.is_none() {
+                    return Err(WireError::new(frame.start, WireErrorKind::BadPayload));
+                }
+                let recs = sweep::decode_sweep_points(&mut c)?;
+                c.finish()?;
+                self.sweep_points.extend_from_slice(&recs);
+            }
             k if (KIND_APP_BASE..KIND_END).contains(&k) => {
                 self.app_frames.push((k, frame.payload.to_vec()));
             }
@@ -367,7 +407,11 @@ impl DecodeState {
         Ok(true)
     }
 
-    fn into_decoded(self, report: DecodeReport) -> Decoded {
+    pub(crate) fn events_decoded(&self) -> u64 {
+        self.events_decoded
+    }
+
+    pub(crate) fn into_decoded(self, report: DecodeReport) -> Decoded {
         let trace = self
             .registry
             .map(|reg| Trace::new(reg, self.events));
@@ -378,6 +422,8 @@ impl DecodeState {
             trace,
             summaries: self.summaries,
             app_frames: self.app_frames,
+            sweep_meta: self.sweep_meta,
+            sweep_points: self.sweep_points,
             report,
         }
     }

@@ -37,8 +37,32 @@ fn wire_corpus() -> Vec<Vec<u8>> {
         .collect();
     let typed = TimedTrace::new(reg, events).unwrap();
 
+    let mut shard = StreamEncoder::new();
+    shard.sweep_meta(&wcm_wire::SweepShardMeta {
+        shard: 0,
+        shards: 2,
+        start: 0,
+        len: 6,
+        total: 12,
+        fingerprint: 0x0123_4567_89AB_CDEF,
+        clips: vec!["g".into()],
+        frequencies_hz: vec![1.0e6, 2.0e6],
+        capacities: vec![4, 8],
+        policies: vec![0],
+        seeds: vec![None, Some(1), Some(2)],
+        advisories: Vec::new(),
+    });
+    shard.sweep_points(&[
+        wcm_wire::SweepPointRec { verdict: 0, sim: None },
+        wcm_wire::SweepPointRec {
+            verdict: 3,
+            sim: Some(wcm_wire::SweepSimRec { max_backlog: 9, dropped: 1, pe1_stalled_s: 0.25 }),
+        },
+    ]);
+
     vec![
         full.finish(),
+        shard.finish(),
         wcm_wire::encode_demands("d-only", &demands),
         wcm_wire::encode_times("t-only", &times).unwrap(),
         wcm_wire::encode_timed_trace("typed", &typed),

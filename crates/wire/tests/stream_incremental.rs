@@ -1,0 +1,153 @@
+//! Incremental-decode equivalence gauntlet: for thousands of seeded
+//! mutations of valid wire streams, feeding the bytes to [`FrameDecoder`]
+//! in random-length chunks must produce *exactly* what whole-buffer
+//! [`decode`] produces — same decoded contents, same report accounting,
+//! same error kind and offset — under both policies. This is the pin
+//! that lets `wcm sweep --merge` trust a decoder that reads shard files
+//! without ever holding them in memory.
+
+use wcm_events::summary::{CurveSummary, Sides};
+use wcm_wire::fuzz::{mutate, SeededRng};
+use wcm_wire::sweep::{SweepAdvisoryRec, SweepPointRec, SweepShardMeta, SweepSimRec};
+use wcm_wire::{decode, DecodePolicy, Decoded, FrameDecoder, StreamEncoder, WireError};
+
+/// Seeded cases per policy. Each case = one mutated document × one
+/// random chunking.
+const CASES: u64 = 4_000;
+
+/// Valid starting points, including a sweep-shard stream so the new
+/// frame kinds face the mutator too.
+fn corpus() -> Vec<Vec<u8>> {
+    let demands: Vec<u64> = (0..400u64).map(|i| i.wrapping_mul(2_654_435_761) >> 40).collect();
+
+    let mut full = StreamEncoder::new();
+    full.meta("incremental");
+    full.demands(&demands);
+    full.times(&(0..300).map(|i| i as f64 * 0.05).collect::<Vec<_>>())
+        .unwrap();
+    full.summary(&CurveSummary::from_values(&demands, &[1, 2, 4, 8], Sides::Both));
+    full.app_frame(0x40, b"app bytes");
+
+    let mut shard = StreamEncoder::new();
+    shard.sweep_meta(&SweepShardMeta {
+        shard: 1,
+        shards: 3,
+        start: 60,
+        len: 40,
+        total: 180,
+        fingerprint: 0xFEED_FACE_CAFE_BEEF,
+        clips: vec!["newscast".into(), "soccer".into()],
+        frequencies_hz: vec![2.0e6, 3.4e8],
+        capacities: vec![1, 2, 4, 8, 16],
+        policies: vec![0, 1, 2],
+        seeds: vec![None, Some(7), Some(8)],
+        advisories: vec![SweepAdvisoryRec {
+            clip: 0,
+            frequency_hz: 3.4e8,
+            schedulable: true,
+            l_factor: 0.82,
+        }],
+    });
+    let points: Vec<SweepPointRec> = (0..40)
+        .map(|i| SweepPointRec {
+            verdict: (i % 4) as u8,
+            sim: (i % 3 == 0).then_some(SweepSimRec {
+                max_backlog: i * 11,
+                dropped: i / 2,
+                pe1_stalled_s: i as f64 * 0.001,
+            }),
+        })
+        .collect();
+    shard.sweep_points(&points);
+
+    vec![
+        full.finish(),
+        shard.finish(),
+        wcm_wire::encode_demands("d-only", &demands),
+        StreamEncoder::new().finish(),
+    ]
+}
+
+/// Split `doc` at random points (possibly empty chunks) and run it
+/// through a fresh decoder.
+fn decode_chunked(
+    doc: &[u8],
+    policy: DecodePolicy,
+    rng: &mut SeededRng,
+) -> Result<Decoded, WireError> {
+    let mut dec = FrameDecoder::new(policy);
+    let mut rest = doc;
+    while !rest.is_empty() {
+        // Mostly small chunks so frames straddle boundaries often; the
+        // occasional zero-length feed must be a no-op.
+        let n = match rng.below(8) {
+            0 => 0,
+            1..=4 => rng.below(7) + 1,
+            5 | 6 => rng.below(64) + 1,
+            _ => rng.below(rest.len() + 1),
+        };
+        let n = n.min(rest.len());
+        let (head, tail) = rest.split_at(n);
+        dec.feed(head)?;
+        rest = tail;
+    }
+    dec.finish()
+}
+
+fn assert_equivalent(
+    whole: &Result<Decoded, WireError>,
+    chunked: &Result<Decoded, WireError>,
+    seed: u64,
+    policy: DecodePolicy,
+) {
+    match (whole, chunked) {
+        (Err(a), Err(b)) => {
+            assert_eq!(a, b, "seed {seed} {policy:?}: error mismatch");
+        }
+        (Ok(a), Ok(b)) => {
+            assert_eq!(a.name, b.name, "seed {seed} {policy:?}: name");
+            assert_eq!(a.demands, b.demands, "seed {seed} {policy:?}: demands");
+            let ta: Vec<u64> = a.times.iter().map(|t| t.to_bits()).collect();
+            let tb: Vec<u64> = b.times.iter().map(|t| t.to_bits()).collect();
+            assert_eq!(ta, tb, "seed {seed} {policy:?}: times");
+            assert_eq!(a.trace, b.trace, "seed {seed} {policy:?}: trace");
+            assert_eq!(a.summaries, b.summaries, "seed {seed} {policy:?}: summaries");
+            assert_eq!(a.app_frames, b.app_frames, "seed {seed} {policy:?}: app frames");
+            assert_eq!(a.sweep_meta, b.sweep_meta, "seed {seed} {policy:?}: sweep meta");
+            assert_eq!(
+                a.sweep_points, b.sweep_points,
+                "seed {seed} {policy:?}: sweep points"
+            );
+            assert_eq!(a.report, b.report, "seed {seed} {policy:?}: report");
+        }
+        (a, b) => panic!("seed {seed} {policy:?}: outcomes diverge:\n  whole: {a:?}\n  chunked: {b:?}"),
+    }
+}
+
+#[test]
+fn chunked_decode_equals_whole_buffer_over_fuzzed_streams() {
+    let corpus = corpus();
+    let refs: Vec<&[u8]> = corpus.iter().map(Vec::as_slice).collect();
+    for policy in [DecodePolicy::Strict, DecodePolicy::SkipCorrupt] {
+        for seed in 0..CASES {
+            let doc = mutate(&refs, 0x57C3_0009 ^ seed);
+            let whole = decode(&doc, policy);
+            let mut rng = SeededRng::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+            let chunked = decode_chunked(&doc, policy, &mut rng);
+            assert_equivalent(&whole, &chunked, seed, policy);
+        }
+    }
+}
+
+#[test]
+fn unmutated_corpus_round_trips_chunked() {
+    for (i, doc) in corpus().iter().enumerate() {
+        for policy in [DecodePolicy::Strict, DecodePolicy::SkipCorrupt] {
+            let whole = decode(doc, policy);
+            let mut rng = SeededRng::new(i as u64 + 1);
+            let chunked = decode_chunked(doc, policy, &mut rng);
+            assert_equivalent(&whole, &chunked, i as u64, policy);
+            assert!(whole.unwrap().report.is_clean());
+        }
+    }
+}

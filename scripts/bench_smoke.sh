@@ -86,6 +86,16 @@ check "wire.lenient_overhead"         "$(jq .wire.lenient_overhead_vs_strict BEN
 check "sweep.points_per_s_speedup"    "$(jq .sweep.speedup_par_pruned_vs_seq_unpruned BENCH_sweep.json)" ">=" 2.0
 check "sweep.simulator_speedup"       "$(jq .simulator.speedup BENCH_sweep.json)" ">=" 3.0
 
+# Streaming result pipeline: growing the grid 10x (100k -> 1M cells)
+# must leave the streaming path's peak allocator bytes flat — that is
+# the constant-memory contract of run_sweep_streaming. Peak bytes are
+# deterministic (same single-threaded allocation sequence), so the 1.5
+# bound is pure headroom over the recorded 1.00. The materializing
+# ratio is asserted too: if it ever stops growing with the grid, the
+# guard is no longer measuring a real materialization to stream against.
+check "sweep.stream_peak_ratio"       "$(jq .stream.peak_ratio_10x BENCH_sweep.json)" "<=" 1.5
+check "sweep.materialize_peak_ratio"  "$(jq .stream.materialize_peak_ratio_10x BENCH_sweep.json)" ">=" 4.0
+
 # Frontier bisection: must locate the identical Pareto frontier while
 # deciding at most a quarter of the dense grid's cells. Both properties
 # are thread- and load-independent, so they hold on any host.
