@@ -71,6 +71,27 @@ subcommands:
            --metrics-out a counters/gauges/histograms summary
            --clips entries ending in `.wcmt' are read as binary clip
            streams (made with `wcm_mpeg::wire') instead of profile names
+  serve    --tail FILE[,FILE...] | --listen HOST:PORT
+           [--pe2-mhz F] [--capacity C] [--k K] [--refresh N]
+           [--policy backpressure|reject|drop-priority]
+           [--session-buffer N] [--period S] [--jitter S]
+           [--monitor on|off] [--fast-scan on|off]
+           [--threads T] [--shards N] [--poll-ms MS]
+           [--max-rounds N] [--idle-exit on|off]
+           [--snapshots-out FILE] [--budget BYTES]
+           [--trace-out FILE] [--metrics-out FILE]
+           long-lived multi-tenant monitoring: tail growing `.wcmt'
+           files (and/or accept streams on a TCP socket), demultiplex
+           frames into per-session summary spines + envelope monitors
+           (sessions switch on META frames), and recompute the eq.-9
+           admission verdict -- can this stream join PE2 at --pe2-mhz
+           without overflowing a --capacity FIFO? -- every --refresh
+           events. Sessions are sharded over the wcm-par pool; the
+           bounded per-session buffers reuse the sweep overflow
+           policies as backpressure. SIGINT/SIGTERM drains gracefully
+           and emits one JSON snapshot line per session. Exit codes:
+           0 clean drain, 2 usage, 3 a source was malformed,
+           4 monitor violations were observed
   validate [--json FILE] [--csv FILE] [--trace FILE] [--metrics FILE]
            [--wcmt FILE]
            strictly parse emitted report/trace/metrics/wire artifacts
@@ -841,13 +862,35 @@ impl wcm_sim::SweepSink for FanoutSink<'_> {
     }
 }
 
+/// Removes its file on drop — scoped cleanup for side files that must
+/// not outlive the run. Whatever path exits `sweep` (success, usage
+/// error, bad input, a sink I/O failure mid-stream), the temporary is
+/// gone by the time the process reports its exit code.
+struct TempFileGuard {
+    path: std::path::PathBuf,
+}
+
+impl TempFileGuard {
+    fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempFileGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
 /// Streams JSON point rows to a `<path>.rows.part` side file during the
 /// sweep, then composes the final document (stats head + rows + tail)
 /// once the summary is known — the stats block precedes the points in
 /// the report layout, so a single pass cannot write the file in order.
+/// The side file lives under a [`TempFileGuard`], so it is removed even
+/// when the sweep errors out before `compose` runs.
 struct JsonRowsSink {
     out: std::io::BufWriter<std::fs::File>,
-    part: std::path::PathBuf,
+    part: TempFileGuard,
     path: std::path::PathBuf,
     rows: u64,
 }
@@ -861,7 +904,7 @@ impl JsonRowsSink {
         })?;
         Ok(Self {
             out: std::io::BufWriter::new(file),
-            part,
+            part: TempFileGuard { path: part },
             path: path.to_path_buf(),
             rows: 0,
         })
@@ -880,12 +923,12 @@ impl JsonRowsSink {
             move |source: std::io::Error| CliError::Io { path: p, source }
         };
         out.into_inner()
-            .map_err(|e| io_err(&part)(e.into_error()))?;
+            .map_err(|e| io_err(part.path())(e.into_error()))?;
         let file = std::fs::File::create(&path).map_err(io_err(&path))?;
         let mut w = std::io::BufWriter::new(file);
         w.write_all(wcm_sim::sweep::json_head(&summary.stats).as_bytes())
             .map_err(io_err(&path))?;
-        let mut rows_file = std::fs::File::open(&part).map_err(io_err(&part))?;
+        let mut rows_file = std::fs::File::open(part.path()).map_err(io_err(part.path()))?;
         std::io::copy(&mut rows_file, &mut w).map_err(io_err(&path))?;
         if rows > 0 {
             w.write_all(b"\n").map_err(io_err(&path))?;
@@ -893,7 +936,8 @@ impl JsonRowsSink {
         w.write_all(wcm_sim::sweep::json_tail(&summary.advisories, &summary.pareto).as_bytes())
             .map_err(io_err(&path))?;
         w.into_inner().map_err(|e| io_err(&path)(e.into_error()))?;
-        let _ = std::fs::remove_file(&part);
+        // `part` drops here — and on every early return above — removing
+        // the side file unconditionally.
         Ok(())
     }
 }
@@ -916,6 +960,222 @@ impl wcm_sim::SweepSink for JsonRowsSink {
 /// zero-dependency readers (`wcm_obs::json` / `wcm_obs::csv`). CI runs this
 /// against freshly emitted reports so an emission regression (e.g. a bare
 /// `NaN` float) fails the pipeline instead of the downstream consumer.
+/// Graceful-shutdown flag for `serve`, flipped by SIGINT/SIGTERM.
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static STOP: AtomicBool = AtomicBool::new(false);
+
+    #[cfg(unix)]
+    extern "C" fn on_signal(_signum: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+
+    /// Route SIGINT and SIGTERM to the stop flag.
+    #[cfg(unix)]
+    pub fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        // SAFETY: installing a handler that only stores to an atomic is
+        // async-signal-safe; 2/SIGINT and 15/SIGTERM are POSIX-fixed.
+        unsafe {
+            signal(2, on_signal);
+            signal(15, on_signal);
+        }
+    }
+
+    #[cfg(not(unix))]
+    pub fn install() {}
+
+    /// Whether a shutdown signal arrived.
+    pub fn stopped() -> bool {
+        STOP.load(Ordering::SeqCst)
+    }
+}
+
+/// `serve` subcommand: long-lived multi-tenant monitoring of live
+/// `.wcmt` streams with per-session curves, envelope monitors and
+/// eq.-9 admission verdicts.
+pub fn serve(opts: &Options) -> Result<(), CliError> {
+    use wcm_serve::{ServeConfig, Service};
+
+    let tails = opts.optional("tail");
+    let listen = opts.optional("listen");
+    if tails.is_none() && listen.is_none() {
+        return Err(CliError::Usage(
+            "serve: need --tail FILE[,FILE...] and/or --listen HOST:PORT".to_string(),
+        ));
+    }
+    let policy = match opts.optional("policy").unwrap_or("backpressure") {
+        "backpressure" => OverflowPolicy::Backpressure,
+        "reject" => OverflowPolicy::Reject,
+        "drop-priority" => OverflowPolicy::DropByPriority,
+        other => {
+            return Err(CliError::Usage(format!(
+                "--policy: `{other}` is not backpressure|reject|drop-priority"
+            )))
+        }
+    };
+    let on_off = |name: &str, default: bool| -> Result<bool, CliError> {
+        match opts.optional(name) {
+            None => Ok(default),
+            Some("on") => Ok(true),
+            Some("off") => Ok(false),
+            Some(other) => Err(CliError::Usage(format!("--{name}: `{other}` is not on|off"))),
+        }
+    };
+    let f64_or = |name: &str, default: f64| -> Result<f64, CliError> {
+        match opts.optional(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|e| CliError::Usage(format!("option `--{name}`: {e}"))),
+        }
+    };
+    let k_max = opts.usize_or("k", 64)?;
+    if k_max == 0 {
+        return Err(CliError::Usage("--k must be at least 1".to_string()));
+    }
+    let pe2_mhz = f64_or("pe2-mhz", 60.0)?;
+    let period_s = f64_or("period", 1.0 / 30.0)?;
+    if !(pe2_mhz.is_finite() && pe2_mhz > 0.0) {
+        return Err(CliError::Usage("--pe2-mhz must be positive".to_string()));
+    }
+    if !(period_s.is_finite() && period_s > 0.0) {
+        return Err(CliError::Usage("--period must be positive".to_string()));
+    }
+    let capacity = opts.usize_or("capacity", 400)?;
+    if capacity == 0 {
+        return Err(CliError::Usage("--capacity must be at least 1".to_string()));
+    }
+    let cfg = ServeConfig {
+        k_max,
+        chunk_target: 0,
+        refresh_every: opts.usize_or("refresh", 64)?.max(1) as u64,
+        frequency_hz: pe2_mhz * 1e6,
+        capacity_events: capacity as u64,
+        policy,
+        session_buffer: opts.usize_or("session-buffer", 4096)?.max(1),
+        monitor: on_off("monitor", true)?,
+        fast_scan: on_off("fast-scan", false)?,
+        period_s,
+        jitter_s: f64_or("jitter", 0.0)?.max(0.0),
+        times_window: opts.usize_or("times-window", 4096)?,
+        shards: opts.usize_or("shards", 0)?,
+        par: opts.parallelism()?,
+    };
+    let mut svc = Service::new(cfg);
+    if let Some(spec) = tails {
+        for path in spec.split(',').filter(|s| !s.is_empty()) {
+            svc.add_tail(Path::new(path)).map_err(|source| CliError::Io {
+                path: path.into(),
+                source,
+            })?;
+        }
+    }
+    if let Some(addr) = listen {
+        let bound = svc.listen(addr).map_err(|source| CliError::Io {
+            path: addr.into(),
+            source,
+        })?;
+        println!("listening {bound}");
+    }
+    if let Some(b) = opts.optional("budget") {
+        svc.set_budget(
+            b.parse()
+                .map_err(|e| CliError::Usage(format!("option `--budget`: {e}")))?,
+        );
+    }
+
+    let trace_out = opts.optional("trace-out");
+    let metrics_out = opts.optional("metrics-out");
+    let observe = trace_out.is_some() || metrics_out.is_some();
+    if observe {
+        wcm_obs::mem().reset();
+        wcm_obs::set_enabled(true);
+    }
+
+    let max_rounds = opts.usize_or("max-rounds", 0)?;
+    let idle_exit = on_off("idle-exit", false)?;
+    let poll_ms = opts.usize_or("poll-ms", 50)?;
+    sig::install();
+    let serve_err = |e: std::io::Error| CliError::Analysis(format!("serve: {e}"));
+    let mut dead: Vec<(String, wcm_wire::WireError)> = Vec::new();
+    let mut rounds = 0usize;
+    while !sig::stopped() {
+        let report = svc.round().map_err(serve_err)?;
+        dead.extend(report.dead.iter().cloned());
+        rounds += 1;
+        if max_rounds > 0 && rounds >= max_rounds {
+            break;
+        }
+        if idle_exit && report.idle {
+            break;
+        }
+        if report.bytes == 0 && !sig::stopped() {
+            std::thread::sleep(std::time::Duration::from_millis(poll_ms as u64));
+        }
+    }
+    // Graceful drain: flush everything already decoded or on disk, then
+    // snapshot every session.
+    let drained = svc.drain().map_err(serve_err)?;
+    dead.extend(drained.dead);
+
+    if observe {
+        wcm_obs::set_enabled(false);
+        let snap = wcm_obs::mem().snapshot();
+        if let Some(path) = trace_out {
+            write_report(Path::new(path), &snap.to_chrome_trace())?;
+        }
+        if let Some(path) = metrics_out {
+            write_report(Path::new(path), &snap.to_metrics_json())?;
+        }
+    }
+
+    let snapshots = svc.snapshots();
+    if let Some(path) = opts.optional("snapshots-out") {
+        let mut text = String::with_capacity(snapshots.iter().map(|l| l.len() + 1).sum());
+        for line in &snapshots {
+            text.push_str(line);
+            text.push('\n');
+        }
+        write_report(Path::new(path), &text)?;
+    } else {
+        for line in &snapshots {
+            println!("{line}");
+        }
+    }
+    let stats = svc.stats();
+    println!("rounds {}", stats.rounds);
+    println!("sessions {}", stats.sessions);
+    println!("events {}", stats.events);
+    println!("violations {}", stats.violations);
+    println!("flips {}", stats.flips);
+    println!("dropped {}", stats.dropped);
+    println!("stall_rounds {}", stats.stall_rounds);
+    println!("bytes {}", stats.bytes);
+    if let Some(kb) = wcm_serve::peak_rss_kb() {
+        println!("peak_rss_kb {kb}");
+    }
+
+    // Exit contract: malformed sources (3) outrank violations (4),
+    // which outrank a clean drain (0).
+    if let Some((src, err)) = dead.first() {
+        return Err(CliError::WireMalformed {
+            path: src.into(),
+            offset: err.offset,
+            reason: err.to_string(),
+        });
+    }
+    if stats.violations > 0 {
+        return Err(CliError::Violations {
+            count: stats.violations,
+        });
+    }
+    Ok(())
+}
+
 pub fn validate(opts: &Options) -> Result<(), CliError> {
     let mut checked = 0usize;
 

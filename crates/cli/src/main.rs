@@ -22,6 +22,11 @@
 //!   `--trace-out`/`--metrics-out` the run is captured by the `wcm-obs`
 //!   recorder and exported as a `chrome://tracing` trace and a metrics
 //!   summary;
+//! * `serve --tail FILE[,FILE] / --listen ADDR ...` — long-lived
+//!   multi-tenant monitoring: tail live `.wcmt` streams, demultiplex
+//!   frames into per-session summary spines + envelope monitors, and
+//!   recompute the eq.-9 admission verdict per session as the curves
+//!   refresh; graceful drain on SIGINT/SIGTERM with final snapshots;
 //! * `validate --json/--csv/--trace/--metrics/--wcmt FILE ...` — strictly
 //!   parse emitted artifacts with the in-repo zero-dependency readers;
 //! * `trace encode|decode|verify ...` — convert between text traces and
@@ -85,6 +90,7 @@ fn run(argv: &[String]) -> Result<(), CliError> {
         "pipeline" => commands::pipeline(&opts),
         "faults" => commands::faults(&opts),
         "sweep" => commands::sweep(&opts),
+        "serve" => commands::serve(&opts),
         "validate" => commands::validate(&opts),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);

@@ -354,6 +354,45 @@ impl EnvelopeMonitor {
         self.reseed_certs();
     }
 
+    /// [`Self::rebind`] with a new window depth, for refreshes whose
+    /// curve covers a different exact range than the monitor was built
+    /// for (a spine refresh after a shorter GOP shrinks `k_max`; a
+    /// longer clip grows it).
+    ///
+    /// Everything that is indexed by `k` is resized *before* the bound
+    /// tables are rebuilt: the per-`k` slack statistics are truncated or
+    /// extended, the retained ring is trimmed to `k_max + 1` entries,
+    /// the certificate slope denominator follows the new depth, and the
+    /// fast-scan deques are reseeded from the trimmed ring only — a
+    /// shrink therefore cannot leave a certificate (or an exact scan)
+    /// reading windows deeper than the new curve. Counters and stored
+    /// violations survive, exactly as in [`Self::rebind`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidParameter`] if `k_max` is 0; the
+    /// monitor is left unchanged.
+    pub fn rebind_with_k_max(
+        &mut self,
+        bounds: &WorkloadBounds,
+        k_max: usize,
+    ) -> Result<(), WorkloadError> {
+        if k_max == 0 {
+            return Err(WorkloadError::InvalidParameter { name: "k_max" });
+        }
+        if k_max != self.k_max {
+            self.upper_slack.resize(k_max, None);
+            self.lower_slack.resize(k_max, None);
+            while self.cum.len() > k_max + 1 {
+                self.cum.pop_front();
+            }
+            self.k_max = k_max;
+            self.r_den = k_max as i128 - 1;
+        }
+        self.rebind(bounds);
+        Ok(())
+    }
+
     /// Fits the scaled linear bound to a bound table: the chord slope
     /// `(γ(k_max) − γ(1)) / (k_max − 1)` and the tightest intercept that
     /// keeps the line on the sound side of every `γ(a)`
@@ -692,6 +731,68 @@ mod tests {
             rebound.rebind(&hostile);
             assert!(rebound.observe(10) > 0, "fast={fast}");
         }
+    }
+
+    #[test]
+    fn rebind_with_k_max_survives_a_shrinking_gop() {
+        // A stream that opens on 12-frame GOPs and switches to 6-frame
+        // GOPs: the spine refresh after the switch hands back a curve
+        // covering only k ≤ 6, so the monitor must shrink its window
+        // depth mid-stream. Every post-shrink verdict has to match a
+        // monitor built at k = 6 that saw the same history — stale
+        // slack tables, ring entries or certificate deque slots deeper
+        // than the new k_max would break the agreement (or index past
+        // the rebuilt 6-entry bound tables).
+        let gop12: Vec<u64> = [60, 10, 10, 30, 10, 10, 30, 10, 10, 30, 10, 10]
+            .repeat(2)
+            .to_vec();
+        let gop6: Vec<u64> = [40, 8, 8, 20, 8, 8].repeat(4).to_vec();
+        let bounds12 = bounds_of(&gop12, 12);
+        let bounds6 = bounds_of(&gop6, 6);
+        for fast in [false, true] {
+            let mut shrunk = EnvelopeMonitor::new(&bounds12, 12)
+                .unwrap()
+                .with_fast_scan(fast);
+            shrunk.observe_all(gop12.iter().copied());
+            assert!(shrunk.is_clean(), "fast={fast}: prefix under own curve");
+            shrunk.rebind_with_k_max(&bounds6, 6).unwrap();
+            assert_eq!(shrunk.k_max(), 6);
+            assert_eq!(shrunk.report().upper_slack.len(), 6);
+
+            let mut reference = EnvelopeMonitor::new(&bounds6, 6)
+                .unwrap()
+                .with_fast_scan(fast);
+            reference.observe_all(gop12.iter().copied());
+            for (i, &d) in gop6.iter().enumerate() {
+                assert_eq!(
+                    shrunk.observe(d),
+                    reference.observe(d),
+                    "fast={fast}: event {i} after the shrink"
+                );
+            }
+
+            // And growing back out to the original depth stays sound.
+            // The shrink trimmed the ring to 6 events of history, so
+            // the grown monitor must agree with a fresh k = 12 monitor
+            // seeded with exactly those 6 retained events.
+            shrunk.rebind_with_k_max(&bounds12, 12).unwrap();
+            assert_eq!(shrunk.k_max(), 12);
+            let mut wide = EnvelopeMonitor::new(&bounds12, 12)
+                .unwrap()
+                .with_fast_scan(fast);
+            wide.observe_all(gop6[gop6.len() - 6..].iter().copied());
+            for (i, &d) in gop12.iter().enumerate() {
+                assert_eq!(
+                    shrunk.observe(d),
+                    wide.observe(d),
+                    "fast={fast}: event {i} after growing back"
+                );
+            }
+        }
+        // k_max = 0 is rejected without touching the monitor.
+        let mut mon = EnvelopeMonitor::new(&bounds12, 12).unwrap();
+        assert!(mon.rebind_with_k_max(&bounds6, 0).is_err());
+        assert_eq!(mon.k_max(), 12);
     }
 
     #[test]

@@ -1,0 +1,61 @@
+//! Generate an interleaved multi-session `.wcmt` stream for the serve
+//! smoke test: `gen_sessions OUT SESSIONS EVENTS [SPIKE_AFTER]`.
+//!
+//! Sessions are named `s00000`…; each carries `EVENTS` MPEG-like
+//! demand events in round-robin sittings. With `SPIKE_AFTER`, every
+//! session's demands jump ×6 after that many events — observed windows
+//! then escape the envelope the monitors bound on the calm prefix,
+//! which is how the smoke test provokes violations deterministically.
+
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 3 {
+        eprintln!("usage: gen_sessions OUT SESSIONS EVENTS [SPIKE_AFTER]");
+        std::process::exit(2);
+    }
+    let out = &args[0];
+    let sessions: usize = args[1].parse().expect("SESSIONS");
+    let events: usize = args[2].parse().expect("EVENTS");
+    let spike_after: usize = args
+        .get(3)
+        .map(|s| s.parse().expect("SPIKE_AFTER"))
+        .unwrap_or(usize::MAX);
+
+    let gop = [900u64, 150, 150, 420, 150, 150, 420, 150, 150, 420, 150, 150];
+    let mut enc = wcm_wire::StreamEncoder::new();
+    let sitting = 8usize;
+    let mut done = vec![0usize; sessions];
+    let mut remaining = true;
+    while remaining {
+        remaining = false;
+        for s in 0..sessions {
+            let at = done[s];
+            if at >= events {
+                continue;
+            }
+            let take = sitting.min(events - at);
+            let demands: Vec<u64> = (at..at + take)
+                .map(|i| {
+                    let base = gop[(i + s) % gop.len()] + (s as u64 % 7) * 10;
+                    if i >= spike_after {
+                        base * 6
+                    } else {
+                        base
+                    }
+                })
+                .collect();
+            enc.meta(&format!("s{s:05}"));
+            enc.demands(&demands);
+            done[s] = at + take;
+            if done[s] < events {
+                remaining = true;
+            }
+        }
+    }
+    let bytes = enc.finish();
+    let mut f = std::fs::File::create(out).expect("create OUT");
+    f.write_all(&bytes).expect("write OUT");
+    println!("wrote {} byte(s), {sessions} session(s) to {out}", bytes.len());
+}

@@ -1,0 +1,330 @@
+//! Live `.wcmt` ingestion: sources that feed a strict
+//! [`FrameDecoder`] from a growing file (tail) or a TCP connection and
+//! route each decoded frame to the session it belongs to.
+//!
+//! A source is a layered rx pipeline: bytes → frames (decoder) →
+//! routed batches keyed by `(source, session)`. Session identity
+//! follows the stream's own `META` frames — each `META` names the
+//! current session of that source, and every `DEMANDS`/`TIMES` frame
+//! that follows belongs to it until the next `META`. One stream can
+//! therefore multiplex any number of interleaved sessions.
+//!
+//! Tail semantics are where the live path differs from batch decode:
+//! a tail that catches up to a *partial frame* at end-of-file parks
+//! the decoder and resumes when the writer appends (never a
+//! `truncated` error), and a tail that consumed a clean end marker
+//! resumes across `StreamEncoder::reopen` — the writer truncates the
+//! marker and appends in its place, so the source rewinds by exactly
+//! [`wcm_wire::frame::FRAME_OVERHEAD`] bytes via
+//! [`FrameDecoder::resume_after_end`] before reading on.
+
+use std::io::{self, Read, Seek, SeekFrom};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+
+use wcm_wire::frame::{Frame, KIND_DEMANDS, KIND_META, KIND_TIMES};
+use wcm_wire::trace::payload;
+use wcm_wire::{DecodePolicy, FrameDecoder, WireError};
+
+/// One routed batch of decoded events: everything one poll round
+/// produced for one session of one source, in stream order.
+#[derive(Debug, Default)]
+pub struct RoutedBatch {
+    /// Demand values, in arrival order.
+    pub demands: Vec<u64>,
+    /// Timestamps, in arrival order.
+    pub times: Vec<f64>,
+}
+
+/// Frame router: accumulates one poll round's decoded frames into
+/// per-session batches (keyed by session name; the caller scopes them
+/// by source).
+#[derive(Debug, Default)]
+pub struct Router {
+    /// `(session name, batch)` in first-seen order — deterministic
+    /// routing order for the shard step.
+    pub batches: Vec<(String, RoutedBatch)>,
+    /// The active session name — sticky *across* polls, because a
+    /// chunk boundary can land anywhere between a `META` and the
+    /// frames that belong to it.
+    current: Option<String>,
+    /// Frames of unknown/ignored kinds this round.
+    pub ignored: u64,
+}
+
+impl Router {
+    fn slot(&mut self, name: &str) -> usize {
+        match self.batches.iter().position(|(n, _)| n == name) {
+            Some(i) => i,
+            None => {
+                self.batches.push((name.to_string(), RoutedBatch::default()));
+                self.batches.len() - 1
+            }
+        }
+    }
+
+    /// The batch slot of the active session (frames before any `META`
+    /// belong to the source's default session `""`).
+    fn active_slot(&mut self) -> usize {
+        let name = self.current.clone().unwrap_or_default();
+        self.slot(&name)
+    }
+
+    /// Route one decoded frame.
+    fn route(&mut self, frame: &Frame<'_>) -> Result<(), WireError> {
+        match frame.kind {
+            KIND_META => {
+                self.current = Some(payload::meta(frame)?);
+            }
+            KIND_DEMANDS => {
+                let vals = payload::demands(frame)?;
+                let idx = self.active_slot();
+                self.batches[idx].1.demands.extend_from_slice(&vals);
+            }
+            KIND_TIMES => {
+                let vals = payload::times(frame)?;
+                let idx = self.active_slot();
+                self.batches[idx].1.times.extend_from_slice(&vals);
+            }
+            _ => self.ignored += 1,
+        }
+        Ok(())
+    }
+}
+
+/// What one poll of a source produced.
+#[derive(Debug, Default)]
+pub struct Poll {
+    /// Routed per-session batches (drained by the caller).
+    pub batches: Vec<(String, RoutedBatch)>,
+    /// Bytes consumed this round.
+    pub bytes: usize,
+    /// The source reached a clean end marker (it may still resume if
+    /// the writer reopens the stream).
+    pub ended: bool,
+    /// The source failed permanently (malformed stream).
+    pub dead: Option<WireError>,
+}
+
+/// Live tail of a growing `.wcmt` file.
+#[derive(Debug)]
+pub struct TailSource {
+    /// Stable identity used to scope session keys.
+    pub id: String,
+    path: PathBuf,
+    dec: FrameDecoder,
+    router: Router,
+    /// Absolute file offset of the next unread byte.
+    offset: u64,
+    dead: Option<WireError>,
+}
+
+impl TailSource {
+    /// Tail `path` from the beginning.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors opening/statting the file.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        std::fs::metadata(path)?;
+        Ok(Self {
+            id: format!("file:{}", path.display()),
+            path: path.to_path_buf(),
+            dec: FrameDecoder::new(DecodePolicy::Strict),
+            router: Router::default(),
+            offset: 0,
+            dead: None,
+        })
+    }
+
+    /// Read up to `budget` new bytes, decode, and route. `stalled`
+    /// (backpressure from a full session buffer) skips reading without
+    /// touching decoder state — the unread bytes simply stay in the
+    /// file.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading the file. Wire errors mark the source dead
+    /// and are reported in the poll, not returned.
+    pub fn poll(&mut self, budget: usize, stalled: bool) -> io::Result<Poll> {
+        let mut out = Poll::default();
+        if let Some(e) = &self.dead {
+            out.dead = Some(e.clone());
+            return Ok(out);
+        }
+        if stalled {
+            out.ended = self.dec.ended();
+            return Ok(out);
+        }
+        let len = std::fs::metadata(&self.path)?.len();
+        if self.dec.ended() && len != self.offset {
+            // The writer reopened the sealed stream in place: rewind
+            // over the truncated end marker and re-read from the seam.
+            if let Some(seam) = self.dec.resume_after_end() {
+                self.offset = seam as u64;
+            }
+        }
+        if len > self.offset {
+            let mut file = std::fs::File::open(&self.path)?;
+            file.seek(SeekFrom::Start(self.offset))?;
+            let want = usize::try_from(len - self.offset)
+                .unwrap_or(usize::MAX)
+                .min(budget.max(1));
+            let mut buf = vec![0u8; want];
+            let mut read = 0;
+            while read < want {
+                match file.read(&mut buf[read..]) {
+                    Ok(0) => break,
+                    Ok(n) => read += n,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            buf.truncate(read);
+            self.offset += read as u64;
+            out.bytes = read;
+            let router = &mut self.router;
+            if let Err(e) = self.dec.feed_with(&buf, |f| {
+                // Route errors surface via the decoder's own strict
+                // payload validation on the next feed; record locally.
+                let _ = router.route(f);
+            }) {
+                self.dead = Some(e.clone());
+                out.dead = Some(e);
+            }
+            // The decoder accumulates payloads internally too; the
+            // router already took them, keep the tail flat.
+            self.dec.reset_decoded();
+        }
+        out.ended = self.dec.ended();
+        out.batches = std::mem::take(&mut self.router.batches);
+        Ok(out)
+    }
+}
+
+/// TCP ingestion: a listener plus one decoder per accepted connection.
+/// Connections speak plain `.wcmt` — header, frames, end marker.
+#[derive(Debug)]
+pub struct TcpSource {
+    listener: TcpListener,
+    conns: Vec<Conn>,
+    accepted: u64,
+}
+
+#[derive(Debug)]
+struct Conn {
+    id: String,
+    stream: TcpStream,
+    dec: FrameDecoder,
+    router: Router,
+    open: bool,
+}
+
+impl TcpSource {
+    /// Bind `addr` (e.g. `127.0.0.1:7070`) in non-blocking mode.
+    ///
+    /// # Errors
+    ///
+    /// Bind/configure errors.
+    pub fn bind(addr: &str) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Self {
+            listener,
+            conns: Vec::new(),
+            accepted: 0,
+        })
+    }
+
+    /// The bound local address.
+    ///
+    /// # Errors
+    ///
+    /// As [`TcpListener::local_addr`].
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accept pending connections and poll every open one. Returns the
+    /// per-connection polls as `(source id, poll)`.
+    ///
+    /// # Errors
+    ///
+    /// Accept errors other than `WouldBlock`.
+    pub fn poll(&mut self, budget: usize, stalled: bool) -> io::Result<Vec<(String, Poll)>> {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, peer)) => {
+                    stream.set_nonblocking(true)?;
+                    self.accepted += 1;
+                    self.conns.push(Conn {
+                        id: format!("tcp:{peer}#{}", self.accepted),
+                        stream,
+                        dec: FrameDecoder::new(DecodePolicy::Strict),
+                        router: Router::default(),
+                        open: true,
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) => return Err(e),
+            }
+        }
+        let mut polls = Vec::new();
+        for conn in &mut self.conns {
+            if !conn.open {
+                continue;
+            }
+            let mut out = Poll::default();
+            if !stalled {
+                let mut buf = vec![0u8; budget.max(1)];
+                let mut read = 0;
+                loop {
+                    match conn.stream.read(&mut buf[read..]) {
+                        Ok(0) => {
+                            conn.open = false;
+                            break;
+                        }
+                        Ok(n) => {
+                            read += n;
+                            if read == buf.len() {
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                        Err(_) => {
+                            conn.open = false;
+                            break;
+                        }
+                    }
+                }
+                buf.truncate(read);
+                out.bytes = read;
+                if read > 0 {
+                    let router = &mut conn.router;
+                    if let Err(e) = conn.dec.feed_with(&buf, |f| {
+                        let _ = router.route(f);
+                    }) {
+                        out.dead = Some(e);
+                        conn.open = false;
+                    }
+                    conn.dec.reset_decoded();
+                }
+            }
+            out.ended = conn.dec.ended();
+            if out.ended {
+                conn.open = false;
+            }
+            out.batches = std::mem::take(&mut conn.router.batches);
+            polls.push((conn.id.clone(), out));
+        }
+        self.conns.retain(|c| c.open);
+        Ok(polls)
+    }
+
+    /// Open connections right now.
+    #[must_use]
+    pub fn open_conns(&self) -> usize {
+        self.conns.len()
+    }
+}

@@ -1,0 +1,182 @@
+//! Multi-session determinism: N interleaved sessions fed chunk-wise
+//! through the live serve pipeline produce snapshots byte-identical to
+//! the batch path, across 1/2/4 shard threads.
+
+use std::io::Write;
+use std::path::Path;
+
+use wcm_serve::{ServeConfig, Service, SessionState};
+use wcm_sim::OverflowPolicy;
+use wcm_wire::StreamEncoder;
+
+/// Deterministic synthetic demand stream for session `s` — an
+/// MPEG-like per-GOP shape plus per-session phase and scale so every
+/// session has different curves and admission dynamics.
+fn demands_for(s: usize, n: usize) -> Vec<u64> {
+    let gop = [900u64, 150, 150, 420, 150, 150, 420, 150, 150, 420, 150, 150];
+    (0..n)
+        .map(|i| {
+            let base = gop[(i + 3 * s) % gop.len()];
+            base * (10 + s as u64) / 10 + ((i as u64 * 37) % 23)
+        })
+        .collect()
+}
+
+fn timestamps_for(s: usize, n: usize) -> Vec<f64> {
+    let period = 1.0 / (25.0 + s as f64);
+    (0..n).map(|i| i as f64 * period).collect()
+}
+
+fn small_cfg(shards: usize, par: wcm_par::Parallelism) -> ServeConfig {
+    ServeConfig {
+        k_max: 12,
+        refresh_every: 16,
+        frequency_hz: 40.0e3,
+        capacity_events: 8,
+        policy: OverflowPolicy::Backpressure,
+        session_buffer: 64,
+        times_window: 256,
+        shards,
+        par,
+        ..ServeConfig::default()
+    }
+}
+
+/// Encode `sessions` as one interleaved `.wcmt` stream: round-robin
+/// over the sessions, a few events per sitting, with META frames
+/// switching the active session each time.
+fn interleaved_stream(sessions: &[(String, Vec<u64>, Vec<f64>)]) -> Vec<u8> {
+    let mut enc = StreamEncoder::new();
+    let mut done = vec![0usize; sessions.len()];
+    let mut remaining = true;
+    let mut turn = 0usize;
+    while remaining {
+        remaining = false;
+        for (s, (name, demands, times)) in sessions.iter().enumerate() {
+            let at = done[s];
+            if at >= demands.len() {
+                continue;
+            }
+            // Vary the sitting size so frame boundaries never line up
+            // with refresh boundaries.
+            let take = (3 + (turn + s) % 5).min(demands.len() - at);
+            enc.meta(name);
+            // Times precede the demands they stamp (the serve pairing
+            // contract), so a chunk boundary can only delay demands.
+            enc.times(&times[at..at + take]).unwrap();
+            enc.demands(&demands[at..at + take]);
+            done[s] = at + take;
+            if done[s] < demands.len() {
+                remaining = true;
+            }
+            turn += 1;
+        }
+    }
+    enc.finish()
+}
+
+/// The batch oracle: one `SessionState` fed the whole trace in a
+/// single call.
+fn batch_snapshot(name: &str, demands: &[u64], times: &[f64], cfg: &ServeConfig) -> String {
+    let mut s = SessionState::new(cfg);
+    s.record_times(times, cfg);
+    s.enqueue(demands, cfg);
+    s.apply_pending(cfg);
+    s.snapshot_json(name)
+}
+
+/// Run the full service over `file`, feeding `chunk` bytes per round.
+fn serve_snapshots(file: &Path, chunk: usize, cfg: ServeConfig) -> Vec<String> {
+    let mut svc = Service::new(cfg);
+    svc.add_tail(file).unwrap();
+    svc.set_budget(chunk);
+    loop {
+        let report = svc.round().unwrap();
+        assert!(report.dead.is_empty(), "source died: {:?}", report.dead);
+        if report.idle {
+            break;
+        }
+    }
+    let drained = svc.drain().unwrap();
+    assert_eq!(drained.bytes, 0, "idle service still had bytes");
+    svc.snapshots()
+}
+
+#[test]
+fn interleaved_sessions_match_batch_path_across_shard_counts() {
+    let n_sessions = 7;
+    let n_events = 160;
+    let sessions: Vec<(String, Vec<u64>, Vec<f64>)> = (0..n_sessions)
+        .map(|s| {
+            (
+                format!("cam-{s:02}"),
+                demands_for(s, n_events),
+                timestamps_for(s, n_events),
+            )
+        })
+        .collect();
+    let bytes = interleaved_stream(&sessions);
+
+    let dir = std::env::temp_dir().join(format!("wcm_serve_det_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("interleaved.wcmt");
+    std::fs::File::create(&file)
+        .unwrap()
+        .write_all(&bytes)
+        .unwrap();
+
+    // The oracle sees each session's whole trace in one call.
+    let cfg1 = small_cfg(1, wcm_par::Parallelism::Seq);
+    let expected: Vec<String> = {
+        let mut lines: Vec<(String, String)> = sessions
+            .iter()
+            .map(|(name, demands, times)| {
+                let display = format!("file:{}/{name}", file.display());
+                (name.clone(), batch_snapshot(&display, demands, times, &cfg1))
+            })
+            .collect();
+        lines.sort();
+        lines.into_iter().map(|(_, l)| l).collect()
+    };
+
+    // Live path: several chunk sizes × shard/thread counts, all
+    // byte-identical to the oracle.
+    for &(shards, threads) in &[(1usize, 1usize), (2, 2), (4, 4)] {
+        let par = if threads == 1 {
+            wcm_par::Parallelism::Seq
+        } else {
+            wcm_par::Parallelism::Threads(threads)
+        };
+        for &chunk in &[97usize, 1024, 1 << 20] {
+            let got = serve_snapshots(&file, chunk, small_cfg(shards, par));
+            assert_eq!(
+                got, expected,
+                "snapshot mismatch: shards={shards} threads={threads} chunk={chunk}"
+            );
+        }
+    }
+
+    std::fs::remove_file(&file).ok();
+    std::fs::remove_dir(&dir).ok();
+}
+
+#[test]
+fn admission_decides_both_ways() {
+    // Sanity that the test workload actually exercises admission: a
+    // fast PE2 admits, a hopeless one rejects.
+    let sessions = [(
+        "one".to_string(),
+        demands_for(0, 160),
+        timestamps_for(0, 160),
+    )];
+    let (name, demands, times) = &sessions[0];
+    let mut fast = small_cfg(1, wcm_par::Parallelism::Seq);
+    fast.frequency_hz = 1.0e9;
+    let line = batch_snapshot(name, demands, times, &fast);
+    assert!(line.contains("\"verdict\":\"admit\""), "{line}");
+
+    let mut slow = small_cfg(1, wcm_par::Parallelism::Seq);
+    slow.frequency_hz = 1.0;
+    let line = batch_snapshot(name, demands, times, &slow);
+    assert!(line.contains("\"verdict\":\"reject\""), "{line}");
+}

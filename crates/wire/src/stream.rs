@@ -31,7 +31,8 @@
 use std::io;
 
 use crate::frame::{
-    append_frame, parse_frame_at, validate_header, write_header, Frame, HEADER_LEN, KIND_END, SYNC,
+    append_frame, parse_frame_at, validate_header, write_header, Frame, FRAME_OVERHEAD, HEADER_LEN,
+    KIND_END, SYNC,
 };
 use crate::trace::{DecodeState, Decoded};
 use crate::{DecodePolicy, DecodeReport, WireError, WireErrorKind};
@@ -156,6 +157,65 @@ impl FrameDecoder {
         let mut report = self.report;
         report.events_decoded = self.state.events_decoded();
         Ok(self.state.into_decoded(report))
+    }
+
+    /// Whether a clean end marker has been consumed (the stream is
+    /// sealed from this reader's point of view).
+    #[must_use]
+    pub fn ended(&self) -> bool {
+        self.ended.is_some()
+    }
+
+    /// Re-arm a cleanly-ended decoder for a writer that extended the
+    /// stream in place.
+    ///
+    /// [`crate::StreamEncoder::reopen`] (and
+    /// [`crate::frame::FrameWriter::reopen`]) grow a sealed stream by
+    /// *truncating its end marker* and appending where it stood, so a
+    /// live tail that already consumed the marker holds a stale view:
+    /// the [`FRAME_OVERHEAD`] bytes it read as the end marker are now
+    /// the head of the first appended frame. Feeding the appended bytes
+    /// as-is would therefore mis-frame (strict) or resync-skip
+    /// (lenient) the seam. This call rewinds the decoder over the
+    /// consumed marker and returns the absolute stream offset to resume
+    /// reading from — re-read the underlying file/socket from that
+    /// offset and keep feeding.
+    ///
+    /// Returns `None` (decoder untouched) unless the decoder sits
+    /// exactly at a clean end with nothing consumed past it — a sticky
+    /// failure, absorbed trailing bytes, or a mid-frame park have no
+    /// coherent seam to rewind to.
+    pub fn resume_after_end(&mut self) -> Option<usize> {
+        let end = self.ended?;
+        if self.failed.is_some()
+            || self.exhausted
+            || self.pos != end
+            || self.base + self.buf.len() != end
+            || self.total != end
+        {
+            return None;
+        }
+        let restart = end - FRAME_OVERHEAD;
+        self.ended = None;
+        self.report.clean_end = false;
+        self.pos = restart;
+        self.base = restart;
+        self.buf.clear();
+        self.total = restart;
+        Some(restart)
+    }
+
+    /// Drop everything the internal decode state has accumulated
+    /// (demands, times, names, summaries, …) while keeping the framing
+    /// position, policy and report intact.
+    ///
+    /// Long-lived consumers that handle every frame themselves via
+    /// [`FrameDecoder::feed_with`] + [`crate::trace::payload`] never
+    /// read the accumulated state, but without this call it grows with
+    /// the stream. After a reset, [`FrameDecoder::finish`] reflects
+    /// only the frames fed since the last reset.
+    pub fn reset_decoded(&mut self) {
+        self.state.reset();
     }
 
     /// Frames decoded so far (progress for long-running feeds).
@@ -628,6 +688,95 @@ mod tests {
         sink.push(0x41, b"app payload").unwrap();
         let got = sink.finish().unwrap();
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn live_tail_parks_on_partial_frames_and_resumes_across_reopens() {
+        // Writer/reader interleaving on one growing stream. The writer
+        // seals, reopens in place (truncate end marker + append + seal
+        // again), three sittings total; the reader tails the bytes with
+        // arbitrary chunk cuts. Contract under test:
+        //   * catching up to a partial frame at EOF parks the decoder
+        //     (no error, no `truncated` report) until more bytes land;
+        //   * after the reader consumed a clean end marker,
+        //     `resume_after_end` rewinds over the marker the writer
+        //     truncated away, and tailing continues cleanly;
+        //   * the finished decode is identical to `decode()` over the
+        //     final file for both policies.
+        for policy in [DecodePolicy::Strict, DecodePolicy::SkipCorrupt] {
+            let mut dec = FrameDecoder::new(policy);
+            assert_eq!(dec.resume_after_end(), None, "nothing to resume yet");
+
+            // Sitting 1: seal a short stream; reader tails byte-wise.
+            let mut enc = StreamEncoder::new();
+            enc.meta("live");
+            enc.demands(&[5, 3, 8, 1]);
+            let mut file = enc.finish();
+            for b in file.iter() {
+                dec.feed(std::slice::from_ref(b)).unwrap();
+            }
+            assert!(dec.ended(), "reader consumed the end marker");
+            let frames_after_first = dec.frames_read();
+
+            // Sitting 2: writer reopens and appends. The reader's view
+            // is stale by exactly the truncated end marker.
+            let old_len = file.len();
+            let mut enc = StreamEncoder::reopen(file).unwrap();
+            enc.demands(&[7, 7, 2]);
+            enc.times(&[0.0, 0.5, 1.25]).unwrap();
+            file = enc.finish();
+            let seam = dec.resume_after_end().unwrap();
+            assert_eq!(seam, old_len - crate::frame::FRAME_OVERHEAD);
+            assert!(!dec.ended());
+            // Feed a cut that strands a partial frame at EOF: the
+            // decoder must park, not fail or report truncation.
+            let cut = seam + (file.len() - seam) / 2;
+            dec.feed(&file[seam..cut]).unwrap();
+            assert!(!dec.ended(), "mid-frame tail must park");
+            dec.feed(&file[cut..]).unwrap();
+            assert!(dec.ended());
+            assert!(dec.frames_read() > frames_after_first);
+
+            // Sitting 3: once more, appended bytes arriving one at a
+            // time — every prefix is a partial frame the reader parks on.
+            let old_len = file.len();
+            let mut enc = StreamEncoder::reopen(file).unwrap();
+            enc.demands(&[9, 9]);
+            file = enc.finish();
+            let seam = dec.resume_after_end().unwrap();
+            assert_eq!(seam, old_len - crate::frame::FRAME_OVERHEAD);
+            for b in file[seam..].iter() {
+                dec.feed(std::slice::from_ref(b)).unwrap();
+            }
+            assert!(dec.ended());
+
+            // A decoder that consumed trailing garbage (lenient) or sits
+            // mid-frame has no coherent seam; clean end is required.
+            let got = dec.finish().unwrap();
+            let whole = decode(&file, policy).unwrap();
+            assert_same(&Ok(got), &Ok(whole), "tailed == whole-buffer");
+        }
+    }
+
+    #[test]
+    fn resume_after_end_refuses_incoherent_states() {
+        let clean = sample_stream();
+        // Lenient decoder that absorbed trailing bytes after the end:
+        // those bytes were already accounted lost, the seam is gone.
+        let mut dec = FrameDecoder::new(DecodePolicy::SkipCorrupt);
+        dec.feed(&clean).unwrap();
+        dec.feed(b"junk").unwrap();
+        assert_eq!(dec.resume_after_end(), None);
+        // Strict decoder with a sticky failure stays failed.
+        let mut dec = FrameDecoder::new(DecodePolicy::Strict);
+        dec.feed(&clean).unwrap();
+        let err = dec.feed(b"junk").unwrap_err();
+        assert_eq!(err.kind, WireErrorKind::TrailingBytes);
+        assert_eq!(dec.resume_after_end(), None);
+        // Mid-frame park: nothing ended, nothing to resume.
+        let mut dec = FrameDecoder::new(DecodePolicy::Strict);
+        dec.feed(&clean[..clean.len() / 2]).unwrap();
+        assert_eq!(dec.resume_after_end(), None);
     }
 
     #[test]

@@ -301,37 +301,13 @@ impl DecodeState {
                 self.name = Some(name);
             }
             KIND_DEMANDS => {
-                let n = c.count(1)?;
-                let mut vals = Vec::with_capacity(n);
-                for _ in 0..n {
-                    vals.push(c.varint()?);
-                }
+                let vals = decode_demands_cursor(&mut c)?;
                 c.finish()?;
                 self.events_decoded += vals.len() as u64;
                 self.demands.extend_from_slice(&vals);
             }
             KIND_TIMES => {
-                let n = c.count(1)?;
-                let mut vals = Vec::with_capacity(n);
-                if n > 0 {
-                    let at = c.offset();
-                    let mut key = c.varint()?;
-                    let first = key_to_f64(key);
-                    if !first.is_finite() {
-                        return Err(WireError::new(at, WireErrorKind::NonFinite));
-                    }
-                    vals.push(first);
-                    for _ in 1..n {
-                        let at = c.offset();
-                        let delta = c.zigzag()?;
-                        key = key.wrapping_add(delta as u64);
-                        let t = key_to_f64(key);
-                        if !t.is_finite() {
-                            return Err(WireError::new(at, WireErrorKind::NonFinite));
-                        }
-                        vals.push(t);
-                    }
-                }
+                let vals = decode_times_cursor(&mut c)?;
                 c.finish()?;
                 self.events_decoded += vals.len() as u64;
                 self.times.extend_from_slice(&vals);
@@ -411,6 +387,14 @@ impl DecodeState {
         self.events_decoded
     }
 
+    /// Drop everything accumulated so far (name, demands, times,
+    /// events, summaries, …) while keeping nothing of the registry
+    /// either — the flat-memory reset behind
+    /// [`crate::FrameDecoder::reset_decoded`].
+    pub(crate) fn reset(&mut self) {
+        *self = Self::default();
+    }
+
     pub(crate) fn into_decoded(self, report: DecodeReport) -> Decoded {
         let trace = self
             .registry
@@ -426,6 +410,101 @@ impl DecodeState {
             sweep_points: self.sweep_points,
             report,
         }
+    }
+}
+
+/// Varint demand values from a [`KIND_DEMANDS`] payload cursor (caller
+/// runs `finish`).
+fn decode_demands_cursor(c: &mut Cursor<'_>) -> Result<Vec<u64>, WireError> {
+    let n = c.count(1)?;
+    let mut vals = Vec::with_capacity(n);
+    for _ in 0..n {
+        vals.push(c.varint()?);
+    }
+    Ok(vals)
+}
+
+/// Delta-coded timestamps from a [`KIND_TIMES`] payload cursor (caller
+/// runs `finish`).
+fn decode_times_cursor(c: &mut Cursor<'_>) -> Result<Vec<f64>, WireError> {
+    let n = c.count(1)?;
+    let mut vals = Vec::with_capacity(n);
+    if n > 0 {
+        let at = c.offset();
+        let mut key = c.varint()?;
+        let first = key_to_f64(key);
+        if !first.is_finite() {
+            return Err(WireError::new(at, WireErrorKind::NonFinite));
+        }
+        vals.push(first);
+        for _ in 1..n {
+            let at = c.offset();
+            let delta = c.zigzag()?;
+            key = key.wrapping_add(delta as u64);
+            let t = key_to_f64(key);
+            if !t.is_finite() {
+                return Err(WireError::new(at, WireErrorKind::NonFinite));
+            }
+            vals.push(t);
+        }
+    }
+    Ok(vals)
+}
+
+/// Standalone per-frame payload decoders, for consumers that act on
+/// frames as they arrive ([`crate::FrameDecoder::feed_with`] on a live
+/// tail or socket) instead of accumulating a whole [`Decoded`]. Each
+/// checks the frame kind and decodes exactly the bytes
+/// [`DecodeState::apply`] would, with the same error offsets.
+pub mod payload {
+    use super::*;
+
+    /// The stream/session name carried by a [`KIND_META`] frame.
+    ///
+    /// # Errors
+    ///
+    /// [`WireErrorKind::BadPayload`] on a kind mismatch, otherwise the
+    /// payload codec's own errors.
+    pub fn meta(frame: &Frame<'_>) -> Result<String, WireError> {
+        if frame.kind != KIND_META {
+            return Err(WireError::new(frame.start, WireErrorKind::BadPayload));
+        }
+        let mut c = Cursor::new(frame.payload, frame.payload_offset);
+        let name = c.str()?.to_string();
+        c.finish()?;
+        Ok(name)
+    }
+
+    /// The demand values carried by a [`KIND_DEMANDS`] frame.
+    ///
+    /// # Errors
+    ///
+    /// [`WireErrorKind::BadPayload`] on a kind mismatch, otherwise the
+    /// payload codec's own errors.
+    pub fn demands(frame: &Frame<'_>) -> Result<Vec<u64>, WireError> {
+        if frame.kind != KIND_DEMANDS {
+            return Err(WireError::new(frame.start, WireErrorKind::BadPayload));
+        }
+        let mut c = Cursor::new(frame.payload, frame.payload_offset);
+        let vals = decode_demands_cursor(&mut c)?;
+        c.finish()?;
+        Ok(vals)
+    }
+
+    /// The timestamps carried by a [`KIND_TIMES`] frame.
+    ///
+    /// # Errors
+    ///
+    /// [`WireErrorKind::BadPayload`] on a kind mismatch, otherwise the
+    /// payload codec's own errors.
+    pub fn times(frame: &Frame<'_>) -> Result<Vec<f64>, WireError> {
+        if frame.kind != KIND_TIMES {
+            return Err(WireError::new(frame.start, WireErrorKind::BadPayload));
+        }
+        let mut c = Cursor::new(frame.payload, frame.payload_offset);
+        let vals = decode_times_cursor(&mut c)?;
+        c.finish()?;
+        Ok(vals)
     }
 }
 

@@ -39,6 +39,22 @@ if ls "$out"/*.rows.part >/dev/null 2>&1; then
 fi
 echo "ok: JSON, CSV and stdout identical with --stream on"
 
+echo "== .rows.part cleanup on error exits =="
+# --k 0 fails spec validation *inside* the streaming run, after the
+# JSON rows sink (and its temp file) already exist: the scoped guard
+# must remove the temp on that exit-2 path too.
+rc=0; "$cli" "${base[@]}" --stream on --k 0 --json "$out/fail.json" 2>/dev/null || rc=$?
+[ "$rc" -eq 2 ] || { echo "invalid spec with --stream must exit 2, got $rc"; exit 1; }
+if ls "$out"/*.rows.part >/dev/null 2>&1; then
+  echo "leftover .rows.part temporary after an error exit"; exit 1
+fi
+rc=0; "$cli" "${base[@]}" --stream on --pe1-mhz nope --json "$out/fail.json" 2>/dev/null || rc=$?
+[ "$rc" -ne 0 ] || { echo "bad --pe1-mhz with --stream must fail"; exit 1; }
+if ls "$out"/*.rows.part >/dev/null 2>&1; then
+  echo "leftover .rows.part temporary after a parse-error exit"; exit 1
+fi
+echo "ok: error exits leave no .rows.part behind"
+
 echo "== shard x merge == single process =="
 pids=()
 for i in 0 1 2; do

@@ -14,6 +14,8 @@
 //! | [`mpeg`] | `wcm-mpeg` | the synthetic MPEG-2 decoder workload model (14 clip profiles, per-macroblock demand) |
 //! | [`sim`] | `wcm-sim` | the transaction-level CBR → PE₁ → FIFO → PE₂ pipeline simulator (Fig. 5) |
 //! | [`obs`] | `wcm-obs` | zero-dependency observability: spans, counters, log2 histograms, Chrome-trace export, strict JSON/CSV readers |
+//! | [`wire`] | `wcm-wire` | the versioned binary `.wcmt` trace wire format: streaming encoder/decoder, corruption-tolerant resync |
+//! | [`serve`] | `wcm-serve` | always-on monitoring: live `.wcmt` ingestion (file tail / TCP), per-session spines + monitors, eq.-9 admission control |
 //!
 //! # Quickstart
 //!
@@ -70,7 +72,9 @@ pub use wcm_events as events;
 pub use wcm_mpeg as mpeg;
 pub use wcm_obs as obs;
 pub use wcm_sched as sched;
+pub use wcm_serve as serve;
 pub use wcm_sim as sim;
+pub use wcm_wire as wire;
 
 // The most-used types at the top level for convenience.
 pub use wcm_core::{Cycles, LowerWorkloadCurve, UpperWorkloadCurve, WorkloadBounds};
